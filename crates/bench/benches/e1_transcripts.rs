@@ -1,0 +1,71 @@
+//! E1 — throughput of the full paper-transcript suite (the conformance
+//! tests in `tests/paper_examples.rs` check correctness; this bench
+//! tracks the cost of the same queries, one group per debuggee).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duel_bench::eval_count;
+use duel_core::EvalOptions;
+use duel_target::scenario;
+
+fn bench_transcripts(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("e1_transcripts");
+    group.sample_size(20);
+
+    group.bench_function("scan_array_suite", |b| {
+        let mut t = scenario::scan_array();
+        b.iter(|| {
+            let mut n = 0;
+            for q in [
+                "(1,2,5)*4+(10,200)",
+                "(3,11)+(5..7)",
+                "x[1..4,8,12..50] >? 5 <? 10",
+                "x[1..4,8,12..50] ==? (6..9)",
+                "x[1..3] == 7",
+                "1 + (double)3/2",
+            ] {
+                n += eval_count(&mut t, q, &opts);
+            }
+            n
+        })
+    });
+
+    group.bench_function("hash_table_suite", |b| {
+        let mut t = scenario::hash_table_basic();
+        b.iter(|| {
+            let mut n = 0;
+            for q in [
+                "(hash[..1024] !=? 0)->scope >? 5",
+                "hash[1,9]->(scope,name)",
+                "hash[0]-->next->scope",
+                "hash[..1024]->(if (_ && scope > 5) name)",
+            ] {
+                n += eval_count(&mut t, q, &opts);
+            }
+            n
+        })
+    });
+
+    group.bench_function("structures_suite", |b| {
+        let mut t = scenario::combined();
+        b.iter(|| {
+            let mut n = 0;
+            for q in [
+                "L-->next->(value ==? next-->next->value)",
+                "root-->(left,right)->key",
+                "#/(root-->(left,right)->key)",
+                "((1..9)*(1..9))[[52,74]]",
+                "argv[0..]@0",
+                "s[0..999]@(_=='\\0')",
+            ] {
+                n += eval_count(&mut t, q, &opts);
+            }
+            n
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transcripts);
+criterion_main!(benches);

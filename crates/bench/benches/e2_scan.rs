@@ -1,0 +1,57 @@
+//! E2 — "x[..10000] >? 0 compiles and executes in about 5 seconds on a
+//! DECStation 5000."
+//!
+//! Regenerates the claim's *shape*: total time should be linear in N
+//! (report ns/element), with the symbolic computation a large share —
+//! the eager/lazy split is measured separately in E4. A native Rust
+//! scan of the same memory gives the interpretation-overhead baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duel_bench::eval_count;
+use duel_core::EvalOptions;
+use duel_target::{scenario, Target};
+
+fn bench_scan(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("e2_scan");
+    group.sample_size(10);
+    for n in [100u64, 1_000, 10_000, 100_000] {
+        let mut t = scenario::bench_array(n, 42);
+        // Correctness probe: the scan finds some positives.
+        assert!(eval_count(&mut t, "#/(x[..10] >? 0)", &opts) == 1);
+        group.bench_with_input(BenchmarkId::new("duel", n), &n, |b, &n| {
+            let expr = format!("x[..{n}] >? 0");
+            b.iter(|| eval_count(&mut t, &expr, &opts));
+        });
+    }
+    group.finish();
+
+    // The native baseline: same memory, hand-written walk.
+    let mut group = c.benchmark_group("e2_scan_native");
+    group.sample_size(10);
+    for n in [10_000u64, 100_000] {
+        let t = scenario::bench_array(n, 42);
+        let base = {
+            let mut tt = t;
+            let x = tt.get_variable("x").unwrap();
+            (tt, x.addr)
+        };
+        let (t, addr) = base;
+        group.bench_with_input(BenchmarkId::new("rust", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for i in 0..n {
+                    let v = t.core.read_int(addr + i * 4).unwrap();
+                    if v > 0 {
+                        count += 1;
+                    }
+                }
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

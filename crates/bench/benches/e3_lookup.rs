@@ -1,0 +1,72 @@
+//! E3 — "most of the time in evaluating 1..100+i goes to the 100
+//! lookups of i."
+//!
+//! `(1..N)+i` re-resolves `i` once per generated value. The ablation
+//! varies what `i` *is*:
+//!
+//! * a literal (`(1..N)+5`) — no lookup at all;
+//! * a DUEL alias — one hash-map probe per value;
+//! * a target variable — a full `duel_get_target_variable` round trip
+//!   plus a typed memory load per value.
+//!
+//! The paper's claim corresponds to the widening gap between the
+//! literal row and the variable row as N grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duel_bench::eval_count;
+use duel_core::{EvalOptions, Session};
+use duel_gdbmi::{MiTarget, MockGdb};
+use duel_target::scenario;
+
+fn bench_lookup(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("e3_lookup");
+    group.sample_size(20);
+    for n in [10u64, 100, 1000] {
+        // Literal operand: zero lookups.
+        let mut t = scenario::bench_array(16, 1);
+        group.bench_with_input(BenchmarkId::new("literal", n), &n, |b, &n| {
+            let expr = format!("(1..{n})+5");
+            b.iter(|| eval_count(&mut t, &expr, &opts));
+        });
+        // Alias operand: session-map lookups.
+        let mut t = scenario::bench_array(16, 1);
+        {
+            let mut s = Session::new(&mut t);
+            s.eval("j := 5 ;").unwrap();
+        }
+        // Aliases live in the session; rebuild it inside the timed
+        // closure exactly as the other rows do, with `j` predefined.
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, &n| {
+            let expr = format!("j := 5; (1..{n})+j");
+            b.iter(|| eval_count(&mut t, &expr, &opts));
+        });
+        // Target-variable operand: the paper's case — `i` is a global
+        // in the debuggee, looked up and loaded per value.
+        let mut t = scenario::bench_array(16, 1);
+        group.bench_with_input(BenchmarkId::new("target_var", n), &n, |b, &n| {
+            let expr = format!("(1..{n})+i");
+            b.iter(|| eval_count(&mut t, &expr, &opts));
+        });
+        // The same lookup when `duel_get_target_variable` has a
+        // realistic cost (a wire round-trip per lookup, as under a real
+        // debugger): this is where the paper's "most of the time goes
+        // to the lookups of i" lives.
+        let mut mi =
+            MiTarget::connect(MockGdb::new(scenario::bench_array(16, 1))).expect("connect");
+        group.bench_with_input(BenchmarkId::new("target_var_mi", n), &n, |b, &n| {
+            let expr = format!("(1..{n})+i");
+            b.iter(|| eval_count(&mut mi, &expr, &opts));
+        });
+        let mut mi =
+            MiTarget::connect(MockGdb::new(scenario::bench_array(16, 1))).expect("connect");
+        group.bench_with_input(BenchmarkId::new("literal_mi", n), &n, |b, &n| {
+            let expr = format!("(1..{n})+5");
+            b.iter(|| eval_count(&mut mi, &expr, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E4 — "In most cases, the computation of the symbolic value is more
+//! expensive than computing the result. … in x[..1000] !=? 0, the
+//! symbolic expression x[i] is computed 1000 times, even though it
+//! might be printed only once."
+//!
+//! Ablation: the same expressions with eager vs lazy symbolic-value
+//! construction ([`SymMode`]). The eager/lazy gap is the symbolic
+//! overhead the paper says "would need to be eliminated" for
+//! watchpoint-grade uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duel_bench::eval_count;
+use duel_core::{EvalOptions, SymMode};
+use duel_target::scenario;
+
+fn bench_symbolic(c: &mut Criterion) {
+    let eager = EvalOptions::default();
+    let lazy = EvalOptions {
+        sym_mode: SymMode::Lazy,
+        ..EvalOptions::default()
+    };
+    let mut group = c.benchmark_group("e4_symbolic");
+    group.sample_size(20);
+    let cases: &[(&str, String)] = &[
+        // The paper's exact expression.
+        ("filter_1000", "x[..1000] !=? 0".to_string()),
+        // A deeper symbolic build: chained fields over the hash table.
+        ("dfs_chain", "hash[..1024]-->next->scope >? 3".to_string()),
+        // Pure generator arithmetic.
+        ("product", "#/((1..100)*(1..100))".to_string()),
+    ];
+    for (name, expr) in cases {
+        if name.starts_with("dfs") {
+            let mut t = scenario::bench_hash(1024, 3, 7);
+            group.bench_function(BenchmarkId::new("eager", name), |b| {
+                b.iter(|| eval_count(&mut t, expr, &eager))
+            });
+            let mut t = scenario::bench_hash(1024, 3, 7);
+            group.bench_function(BenchmarkId::new("lazy", name), |b| {
+                b.iter(|| eval_count(&mut t, expr, &lazy))
+            });
+        } else {
+            let mut t = scenario::bench_array(1000, 11);
+            group.bench_function(BenchmarkId::new("eager", name), |b| {
+                b.iter(|| eval_count(&mut t, expr, &eager))
+            });
+            let mut t = scenario::bench_array(1000, 11);
+            group.bench_function(BenchmarkId::new("lazy", name), |b| {
+                b.iter(|| eval_count(&mut t, expr, &lazy))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic);
+criterion_main!(benches);

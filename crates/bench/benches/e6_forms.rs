@@ -1,0 +1,62 @@
+//! E6 — the four equivalent formulations of the `hash` search from the
+//! paper's Syntax section: one DUEL one-liner and three progressively
+//! more C-like loop forms. All four must produce the same values; the
+//! bench compares their evaluation cost (the loop forms pay per-bucket
+//! statement interpretation; the one-liner streams generators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duel_bench::{eval_count, eval_lines};
+use duel_core::EvalOptions;
+use duel_target::scenario;
+
+const FORMS: &[(&str, &str)] = &[
+    ("one_liner", "(hash[..1024] !=? 0)->scope >? 5"),
+    (
+        "c_full",
+        "int i; for (i = 0; i < 1024; i++) \
+         if (hash[i] && hash[i]->scope > 5) hash[i]->scope",
+    ),
+    (
+        "c_mixed",
+        "int i; for (i = 0; i < 1024; i++) \
+         if (hash[i]) hash[i]->scope >? 5",
+    ),
+    (
+        "c_filters",
+        "int i; for (i = 0; i < 1024; i++) \
+         (hash[i] !=? 0)->scope >? 5",
+    ),
+];
+
+fn bench_forms(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    // All four formulations agree (values, not symbolic paths).
+    let expected: Vec<String> = {
+        let mut t = scenario::bench_hash(1024, 2, 99);
+        eval_lines(&mut t, FORMS[0].1, &opts)
+            .iter()
+            .map(|l| l.rsplit(" = ").next().unwrap_or(l).to_string())
+            .collect()
+    };
+    for (name, form) in FORMS {
+        let mut t = scenario::bench_hash(1024, 2, 99);
+        let got: Vec<String> = eval_lines(&mut t, form, &opts)
+            .iter()
+            .map(|l| l.rsplit(" = ").next().unwrap_or(l).to_string())
+            .collect();
+        assert_eq!(got, expected, "formulation `{name}` disagrees");
+    }
+
+    let mut group = c.benchmark_group("e6_forms");
+    group.sample_size(20);
+    for (name, form) in FORMS {
+        let mut t = scenario::bench_hash(1024, 2, 99);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| eval_count(&mut t, form, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forms);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E7 — generator cross products: `(1..3)+(5,9)` yields 6 values,
+//! `printf("%d %d, ", (3,4), 5..7)` makes 6 calls. The cost must scale
+//! as the product of the operand cardinalities (k² for two k-ranges,
+//! k³ for three), because the evaluator *streams* combinations in
+//! O(depth) space rather than materializing them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duel_bench::eval_count;
+use duel_core::EvalOptions;
+use duel_target::scenario;
+
+fn bench_product(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("e7_product");
+    group.sample_size(20);
+    for k in [10u64, 32, 100] {
+        let mut t = scenario::bench_array(16, 3);
+        group.bench_with_input(BenchmarkId::new("two_way", k), &k, |b, &k| {
+            let expr = format!("#/((1..{k})+(1..{k}))");
+            b.iter(|| eval_count(&mut t, &expr, &opts));
+        });
+        let mut t = scenario::bench_array(16, 3);
+        group.bench_with_input(BenchmarkId::new("three_way", k), &k, |b, &k| {
+            let expr = format!("#/((1..{k})+(1..{k})+(1..{k}))");
+            b.iter(|| eval_count(&mut t, &expr, &opts));
+        });
+    }
+    // Cross-product *calls* (the printf example, at bench scale with a
+    // cheap native function).
+    let mut t = scenario::bench_array(16, 3);
+    group.bench_function("abs_calls_100", |b| {
+        b.iter(|| eval_count(&mut t, "#/abs((1..10)*(1..10))", &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_product);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E9 (performance facet) — the same DUEL queries through the three
+//! backends. Correctness equivalence is proven in
+//! `tests/backend_swap.rs`; this bench quantifies what each layer
+//! costs: the in-process simulator, and the gdb/MI adapter where every
+//! memory read is a serialized command + parsed reply (a real remote
+//! debugger would add network latency on top).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duel_bench::eval_count;
+use duel_core::EvalOptions;
+use duel_gdbmi::{MiTarget, MockGdb};
+use duel_target::scenario;
+
+const QUERIES: &[(&str, &str)] = &[
+    ("scan", "x[..60] >? 100"),
+    ("filter_eq", "x[1..4,8,12..50] ==? (6..9)"),
+];
+
+fn bench_backends(c: &mut Criterion) {
+    let opts = EvalOptions::default();
+    let mut group = c.benchmark_group("e9_backends");
+    group.sample_size(20);
+    for (name, q) in QUERIES {
+        let mut sim = scenario::scan_array();
+        group.bench_function(BenchmarkId::new("sim", name), |b| {
+            b.iter(|| eval_count(&mut sim, q, &opts))
+        });
+        let mut mi = MiTarget::connect(MockGdb::new(scenario::scan_array())).expect("connect");
+        group.bench_function(BenchmarkId::new("mi", name), |b| {
+            b.iter(|| eval_count(&mut mi, q, &opts))
+        });
+    }
+    // The hash-table walk is read-heavy: the worst case for a
+    // per-read wire protocol.
+    let mut sim = scenario::hash_table_basic();
+    group.bench_function(BenchmarkId::new("sim", "dfs_walk"), |b| {
+        b.iter(|| eval_count(&mut sim, "#/(hash[..1024]-->next)", &opts))
+    });
+    let mut mi = MiTarget::connect(MockGdb::new(scenario::hash_table_basic())).expect("connect");
+    group.bench_function(BenchmarkId::new("mi", "dfs_walk"), |b| {
+        b.iter(|| eval_count(&mut mi, "#/(hash[..1024]-->next)", &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

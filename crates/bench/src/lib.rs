@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Shared workload helpers for the experiment benches (E1–E7) and the
+//! E5 line-count report.
+//!
+//! The experiment ↔ paper-claim mapping lives in `DESIGN.md` §5; the
+//! measured results are recorded in `EXPERIMENTS.md`.
+
+use duel_core::{EvalOptions, Session};
+use duel_target::Target;
+
+/// Evaluates `expr` against `target`, returning how many values it
+/// produced (panicking on error — benches must be well-formed).
+pub fn eval_count(target: &mut dyn Target, expr: &str, options: &EvalOptions) -> usize {
+    let mut s = Session::with_options(target, options.clone());
+    let out = s
+        .eval(expr)
+        .unwrap_or_else(|e| panic!("bench expr `{expr}` failed: {e}"));
+    out.len()
+}
+
+/// Evaluates and returns the rendered lines (for correctness checks
+/// inside bench setup).
+pub fn eval_lines(target: &mut dyn Target, expr: &str, options: &EvalOptions) -> Vec<String> {
+    let mut s = Session::with_options(target, options.clone());
+    s.eval_lines(expr)
+        .unwrap_or_else(|e| panic!("bench expr `{expr}` failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duel_target::scenario;
+
+    #[test]
+    fn helpers_work() {
+        let mut t = scenario::scan_array();
+        let opts = EvalOptions::default();
+        assert_eq!(eval_count(&mut t, "x[1..4,8,12..50] >? 5 <? 10", &opts), 3);
+        assert_eq!(eval_lines(&mut t, "1+1", &opts), vec!["2"]);
+    }
+}

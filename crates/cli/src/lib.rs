@@ -1,0 +1,413 @@
+#![warn(missing_docs)]
+
+//! The REPL engine behind the `duel` binary.
+//!
+//! Lines starting with `.` are debugger commands (`.help` lists them);
+//! anything else is a DUEL expression, evaluated as the paper's
+//! `gdb> duel expr`. [`Repl::handle`] processes one line and appends the
+//! output to a `String`, which is what makes the command surface
+//! testable without a terminal.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use duel_core::{EvalOptions, EvalStats, Session, SymMode, Value};
+use duel_minic::{Debugger, StopReason};
+use duel_target::{scenario, SimTarget, Target};
+
+pub(crate) enum Backend {
+    Sim(Box<SimTarget>),
+    Minic(Box<Debugger>),
+}
+
+impl Backend {
+    fn target_mut(&mut self) -> &mut dyn Target {
+        match self {
+            Backend::Sim(t) => &mut **t,
+            Backend::Minic(d) => &mut **d,
+        }
+    }
+}
+
+/// The REPL engine: owns the debuggee backend, the DUEL aliases, and
+/// the evaluation options; `handle` processes one input line and
+/// appends its output to a sink, so the whole command surface is unit
+/// testable.
+pub struct Repl {
+    backend: Backend,
+    aliases: HashMap<String, Value>,
+    options: EvalOptions,
+    last_stats: EvalStats,
+}
+
+const HELP: &str = "\
+DUEL commands:
+  <expr>             evaluate a DUEL expression (try: x[..10] >? 5)
+  .help              this message
+  .scenario NAME     load a built-in debuggee: scan range hash full
+                     violation lists tree argv combined
+  .load FILE         compile FILE as mini-C and debug it
+  .break N           set a breakpoint at line N
+  .delete N          remove the breakpoint at line N
+  .breaks            list breakpoints
+  .run / .cont       run / continue the mini-C program
+  .step              step one source line
+  .watch EXPR        stop when the DUEL expression's values change
+  .frames            show the stopped program's frames
+  .ast EXPR          show the AST in the paper's LISP-like notation
+  .stats             counters from the last evaluation
+  .aliases           list DUEL aliases (`a := e`, declarations)
+  .clear             drop all aliases
+  .set trace on|off  log every generator resumption (the paper's eval)
+  .set lazy|eager    symbolic-value construction (experiment E4)
+  .set threshold N   `->a->a…` compression threshold (default 4)
+  .set maxvalues N   value limit per command
+  .quit              exit
+";
+
+impl Repl {
+    /// Creates a REPL over the combined built-in scenario.
+    pub fn new() -> Repl {
+        Repl {
+            backend: Backend::Sim(Box::new(scenario::combined())),
+            aliases: HashMap::new(),
+            options: EvalOptions::default(),
+            last_stats: EvalStats::default(),
+        }
+    }
+
+    fn eval(&mut self, line: &str, out: &mut String) {
+        let session = Session::with_state(
+            self.backend.target_mut(),
+            std::mem::take(&mut self.aliases),
+            self.options.clone(),
+        );
+        let mut session = session;
+        match session.eval_partial(line) {
+            Ok((lines, err)) => {
+                for l in duel_core::session::render_lines(&lines) {
+                    let _ = writeln!(out, "{l}");
+                }
+                if let Some(e) = err {
+                    let _ = writeln!(out, "{e}");
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        self.last_stats = session.last_stats();
+        for line in session.take_trace() {
+            let _ = writeln!(out, "| {line}");
+        }
+        self.aliases = session.into_aliases();
+    }
+
+    fn command(&mut self, line: &str, out: &mut String) -> bool {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("");
+        match cmd {
+            ".quit" | ".q" | ".exit" => return false,
+            ".help" | ".h" => out.push_str(HELP),
+            ".scenario" => {
+                let t = match arg {
+                    "scan" => Some(scenario::scan_array()),
+                    "range" => Some(scenario::range_array()),
+                    "hash" => Some(scenario::hash_table_basic()),
+                    "full" => Some(scenario::hash_table_full()),
+                    "violation" => Some(scenario::hash_table_sorted_violation()),
+                    "lists" => Some(scenario::linked_lists()),
+                    "tree" => Some(scenario::binary_tree()),
+                    "argv" => Some(scenario::argv_strings()),
+                    "combined" | "" => Some(scenario::combined()),
+                    other => {
+                        let _ = writeln!(out, "unknown scenario `{other}`");
+                        None
+                    }
+                };
+                if let Some(t) = t {
+                    self.backend = Backend::Sim(Box::new(t));
+                    self.aliases.clear();
+                    let _ = writeln!(out, "scenario loaded; aliases cleared");
+                }
+            }
+            ".load" => match std::fs::read_to_string(arg) {
+                Ok(src) => match Debugger::new(&src) {
+                    Ok(d) => {
+                        self.backend = Backend::Minic(Box::new(d));
+                        self.aliases.clear();
+                        let _ = writeln!(out, "compiled `{arg}`; set breakpoints and .run");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "compile error: {e}");
+                    }
+                },
+                Err(e) => {
+                    let _ = writeln!(out, "cannot read `{arg}`: {e}");
+                }
+            },
+            ".break" | ".delete" | ".breaks" | ".run" | ".cont" | ".step" | ".frames"
+            | ".watch" => {
+                let rest = line.split_once(' ').map(|x| x.1).unwrap_or("").to_string();
+                self.debugger_command(cmd, if cmd == ".watch" { &rest } else { arg }, out)
+            }
+            ".ast" => {
+                let expr = line.split_once(' ').map(|x| x.1).unwrap_or("");
+                let mut session = Session::with_state(
+                    self.backend.target_mut(),
+                    std::mem::take(&mut self.aliases),
+                    self.options.clone(),
+                );
+                match session.parse(expr) {
+                    Ok(ast) => {
+                        let _ = writeln!(out, "{}", duel_core::to_sexpr(&ast));
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "{e}");
+                    }
+                }
+                self.aliases = session.into_aliases();
+            }
+            ".stats" => {
+                let _ = writeln!(
+                    out,
+                    "values: {}, ticks: {}",
+                    self.last_stats.values, self.last_stats.ticks
+                );
+            }
+            ".aliases" => {
+                let mut names: Vec<&String> = self.aliases.keys().collect();
+                names.sort();
+                for n in names {
+                    let _ = writeln!(out, "{n}");
+                }
+            }
+            ".clear" => {
+                self.aliases.clear();
+                let _ = writeln!(out, "aliases cleared");
+            }
+            ".set" => {
+                let val = line.split_whitespace().nth(2).unwrap_or("");
+                match arg {
+                    "trace" => {
+                        self.options.trace = val == "on";
+                    }
+                    "lazy" => self.options.sym_mode = SymMode::Lazy,
+                    "eager" => self.options.sym_mode = SymMode::Eager,
+                    "threshold" => {
+                        if let Ok(n) = val.parse() {
+                            self.options.compress_threshold = n;
+                        }
+                    }
+                    "maxvalues" => {
+                        if let Ok(n) = val.parse() {
+                            self.options.max_values = n;
+                        }
+                    }
+                    other => {
+                        let _ = writeln!(out, "unknown option `{other}`");
+                    }
+                }
+            }
+            other => {
+                let _ = writeln!(out, "unknown command `{other}` (try .help)");
+            }
+        }
+        true
+    }
+
+    fn debugger_command(&mut self, cmd: &str, arg: &str, out: &mut String) {
+        let dbg = match &mut self.backend {
+            Backend::Minic(d) => d,
+            Backend::Sim(_) => {
+                let _ = writeln!(out, "no program loaded (use `.load file.c` first)");
+                return;
+            }
+        };
+        match cmd {
+            ".break" => match arg.parse::<u32>() {
+                Ok(n) => {
+                    dbg.add_breakpoint(n);
+                    let _ = writeln!(out, "breakpoint at line {n}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "usage: .break LINE");
+                }
+            },
+            ".delete" => {
+                if let Ok(n) = arg.parse::<u32>() {
+                    dbg.remove_breakpoint(n);
+                }
+            }
+            ".breaks" => {
+                let _ = writeln!(out, "{:?}", dbg.breakpoints());
+            }
+            ".watch" => {
+                if arg.is_empty() {
+                    {
+                        let _ = writeln!(out, "usage: .watch EXPR");
+                    };
+                } else {
+                    dbg.add_watchpoint(arg);
+                    let _ = writeln!(out, "watching `{arg}`");
+                }
+            }
+            ".run" | ".cont" => {
+                let r = if cmd == ".run" { dbg.run() } else { dbg.cont() };
+                match r {
+                    Ok(StopReason::Breakpoint { line }) => {
+                        let _ = writeln!(out, "breakpoint hit at line {line}");
+                    }
+                    Ok(StopReason::Step { line }) => {
+                        let _ = writeln!(out, "stopped at line {line}");
+                    }
+                    Ok(StopReason::Watchpoint { line }) => {
+                        let _ = writeln!(out, "watchpoint fired at line {line}");
+                    }
+                    Ok(StopReason::Exited { code }) => {
+                        let _ = writeln!(out, "program exited with code {code}");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "runtime error: {e}");
+                    }
+                }
+                let prog_out = dbg.take_output();
+                if !prog_out.is_empty() {
+                    out.push_str(&prog_out);
+                }
+            }
+            ".step" => match dbg.step_line() {
+                Ok(StopReason::Step { line }) => {
+                    let _ = writeln!(out, "line {line}");
+                }
+                Ok(StopReason::Exited { code }) => {
+                    let _ = writeln!(out, "program exited with code {code}");
+                }
+                Ok(other) => {
+                    let _ = writeln!(out, "{other:?}");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "runtime error: {e}");
+                }
+            },
+            ".frames" => {
+                let n = dbg.frame_count();
+                for i in 0..n {
+                    if let Some(f) = dbg.frame_info(i) {
+                        let line = f.line.map(|l| format!(" at line {l}")).unwrap_or_default();
+                        let _ = writeln!(out, "#{i} {}{}", f.function, line);
+                    }
+                }
+            }
+            _ => unreachable!("dispatched by caller"),
+        }
+    }
+}
+
+impl Repl {
+    /// Processes one input line, appending output; returns `false` when
+    /// the user quits.
+    pub fn handle(&mut self, line: &str, out: &mut String) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        if line.starts_with('.') {
+            self.command(line, out)
+        } else {
+            self.eval(line, out);
+            true
+        }
+    }
+}
+
+impl Default for Repl {
+    fn default() -> Repl {
+        Repl::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lines: &[&str]) -> String {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        for l in lines {
+            r.handle(l, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn evaluates_expressions() {
+        let out = run(&["x[1..4,8,12..50] >? 5 <? 10"]);
+        assert_eq!(out, "x[3] = 7\nx[18] = 9\nx[47] = 6\n");
+    }
+
+    #[test]
+    fn aliases_persist_across_lines() {
+        let out = run(&["v := 40 + 2 ;", "v * 2"]);
+        assert!(out.contains("84"), "{out}");
+    }
+
+    #[test]
+    fn scenario_switching_clears_aliases() {
+        let out = run(&["v := 1 ;", ".scenario tree", "v"]);
+        assert!(out.contains("scenario loaded"), "{out}");
+        assert!(out.contains("`v` is not defined"), "{out}");
+    }
+
+    #[test]
+    fn ast_and_stats_commands() {
+        let out = run(&[".ast a*5 + *b", "1..3", ".stats"]);
+        assert!(
+            out.contains("(plus (multiply (name \"a\") (constant 5)) (indirect (name \"b\")))"),
+            "{out}"
+        );
+        assert!(out.contains("values: 3"), "{out}");
+    }
+
+    #[test]
+    fn debugger_commands_require_a_program() {
+        let out = run(&[".run"]);
+        assert!(out.contains("no program loaded"), "{out}");
+    }
+
+    #[test]
+    fn set_options() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".set lazy", &mut out);
+        r.handle("x[1..3] >? 0", &mut out);
+        // Lazy mode: values only, no symbolic paths.
+        assert!(out.contains("101\n102\n"), "{out}");
+        r.handle(".set threshold 2", &mut out);
+        assert_eq!(r.options.compress_threshold, 2);
+    }
+
+    #[test]
+    fn quit_returns_false() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        assert!(!r.handle(".quit", &mut out));
+        assert!(r.handle("1+1", &mut out));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out = run(&["nonesuch", "1 +", ".bogus"]);
+        assert!(out.contains("`nonesuch` is not defined"), "{out}");
+        assert!(out.contains("syntax error"), "{out}");
+        assert!(out.contains("unknown command"), "{out}");
+    }
+
+    #[test]
+    fn trace_mode_prints_eval_steps() {
+        let out = run(&[".set trace on", "(1..2)+(5,9)"]);
+        assert!(out.contains("eval(binary) -> yield 1+5"), "{out}");
+        assert!(out.contains("eval(alternate) -> NOVALUE"), "{out}");
+    }
+}

@@ -1,0 +1,42 @@
+//! The DUEL REPL binary.
+//!
+//! ```sh
+//! duel                 # explore a built-in scenario
+//! duel program.c       # debug a mini-C program
+//! ```
+
+use std::io::{BufRead, Write};
+
+use duel_cli::Repl;
+
+fn main() {
+    let mut repl = Repl::new();
+    let mut out = String::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.first() {
+        repl.handle(&format!(".load {path}"), &mut out);
+        print!("{out}");
+        out.clear();
+    } else {
+        println!("DUEL — a very high-level debugging language (USENIX '93).");
+        println!("Built-in scenario loaded: x, hash, L, head, root, argv, s.");
+        println!("Try: x[1..4,8,12..50] >? 5 <? 10   (or .help)\n");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        print!("duel> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let more = repl.handle(&line, &mut out);
+        print!("{out}");
+        out.clear();
+        if !more {
+            break;
+        }
+    }
+}

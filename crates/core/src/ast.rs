@@ -1,0 +1,413 @@
+//! The abstract syntax of DUEL.
+//!
+//! Nodes correspond to the primitive operators of the paper's *Semantics*
+//! section: generators (`to`, `alternate`), the filter comparisons
+//! (`ifgt`, …), sequencing (`sequence`, `imply`, `if`, `while`), scope
+//! entry (`with`), expansion (`dfs`, `bfs`), selection and reduction
+//! (`select`, `count`, …), aliases (`define`), plus all of C's operators.
+
+/// A unary C operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Unary plus `+e`.
+    Pos,
+    /// Logical not `!e`.
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+    /// Indirection `*e`.
+    Deref,
+    /// Address-of `&e`.
+    Addr,
+}
+
+/// A binary C operator (value-producing, non-filter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&`.
+    BitAnd,
+    /// `^`.
+    BitXor,
+    /// `|`.
+    BitOr,
+}
+
+impl BinOp {
+    /// The C spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::BitAnd => "&",
+            BinOp::BitXor => "^",
+            BinOp::BitOr => "|",
+        }
+    }
+}
+
+/// A filter comparison: yields the *left* operand when the comparison
+/// holds, and nothing otherwise (the paper's `ifgt`, `ifge`, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterOp {
+    /// `>?`.
+    Gt,
+    /// `>=?`.
+    Ge,
+    /// `<?`.
+    Lt,
+    /// `<=?`.
+    Le,
+    /// `==?`.
+    Eq,
+    /// `!=?`.
+    Ne,
+}
+
+impl FilterOp {
+    /// The DUEL spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            FilterOp::Gt => ">?",
+            FilterOp::Ge => ">=?",
+            FilterOp::Lt => "<?",
+            FilterOp::Le => "<=?",
+            FilterOp::Eq => "==?",
+            FilterOp::Ne => "!=?",
+        }
+    }
+
+    /// The corresponding plain comparison.
+    pub fn as_cmp(self) -> BinOp {
+        match self {
+            FilterOp::Gt => BinOp::Gt,
+            FilterOp::Ge => BinOp::Ge,
+            FilterOp::Lt => BinOp::Lt,
+            FilterOp::Le => BinOp::Le,
+            FilterOp::Eq => BinOp::Eq,
+            FilterOp::Ne => BinOp::Ne,
+        }
+    }
+}
+
+/// A reduction over a value sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `#/e` — the number of values produced by `e`.
+    Count,
+    /// `+/e` — the sum of the values (the paper's `sum`).
+    Sum,
+    /// `&&/e` — 1 if all values are non-zero.
+    All,
+    /// `||/e` — 1 if any value is non-zero.
+    Any,
+    /// `>/e` — the maximum value (extension).
+    Max,
+    /// `</e` — the minimum value (extension).
+    Min,
+}
+
+impl ReduceOp {
+    /// The DUEL spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            ReduceOp::Count => "#/",
+            ReduceOp::Sum => "+/",
+            ReduceOp::All => "&&/",
+            ReduceOp::Any => "||/",
+            ReduceOp::Max => ">/",
+            ReduceOp::Min => "</",
+        }
+    }
+}
+
+/// How a scope-entry (`with`) was written: `e1.e2` or `e1->e2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WithLink {
+    /// `.` — operand is a struct/union.
+    Dot,
+    /// `->` — operand is a pointer to a struct/union.
+    Arrow,
+}
+
+/// A parsed (unresolved) C type name, as appears in casts, `sizeof`, and
+/// DUEL declarations. Resolution against the target's type table happens
+/// at evaluation time, per the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeExpr {
+    /// The base type.
+    pub base: BaseType,
+    /// Pointer/array derivations, outermost first as written
+    /// (`int *[4]` ⇒ `[Array(4), Ptr]` applied right-to-left on base).
+    pub derivs: Vec<Deriv>,
+}
+
+/// The base of a type name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaseType {
+    /// `void`.
+    Void,
+    /// A primitive spelled with keywords (`unsigned long`, …).
+    Prim(duel_ctype::Prim),
+    /// `struct tag`.
+    Struct(String),
+    /// `union tag`.
+    Union(String),
+    /// `enum tag`.
+    Enum(String),
+    /// A typedef name.
+    Typedef(String),
+}
+
+/// One type derivation step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Deriv {
+    /// A pointer level.
+    Ptr,
+    /// An array dimension; `None` for `[]`.
+    Array(Option<u64>),
+}
+
+/// One declarator in a DUEL declaration (`int i, *p;`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Declarator {
+    /// The declared name.
+    pub name: String,
+    /// Extra derivations from the declarator (`*p` ⇒ `[Ptr]`).
+    pub derivs: Vec<Deriv>,
+}
+
+/// A DUEL expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal.
+    Char(u8),
+    /// String literal (interned into target memory at evaluation).
+    Str(String),
+    /// A name: alias, with-scope field, target variable, enumerator, or
+    /// function.
+    Name(String),
+    /// `_` — the current `with` operand.
+    Underscore,
+
+    /// `e1..e2` — the integers from `e1` to `e2` inclusive.
+    To(Box<Expr>, Box<Expr>),
+    /// `..e` — shorthand for `0..e-1`.
+    ToPrefix(Box<Expr>),
+    /// `e..` — the unbounded sequence `e, e+1, …`.
+    ToInf(Box<Expr>),
+    /// `e1,e2` — all values of `e1`, then all values of `e2`.
+    Alt(Box<Expr>, Box<Expr>),
+
+    /// A unary C operator.
+    Unary(UnOp, Box<Expr>),
+    /// Pre-increment/decrement (`inc` selects `++`).
+    PreIncDec {
+        /// `true` for `++`.
+        inc: bool,
+        /// The operand (an lvalue).
+        expr: Box<Expr>,
+    },
+    /// Post-increment/decrement.
+    PostIncDec {
+        /// `true` for `++`.
+        inc: bool,
+        /// The operand (an lvalue).
+        expr: Box<Expr>,
+    },
+    /// `sizeof e`.
+    SizeofExpr(Box<Expr>),
+    /// `sizeof(type)`.
+    SizeofType(TypeExpr),
+    /// `(type)e`.
+    Cast(TypeExpr, Box<Expr>),
+
+    /// A binary C operator over all operand combinations.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `e1 && e2` (generator semantics per the paper).
+    AndAnd(Box<Expr>, Box<Expr>),
+    /// `e1 || e2`.
+    OrOr(Box<Expr>, Box<Expr>),
+    /// `c ? a : b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `e1 = e2` or `e1 op= e2` (`op` is `None` for plain `=`).
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+
+    /// A filter comparison (`>?`, …) yielding the left operand.
+    Filter(FilterOp, Box<Expr>, Box<Expr>),
+    /// `e1[e2]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `e1[[e2]]` — the paper's `select`.
+    Select(Box<Expr>, Box<Expr>),
+    /// `e1.e2` / `e1->e2` — the paper's `with`.
+    With(WithLink, Box<Expr>, Box<Expr>),
+    /// `e1-->e2` — depth-first expansion.
+    Dfs(Box<Expr>, Box<Expr>),
+    /// `e1-->>e2` — breadth-first expansion.
+    Bfs(Box<Expr>, Box<Expr>),
+    /// `e1 => e2` — the paper's `imply`.
+    Imply(Box<Expr>, Box<Expr>),
+    /// `e1 ; e2` — evaluate and discard `e1`, produce `e2`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// A trailing `;` — evaluate for side effects, produce nothing.
+    Discard(Box<Expr>),
+    /// `if (c) t [else f]` as an expression.
+    If(Box<Expr>, Box<Expr>, Option<Box<Expr>>),
+    /// `while (c) body` as an expression.
+    While(Box<Expr>, Box<Expr>),
+    /// `for (init; cond; step) body` as an expression.
+    For {
+        /// The init expression, if any.
+        init: Option<Box<Expr>>,
+        /// The loop condition, if any (absent = true).
+        cond: Option<Box<Expr>>,
+        /// The step expression, if any.
+        step: Option<Box<Expr>>,
+        /// The body.
+        body: Box<Expr>,
+    },
+    /// `a := e` — alias definition.
+    Alias(String, Box<Expr>),
+    /// A DUEL declaration (`int i, *p;`) creating aliases to freshly
+    /// allocated target space. Produces no values.
+    Decl {
+        /// The base type of the declaration.
+        base: TypeExpr,
+        /// The declarators.
+        decls: Vec<Declarator>,
+    },
+    /// A call `f(a, b, …)`; generator arguments produce the
+    /// cross-product of calls.
+    Call(String, Vec<Expr>),
+    /// A reduction `#/e`, `+/e`, ….
+    Reduce(ReduceOp, Box<Expr>),
+    /// `e#name` — produce `e`'s values, aliasing `name` to each index.
+    IndexAlias(Box<Expr>, String),
+    /// `e@stop` — produce `e`'s values until `stop` holds.
+    Until(Box<Expr>, Box<Expr>),
+    /// `{e}` — display override: the symbolic value becomes the actual
+    /// value.
+    Braced(Box<Expr>),
+}
+
+impl Expr {
+    /// Boxes the expression (builder convenience).
+    pub fn boxed(self) -> Box<Expr> {
+        Box::new(self)
+    }
+
+    /// Returns `true` if the expression tree contains any DUEL-specific
+    /// construct (generator, alias, filter, statement-expression, …).
+    ///
+    /// Pure C expressions are displayed without symbolic output, matching
+    /// the paper's `duel 1 + (double)3/2` ⇒ `2.500`.
+    pub fn has_duel_ops(&self) -> bool {
+        use Expr::*;
+        match self {
+            Int(_) | Float(_) | Char(_) | Str(_) | Name(_) => false,
+            Underscore => true,
+            To(..) | ToPrefix(..) | ToInf(..) | Alt(..) => true,
+            Unary(_, e) | SizeofExpr(e) | Cast(_, e) => e.has_duel_ops(),
+            PreIncDec { expr, .. } | PostIncDec { expr, .. } => expr.has_duel_ops(),
+            SizeofType(_) => false,
+            Bin(_, a, b) | AndAnd(a, b) | OrOr(a, b) => a.has_duel_ops() || b.has_duel_ops(),
+            Cond(c, a, b) => c.has_duel_ops() || a.has_duel_ops() || b.has_duel_ops(),
+            Assign(_, a, b) => a.has_duel_ops() || b.has_duel_ops(),
+            Filter(..)
+            | Select(..)
+            | Dfs(..)
+            | Bfs(..)
+            | Imply(..)
+            | Seq(..)
+            | Discard(..)
+            | If(..)
+            | While(..)
+            | For { .. }
+            | Alias(..)
+            | Decl { .. }
+            | Reduce(..)
+            | IndexAlias(..)
+            | Until(..)
+            | Braced(..) => true,
+            Index(a, b) => a.has_duel_ops() || b.has_duel_ops(),
+            With(_, a, b) => a.has_duel_ops() || b.has_duel_ops(),
+            Call(_, args) => args.iter().any(|a| a.has_duel_ops()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spellings() {
+        assert_eq!(BinOp::Shl.spelling(), "<<");
+        assert_eq!(FilterOp::Ge.spelling(), ">=?");
+        assert_eq!(FilterOp::Ne.as_cmp(), BinOp::Ne);
+        assert_eq!(ReduceOp::Count.spelling(), "#/");
+    }
+
+    #[test]
+    fn duel_op_detection() {
+        let pure = Expr::Bin(
+            BinOp::Add,
+            Expr::Int(1).boxed(),
+            Expr::Name("x".into()).boxed(),
+        );
+        assert!(!pure.has_duel_ops());
+        let gen = Expr::Bin(
+            BinOp::Add,
+            Expr::Int(1).boxed(),
+            Expr::To(Expr::Int(1).boxed(), Expr::Int(3).boxed()).boxed(),
+        );
+        assert!(gen.has_duel_ops());
+        let idx = Expr::Index(
+            Expr::Name("x".into()).boxed(),
+            Expr::ToPrefix(Expr::Int(10).boxed()).boxed(),
+        );
+        assert!(idx.has_duel_ops());
+    }
+}

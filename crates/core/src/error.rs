@@ -1,0 +1,153 @@
+//! DUEL's error type.
+//!
+//! Evaluation errors carry *symbolic values* per the paper: "Symbolic
+//! values assist in the display of results as well as errors: The
+//! offending operand's symbolic value is printed", e.g.
+//!
+//! ```text
+//! Illegal memory reference in x of x->y: ptr[48] = lvalue 0x16820.
+//! ```
+
+use std::fmt;
+
+use duel_target::TargetError;
+
+/// The result type used throughout DUEL.
+pub type DuelResult<T> = Result<T, DuelError>;
+
+/// An error from lexing, parsing, or evaluating a DUEL expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DuelError {
+    /// A lexical error at a byte offset.
+    Lex {
+        /// Byte offset in the command line.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A syntax error at a byte offset.
+    Parse {
+        /// Byte offset in the command line.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An invalid memory access, reported in the paper's format. The
+    /// `role` names the offending operand's position in the operator
+    /// pattern (e.g. `x` of `x->y`).
+    IllegalMemory {
+        /// The operand role, e.g. "x of x->y".
+        role: String,
+        /// The offending operand's symbolic value.
+        sym: String,
+        /// The address that could not be accessed.
+        addr: u64,
+    },
+    /// An evaluation-time type error ("type checking must be done during
+    /// evaluation").
+    Type {
+        /// The offending operand's symbolic value.
+        sym: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A name did not resolve to an alias, with-scope field, target
+    /// variable, or enumerator.
+    Undefined {
+        /// The name.
+        name: String,
+    },
+    /// Assignment (or `&`) applied to something that is not an lvalue.
+    NotLvalue {
+        /// The operand's symbolic value.
+        sym: String,
+    },
+    /// Division or remainder by zero.
+    DivByZero {
+        /// The expression's symbolic value.
+        sym: String,
+    },
+    /// The evaluation produced more values than the session limit.
+    LimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An error reported by the debugger backend.
+    Target(TargetError),
+}
+
+impl fmt::Display for DuelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DuelError::Lex { offset, message } => {
+                write!(f, "lexical error at column {offset}: {message}")
+            }
+            DuelError::Parse { offset, message } => {
+                write!(f, "syntax error at column {offset}: {message}")
+            }
+            DuelError::IllegalMemory { role, sym, addr } => write!(
+                f,
+                "Illegal memory reference in {role}: {sym} = lvalue 0x{addr:x}."
+            ),
+            DuelError::Type { sym, message } => {
+                write!(f, "type error in `{sym}`: {message}")
+            }
+            DuelError::Undefined { name } => {
+                write!(f, "`{name}` is not defined")
+            }
+            DuelError::NotLvalue { sym } => {
+                write!(f, "`{sym}` is not an lvalue")
+            }
+            DuelError::DivByZero { sym } => {
+                write!(f, "division by zero in `{sym}`")
+            }
+            DuelError::LimitExceeded { limit } => write!(
+                f,
+                "expression produced more than {limit} values; \
+                 raise EvalOptions::max_values to continue"
+            ),
+            DuelError::Target(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DuelError {}
+
+impl From<TargetError> for DuelError {
+    fn from(e: TargetError) -> DuelError {
+        DuelError::Target(e)
+    }
+}
+
+impl From<duel_ctype::TypeError> for DuelError {
+    fn from(e: duel_ctype::TypeError) -> DuelError {
+        DuelError::Type {
+            sym: String::new(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_error_format() {
+        let e = DuelError::IllegalMemory {
+            role: "x of x->y".into(),
+            sym: "ptr[48]".into(),
+            addr: 0x16820,
+        };
+        assert_eq!(
+            e.to_string(),
+            "Illegal memory reference in x of x->y: ptr[48] = lvalue 0x16820."
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DuelError = TargetError::UnknownSymbol("q".into()).into();
+        assert!(matches!(e, DuelError::Target(_)));
+    }
+}

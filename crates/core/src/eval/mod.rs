@@ -1,0 +1,283 @@
+//! `duel_eval` — the resumable generator evaluator.
+//!
+//! The paper implements generators by giving every AST node a `state`
+//! field and a saved `value`, so that "each call to eval produces one of
+//! the values" and the distinguished `NOVALUE` ends a sequence, after
+//! which "the next call to eval re-evaluates the node". This module is a
+//! direct transliteration:
+//!
+//! * every operator compiles to a small state machine implementing
+//!   [`GenT`];
+//! * `next` returns `Ok(Some(value))` for each produced value and
+//!   `Ok(None)` for `NOVALUE`;
+//! * on returning `None`, a generator rewinds its own state, so a parent
+//!   that calls it again restarts it — exactly the paper's
+//!   `n->state = 0` protocol;
+//! * [`GenT::reset`] force-rewinds a generator mid-stream, which the
+//!   paper's `select` needs (`n->kids[1]->state = 0`).
+//!
+//! The paper's `yield`-style pseudo-code for each operator is quoted in
+//! the corresponding submodule.
+
+mod basic;
+mod control;
+mod misc;
+mod structure;
+
+use crate::{ast::Expr, error::DuelResult, scope::Ctx, sym::SymMode, value::Value};
+
+/// Evaluation options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalOptions {
+    /// Hard limit on values produced by one command (protects against
+    /// `0..` runaways). The paper's implementation had no limit; ours
+    /// reports [`crate::DuelError::LimitExceeded`].
+    pub max_values: u64,
+    /// Chains of `->name` steps at least this long display as
+    /// `-->name[[n]]`. The paper's transcripts imply thresholds between
+    /// 2 and 9; 4 matches most of them.
+    pub compress_threshold: u32,
+    /// Whether symbolic values are constructed (experiment E4 ablates
+    /// this).
+    pub sym_mode: SymMode,
+    /// Guard `-->`/`-->>` against cycles with a visited set. The paper's
+    /// implementation "does not handle cycles"; disabling this
+    /// reproduces that behaviour (bounded by `max_values`).
+    pub dfs_cycle_check: bool,
+    /// Hard limit on evaluation *steps* (leaf-generator activations),
+    /// bounding even loops that produce no values (`while (1) (1..0)`).
+    pub max_ticks: u64,
+    /// Trace every generator resumption (the paper's `eval` calls) into
+    /// the session's trace buffer — the Semantics section's evaluation
+    /// walkthroughs, made observable.
+    pub trace: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            max_values: 1_000_000,
+            compress_threshold: 4,
+            sym_mode: SymMode::Eager,
+            dfs_cycle_check: true,
+            max_ticks: 100_000_000,
+            trace: false,
+        }
+    }
+}
+
+/// A compiled generator node.
+///
+/// The contract mirrors the paper's `eval`:
+/// * `next` yields the node's next value, or `None` when the sequence is
+///   exhausted — after which the node has rewound itself and a further
+///   `next` restarts the sequence;
+/// * `reset` rewinds unconditionally (used by `select` and by reductions
+///   that stop early).
+pub trait GenT {
+    /// Produces the next value of this generator.
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>>;
+
+    /// Rewinds to the initial state.
+    fn reset(&mut self);
+}
+
+/// A boxed generator.
+pub type Gen = Box<dyn GenT>;
+
+/// A wrapper that logs each resumption of its inner generator — one
+/// line per `eval` call, exactly the paper's walkthrough of
+/// `(1..3)+(5,9)`.
+struct TraceGen {
+    label: &'static str,
+    inner: Gen,
+}
+
+impl GenT for TraceGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        if !ctx.opts.trace {
+            return self.inner.next(ctx);
+        }
+        ctx.trace_depth += 1;
+        let depth = ctx.trace_depth;
+        let r = self.inner.next(ctx);
+        ctx.trace_depth -= 1;
+        let outcome = match &r {
+            Ok(Some(v)) => {
+                let thr = ctx.opts.compress_threshold;
+                format!("yield {}", v.sym.render(thr))
+            }
+            Ok(None) => "NOVALUE".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        ctx.trace.push(format!(
+            "{}eval({}) -> {}",
+            "  ".repeat(depth - 1),
+            self.label,
+            outcome
+        ));
+        r
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+fn trace(label: &'static str, inner: Gen) -> Gen {
+    Box::new(TraceGen { label, inner })
+}
+
+/// The paper's operator name for an expression node.
+fn op_label(e: &Expr) -> &'static str {
+    use Expr::*;
+    match e {
+        Int(_) | Float(_) | Char(_) | Str(_) => "constant",
+        Name(_) | Underscore => "name",
+        To(..) | ToPrefix(..) | ToInf(..) => "to",
+        Alt(..) => "alternate",
+        Unary(..) | PreIncDec { .. } | PostIncDec { .. } => "unary",
+        SizeofExpr(..) | SizeofType(..) => "sizeof",
+        Cast(..) => "cast",
+        Bin(..) => "binary",
+        AndAnd(..) => "andand",
+        OrOr(..) => "oror",
+        Cond(..) | If(..) => "if",
+        Assign(..) => "assign",
+        Filter(..) => "ifcmp",
+        Index(..) => "index",
+        Select(..) => "select",
+        With(..) => "with",
+        Dfs(..) => "dfs",
+        Bfs(..) => "bfs",
+        Imply(..) => "imply",
+        Seq(..) | Discard(..) => "sequence",
+        While(..) => "while",
+        For { .. } => "for",
+        Alias(..) => "define",
+        Decl { .. } => "declare",
+        Call(..) => "call",
+        Reduce(..) => "reduce",
+        IndexAlias(..) => "index-alias",
+        Until(..) => "until",
+        Braced(..) => "substitute",
+    }
+}
+
+/// Compiles an expression into its generator tree.
+pub fn compile(e: &Expr) -> Gen {
+    let label = op_label(e);
+    trace(label, compile_inner(e))
+}
+
+fn compile_inner(e: &Expr) -> Gen {
+    use Expr::*;
+    match e {
+        Int(v) => basic::constant_int(*v),
+        Float(v) => basic::constant_float(*v),
+        Char(c) => basic::constant_char(*c),
+        Str(s) => misc::string_literal(s.clone()),
+        Name(n) => basic::name(n.clone()),
+        Underscore => basic::name("_".to_string()),
+        To(a, b) => basic::to(compile(a), compile(b)),
+        ToPrefix(a) => basic::to_prefix(compile(a)),
+        ToInf(a) => basic::to_inf(compile(a)),
+        Alt(a, b) => basic::alternate(compile(a), compile(b)),
+        Unary(op, a) => basic::unary(*op, compile(a)),
+        PreIncDec { inc, expr } => misc::incdec(true, *inc, compile(expr)),
+        PostIncDec { inc, expr } => misc::incdec(false, *inc, compile(expr)),
+        SizeofExpr(a) => misc::sizeof_expr(compile(a)),
+        SizeofType(t) => misc::sizeof_type(t.clone()),
+        Cast(t, a) => misc::cast(t.clone(), compile(a)),
+        Bin(op, a, b) => basic::binary(*op, compile(a), compile(b)),
+        AndAnd(a, b) => control::andand(compile(a), compile(b)),
+        OrOr(a, b) => control::oror(compile(a), compile(b)),
+        Cond(c, a, b) => control::if_gen(compile(c), compile(a), Some(compile(b))),
+        Assign(op, l, r) => misc::assign(*op, compile(l), compile(r)),
+        Filter(op, a, b) => basic::filter(*op, compile(a), compile(b)),
+        Index(a, b) => structure::index(compile(a), compile(b)),
+        Select(a, b) => structure::select(compile(a), compile(b)),
+        With(link, a, b) => structure::with(*link, compile(a), compile(b)),
+        Dfs(a, b) => structure::expand(compile(a), b.as_ref(), false),
+        Bfs(a, b) => structure::expand(compile(a), b.as_ref(), true),
+        Imply(a, b) => control::imply(compile(a), compile(b)),
+        Seq(a, b) => control::seq(compile(a), compile(b)),
+        Discard(a) => control::discard(compile(a)),
+        If(c, t, f) => control::if_gen(compile(c), compile(t), f.as_ref().map(|f| compile(f))),
+        While(c, b) => control::while_gen(compile(c), compile(b)),
+        For {
+            init,
+            cond,
+            step,
+            body,
+        } => control::for_gen(
+            init.as_ref().map(|e| compile(e)),
+            cond.as_ref().map(|e| compile(e)),
+            step.as_ref().map(|e| compile(e)),
+            compile(body),
+        ),
+        Alias(name, a) => misc::alias(name.clone(), compile(a)),
+        Decl { base, decls } => misc::decl(base.clone(), decls.clone()),
+        // Built-in pseudo-functions (extensions for the paper's
+        // "unnamed portions of the program state" future work):
+        // `frames()` generates the active frame indices, and
+        // `local("x", k)` resolves a local in frame `k`.
+        Call(name, args) if name == "frames" && args.is_empty() => misc::frames(),
+        Call(name, args)
+            if name == "local" && args.len() == 2 && matches!(args[0], Expr::Str(_)) =>
+        {
+            let var = match &args[0] {
+                Expr::Str(s) => s.clone(),
+                _ => unreachable!("guard checked"),
+            };
+            misc::local(var, compile(&args[1]))
+        }
+        // `equal(e1, e2)` — the paper's `(equality e1 e2)` reduction:
+        // "returns 1 if the values produced by e1 are equal to those
+        // produced by e2 and 0 otherwise". The paper names it without
+        // giving concrete syntax; it is exposed as a builtin.
+        Call(name, args) if name == "equal" && args.len() == 2 => {
+            misc::seq_equal(compile(&args[0]), compile(&args[1]))
+        }
+        Call(name, args) => misc::call(name.clone(), args.iter().map(compile).collect()),
+        Reduce(op, a) => misc::reduce(*op, compile(a)),
+        IndexAlias(a, name) => structure::index_alias(compile(a), name.clone()),
+        Until(a, stop) => structure::until(compile(a), stop),
+        Braced(a) => misc::braced(compile(a)),
+    }
+}
+
+/// Drives a generator to exhaustion, feeding each value to `f` — the
+/// top-level `duel` command loop.
+pub fn drive(
+    ctx: &mut Ctx<'_>,
+    gen: &mut Gen,
+    mut f: impl FnMut(&mut Ctx<'_>, Value) -> DuelResult<()>,
+) -> DuelResult<()> {
+    while let Some(v) = gen.next(ctx)? {
+        ctx.count_value()?;
+        f(ctx, v)?;
+    }
+    Ok(())
+}
+
+/// Collects every value a generator produces (test/bench convenience).
+pub fn collect(ctx: &mut Ctx<'_>, gen: &mut Gen) -> DuelResult<Vec<Value>> {
+    let mut out = Vec::new();
+    drive(ctx, gen, |_, v| {
+        out.push(v);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Pulls the first value of a sub-generator and resets it — used by
+/// operators whose operand is semantically single-valued (e.g. the `@`
+/// stop condition).
+pub(crate) fn first_value(ctx: &mut Ctx<'_>, gen: &mut Gen) -> DuelResult<Option<Value>> {
+    let v = gen.next(ctx)?;
+    if v.is_some() {
+        gen.reset();
+    }
+    Ok(v)
+}

@@ -1,0 +1,486 @@
+//! Structure-walking generators: indexing, `with` (`.`/`->`), the
+//! `-->`/`-->>` expansions, `[[..]]` selection, `#` index aliasing, and
+//! `@` termination.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::{
+    apply::{self, Class},
+    ast::{Expr, WithLink},
+    error::{DuelError, DuelResult},
+    scope::{Ctx, WithEntry},
+    value::{Scalar, Value},
+};
+
+use super::{basic::int_of, compile, first_value, Gen, GenT};
+
+// ----- indexing ---------------------------------------------------------
+
+/// `e1[e2]` — ordinary C indexing lifted over generators (both the base
+/// and the index may generate).
+struct IndexGen {
+    base: Gen,
+    idx: Gen,
+    cur: Option<Value>,
+}
+
+impl GenT for IndexGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        loop {
+            if self.cur.is_none() {
+                match self.base.next(ctx)? {
+                    Some(b) => self.cur = Some(b),
+                    None => return Ok(None),
+                }
+            }
+            match self.idx.next(ctx)? {
+                Some(i) => {
+                    let eager = ctx.eager_sym();
+                    let b = self.cur.as_ref().unwrap();
+                    return apply::index(ctx.target, b, &i, eager).map(Some);
+                }
+                None => self.cur = None,
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+        self.idx.reset();
+        self.cur = None;
+    }
+}
+
+/// `e1[e2]`.
+pub fn index(base: Gen, idx: Gen) -> Gen {
+    Box::new(IndexGen {
+        base,
+        idx,
+        cur: None,
+    })
+}
+
+// ----- selection --------------------------------------------------------
+
+/// `e1[[e2]]` — the paper's `select`: "produces the elements of e2 given
+/// by the integers in e1" (0-based, per the worked example
+/// `((1..9)*(1..9))[[52,74]]` ⇒ `6*8 = 48`). "The actual implementation
+/// of select avoids the re-evaluation of e2 when possible" — we cache
+/// produced values.
+struct SelectGen {
+    base: Gen,
+    idx: Gen,
+    cache: Vec<Value>,
+    exhausted: bool,
+}
+
+impl GenT for SelectGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        loop {
+            match self.idx.next(ctx)? {
+                None => {
+                    self.rewind();
+                    return Ok(None);
+                }
+                Some(iv) => {
+                    let i = int_of(ctx, &iv)?;
+                    if i < 0 {
+                        continue;
+                    }
+                    let i = i as usize;
+                    while self.cache.len() <= i && !self.exhausted {
+                        match self.base.next(ctx)? {
+                            Some(v) => self.cache.push(v),
+                            None => self.exhausted = true,
+                        }
+                    }
+                    if let Some(v) = self.cache.get(i) {
+                        // The selected value keeps its own symbolic
+                        // value (`6*8 = 48`).
+                        return Ok(Some(v.clone()));
+                    }
+                    // Out of range: no value for this index.
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.idx.reset();
+        self.rewind();
+    }
+}
+
+impl SelectGen {
+    fn rewind(&mut self) {
+        self.base.reset();
+        self.cache.clear();
+        self.exhausted = false;
+    }
+}
+
+/// `e1[[e2]]`.
+pub fn select(base: Gen, idx: Gen) -> Gen {
+    Box::new(SelectGen {
+        base,
+        idx,
+        cache: Vec::new(),
+        exhausted: false,
+    })
+}
+
+// ----- with -------------------------------------------------------------
+
+/// `e1.e2` / `e1->e2` — the paper's `with`:
+///
+/// ```text
+/// case WITH:
+///   while (u = eval(n->kids[0])) {
+///     push(u)
+///     while (v = eval(n->kids[1])) yield v
+///     pop()
+///   }
+/// ```
+///
+/// The pushed entry holds the *raw* operand: `_` refers to it directly,
+/// and dereferencing for field access happens lazily at fetch time, so
+/// `hash[..1024]->(if (_ && scope > 5) name)` never dereferences a NULL
+/// bucket.
+struct WithGen {
+    link: WithLink,
+    base: Gen,
+    inner: Gen,
+    active: bool,
+}
+
+impl GenT for WithGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        loop {
+            if !self.active {
+                match self.base.next(ctx)? {
+                    Some(u) => {
+                        ctx.with_stack.push(WithEntry {
+                            value: u,
+                            arrow: self.link == WithLink::Arrow,
+                        });
+                        self.active = true;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            match self.inner.next(ctx) {
+                Ok(Some(v)) => return Ok(Some(v)),
+                Ok(None) => {
+                    ctx.with_stack.pop();
+                    self.active = false;
+                }
+                Err(e) => {
+                    ctx.with_stack.pop();
+                    self.active = false;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+        self.inner.reset();
+        // Any pushed entry is popped by the error path in `next`.
+        self.active = false;
+    }
+}
+
+/// `e1.e2` / `e1->e2`.
+pub fn with(link: WithLink, base: Gen, inner: Gen) -> Gen {
+    Box::new(WithGen {
+        link,
+        base,
+        inner,
+        active: false,
+    })
+}
+
+// ----- expansion (dfs / bfs) ---------------------------------------------
+
+/// `e1-->e2` (depth-first) and `e1-->>e2` (breadth-first) expansion:
+///
+/// ```text
+/// case DFS:
+///   while (u = eval(n->kids[0])) {
+///     stack(n, u)
+///     while (v = unstack(n)) {
+///       push(v)
+///       while (w = eval(n->kids[1])) stack(n, w)
+///       pop()
+///       yield v
+///     }
+///   }
+/// ```
+///
+/// "until a NULL pointer or an invalid pointer terminates the sequence";
+/// children are stacked in reverse so a `(left,right)` expansion visits
+/// in preorder. The paper's implementation "does not handle cycles" —
+/// ours guards with a visited set unless `dfs_cycle_check` is off.
+struct ExpandGen {
+    root: Gen,
+    expand: Gen,
+    bfs: bool,
+    frontier: VecDeque<Value>,
+    visited: HashSet<u64>,
+    running: bool,
+}
+
+impl ExpandGen {
+    /// Is `v` a pointer to mapped memory? Returns the address.
+    fn pointer_target(&self, ctx: &mut Ctx<'_>, v: &Value) -> DuelResult<Option<u64>> {
+        let pointee = match apply::classify(ctx.target, v.ty) {
+            Class::Ptr { pointee } => pointee,
+            _ => {
+                return Err(DuelError::Type {
+                    sym: v.sym.render(ctx.opts.compress_threshold),
+                    message: "`-->` expansion needs pointer values to walk".into(),
+                })
+            }
+        };
+        let p = match apply::load(ctx.target, v)? {
+            Scalar::Ptr(p) => p,
+            Scalar::Int(i) => i as u64,
+            Scalar::Float(_) => 0,
+        };
+        if p == 0 {
+            return Ok(None);
+        }
+        let size = ctx
+            .target
+            .types()
+            .size_of(pointee, ctx.target.abi())
+            .unwrap_or(1);
+        if !ctx.target.is_mapped(p, size) {
+            return Ok(None);
+        }
+        Ok(Some(p))
+    }
+
+    /// Normalizes a node to a pointer rvalue (loading field lvalues).
+    fn as_node(&self, ctx: &mut Ctx<'_>, v: &Value, addr: u64) -> Value {
+        let _ = ctx;
+        Value::rval(v.ty, Scalar::Ptr(addr), v.sym.clone())
+    }
+}
+
+impl GenT for ExpandGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        loop {
+            if self.frontier.is_empty() {
+                match self.root.next(ctx)? {
+                    Some(u) => {
+                        self.visited.clear();
+                        if let Some(p) = self.pointer_target(ctx, &u)? {
+                            self.visited.insert(p);
+                            let node = self.as_node(ctx, &u, p);
+                            self.frontier.push_back(node);
+                            self.running = true;
+                        }
+                        // NULL/invalid root: yields nothing for this u.
+                        continue;
+                    }
+                    None => {
+                        self.running = false;
+                        return Ok(None);
+                    }
+                }
+            }
+            // Pop the next node (LIFO for dfs, FIFO for bfs).
+            let x = if self.bfs {
+                self.frontier.pop_front().unwrap()
+            } else {
+                self.frontier.pop_back().unwrap()
+            };
+            // Expand: evaluate e2 in the scope of *X.
+            ctx.with_stack.push(WithEntry {
+                value: x.clone(),
+                arrow: true,
+            });
+            let mut children = Vec::new();
+            let res: DuelResult<()> = (|| {
+                while let Some(w) = self.expand.next(ctx)? {
+                    if let Some(p) = self.pointer_target(ctx, &w)? {
+                        let fresh = !ctx.opts.dfs_cycle_check || self.visited.insert(p);
+                        if fresh {
+                            children.push(self.as_node(ctx, &w, p));
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            ctx.with_stack.pop();
+            res?;
+            if self.bfs {
+                // Queue in natural order.
+                for c in children {
+                    self.frontier.push_back(c);
+                }
+            } else {
+                // Stack in reverse so the first child is visited first.
+                for c in children.into_iter().rev() {
+                    self.frontier.push_back(c);
+                }
+            }
+            return Ok(Some(x));
+        }
+    }
+
+    fn reset(&mut self) {
+        self.root.reset();
+        self.expand.reset();
+        self.frontier.clear();
+        self.visited.clear();
+        self.running = false;
+    }
+}
+
+/// Builds a `-->` / `-->>` expansion.
+pub fn expand(root: Gen, expand_expr: &Expr, bfs: bool) -> Gen {
+    Box::new(ExpandGen {
+        root,
+        expand: compile(expand_expr),
+        bfs,
+        frontier: VecDeque::new(),
+        visited: HashSet::new(),
+        running: false,
+    })
+}
+
+// ----- index alias ------------------------------------------------------
+
+/// `e#name` — "produces the values of e and arranges for `name` to be an
+/// alias for the index of each value in e".
+struct IndexAliasGen {
+    e: Gen,
+    name: String,
+    i: i64,
+}
+
+impl GenT for IndexAliasGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        match self.e.next(ctx)? {
+            Some(v) => {
+                let ty = ctx.target.types_mut().prim(duel_ctype::Prim::Int);
+                let sym = ctx.sym_leaf(self.i.to_string());
+                ctx.set_alias(&self.name, Value::rval(ty, Scalar::Int(self.i), sym));
+                self.i += 1;
+                Ok(Some(v))
+            }
+            None => {
+                self.i = 0;
+                Ok(None)
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.e.reset();
+        self.i = 0;
+    }
+}
+
+/// `e#name`.
+pub fn index_alias(e: Gen, name: String) -> Gen {
+    Box::new(IndexAliasGen { e, name, i: 0 })
+}
+
+// ----- until ------------------------------------------------------------
+
+enum Stop {
+    /// `e@3`, `e@'\0'` — stop when the value equals the constant.
+    Literal(i64),
+    /// `e@(cond)` — stop when `cond`, evaluated in the scope of the
+    /// value (so `_` refers to it), is non-zero.
+    Cond(Gen),
+}
+
+/// `e@n` — "produces the values of e until e.n is non-zero"; with a
+/// constant `n`, "the expression produces the values of e up to the
+/// first one that equals n". The paper's `argv[0..]@0` and
+/// `s[0..999]@(_=='\0')`.
+struct UntilGen {
+    e: Gen,
+    stop: Stop,
+    stopped: bool,
+}
+
+impl GenT for UntilGen {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
+        if self.stopped {
+            self.stopped = false;
+            return Ok(None);
+        }
+        match self.e.next(ctx)? {
+            None => Ok(None),
+            Some(v) => {
+                let stop_now = match &mut self.stop {
+                    Stop::Literal(lit) => {
+                        let cur = match apply::load(ctx.target, &v)? {
+                            Scalar::Int(i) => i,
+                            Scalar::Ptr(p) => p as i64,
+                            Scalar::Float(f) => f as i64,
+                        };
+                        cur == *lit
+                    }
+                    Stop::Cond(cond) => {
+                        ctx.with_stack.push(WithEntry {
+                            value: v.clone(),
+                            arrow: false,
+                        });
+                        let r = first_value(ctx, cond);
+                        ctx.with_stack.pop();
+                        match r? {
+                            Some(c) => apply::truthy(ctx.target, &c)?,
+                            None => false,
+                        }
+                    }
+                };
+                if stop_now {
+                    self.e.reset();
+                    return Ok(None);
+                }
+                Ok(Some(v))
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.e.reset();
+        if let Stop::Cond(c) = &mut self.stop {
+            c.reset();
+        }
+        self.stopped = false;
+    }
+}
+
+/// Constant-folds a stop operand: the paper's "n can be a constant, in
+/// which case the expression produces the values of e up to the first
+/// one that equals n" must also cover `(-1)` and friends.
+fn stop_constant(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Char(c) => Some(*c as i64),
+        Expr::Unary(crate::ast::UnOp::Neg, inner) => stop_constant(inner).map(|v| -v),
+        Expr::Unary(crate::ast::UnOp::Pos, inner) => stop_constant(inner),
+        _ => None,
+    }
+}
+
+/// `e@stop`.
+pub fn until(e: Gen, stop_expr: &Expr) -> Gen {
+    let stop = match stop_constant(stop_expr) {
+        Some(v) => Stop::Literal(v),
+        None => Stop::Cond(compile(stop_expr)),
+    };
+    Box::new(UntilGen {
+        e,
+        stop,
+        stopped: false,
+    })
+}

@@ -1,0 +1,709 @@
+//! The hand-written lexer (the paper: "Duel's yacc-based parser and the
+//! hand-written lexer accept a Duel expression…").
+//!
+//! Notable departures from a plain C lexer:
+//!
+//! * `1..5` must lex as `1` `..` `5`, so a `.` starting a fraction is
+//!   only consumed when not followed by another `.`;
+//! * `]]` is *never* merged into one token — `x[y[0]]` must close two
+//!   ordinary indexes; the parser recognises `[[`/`]]` as two adjacent
+//!   brackets instead;
+//! * maximal munch gives `-->>` > `-->` > `->` > `--`, and the filter
+//!   comparisons `>?`, `>=?`, `==?`, … ;
+//! * `##` starts a comment to end of line (the paper: "# starts a
+//!   comment in gdb; Duel uses ##"), while a single `#` is the index
+//!   alias / count operator.
+
+use crate::{
+    error::{DuelError, DuelResult},
+    token::{SpannedTok, Tok},
+};
+
+/// Lexes a whole DUEL command into tokens (ending with [`Tok::Eof`]).
+pub fn lex(src: &str) -> DuelResult<Vec<SpannedTok>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn run(mut self) -> DuelResult<Vec<SpannedTok>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            let offset = self.pos;
+            if self.pos >= self.src.len() {
+                out.push(SpannedTok {
+                    tok: Tok::Eof,
+                    offset,
+                });
+                return Ok(out);
+            }
+            let tok = self.next_token()?;
+            out.push(SpannedTok { tok, offset });
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while self.peek().is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // `##` comments run to end of line.
+            if self.peek() == b'#' && self.peek2() == b'#' {
+                while self.pos < self.src.len() && self.peek() != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            // C comments are accepted too.
+            if self.peek() == b'/' && self.peek2() == b'*' {
+                self.pos += 2;
+                while self.pos < self.src.len() && !(self.peek() == b'*' && self.peek2() == b'/') {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next_token(&mut self) -> DuelResult<Tok> {
+        let c = self.peek();
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if c == b'.' && self.peek2().is_ascii_digit() {
+            return self.number();
+        }
+        if c == b'_' || c.is_ascii_alphabetic() || c == b'$' {
+            return Ok(self.ident());
+        }
+        if c == b'\'' {
+            return self.char_lit();
+        }
+        if c == b'"' {
+            return self.string_lit();
+        }
+        self.operator()
+    }
+
+    fn number(&mut self) -> DuelResult<Tok> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.pos += 2;
+            let hs = self.pos;
+            while self.peek().is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+            if self.pos == hs {
+                return Err(DuelError::Lex {
+                    offset: start,
+                    message: "hex literal needs digits".into(),
+                });
+            }
+            let text = std::str::from_utf8(&self.src[hs..self.pos]).unwrap();
+            let v = u64::from_str_radix(text, 16).map_err(|_| DuelError::Lex {
+                offset: start,
+                message: "hex literal too large".into(),
+            })?;
+            self.eat_int_suffix();
+            return Ok(Tok::Int(v as i64));
+        }
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        // A fraction only if `.` is not followed by another `.` (so that
+        // `1..5` stays a range) and not followed by an identifier (so
+        // that `x[1].f` field access works after an index… actually a
+        // digit can't be followed by `.field`, but `1.f` would be a
+        // malformed float; be strict).
+        if self.peek() == b'.'
+            && self.peek2() != b'.'
+            && !self.peek2().is_ascii_alphabetic()
+            && self.peek2() != b'_'
+        {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let save = self.pos;
+            self.pos += 1;
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.pos += 1;
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            let v = text.parse::<f64>().map_err(|_| DuelError::Lex {
+                offset: start,
+                message: format!("bad float literal `{text}`"),
+            })?;
+            self.eat_float_suffix();
+            return Ok(Tok::Float(v));
+        }
+        // Leading 0 means octal in C.
+        let v = if text.len() > 1 && text.starts_with('0') {
+            i64::from_str_radix(&text[1..], 8).map_err(|_| DuelError::Lex {
+                offset: start,
+                message: format!("bad octal literal `{text}`"),
+            })?
+        } else {
+            text.parse::<i64>().map_err(|_| DuelError::Lex {
+                offset: start,
+                message: format!("integer literal `{text}` too large"),
+            })?
+        };
+        self.eat_int_suffix();
+        Ok(Tok::Int(v))
+    }
+
+    fn eat_int_suffix(&mut self) {
+        while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat_float_suffix(&mut self) {
+        while matches!(self.peek(), b'f' | b'F' | b'l' | b'L') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while {
+            let c = self.peek();
+            c == b'_' || c == b'$' || c.is_ascii_alphanumeric()
+        } {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        Tok::Ident(text.to_string())
+    }
+
+    fn escape(&mut self, offset: usize) -> DuelResult<u8> {
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'x' => {
+                let mut v: u32 = 0;
+                let mut n = 0;
+                while self.peek().is_ascii_hexdigit() && n < 2 {
+                    v = v * 16 + (self.bump() as char).to_digit(16).unwrap();
+                    n += 1;
+                }
+                if n == 0 {
+                    return Err(DuelError::Lex {
+                        offset,
+                        message: "\\x needs hex digits".into(),
+                    });
+                }
+                v as u8
+            }
+            other => {
+                return Err(DuelError::Lex {
+                    offset,
+                    message: format!("unknown escape `\\{}`", other as char),
+                })
+            }
+        })
+    }
+
+    fn char_lit(&mut self) -> DuelResult<Tok> {
+        let offset = self.pos;
+        self.pos += 1; // opening quote
+        let c = self.bump();
+        let v = if c == b'\\' {
+            self.escape(offset)?
+        } else if c == 0 {
+            return Err(DuelError::Lex {
+                offset,
+                message: "unterminated character literal".into(),
+            });
+        } else {
+            c
+        };
+        if self.bump() != b'\'' {
+            return Err(DuelError::Lex {
+                offset,
+                message: "unterminated character literal".into(),
+            });
+        }
+        Ok(Tok::Char(v))
+    }
+
+    fn string_lit(&mut self) -> DuelResult<Tok> {
+        let offset = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = Vec::new();
+        loop {
+            let c = self.bump();
+            match c {
+                b'"' => break,
+                0 => {
+                    return Err(DuelError::Lex {
+                        offset,
+                        message: "unterminated string literal".into(),
+                    })
+                }
+                b'\\' => out.push(self.escape(offset)?),
+                other => out.push(other),
+            }
+        }
+        Ok(Tok::Str(String::from_utf8_lossy(&out).into_owned()))
+    }
+
+    fn operator(&mut self) -> DuelResult<Tok> {
+        let offset = self.pos;
+        let c = self.bump();
+        Ok(match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.pos += 1;
+                    Tok::PlusPlus
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::PlusAssign
+                }
+                _ => Tok::Plus,
+            },
+            b'-' => {
+                if self.peek() == b'-' && self.peek2() == b'>' {
+                    // `-->` or `-->>`.
+                    self.pos += 2;
+                    if self.peek() == b'>' {
+                        self.pos += 1;
+                        Tok::DashDashGtGt
+                    } else {
+                        Tok::DashDashGt
+                    }
+                } else {
+                    match self.peek() {
+                        b'-' => {
+                            self.pos += 1;
+                            Tok::MinusMinus
+                        }
+                        b'>' => {
+                            self.pos += 1;
+                            Tok::Arrow
+                        }
+                        b'=' => {
+                            self.pos += 1;
+                            Tok::MinusAssign
+                        }
+                        _ => Tok::Minus,
+                    }
+                }
+            }
+            b'*' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Tok::StarAssign
+                }
+                _ => Tok::Star,
+            },
+            b'/' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Tok::SlashAssign
+                }
+                _ => Tok::Slash,
+            },
+            b'%' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Tok::PercentAssign
+                }
+                _ => Tok::Percent,
+            },
+            b'&' => match self.peek() {
+                b'&' => {
+                    self.pos += 1;
+                    Tok::AmpAmp
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::AmpAssign
+                }
+                _ => Tok::Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => {
+                    self.pos += 1;
+                    Tok::PipePipe
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::PipeAssign
+                }
+                _ => Tok::Pipe,
+            },
+            b'^' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Tok::CaretAssign
+                }
+                _ => Tok::Caret,
+            },
+            b'~' => Tok::Tilde,
+            b'!' => match (self.peek(), self.peek2()) {
+                (b'=', b'?') => {
+                    self.pos += 2;
+                    Tok::NeQ
+                }
+                (b'=', _) => {
+                    self.pos += 1;
+                    Tok::Ne
+                }
+                _ => Tok::Bang,
+            },
+            b'<' => match (self.peek(), self.peek2()) {
+                (b'<', b'=') => {
+                    self.pos += 2;
+                    Tok::ShlAssign
+                }
+                (b'<', _) => {
+                    self.pos += 1;
+                    Tok::Shl
+                }
+                (b'=', b'?') => {
+                    self.pos += 2;
+                    Tok::LeQ
+                }
+                (b'=', _) => {
+                    self.pos += 1;
+                    Tok::Le
+                }
+                (b'?', _) => {
+                    self.pos += 1;
+                    Tok::LtQ
+                }
+                _ => Tok::Lt,
+            },
+            b'>' => match (self.peek(), self.peek2()) {
+                (b'>', b'=') => {
+                    self.pos += 2;
+                    Tok::ShrAssign
+                }
+                (b'>', _) => {
+                    self.pos += 1;
+                    Tok::Shr
+                }
+                (b'=', b'?') => {
+                    self.pos += 2;
+                    Tok::GeQ
+                }
+                (b'=', _) => {
+                    self.pos += 1;
+                    Tok::Ge
+                }
+                (b'?', _) => {
+                    self.pos += 1;
+                    Tok::GtQ
+                }
+                _ => Tok::Gt,
+            },
+            b'=' => match (self.peek(), self.peek2()) {
+                (b'=', b'?') => {
+                    self.pos += 2;
+                    Tok::EqQ
+                }
+                (b'=', _) => {
+                    self.pos += 1;
+                    Tok::EqEq
+                }
+                (b'>', _) => {
+                    self.pos += 1;
+                    Tok::Imply
+                }
+                _ => Tok::Assign,
+            },
+            b'?' => Tok::Question,
+            b':' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Tok::ColonAssign
+                }
+                _ => Tok::Colon,
+            },
+            b'.' => match self.peek() {
+                b'.' => {
+                    self.pos += 1;
+                    Tok::DotDot
+                }
+                _ => Tok::Dot,
+            },
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            b'#' => match self.peek() {
+                b'/' => {
+                    self.pos += 1;
+                    Tok::HashSlash
+                }
+                _ => Tok::Hash,
+            },
+            b'@' => Tok::At,
+            other => {
+                return Err(DuelError::Lex {
+                    offset,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("0x1f"), vec![Tok::Int(31), Tok::Eof]);
+        assert_eq!(toks("017"), vec![Tok::Int(15), Tok::Eof]);
+        assert_eq!(toks("2.5"), vec![Tok::Float(2.5), Tok::Eof]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        assert_eq!(toks("10ul"), vec![Tok::Int(10), Tok::Eof]);
+        assert_eq!(toks("1.5f"), vec![Tok::Float(1.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_floats() {
+        assert_eq!(
+            toks("1..5"),
+            vec![Tok::Int(1), Tok::DotDot, Tok::Int(5), Tok::Eof]
+        );
+        assert_eq!(
+            toks("x[..100]"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::LBracket,
+                Tok::DotDot,
+                Tok::Int(100),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("0..9"),
+            vec![Tok::Int(0), Tok::DotDot, Tok::Int(9), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn duel_operators() {
+        assert_eq!(
+            toks(">? >=? <? <=? ==? !=?"),
+            vec![
+                Tok::GtQ,
+                Tok::GeQ,
+                Tok::LtQ,
+                Tok::LeQ,
+                Tok::EqQ,
+                Tok::NeQ,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a := b => c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ColonAssign,
+                Tok::Ident("b".into()),
+                Tok::Imply,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("head-->next"),
+            vec![
+                Tok::Ident("head".into()),
+                Tok::DashDashGt,
+                Tok::Ident("next".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a-->>b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::DashDashGtGt,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("#/x"),
+            vec![Tok::HashSlash, Tok::Ident("x".into()), Tok::Eof]
+        );
+        assert_eq!(
+            toks("e#i"),
+            vec![
+                Tok::Ident("e".into()),
+                Tok::Hash,
+                Tok::Ident("i".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("s@0"),
+            vec![Tok::Ident("s".into()), Tok::At, Tok::Int(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn c_operators_survive() {
+        assert_eq!(
+            toks("a->b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a-- -b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::MinusMinus,
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a<<=b >>= c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShlAssign,
+                Tok::Ident("b".into()),
+                Tok::ShrAssign,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets_never_merge() {
+        assert_eq!(
+            toks("x[y[0]]"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::LBracket,
+                Tok::Ident("y".into()),
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::RBracket,
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(toks("'a'"), vec![Tok::Char(b'a'), Tok::Eof]);
+        assert_eq!(toks(r"'\0'"), vec![Tok::Char(0), Tok::Eof]);
+        assert_eq!(toks(r"'\n'"), vec![Tok::Char(b'\n'), Tok::Eof]);
+        assert_eq!(toks(r"'\x41'"), vec![Tok::Char(0x41), Tok::Eof]);
+        assert_eq!(toks(r#""a\tb""#), vec![Tok::Str("a\tb".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments() {
+        assert_eq!(
+            toks("1 ## comment\n+2"),
+            vec![Tok::Int(1), Tok::Plus, Tok::Int(2), Tok::Eof]
+        );
+        assert_eq!(
+            toks("1 /* c */ + 2"),
+            vec![Tok::Int(1), Tok::Plus, Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'a").is_err());
+        assert!(lex("\"abc").is_err());
+        assert!(lex("`").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex(r"'\q'").is_err());
+    }
+
+    #[test]
+    fn underscore_and_dollar_idents() {
+        assert_eq!(toks("_"), vec![Tok::Ident("_".into()), Tok::Eof]);
+        assert_eq!(toks("$v1"), vec![Tok::Ident("$v1".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let ts = lex("ab + cd").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 3);
+        assert_eq!(ts[2].offset, 5);
+    }
+}

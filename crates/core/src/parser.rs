@@ -1,0 +1,1274 @@
+//! The DUEL parser.
+//!
+//! A Pratt (precedence-climbing) parser replacing the paper's yacc
+//! grammar. Precedence, loosest to tightest:
+//!
+//! | level | operators |
+//! |---|---|
+//! | 1 | `,` (alternation) |
+//! | 2 | `;` (sequence) |
+//! | 3 | `=>` (imply, right) |
+//! | 4 | `=` `op=` `:=` (right) |
+//! | 5 | `?:` (right) |
+//! | 6–10 | `\|\|` `&&` `\|` `^` `&` |
+//! | 11 | `==` `!=` `==?` `!=?` |
+//! | 12 | `<` `<=` `>` `>=` `<?` `<=?` `>?` `>=?` |
+//! | 13 | `<<` `>>` |
+//! | 14 | `+` `-` |
+//! | 15 | `*` `/` `%` |
+//! | 16 | `..` (so `1..100+i` is `(1..100)+i`, matching the paper's
+//!        account of its evaluation cost) |
+//! | 17 | unary: `! ~ + - * & ++ -- sizeof (cast) ..e` and the
+//!        reductions `#/ +/ &&/ \|\|/ >/ </` |
+//! | 18 | postfix: `[] [[]] () . -> --> -->> ++ -- # @` |
+//!
+//! `if`, `while`, and `for` are *expressions* and may appear anywhere a
+//! primary may; their bodies parse at the assignment level, so
+//! `4 + if (i%3 == 0) {i}*5` groups as `4 + (if … ({i}*5))` as in the
+//! paper's transcript.
+//!
+//! Because the parser cannot know the target's typedefs, it takes an
+//! `is_typename` oracle; the session supplies one backed by the target.
+
+use crate::{
+    ast::{BaseType, BinOp, Declarator, Deriv, Expr, FilterOp, ReduceOp, TypeExpr, UnOp, WithLink},
+    error::{DuelError, DuelResult},
+    lexer::lex,
+    token::{SpannedTok, Tok},
+};
+
+/// Precedence levels (binding powers).
+mod prec {
+    pub const COMMA: u8 = 1;
+    pub const SEQ: u8 = 2;
+    pub const IMPLY: u8 = 3;
+    pub const ASSIGN: u8 = 4;
+    pub const COND: u8 = 5;
+    pub const OROR: u8 = 6;
+    pub const ANDAND: u8 = 7;
+    pub const BITOR: u8 = 8;
+    pub const BITXOR: u8 = 9;
+    pub const BITAND: u8 = 10;
+    pub const EQ: u8 = 11;
+    pub const REL: u8 = 12;
+    pub const SHIFT: u8 = 13;
+    pub const ADD: u8 = 14;
+    pub const MUL: u8 = 15;
+    pub const RANGE: u8 = 16;
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "for", "while", "sizeof", "struct", "union", "enum", "void", "char", "short",
+    "int", "long", "float", "double", "unsigned", "signed",
+];
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "char", "short", "int", "long", "float", "double", "unsigned", "signed", "struct",
+    "union", "enum",
+];
+
+/// Parses a complete DUEL command into an expression.
+///
+/// `is_typename` reports whether an identifier names a typedef in the
+/// target (needed to distinguish `(T)x` casts and `T x;` declarations
+/// from parenthesized expressions).
+pub fn parse(src: &str, is_typename: &mut dyn FnMut(&str) -> bool) -> DuelResult<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        is_typename,
+        depth: 0,
+    };
+    let e = p.parse_expr(prec::COMMA)?;
+    // A trailing `;` evaluates for side effects only.
+    let e = if p.peek() == &Tok::Semi {
+        p.bump();
+        Expr::Discard(e.boxed())
+    } else {
+        e
+    };
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser<'a> {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    is_typename: &'a mut dyn FnMut(&str) -> bool,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].offset
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> DuelResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found {}",
+                t.spelling(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> DuelResult<()> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected {} after expression",
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn err(&self, message: String) -> DuelError {
+        DuelError::Parse {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the current token start a type name?
+    fn at_typename(&mut self) -> bool {
+        let name = match self.peek() {
+            Tok::Ident(s) => s.clone(),
+            _ => return false,
+        };
+        TYPE_KEYWORDS.contains(&name.as_str()) || (self.is_typename)(&name)
+    }
+
+    // ----- expressions -------------------------------------------------
+
+    fn parse_expr(&mut self, min_prec: u8) -> DuelResult<Expr> {
+        // Guard against pathological nesting blowing the stack.
+        self.depth += 1;
+        if self.depth > 128 {
+            self.depth -= 1;
+            return Err(self.err("expression nests more than 128 levels deep".into()));
+        }
+        let r = self.parse_expr_inner(min_prec);
+        self.depth -= 1;
+        r
+    }
+
+    fn parse_expr_inner(&mut self, min_prec: u8) -> DuelResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op_prec, right_assoc)) = self.infix_prec() {
+            if op_prec < min_prec {
+                break;
+            }
+            lhs = self.parse_infix(lhs, op_prec, right_assoc)?;
+        }
+        Ok(lhs)
+    }
+
+    /// Returns `(precedence, right_assoc)` of the infix operator at the
+    /// cursor, if any.
+    fn infix_prec(&self) -> Option<(u8, bool)> {
+        Some(match self.peek() {
+            Tok::Comma => (prec::COMMA, false),
+            Tok::Semi => (prec::SEQ, false),
+            Tok::Imply => (prec::IMPLY, true),
+            Tok::Assign
+            | Tok::PlusAssign
+            | Tok::MinusAssign
+            | Tok::StarAssign
+            | Tok::SlashAssign
+            | Tok::PercentAssign
+            | Tok::AmpAssign
+            | Tok::PipeAssign
+            | Tok::CaretAssign
+            | Tok::ShlAssign
+            | Tok::ShrAssign
+            | Tok::ColonAssign => (prec::ASSIGN, true),
+            Tok::Question => (prec::COND, true),
+            Tok::PipePipe => (prec::OROR, false),
+            Tok::AmpAmp => (prec::ANDAND, false),
+            Tok::Pipe => (prec::BITOR, false),
+            Tok::Caret => (prec::BITXOR, false),
+            Tok::Amp => (prec::BITAND, false),
+            Tok::EqEq | Tok::Ne | Tok::EqQ | Tok::NeQ => (prec::EQ, false),
+            Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge | Tok::LtQ | Tok::LeQ | Tok::GtQ | Tok::GeQ => {
+                (prec::REL, false)
+            }
+            Tok::Shl | Tok::Shr => (prec::SHIFT, false),
+            Tok::Plus | Tok::Minus => (prec::ADD, false),
+            Tok::Star | Tok::Slash | Tok::Percent => (prec::MUL, false),
+            Tok::DotDot => (prec::RANGE, false),
+            _ => return None,
+        })
+    }
+
+    fn parse_infix(&mut self, lhs: Expr, op_prec: u8, right_assoc: bool) -> DuelResult<Expr> {
+        let next_min = if right_assoc { op_prec } else { op_prec + 1 };
+        let tok = self.bump();
+        Ok(match tok {
+            Tok::Comma => {
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Alt(lhs.boxed(), rhs.boxed())
+            }
+            Tok::Semi => {
+                // A trailing `;` (end of input or `)`/`}`) discards.
+                if matches!(self.peek(), Tok::Eof | Tok::RParen | Tok::RBrace) {
+                    Expr::Discard(lhs.boxed())
+                } else {
+                    let rhs = self.parse_expr(next_min)?;
+                    Expr::Seq(lhs.boxed(), rhs.boxed())
+                }
+            }
+            Tok::Imply => {
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Imply(lhs.boxed(), rhs.boxed())
+            }
+            Tok::ColonAssign => {
+                let name = match lhs {
+                    Expr::Name(n) => n,
+                    other => {
+                        return Err(self.err(format!(
+                            "`:=` needs a simple name on its left, found {other:?}"
+                        )))
+                    }
+                };
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Alias(name, rhs.boxed())
+            }
+            Tok::Assign => {
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Assign(None, lhs.boxed(), rhs.boxed())
+            }
+            Tok::PlusAssign
+            | Tok::MinusAssign
+            | Tok::StarAssign
+            | Tok::SlashAssign
+            | Tok::PercentAssign
+            | Tok::AmpAssign
+            | Tok::PipeAssign
+            | Tok::CaretAssign
+            | Tok::ShlAssign
+            | Tok::ShrAssign => {
+                let op = match tok {
+                    Tok::PlusAssign => BinOp::Add,
+                    Tok::MinusAssign => BinOp::Sub,
+                    Tok::StarAssign => BinOp::Mul,
+                    Tok::SlashAssign => BinOp::Div,
+                    Tok::PercentAssign => BinOp::Rem,
+                    Tok::AmpAssign => BinOp::BitAnd,
+                    Tok::PipeAssign => BinOp::BitOr,
+                    Tok::CaretAssign => BinOp::BitXor,
+                    Tok::ShlAssign => BinOp::Shl,
+                    _ => BinOp::Shr,
+                };
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Assign(Some(op), lhs.boxed(), rhs.boxed())
+            }
+            Tok::Question => {
+                let then = self.parse_expr(prec::ASSIGN)?;
+                self.expect(&Tok::Colon)?;
+                let els = self.parse_expr(prec::COND)?;
+                Expr::Cond(lhs.boxed(), then.boxed(), els.boxed())
+            }
+            Tok::PipePipe => {
+                let rhs = self.parse_expr(next_min)?;
+                Expr::OrOr(lhs.boxed(), rhs.boxed())
+            }
+            Tok::AmpAmp => {
+                let rhs = self.parse_expr(next_min)?;
+                Expr::AndAnd(lhs.boxed(), rhs.boxed())
+            }
+            Tok::DotDot => {
+                // `e..` — unbounded — when nothing that can start an
+                // expression follows.
+                if self.at_expr_end() {
+                    Expr::ToInf(lhs.boxed())
+                } else {
+                    let rhs = self.parse_expr(next_min)?;
+                    Expr::To(lhs.boxed(), rhs.boxed())
+                }
+            }
+            Tok::GtQ | Tok::GeQ | Tok::LtQ | Tok::LeQ | Tok::EqQ | Tok::NeQ => {
+                let op = match tok {
+                    Tok::GtQ => FilterOp::Gt,
+                    Tok::GeQ => FilterOp::Ge,
+                    Tok::LtQ => FilterOp::Lt,
+                    Tok::LeQ => FilterOp::Le,
+                    Tok::EqQ => FilterOp::Eq,
+                    _ => FilterOp::Ne,
+                };
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Filter(op, lhs.boxed(), rhs.boxed())
+            }
+            other => {
+                let op = match other {
+                    Tok::Pipe => BinOp::BitOr,
+                    Tok::Caret => BinOp::BitXor,
+                    Tok::Amp => BinOp::BitAnd,
+                    Tok::EqEq => BinOp::Eq,
+                    Tok::Ne => BinOp::Ne,
+                    Tok::Lt => BinOp::Lt,
+                    Tok::Le => BinOp::Le,
+                    Tok::Gt => BinOp::Gt,
+                    Tok::Ge => BinOp::Ge,
+                    Tok::Shl => BinOp::Shl,
+                    Tok::Shr => BinOp::Shr,
+                    Tok::Plus => BinOp::Add,
+                    Tok::Minus => BinOp::Sub,
+                    Tok::Star => BinOp::Mul,
+                    Tok::Slash => BinOp::Div,
+                    Tok::Percent => BinOp::Rem,
+                    _ => unreachable!("infix_prec admitted {other:?}"),
+                };
+                let rhs = self.parse_expr(next_min)?;
+                Expr::Bin(op, lhs.boxed(), rhs.boxed())
+            }
+        })
+    }
+
+    /// Can the current token *not* start an expression (so a dangling
+    /// `..` means "to infinity")?
+    fn at_expr_end(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Eof
+                | Tok::RParen
+                | Tok::RBracket
+                | Tok::RBrace
+                | Tok::Comma
+                | Tok::Semi
+                | Tok::At
+                | Tok::Colon
+        )
+    }
+
+    fn parse_unary(&mut self) -> DuelResult<Expr> {
+        // Reductions written as two tokens (`+/`, `&&/`, `||/`, `>/`,
+        // `</`) — unambiguous in prefix position.
+        if self.peek2() == &Tok::Slash {
+            let op = match self.peek() {
+                Tok::Plus => Some(ReduceOp::Sum),
+                Tok::AmpAmp => Some(ReduceOp::All),
+                Tok::PipePipe => Some(ReduceOp::Any),
+                Tok::Gt => Some(ReduceOp::Max),
+                Tok::Lt => Some(ReduceOp::Min),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.bump();
+                self.bump();
+                let e = self.parse_unary()?;
+                return Ok(Expr::Reduce(op, e.boxed()));
+            }
+        }
+        let e = match self.peek().clone() {
+            Tok::HashSlash => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Expr::Reduce(ReduceOp::Count, e.boxed())
+            }
+            Tok::DotDot => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Expr::ToPrefix(e.boxed())
+            }
+            Tok::Minus => {
+                self.bump();
+                Expr::Unary(UnOp::Neg, self.parse_unary()?.boxed())
+            }
+            Tok::Plus => {
+                self.bump();
+                Expr::Unary(UnOp::Pos, self.parse_unary()?.boxed())
+            }
+            Tok::Bang => {
+                self.bump();
+                Expr::Unary(UnOp::Not, self.parse_unary()?.boxed())
+            }
+            Tok::Tilde => {
+                self.bump();
+                Expr::Unary(UnOp::BitNot, self.parse_unary()?.boxed())
+            }
+            Tok::Star => {
+                self.bump();
+                Expr::Unary(UnOp::Deref, self.parse_unary()?.boxed())
+            }
+            Tok::Amp => {
+                self.bump();
+                Expr::Unary(UnOp::Addr, self.parse_unary()?.boxed())
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                Expr::PreIncDec {
+                    inc: true,
+                    expr: self.parse_unary()?.boxed(),
+                }
+            }
+            Tok::MinusMinus => {
+                self.bump();
+                Expr::PreIncDec {
+                    inc: false,
+                    expr: self.parse_unary()?.boxed(),
+                }
+            }
+            Tok::Ident(kw) if kw == "sizeof" => {
+                self.bump();
+                if self.peek() == &Tok::LParen && self.typename_after_lparen() {
+                    self.bump();
+                    let ty = self.parse_typename()?;
+                    self.expect(&Tok::RParen)?;
+                    Expr::SizeofType(ty)
+                } else {
+                    Expr::SizeofExpr(self.parse_unary()?.boxed())
+                }
+            }
+            Tok::LParen if self.typename_after_lparen() => {
+                self.bump();
+                let ty = self.parse_typename()?;
+                self.expect(&Tok::RParen)?;
+                let e = self.parse_unary()?;
+                Expr::Cast(ty, e.boxed())
+            }
+            _ => self.parse_primary()?,
+        };
+        self.parse_postfix(e)
+    }
+
+    /// Looks ahead: is `(` followed by a type name (a cast or
+    /// `sizeof(type)`)?
+    fn typename_after_lparen(&mut self) -> bool {
+        debug_assert_eq!(self.peek(), &Tok::LParen);
+        let name = match self.peek2() {
+            Tok::Ident(s) => s.clone(),
+            _ => return false,
+        };
+        TYPE_KEYWORDS.contains(&name.as_str()) || (self.is_typename)(&name)
+    }
+
+    fn parse_primary(&mut self) -> DuelResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            Tok::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr(prec::COMMA)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let e = self.parse_expr(prec::COMMA)?;
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::Braced(e.boxed()))
+            }
+            Tok::Ident(name) => {
+                if name == "if" {
+                    return self.parse_if();
+                }
+                if name == "while" {
+                    return self.parse_while();
+                }
+                if name == "for" {
+                    return self.parse_for();
+                }
+                if self.at_typename() {
+                    return self.parse_decl();
+                }
+                if KEYWORDS.contains(&name.as_str()) {
+                    return Err(self.err(format!("`{name}` cannot start an expression here")));
+                }
+                self.bump();
+                if name == "_" {
+                    Ok(Expr::Underscore)
+                } else if self.peek() == &Tok::LParen {
+                    // A call.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            // Arguments parse above `,` so that commas
+                            // separate arguments, as in C; alternation
+                            // in an argument needs parentheses, as in
+                            // the paper's `printf("…", (3,4), 5..7)`.
+                            args.push(self.parse_expr(prec::SEQ)?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Name(name))
+                }
+            }
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn parse_if(&mut self) -> DuelResult<Expr> {
+        self.bump(); // `if`
+        self.expect(&Tok::LParen)?;
+        let cond = self.parse_expr(prec::COMMA)?;
+        self.expect(&Tok::RParen)?;
+        let then = self.parse_expr(prec::ASSIGN)?;
+        let els = if self.eat_kw("else") {
+            Some(self.parse_expr(prec::ASSIGN)?.boxed())
+        } else {
+            None
+        };
+        Ok(Expr::If(cond.boxed(), then.boxed(), els))
+    }
+
+    fn parse_while(&mut self) -> DuelResult<Expr> {
+        self.bump(); // `while`
+        self.expect(&Tok::LParen)?;
+        let cond = self.parse_expr(prec::COMMA)?;
+        self.expect(&Tok::RParen)?;
+        let body = self.parse_expr(prec::ASSIGN)?;
+        Ok(Expr::While(cond.boxed(), body.boxed()))
+    }
+
+    fn parse_for(&mut self) -> DuelResult<Expr> {
+        self.bump(); // `for`
+        self.expect(&Tok::LParen)?;
+        let init = if self.peek() == &Tok::Semi {
+            None
+        } else {
+            Some(self.parse_expr(prec::IMPLY)?.boxed())
+        };
+        self.expect(&Tok::Semi)?;
+        let cond = if self.peek() == &Tok::Semi {
+            None
+        } else {
+            Some(self.parse_expr(prec::IMPLY)?.boxed())
+        };
+        self.expect(&Tok::Semi)?;
+        let step = if self.peek() == &Tok::RParen {
+            None
+        } else {
+            Some(self.parse_expr(prec::IMPLY)?.boxed())
+        };
+        self.expect(&Tok::RParen)?;
+        let body = self.parse_expr(prec::ASSIGN)?;
+        Ok(Expr::For {
+            init,
+            cond,
+            step,
+            body: body.boxed(),
+        })
+    }
+
+    // ----- postfix ------------------------------------------------------
+
+    fn parse_postfix(&mut self, mut e: Expr) -> DuelResult<Expr> {
+        loop {
+            e = match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    if self.eat(&Tok::LBracket) {
+                        // `e[[sel]]`.
+                        let sel = self.parse_expr(prec::COMMA)?;
+                        self.expect(&Tok::RBracket)?;
+                        self.expect(&Tok::RBracket)?;
+                        Expr::Select(e.boxed(), sel.boxed())
+                    } else {
+                        let idx = self.parse_expr(prec::COMMA)?;
+                        self.expect(&Tok::RBracket)?;
+                        Expr::Index(e.boxed(), idx.boxed())
+                    }
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let rhs = self.parse_with_operand()?;
+                    Expr::With(WithLink::Dot, e.boxed(), rhs.boxed())
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let rhs = self.parse_with_operand()?;
+                    Expr::With(WithLink::Arrow, e.boxed(), rhs.boxed())
+                }
+                Tok::DashDashGt => {
+                    self.bump();
+                    let rhs = self.parse_with_operand()?;
+                    Expr::Dfs(e.boxed(), rhs.boxed())
+                }
+                Tok::DashDashGtGt => {
+                    self.bump();
+                    let rhs = self.parse_with_operand()?;
+                    Expr::Bfs(e.boxed(), rhs.boxed())
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    Expr::PostIncDec {
+                        inc: true,
+                        expr: e.boxed(),
+                    }
+                }
+                Tok::MinusMinus => {
+                    self.bump();
+                    Expr::PostIncDec {
+                        inc: false,
+                        expr: e.boxed(),
+                    }
+                }
+                Tok::Hash => {
+                    self.bump();
+                    let name = match self.bump() {
+                        Tok::Ident(n) => n,
+                        other => {
+                            return Err(self.err(format!(
+                                "`#` needs an alias name, found {}",
+                                other.describe()
+                            )))
+                        }
+                    };
+                    Expr::IndexAlias(e.boxed(), name)
+                }
+                Tok::At => {
+                    self.bump();
+                    let stop = self.parse_until_operand()?;
+                    Expr::Until(e.boxed(), stop.boxed())
+                }
+                _ => return Ok(e),
+            };
+        }
+    }
+
+    /// The right operand of `.`/`->`/`-->`: a field name, a
+    /// parenthesized expression, an `if` expression, `{e}`, or `_`.
+    fn parse_with_operand(&mut self) -> DuelResult<Expr> {
+        match self.peek().clone() {
+            Tok::Ident(name) if name == "if" => self.parse_if(),
+            Tok::Ident(name) => {
+                self.bump();
+                if name == "_" {
+                    Ok(Expr::Underscore)
+                } else {
+                    Ok(Expr::Name(name))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr(prec::COMMA)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBrace => {
+                self.bump();
+                let e = self.parse_expr(prec::COMMA)?;
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::Braced(e.boxed()))
+            }
+            other => Err(self.err(format!(
+                "expected a field name or parenthesized expression \
+                 after `.`/`->`/`-->`, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// The operand of `@`: a literal, a name, `_`, or a parenthesized
+    /// expression.
+    fn parse_until_operand(&mut self) -> DuelResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c))
+            }
+            Tok::Ident(n) => {
+                self.bump();
+                if n == "_" {
+                    Ok(Expr::Underscore)
+                } else {
+                    Ok(Expr::Name(n))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr(prec::COMMA)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!(
+                "expected a literal or parenthesized condition after \
+                 `@`, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    // ----- types and declarations ---------------------------------------
+
+    /// Parses a type name: base + abstract derivations (`int *[4]`).
+    fn parse_typename(&mut self) -> DuelResult<TypeExpr> {
+        let base = self.parse_base_type()?;
+        let mut derivs = Vec::new();
+        while self.eat(&Tok::Star) {
+            derivs.push(Deriv::Ptr);
+        }
+        while self.peek() == &Tok::LBracket {
+            self.bump();
+            let len = match self.peek() {
+                Tok::Int(v) => {
+                    let v = *v;
+                    self.bump();
+                    Some(v as u64)
+                }
+                _ => None,
+            };
+            self.expect(&Tok::RBracket)?;
+            derivs.push(Deriv::Array(len));
+        }
+        Ok(TypeExpr { base, derivs })
+    }
+
+    fn parse_base_type(&mut self) -> DuelResult<BaseType> {
+        use duel_ctype::Prim;
+        if self.eat_kw("void") {
+            return Ok(BaseType::Void);
+        }
+        if self.eat_kw("struct") {
+            return Ok(BaseType::Struct(self.tag_name("struct")?));
+        }
+        if self.eat_kw("union") {
+            return Ok(BaseType::Union(self.tag_name("union")?));
+        }
+        if self.eat_kw("enum") {
+            return Ok(BaseType::Enum(self.tag_name("enum")?));
+        }
+        if self.eat_kw("float") {
+            return Ok(BaseType::Prim(Prim::Float));
+        }
+        if self.eat_kw("double") {
+            return Ok(BaseType::Prim(Prim::Double));
+        }
+        // Integer keyword soup: [signed|unsigned] [char|short|int|long
+        // [long]] in any reasonable order.
+        let mut signed: Option<bool> = None;
+        let mut longs = 0u8;
+        let mut base: Option<&str> = None;
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            if self.eat_kw("signed") {
+                signed = Some(true);
+                progressed = true;
+            } else if self.eat_kw("unsigned") {
+                signed = Some(false);
+                progressed = true;
+            } else if self.eat_kw("long") {
+                longs += 1;
+                progressed = true;
+            } else if self.eat_kw("short") {
+                base = Some("short");
+                progressed = true;
+            } else if self.eat_kw("char") {
+                base = Some("char");
+                progressed = true;
+            } else if self.eat_kw("int") {
+                if base.is_none() {
+                    base = Some("int");
+                }
+                progressed = true;
+            } else if self.eat_kw("float") {
+                base = Some("float");
+                progressed = true;
+            } else if self.eat_kw("double") {
+                base = Some("double");
+                progressed = true;
+            }
+        }
+        if signed.is_none() && longs == 0 && base.is_none() {
+            // A typedef name.
+            if let Tok::Ident(name) = self.peek().clone() {
+                if (self.is_typename)(&name) {
+                    self.bump();
+                    return Ok(BaseType::Typedef(name));
+                }
+            }
+            return Err(self.err(format!(
+                "expected a type name, found {}",
+                self.peek().describe()
+            )));
+        }
+        let unsigned = signed == Some(false);
+        let prim = match (base, longs) {
+            (Some("char"), _) => {
+                if unsigned {
+                    Prim::UChar
+                } else if signed == Some(true) {
+                    Prim::SChar
+                } else {
+                    Prim::Char
+                }
+            }
+            (Some("short"), _) => {
+                if unsigned {
+                    Prim::UShort
+                } else {
+                    Prim::Short
+                }
+            }
+            (Some("double"), _) => Prim::Double,
+            (Some("float"), _) => Prim::Float,
+            (_, 0) => {
+                if unsigned {
+                    Prim::UInt
+                } else {
+                    Prim::Int
+                }
+            }
+            (_, 1) => {
+                if unsigned {
+                    Prim::ULong
+                } else {
+                    Prim::Long
+                }
+            }
+            _ => {
+                if unsigned {
+                    Prim::ULongLong
+                } else {
+                    Prim::LongLong
+                }
+            }
+        };
+        Ok(BaseType::Prim(prim))
+    }
+
+    fn tag_name(&mut self, kind: &str) -> DuelResult<String> {
+        match self.bump() {
+            Tok::Ident(n) if !KEYWORDS.contains(&n.as_str()) => Ok(n),
+            other => Err(self.err(format!(
+                "expected a tag after `{kind}`, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Parses a DUEL declaration: `base declarator (, declarator)*`.
+    /// The caller has checked that the cursor is at a type name.
+    fn parse_decl(&mut self) -> DuelResult<Expr> {
+        let base = TypeExpr {
+            base: self.parse_base_type()?,
+            derivs: Vec::new(),
+        };
+        let mut decls = Vec::new();
+        loop {
+            let mut derivs = Vec::new();
+            while self.eat(&Tok::Star) {
+                derivs.push(Deriv::Ptr);
+            }
+            let name = match self.bump() {
+                Tok::Ident(n) if !KEYWORDS.contains(&n.as_str()) => n,
+                other => {
+                    return Err(self.err(format!(
+                        "expected a declarator name, found {}",
+                        other.describe()
+                    )))
+                }
+            };
+            while self.peek() == &Tok::LBracket {
+                self.bump();
+                let len = match self.peek() {
+                    Tok::Int(v) => {
+                        let v = *v;
+                        self.bump();
+                        Some(v as u64)
+                    }
+                    _ => None,
+                };
+                self.expect(&Tok::RBracket)?;
+                derivs.push(Deriv::Array(len));
+            }
+            decls.push(Declarator { name, derivs });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(Expr::Decl { base, decls })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr::*;
+
+    fn p(src: &str) -> Expr {
+        parse(src, &mut |_| false).unwrap()
+    }
+
+    fn perr(src: &str) -> DuelError {
+        parse(src, &mut |_| false).unwrap_err()
+    }
+
+    #[test]
+    fn literals_and_names() {
+        assert_eq!(p("42"), Int(42));
+        assert_eq!(p("x"), Name("x".into()));
+        assert_eq!(p("_"), Underscore);
+        assert_eq!(p("'a'"), Char(b'a'));
+    }
+
+    #[test]
+    fn range_binds_tighter_than_add() {
+        // The paper's `1..100+i` must be `(1..100)+i`.
+        let e = p("1..100+i");
+        assert_eq!(
+            e,
+            Bin(
+                crate::ast::BinOp::Add,
+                To(Int(1).boxed(), Int(100).boxed()).boxed(),
+                Name("i".into()).boxed()
+            )
+        );
+    }
+
+    #[test]
+    fn alternation_is_loosest() {
+        // `x[1..4,8,12..50]` — commas separate alternatives inside the
+        // index.
+        let e = p("x[1..4,8]");
+        match e {
+            Index(_, idx) => match *idx {
+                Alt(a, b) => {
+                    assert_eq!(*a, To(Int(1).boxed(), Int(4).boxed()));
+                    assert_eq!(*b, Int(8));
+                }
+                other => panic!("expected Alt, got {other:?}"),
+            },
+            other => panic!("expected Index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_chain_left() {
+        // `x >? 5 <? 10` is `(x >? 5) <? 10`.
+        let e = p("x >? 5 <? 10");
+        match e {
+            Filter(crate::ast::FilterOp::Lt, lhs, _) => {
+                assert!(matches!(*lhs, Filter(crate::ast::FilterOp::Gt, _, _)));
+            }
+            other => panic!("expected Filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_and_postfix_ranges() {
+        assert_eq!(p("..5"), ToPrefix(Int(5).boxed()));
+        match p("x[..1024]") {
+            Index(_, idx) => {
+                assert_eq!(*idx, ToPrefix(Int(1024).boxed()))
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("argv[0..]") {
+            Index(_, idx) => assert_eq!(*idx, ToInf(Int(0).boxed())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_and_dfs_chains() {
+        // `hash[0]-->next->scope`.
+        let e = p("hash[0]-->next->scope");
+        match e {
+            With(crate::ast::WithLink::Arrow, base, field) => {
+                assert_eq!(*field, Name("scope".into()));
+                assert!(matches!(*base, Dfs(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // `root-->(left,right)->key`.
+        let e = p("root-->(left,right)->key");
+        match e {
+            With(_, base, _) => match *base {
+                Dfs(_, op) => assert!(matches!(*op, Alt(_, _))),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bfs_operator() {
+        assert!(matches!(p("root-->>(left,right)"), Bfs(_, _)));
+    }
+
+    #[test]
+    fn select_vs_nested_index() {
+        assert!(matches!(p("x[[52,74]]"), Select(_, _)));
+        // Two adjacent `]` must close two indexes.
+        let e = p("x[y[0]]");
+        match e {
+            Index(_, idx) => assert!(matches!(*idx, Index(_, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_imply_chain() {
+        // `x:= hash !=? 0 => y:= x => y = 0` associates as
+        // alias => (alias => assign).
+        let e = p("x:= h !=? 0 => y:= x => y = 0");
+        match e {
+            Imply(lhs, rhs) => {
+                assert!(matches!(*lhs, Alias(_, _)));
+                assert!(matches!(*rhs, Imply(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_as_operand_of_plus() {
+        // `4 + if (i%3==0) i*5` — if binds as the operand of `+` and its
+        // body includes `i*5`.
+        let e = p("4 + if (i%3 == 0) i*5");
+        match e {
+            Bin(crate::ast::BinOp::Add, _, rhs) => match *rhs {
+                If(_, body, None) => {
+                    assert!(matches!(*body, Bin(crate::ast::BinOp::Mul, _, _)))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_chain_in_with() {
+        let e = p("root-->(if (key > 5) left else if (key < 5) right)->key");
+        match e {
+            With(_, base, _) => match *base {
+                Dfs(_, op) => {
+                    assert!(matches!(*op, If(_, _, Some(_))))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_loop_with_decl_prefix() {
+        let e = p("int i; for (i = 0; i < 1024; i++) hash[i]");
+        match e {
+            Seq(decl, f) => {
+                assert!(matches!(*decl, Decl { .. }));
+                assert!(matches!(*f, For { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_discards() {
+        assert!(matches!(p("x = 0 ;"), Discard(_)));
+        assert!(matches!(p("x = 0"), Assign(None, _, _)));
+    }
+
+    #[test]
+    fn casts_and_sizeof() {
+        let e = p("1 + (double)3/2");
+        // Must parse the cast, not a parenthesized name.
+        match e {
+            Bin(crate::ast::BinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Bin(crate::ast::BinOp::Div, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(p("sizeof(int)"), SizeofType(_)));
+        assert!(matches!(p("sizeof x"), SizeofExpr(_)));
+        assert!(matches!(p("sizeof(x)"), SizeofExpr(_)));
+        assert!(matches!(p("(struct s *)p"), Cast(_, _)));
+    }
+
+    #[test]
+    fn calls_take_comma_separated_args() {
+        let e = p("printf(\"%d %d, \", (3,4), 5..7)");
+        match e {
+            Call(name, args) => {
+                assert_eq!(name, "printf");
+                assert_eq!(args.len(), 3);
+                assert!(matches!(args[1], Alt(_, _)));
+                assert!(matches!(args[2], To(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(matches!(
+            p("#/(root-->(left,right)->key)"),
+            Reduce(crate::ast::ReduceOp::Count, _)
+        ));
+        assert!(matches!(
+            p("+/x[..10]"),
+            Reduce(crate::ast::ReduceOp::Sum, _)
+        ));
+        assert!(matches!(
+            p("&&/x[..10]"),
+            Reduce(crate::ast::ReduceOp::All, _)
+        ));
+    }
+
+    #[test]
+    fn index_alias_and_until() {
+        let e = p("L-->next#i->value");
+        match e {
+            With(_, base, _) => {
+                assert!(matches!(*base, IndexAlias(_, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(p("argv[0..]@0"), Until(_, _)));
+        assert!(matches!(p("s[0..999]@(_=='\\0')"), Until(_, _)));
+    }
+
+    #[test]
+    fn braced_display_override() {
+        assert!(matches!(p("{i}*5"), Bin(_, _, _)));
+        match p("{i}*5") {
+            Bin(_, lhs, _) => assert!(matches!(*lhs, Braced(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn declaration_forms() {
+        match p("int i, *p, a[10]") {
+            Decl { decls, .. } => {
+                assert_eq!(decls.len(), 3);
+                assert_eq!(decls[0].name, "i");
+                assert_eq!(decls[1].derivs, vec![Deriv::Ptr]);
+                assert_eq!(decls[2].derivs, vec![Deriv::Array(Some(10))]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("unsigned long x") {
+            Decl { base, .. } => {
+                assert_eq!(base.base, BaseType::Prim(duel_ctype::Prim::ULong))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn typedef_oracle_enables_casts() {
+        let mut is_ty = |s: &str| s == "List";
+        let e = parse("(List *)p", &mut is_ty).unwrap();
+        assert!(matches!(e, Cast(_, _)));
+        // Without the oracle it is a parenthesized product.
+        let e = parse("(List)*p", &mut |_| false).unwrap();
+        assert!(matches!(e, Bin(crate::ast::BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        match perr("1 +") {
+            DuelError::Parse { offset, .. } => assert_eq!(offset, 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("x[", &mut |_| false).is_err());
+        assert!(parse("if (x)", &mut |_| false).is_err());
+        assert!(parse("3 := x", &mut |_| false).is_err());
+        assert!(parse("x->", &mut |_| false).is_err());
+    }
+
+    #[test]
+    fn conditional_operator() {
+        let e = p("a ? b : c ? d : e");
+        match e {
+            Cond(_, _, els) => assert!(matches!(*els, Cond(_, _, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_right_assoc() {
+        let e = p("a = b = c");
+        match e {
+            Assign(None, _, rhs) => {
+                assert!(matches!(*rhs, Assign(None, _, _)))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(p("a += 1"), Assign(Some(_), _, _)));
+    }
+
+    #[test]
+    fn underscore_in_with() {
+        let e = p("x[..10].if (_ < 0 || _ > 100) _");
+        match e {
+            With(crate::ast::WithLink::Dot, _, rhs) => {
+                assert!(matches!(*rhs, If(_, _, None)))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

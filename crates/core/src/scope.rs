@@ -1,0 +1,257 @@
+//! Name resolution: the `with` stack, aliases, and target symbols.
+//!
+//! `fetch` resolves a name in this order, mirroring the paper:
+//!
+//! 1. `_` — the value of the nearest enclosing `with` operand;
+//! 2. fields of `with` operands, innermost first (the paper's `push`/
+//!    `pop` name-resolution stack);
+//! 3. DUEL aliases (`a := e` and DUEL declarations) — the fetched value
+//!    keeps the aliased lvalue but displays the alias's *name* ("The
+//!    output displays the name of the alias, not the elements of x");
+//! 4. target variables (innermost frame, then globals) via
+//!    `duel_get_target_variable`;
+//! 5. enumeration constants.
+
+use std::collections::HashMap;
+
+use duel_target::Target;
+
+use crate::{
+    apply,
+    error::{DuelError, DuelResult},
+    eval::EvalOptions,
+    sym::Sym,
+    value::{Scalar, Value},
+};
+
+/// One entry of the `with` scope stack.
+#[derive(Clone, Debug)]
+pub struct WithEntry {
+    /// The operand value (a struct/union lvalue, usually).
+    pub value: Value,
+    /// Whether the scope was entered with `->` (for symbolic display).
+    pub arrow: bool,
+}
+
+/// The evaluation context threaded through every generator.
+pub struct Ctx<'a> {
+    /// The debugger backend.
+    pub target: &'a mut dyn Target,
+    /// Session-persistent aliases (`:=`, declarations).
+    pub aliases: &'a mut HashMap<String, Value>,
+    /// The `with` name-resolution stack.
+    pub with_stack: Vec<WithEntry>,
+    /// Evaluation options.
+    pub opts: EvalOptions,
+    /// Values produced so far by the top-level drive loop (for the
+    /// `max_values` safety limit).
+    pub produced: u64,
+    /// Leaf-generator activations (for the `max_ticks` safety limit).
+    pub ticks: u64,
+    /// Trace lines accumulated when [`EvalOptions::trace`] is on.
+    pub trace: Vec<String>,
+    /// Current generator nesting depth (trace indentation).
+    pub trace_depth: usize,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context over a target and an alias store.
+    pub fn new(
+        target: &'a mut dyn Target,
+        aliases: &'a mut HashMap<String, Value>,
+        opts: EvalOptions,
+    ) -> Ctx<'a> {
+        Ctx {
+            target,
+            aliases,
+            with_stack: Vec::new(),
+            opts,
+            produced: 0,
+            ticks: 0,
+            trace: Vec::new(),
+            trace_depth: 0,
+        }
+    }
+
+    /// Is symbolic-value construction enabled?
+    pub fn eager_sym(&self) -> bool {
+        self.opts.sym_mode == crate::sym::SymMode::Eager
+    }
+
+    /// Builds a leaf sym (or nothing in lazy mode).
+    pub fn sym_leaf(&self, text: impl AsRef<str>) -> Sym {
+        if self.eager_sym() {
+            Sym::leaf(text)
+        } else {
+            Sym::None
+        }
+    }
+
+    /// Resolves `name` per the order documented at module level.
+    pub fn fetch(&mut self, name: &str) -> DuelResult<Value> {
+        if name == "_" {
+            return match self.with_stack.last() {
+                Some(e) => Ok(e.value.clone()),
+                None => Err(DuelError::Undefined { name: "_".into() }),
+            };
+        }
+        // 2. with-scope fields, innermost first. The entry holds the raw
+        // operand; a pointer is dereferenced lazily *here*, so that
+        // `hash[..1024]->(if (_ && scope > 5) name)` never touches a
+        // NULL bucket.
+        for i in (0..self.with_stack.len()).rev() {
+            let entry = self.with_stack[i].clone();
+            let (rec_ty, via_ptr) = match apply::classify(self.target, entry.value.ty) {
+                apply::Class::Record => (entry.value.ty, false),
+                apply::Class::Ptr { pointee }
+                    if matches!(apply::classify(self.target, pointee), apply::Class::Record) =>
+                {
+                    (pointee, true)
+                }
+                _ => continue,
+            };
+            if apply::has_field(&*self.target, rec_ty, name) {
+                let eager = self.eager_sym();
+                let base = if via_ptr {
+                    apply::deref_for_with(self.target, &entry.value)?
+                } else {
+                    entry.value.clone()
+                };
+                let arrow = via_ptr || entry.arrow;
+                return apply::field_of(self.target, &base, name, arrow, eager);
+            }
+        }
+        // 3. aliases, displayed under their own name.
+        if let Some(v) = self.aliases.get(name) {
+            let mut v = v.clone();
+            v.sym = self.sym_leaf(name);
+            return Ok(v);
+        }
+        // 4. target variables.
+        if let Some(info) = self.target.get_variable(name) {
+            return Ok(Value::lval(info.ty, info.addr, self.sym_leaf(name)));
+        }
+        // 5. enumerators.
+        if let Some((eid, v)) = self.target.types().enumerator(name) {
+            let ty = {
+                let _ = eid;
+                // Enumeration constants have type int in C.
+                self.target.types_mut().prim(duel_ctype::Prim::Int)
+            };
+            return Ok(Value::rval(ty, Scalar::Int(v), self.sym_leaf(name)));
+        }
+        Err(DuelError::Undefined {
+            name: name.to_string(),
+        })
+    }
+
+    /// Defines or replaces an alias.
+    pub fn set_alias(&mut self, name: &str, v: Value) {
+        self.aliases.insert(name.to_string(), v);
+    }
+
+    /// Counts one leaf-generator activation against `max_ticks` —
+    /// every unbounded evaluation loop re-activates some leaf, so this
+    /// bounds even value-free loops.
+    pub fn tick(&mut self) -> DuelResult<()> {
+        self.ticks += 1;
+        if self.ticks > self.opts.max_ticks {
+            Err(DuelError::LimitExceeded {
+                limit: self.opts.max_ticks,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Counts a produced top-level value against `max_values`.
+    pub fn count_value(&mut self) -> DuelResult<()> {
+        self.produced += 1;
+        if self.produced > self.opts.max_values {
+            Err(DuelError::LimitExceeded {
+                limit: self.opts.max_values,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalOptions;
+    use duel_target::scenario;
+
+    fn with_ctx<R>(f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+        let mut t = scenario::hash_table_basic();
+        let mut aliases = HashMap::new();
+        let mut ctx = Ctx::new(&mut t, &mut aliases, EvalOptions::default());
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn fetch_target_global() {
+        with_ctx(|ctx| {
+            let v = ctx.fetch("hash").unwrap();
+            assert!(v.is_lval());
+            assert_eq!(v.sym.render(4), "hash");
+        });
+    }
+
+    #[test]
+    fn fetch_undefined() {
+        with_ctx(|ctx| {
+            assert!(matches!(
+                ctx.fetch("nonesuch"),
+                Err(DuelError::Undefined { .. })
+            ));
+            assert!(matches!(ctx.fetch("_"), Err(DuelError::Undefined { .. })));
+        });
+    }
+
+    #[test]
+    fn alias_shadows_nothing_but_displays_name() {
+        with_ctx(|ctx| {
+            let mut v = ctx.fetch("hash").unwrap();
+            v.sym = Sym::leaf("something-else");
+            ctx.set_alias("h", v);
+            let got = ctx.fetch("h").unwrap();
+            assert_eq!(got.sym.render(4), "h");
+        });
+    }
+
+    #[test]
+    fn with_scope_resolves_fields() {
+        with_ctx(|ctx| {
+            // Push the first symbol of bucket 0 as a with scope.
+            let hash = ctx.fetch("hash").unwrap();
+            let int_ty = ctx.target.types_mut().prim(duel_ctype::Prim::Int);
+            let zero = Value::rval(int_ty, Scalar::Int(0), Sym::int(0));
+            let head = apply::index(ctx.target, &hash, &zero, true).unwrap();
+            let node = apply::deref_for_with(ctx.target, &head).unwrap();
+            ctx.with_stack.push(WithEntry {
+                value: node,
+                arrow: true,
+            });
+            let scope = ctx.fetch("scope").unwrap();
+            assert_eq!(scope.sym.render(4), "hash[0]->scope");
+            let loaded = apply::load(ctx.target, &scope).unwrap();
+            assert_eq!(loaded, Scalar::Int(4));
+            ctx.with_stack.pop();
+        });
+    }
+
+    #[test]
+    fn value_limit() {
+        with_ctx(|ctx| {
+            ctx.opts.max_values = 2;
+            assert!(ctx.count_value().is_ok());
+            assert!(ctx.count_value().is_ok());
+            assert!(matches!(
+                ctx.count_value(),
+                Err(DuelError::LimitExceeded { limit: 2 })
+            ));
+        });
+    }
+}

@@ -1,0 +1,320 @@
+//! The `duel` command: parse, drive, display.
+//!
+//! "Duel's top-level evaluation command 'drives' its expression argument
+//! and prints all of its values", each as `symbolic = value`. Pure C
+//! expressions (no DUEL construct anywhere) print the value alone, as in
+//! the paper's `duel 1 + (double)3/2` ⇒ `2.500`, and so do values with
+//! no symbolic information (reductions, lazy mode).
+
+use std::collections::HashMap;
+
+use duel_target::Target;
+
+use crate::{
+    ast::Expr,
+    error::{DuelError, DuelResult},
+    eval::{self, EvalOptions},
+    parser, printer,
+    scope::Ctx,
+    sym::Sym,
+    value::Value,
+};
+
+/// One line of `duel` command output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputLine {
+    /// A produced value: `sym = value` (or just `value` when `sym` is
+    /// `None`).
+    Value {
+        /// The rendered symbolic value, when one should be shown.
+        sym: Option<String>,
+        /// The rendered actual value.
+        value: String,
+    },
+    /// Program output produced by target calls (e.g. `printf`).
+    Stdout(String),
+}
+
+impl OutputLine {
+    /// Renders the line as the REPL would print it.
+    pub fn render(&self) -> String {
+        match self {
+            OutputLine::Value {
+                sym: Some(s),
+                value,
+            } => format!("{s} = {value}"),
+            OutputLine::Value { sym: None, value } => value.clone(),
+            OutputLine::Stdout(s) => s.clone(),
+        }
+    }
+}
+
+/// Counters from the most recent evaluation (instrumentation for the
+/// experiment harness: values produced and leaf-generator activations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Top-level values the command produced.
+    pub values: u64,
+    /// Leaf-generator activations (a machine-independent work measure).
+    pub ticks: u64,
+}
+
+/// A DUEL session over a debugger backend: holds the aliases created by
+/// `:=` and declarations, and the evaluation options.
+pub struct Session<'t> {
+    target: &'t mut dyn Target,
+    aliases: HashMap<String, Value>,
+    /// Evaluation options (public so callers can reconfigure).
+    pub options: EvalOptions,
+    last_stats: EvalStats,
+    last_trace: Vec<String>,
+}
+
+impl<'t> Session<'t> {
+    /// Creates a session with default options.
+    pub fn new(target: &'t mut dyn Target) -> Session<'t> {
+        Session {
+            target,
+            aliases: HashMap::new(),
+            options: EvalOptions::default(),
+            last_stats: EvalStats::default(),
+            last_trace: Vec::new(),
+        }
+    }
+
+    /// Creates a session with explicit options.
+    pub fn with_options(target: &'t mut dyn Target, options: EvalOptions) -> Session<'t> {
+        Session {
+            target,
+            aliases: HashMap::new(),
+            options,
+            last_stats: EvalStats::default(),
+            last_trace: Vec::new(),
+        }
+    }
+
+    /// Parses a command without evaluating it.
+    pub fn parse(&mut self, src: &str) -> DuelResult<Expr> {
+        let t: &mut dyn Target = &mut *self.target;
+        parser::parse(src, &mut |name: &str| t.lookup_typedef(name).is_some())
+    }
+
+    /// Evaluates a `duel` command, returning its output lines.
+    ///
+    /// On an evaluation error, the lines produced before the error are
+    /// lost; use [`Session::eval_partial`] to keep them.
+    pub fn eval(&mut self, src: &str) -> DuelResult<Vec<OutputLine>> {
+        let (lines, err) = self.eval_partial(src)?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(lines),
+        }
+    }
+
+    /// Evaluates a command; parse errors are returned as `Err`, but an
+    /// evaluation error is returned alongside the lines produced before
+    /// it (the paper's sessions print values until the error, then the
+    /// error message).
+    pub fn eval_partial(&mut self, src: &str) -> DuelResult<(Vec<OutputLine>, Option<DuelError>)> {
+        let expr = self.parse(src)?;
+        // The symbolic value is shown only when it differs from the
+        // typed expression: `duel 1 + (double)3/2` prints `2.500`, while
+        // `duel x[1..3] == 7` prints `x[1]==7 = 0` — generator
+        // substitution is what makes the symbolic value informative.
+        let src_squeezed: String = src.chars().filter(|c| !c.is_whitespace()).collect();
+        // Match the paper's transcripts: a top-level call shows the
+        // program output it triggers, not its (uninteresting) return
+        // values. The frame-exploration builtins are exempt — their
+        // values *are* the output.
+        let suppress_values = matches!(
+            &expr,
+            Expr::Call(name, _)
+                if !matches!(name.as_str(), "frames" | "local" | "equal")
+        );
+        let mut gen = eval::compile(&expr);
+        let thr = self.options.compress_threshold;
+        let mut ctx = Ctx::new(&mut *self.target, &mut self.aliases, self.options.clone());
+        let mut lines = Vec::new();
+        let result = eval::drive(&mut ctx, &mut gen, |ctx, v| {
+            let out = ctx.target.take_output();
+            if !out.is_empty() {
+                lines.push(OutputLine::Stdout(out));
+            }
+            if suppress_values {
+                return Ok(());
+            }
+            let value = printer::format_value(ctx.target, &v, thr)?;
+            let sym = if matches!(v.sym, Sym::None) {
+                None
+            } else {
+                let rendered = v.sym.render(thr);
+                let squeezed: String = rendered.chars().filter(|c| !c.is_whitespace()).collect();
+                // Also collapse `0 = 0`-style lines where the symbolic
+                // value is just the value itself (fully substituted).
+                if squeezed == src_squeezed || rendered == value {
+                    None
+                } else {
+                    Some(rendered)
+                }
+            };
+            lines.push(OutputLine::Value { sym, value });
+            Ok(())
+        });
+        self.last_stats = EvalStats {
+            values: ctx.produced,
+            ticks: ctx.ticks,
+        };
+        self.last_trace = std::mem::take(&mut ctx.trace);
+        // Flush any output produced after the last value (or before an
+        // error).
+        let out = self.target.take_output();
+        if !out.is_empty() {
+            lines.push(OutputLine::Stdout(out));
+        }
+        Ok((lines, result.err()))
+    }
+
+    /// Evaluates a command and renders every line as the REPL prints it;
+    /// stdout chunks are split on newlines.
+    pub fn eval_lines(&mut self, src: &str) -> DuelResult<Vec<String>> {
+        let lines = self.eval(src)?;
+        Ok(render_lines(&lines))
+    }
+
+    /// Creates a session resuming previously saved aliases (REPLs use
+    /// this to interleave debugger commands with evaluation).
+    pub fn with_state(
+        target: &'t mut dyn Target,
+        aliases: HashMap<String, Value>,
+        options: EvalOptions,
+    ) -> Session<'t> {
+        Session {
+            target,
+            aliases,
+            options,
+            last_stats: EvalStats::default(),
+            last_trace: Vec::new(),
+        }
+    }
+
+    /// Consumes the session, returning its aliases for a later
+    /// [`Session::with_state`].
+    pub fn into_aliases(self) -> HashMap<String, Value> {
+        self.aliases
+    }
+
+    /// Counters from the most recent evaluation.
+    pub fn last_stats(&self) -> EvalStats {
+        self.last_stats
+    }
+
+    /// Takes the trace of the most recent evaluation (one line per
+    /// generator resumption; empty unless `options.trace` is set).
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.last_trace)
+    }
+
+    /// Removes every alias (a fresh debugging session).
+    pub fn clear_aliases(&mut self) {
+        self.aliases.clear();
+    }
+
+    /// The names of currently defined aliases, sorted.
+    pub fn alias_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.aliases.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Direct access to the backend (for examples and the REPL).
+    pub fn target_mut(&mut self) -> &mut dyn Target {
+        &mut *self.target
+    }
+}
+
+/// Renders output lines to printable strings, splitting stdout chunks on
+/// newlines and dropping a trailing empty fragment.
+pub fn render_lines(lines: &[OutputLine]) -> Vec<String> {
+    let mut out = Vec::new();
+    for l in lines {
+        match l {
+            OutputLine::Stdout(s) => {
+                for part in s.split('\n') {
+                    if !part.is_empty() {
+                        out.push(part.to_string());
+                    }
+                }
+            }
+            other => out.push(other.render()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duel_target::scenario;
+
+    #[test]
+    fn pure_c_prints_value_only() {
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        assert_eq!(s.eval_lines("1 + (double)3/2").unwrap(), vec!["2.500"]);
+        assert_eq!(s.eval_lines("2+3*4").unwrap(), vec!["14"]);
+    }
+
+    #[test]
+    fn generators_print_symbolically() {
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        assert_eq!(
+            s.eval_lines("x[1..3] == 7").unwrap(),
+            vec!["x[1]==7 = 0", "x[2]==7 = 0", "x[3]==7 = 1"]
+        );
+    }
+
+    #[test]
+    fn paper_scan_transcript() {
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        assert_eq!(
+            s.eval_lines("x[1..4,8,12..50] >? 5 <? 10").unwrap(),
+            vec!["x[3] = 7", "x[18] = 9", "x[47] = 6"]
+        );
+    }
+
+    #[test]
+    fn alias_persists_across_commands() {
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        s.eval("v := 40 + 2").unwrap();
+        // A bare `v` renders the same symbolic as typed, so only the
+        // value prints.
+        assert_eq!(s.eval_lines("v").unwrap(), vec!["42"]);
+        assert_eq!(s.alias_names(), vec!["v"]);
+        s.clear_aliases();
+        assert!(s.eval("v").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_suppresses_output() {
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        assert!(s.eval_lines("x[0] = 5 ;").unwrap().is_empty());
+        assert_eq!(s.eval_lines("x[0]").unwrap(), vec!["5"]);
+        // With a generator index, the symbolic differs and is shown.
+        assert_eq!(s.eval_lines("x[0..0]").unwrap(), vec!["x[0] = 5"]);
+    }
+
+    #[test]
+    fn eval_partial_reports_errors_after_values() {
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        // `x` has 60 elements; indexing beyond the data region will
+        // eventually fault, after producing some values.
+        let (lines, err) = s.eval_partial("nonexistent").unwrap();
+        assert!(lines.is_empty());
+        assert!(matches!(err, Some(DuelError::Undefined { .. })));
+    }
+}

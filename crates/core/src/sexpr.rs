@@ -1,0 +1,248 @@
+//! The paper's LISP-like AST notation.
+//!
+//! The Semantics section specifies ASTs "by a simple LISP-like
+//! notation, e.g., the AST for the expression `a*5 + *b` might be
+//! `(plus (multiply (name "a") (constant 5)) (indirect (name "b")))`".
+//! This module renders our ASTs in that exact notation — handy for
+//! understanding how a query parses (the REPL's `.ast` command) and for
+//! precise parser tests.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, FilterOp, ReduceOp, UnOp, WithLink};
+
+/// Renders `e` in the paper's notation.
+pub fn to_sexpr(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e);
+    out
+}
+
+fn head(out: &mut String, name: &str, kids: &[&Expr]) {
+    out.push('(');
+    out.push_str(name);
+    for k in kids {
+        out.push(' ');
+        write_expr(out, k);
+    }
+    out.push(')');
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "plus",
+        BinOp::Sub => "minus",
+        BinOp::Mul => "multiply",
+        BinOp::Div => "divide",
+        BinOp::Rem => "remainder",
+        BinOp::Shl => "lshift",
+        BinOp::Shr => "rshift",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Gt => "gt",
+        BinOp::Ge => "ge",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::BitAnd => "bitand",
+        BinOp::BitXor => "bitxor",
+        BinOp::BitOr => "bitor",
+    }
+}
+
+fn filter_name(op: FilterOp) -> &'static str {
+    // The paper's names: ifgt, ifge, ifle, iflt, ifeq, ifne.
+    match op {
+        FilterOp::Gt => "ifgt",
+        FilterOp::Ge => "ifge",
+        FilterOp::Lt => "iflt",
+        FilterOp::Le => "ifle",
+        FilterOp::Eq => "ifeq",
+        FilterOp::Ne => "ifne",
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    use Expr::*;
+    match e {
+        Int(v) => {
+            let _ = write!(out, "(constant {v})");
+        }
+        Float(v) => {
+            let _ = write!(out, "(constant {v})");
+        }
+        Char(c) => {
+            let _ = write!(out, "(constant '{}')", *c as char);
+        }
+        Str(s) => {
+            let _ = write!(out, "(string {s:?})");
+        }
+        Name(n) => {
+            let _ = write!(out, "(name {n:?})");
+        }
+        Underscore => out.push_str("(name \"_\")"),
+        To(a, b) => head(out, "to", &[a, b]),
+        ToPrefix(a) => head(out, "to-prefix", &[a]),
+        ToInf(a) => head(out, "to-infinity", &[a]),
+        Alt(a, b) => head(out, "alternate", &[a, b]),
+        Unary(op, a) => {
+            let name = match op {
+                UnOp::Neg => "negate",
+                UnOp::Pos => "identity",
+                UnOp::Not => "not",
+                UnOp::BitNot => "complement",
+                UnOp::Deref => "indirect",
+                UnOp::Addr => "address",
+            };
+            head(out, name, &[a]);
+        }
+        PreIncDec { inc, expr } => head(out, if *inc { "pre-inc" } else { "pre-dec" }, &[expr]),
+        PostIncDec { inc, expr } => head(out, if *inc { "post-inc" } else { "post-dec" }, &[expr]),
+        SizeofExpr(a) => head(out, "sizeof", &[a]),
+        SizeofType(_) => out.push_str("(sizeof-type)"),
+        Cast(_, a) => head(out, "cast", &[a]),
+        Bin(op, a, b) => head(out, bin_name(*op), &[a, b]),
+        AndAnd(a, b) => head(out, "andand", &[a, b]),
+        OrOr(a, b) => head(out, "oror", &[a, b]),
+        Cond(c, a, b) => head(out, "if", &[c, a, b]),
+        Assign(None, a, b) => head(out, "assign", &[a, b]),
+        Assign(Some(op), a, b) => {
+            let name = format!("assign-{}", bin_name(*op));
+            out.push('(');
+            out.push_str(&name);
+            out.push(' ');
+            write_expr(out, a);
+            out.push(' ');
+            write_expr(out, b);
+            out.push(')');
+        }
+        Filter(op, a, b) => head(out, filter_name(*op), &[a, b]),
+        Index(a, b) => head(out, "index", &[a, b]),
+        Select(a, b) => head(out, "select", &[a, b]),
+        With(WithLink::Dot, a, b) => head(out, "with", &[a, b]),
+        With(WithLink::Arrow, a, b) => head(out, "with-arrow", &[a, b]),
+        Dfs(a, b) => head(out, "dfs", &[a, b]),
+        Bfs(a, b) => head(out, "bfs", &[a, b]),
+        Imply(a, b) => head(out, "imply", &[a, b]),
+        Seq(a, b) => head(out, "sequence", &[a, b]),
+        Discard(a) => head(out, "discard", &[a]),
+        If(c, t, None) => head(out, "if", &[c, t]),
+        If(c, t, Some(f)) => head(out, "if", &[c, t, f]),
+        While(c, b) => head(out, "while", &[c, b]),
+        For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("(for");
+            for part in [init, cond, step] {
+                out.push(' ');
+                match part {
+                    Some(e) => write_expr(out, e),
+                    None => out.push_str("()"),
+                }
+            }
+            out.push(' ');
+            write_expr(out, body);
+            out.push(')');
+        }
+        Alias(name, a) => {
+            let _ = write!(out, "(define {name:?} ");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Decl { decls, .. } => {
+            out.push_str("(declare");
+            for d in decls {
+                let _ = write!(out, " {:?}", d.name);
+            }
+            out.push(')');
+        }
+        Call(name, args) => {
+            let _ = write!(out, "(call {name:?}");
+            for a in args {
+                out.push(' ');
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Reduce(op, a) => {
+            let name = match op {
+                ReduceOp::Count => "count",
+                ReduceOp::Sum => "sum",
+                ReduceOp::All => "all",
+                ReduceOp::Any => "any",
+                ReduceOp::Max => "max",
+                ReduceOp::Min => "min",
+            };
+            head(out, name, &[a]);
+        }
+        IndexAlias(a, name) => {
+            let _ = write!(out, "(index-alias {name:?} ");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Until(a, b) => head(out, "until", &[a, b]),
+        Braced(a) => head(out, "substitute", &[a]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sexpr(src: &str) -> String {
+        to_sexpr(&parse(src, &mut |_| false).unwrap())
+    }
+
+    #[test]
+    fn the_papers_own_example() {
+        // "the AST for the expression a*5 + *b might be
+        //  (plus (multiply (name "a") (constant 5))
+        //        (indirect (name "b")))"
+        assert_eq!(
+            sexpr("a*5 + *b"),
+            "(plus (multiply (name \"a\") (constant 5)) \
+             (indirect (name \"b\")))"
+        );
+    }
+
+    #[test]
+    fn generators_and_filters() {
+        assert_eq!(
+            sexpr("(1..3)+(5,9)"),
+            "(plus (to (constant 1) (constant 3)) \
+             (alternate (constant 5) (constant 9)))"
+        );
+        assert_eq!(
+            sexpr("x[..100] >? 0"),
+            "(ifgt (index (name \"x\") (to-prefix (constant 100))) \
+             (constant 0))"
+        );
+    }
+
+    #[test]
+    fn structure_walks() {
+        assert_eq!(
+            sexpr("head-->next"),
+            "(dfs (name \"head\") (name \"next\"))"
+        );
+        assert_eq!(
+            sexpr("root-->(left,right)"),
+            "(dfs (name \"root\") \
+             (alternate (name \"left\") (name \"right\")))"
+        );
+    }
+
+    #[test]
+    fn statements_and_aliases() {
+        assert_eq!(
+            sexpr("i := 1..3; i + 4"),
+            "(sequence (define \"i\" (to (constant 1) (constant 3))) \
+             (plus (name \"i\") (constant 4)))"
+        );
+        assert!(sexpr("int i; i").starts_with("(sequence (declare \"i\")"));
+        assert_eq!(sexpr("#/x"), "(count (name \"x\"))");
+    }
+}

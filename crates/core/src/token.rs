@@ -1,0 +1,255 @@
+//! Tokens of the DUEL concrete syntax: all of C's, plus the DUEL
+//! operators (`..`, `,`-alternation shares C's comma, the `?`-suffixed
+//! filter comparisons, `=>`, `:=`, `-->`, `[[ ]]`, `#`, `#/`, `@`).
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Integer literal (value already decoded).
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal (its byte value).
+    Char(u8),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Identifier or keyword candidate.
+    Ident(String),
+
+    // Grouping.
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `[[` (unused: the parser recognises two adjacent brackets).
+    LLBracket,
+    /// `]]` (unused: the parser recognises two adjacent brackets).
+    RRBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+
+    // C operators.
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `~`.
+    Tilde,
+    /// `!`.
+    Bang,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// `&&`.
+    AmpAmp,
+    /// `||`.
+    PipePipe,
+    /// `?`.
+    Question,
+    /// `:`.
+    Colon,
+    /// `=`.
+    Assign,
+    /// `+=`.
+    PlusAssign,
+    /// `-=`.
+    MinusAssign,
+    /// `*=`.
+    StarAssign,
+    /// `/=`.
+    SlashAssign,
+    /// `%=`.
+    PercentAssign,
+    /// `&=`.
+    AmpAssign,
+    /// `|=`.
+    PipeAssign,
+    /// `^=`.
+    CaretAssign,
+    /// `<<=`.
+    ShlAssign,
+    /// `>>=`.
+    ShrAssign,
+    /// `++`.
+    PlusPlus,
+    /// `--`.
+    MinusMinus,
+    /// `.`.
+    Dot,
+    /// `->`.
+    Arrow,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+
+    // DUEL operators.
+    /// `..` — the `to` generator.
+    DotDot,
+    /// `>?` — yield left operand if greater.
+    GtQ,
+    /// `>=?`.
+    GeQ,
+    /// `<?`.
+    LtQ,
+    /// `<=?`.
+    LeQ,
+    /// `==?`.
+    EqQ,
+    /// `!=?`.
+    NeQ,
+    /// `=>` — imply.
+    Imply,
+    /// `:=` — alias definition.
+    ColonAssign,
+    /// `-->` — depth-first expansion.
+    DashDashGt,
+    /// `-->>` — breadth-first expansion (extension; the paper describes
+    /// BFS semantics without giving concrete syntax).
+    DashDashGtGt,
+    /// `#` — postfix index alias.
+    Hash,
+    /// `#/` — the count reduction.
+    HashSlash,
+    /// `@` — the until operator.
+    At,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable spelling for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("float `{v}`"),
+            Tok::Char(c) => format!("char literal `{}`", *c as char),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Eof => "end of expression".to_string(),
+            other => format!("`{}`", other.spelling()),
+        }
+    }
+
+    /// The literal spelling of a fixed token.
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LLBracket => "[[",
+            Tok::RRBracket => "]]",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Tilde => "~",
+            Tok::Bang => "!",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::Ne => "!=",
+            Tok::AmpAmp => "&&",
+            Tok::PipePipe => "||",
+            Tok::Question => "?",
+            Tok::Colon => ":",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PercentAssign => "%=",
+            Tok::AmpAssign => "&=",
+            Tok::PipeAssign => "|=",
+            Tok::CaretAssign => "^=",
+            Tok::ShlAssign => "<<=",
+            Tok::ShrAssign => ">>=",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Dot => ".",
+            Tok::Arrow => "->",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::DotDot => "..",
+            Tok::GtQ => ">?",
+            Tok::GeQ => ">=?",
+            Tok::LtQ => "<?",
+            Tok::LeQ => "<=?",
+            Tok::EqQ => "==?",
+            Tok::NeQ => "!=?",
+            Tok::Imply => "=>",
+            Tok::ColonAssign => ":=",
+            Tok::DashDashGt => "-->",
+            Tok::DashDashGtGt => "-->>",
+            Tok::Hash => "#",
+            Tok::HashSlash => "#/",
+            Tok::At => "@",
+            _ => "<dynamic>",
+        }
+    }
+}
+
+/// A token with its byte offset in the source (for error reporting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_and_spelling() {
+        assert_eq!(Tok::DashDashGt.spelling(), "-->");
+        assert_eq!(Tok::Int(5).describe(), "integer `5`");
+        assert_eq!(Tok::GtQ.describe(), "`>?`");
+        assert_eq!(Tok::Eof.describe(), "end of expression");
+    }
+}

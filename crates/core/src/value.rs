@@ -1,0 +1,132 @@
+//! DUEL's value representation.
+//!
+//! Per the paper: "The 'values' produced during evaluation have a type,
+//! an actual value, and a symbolic value. The actual value is a value of
+//! a primitive C type or an lvalue, which is a pointer to target data.
+//! The symbolic value is a symbolic expression … that indicates how the
+//! value was computed."
+
+use duel_ctype::TypeId;
+
+use crate::sym::Sym;
+
+/// A scalar rvalue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scalar {
+    /// An integer (stored sign-extended; the type gives signedness and
+    /// width).
+    Int(i64),
+    /// A floating value.
+    Float(f64),
+    /// A pointer (a target address).
+    Ptr(u64),
+}
+
+impl Scalar {
+    /// Is the scalar non-zero (C truth)?
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Scalar::Int(v) => v != 0,
+            Scalar::Float(v) => v != 0.0,
+            Scalar::Ptr(p) => p != 0,
+        }
+    }
+}
+
+/// Where the actual value lives.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Place {
+    /// A computed rvalue.
+    RVal(Scalar),
+    /// An lvalue: the address of an object of the value's type in target
+    /// memory.
+    LVal(u64),
+    /// A bitfield lvalue: storage unit address plus bit placement.
+    BitField {
+        /// Address of the storage unit.
+        addr: u64,
+        /// Size of the storage unit in bytes.
+        unit: u8,
+        /// Bit offset from the unit's least-significant bit.
+        bit_off: u8,
+        /// Width in bits.
+        width: u8,
+    },
+}
+
+/// A DUEL value: type + actual value (or lvalue) + symbolic value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Value {
+    /// The C type.
+    pub ty: TypeId,
+    /// The actual value.
+    pub place: Place,
+    /// The symbolic derivation, used for display and errors.
+    pub sym: Sym,
+}
+
+impl Value {
+    /// Builds an rvalue.
+    pub fn rval(ty: TypeId, s: Scalar, sym: Sym) -> Value {
+        Value {
+            ty,
+            place: Place::RVal(s),
+            sym,
+        }
+    }
+
+    /// Builds an lvalue at `addr`.
+    pub fn lval(ty: TypeId, addr: u64, sym: Sym) -> Value {
+        Value {
+            ty,
+            place: Place::LVal(addr),
+            sym,
+        }
+    }
+
+    /// Replaces the symbolic value, keeping type and actual value.
+    pub fn with_sym(mut self, sym: Sym) -> Value {
+        self.sym = sym;
+        self
+    }
+
+    /// Returns the address if this is an (ordinary) lvalue.
+    pub fn lval_addr(&self) -> Option<u64> {
+        match self.place {
+            Place::LVal(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Is this value an lvalue (including bitfields)?
+    pub fn is_lval(&self) -> bool {
+        matches!(self.place, Place::LVal(_) | Place::BitField { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Scalar::Int(-1).is_truthy());
+        assert!(!Scalar::Int(0).is_truthy());
+        assert!(Scalar::Float(0.5).is_truthy());
+        assert!(!Scalar::Float(0.0).is_truthy());
+        assert!(Scalar::Ptr(0x1000).is_truthy());
+        assert!(!Scalar::Ptr(0).is_truthy());
+    }
+
+    #[test]
+    fn lvalue_helpers() {
+        let mut tt = duel_ctype::TypeTable::new();
+        let ty = tt.prim(duel_ctype::Prim::Int);
+        let v = Value::lval(ty, 0x100, Sym::none());
+        assert!(v.is_lval());
+        assert_eq!(v.lval_addr(), Some(0x100));
+        let r = Value::rval(ty, Scalar::Int(1), Sym::none());
+        assert!(!r.is_lval());
+        assert_eq!(r.lval_addr(), None);
+    }
+}

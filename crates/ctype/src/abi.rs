@@ -1,0 +1,93 @@
+//! Target ABI descriptions.
+
+/// Byte order of the target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endian {
+    /// Least-significant byte first.
+    Little,
+    /// Most-significant byte first.
+    Big,
+}
+
+/// A target ABI: the machine-dependent parameters that drive layout.
+///
+/// The DUEL paper ran on DECstation 5000 (MIPS, ILP32, little-endian) and
+/// SPARC (ILP32, big-endian) workstations; both presets are provided, plus
+/// a modern LP64 preset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Abi {
+    /// Size of a data pointer in bytes (4 or 8).
+    pub pointer_bytes: u64,
+    /// Size of `long` / `unsigned long` in bytes.
+    pub long_bytes: u64,
+    /// Byte order.
+    pub endian: Endian,
+    /// Whether plain `char` is signed.
+    pub char_signed: bool,
+    /// Maximum alignment imposed on any type (8 or 16 typically).
+    pub max_align: u64,
+}
+
+impl Abi {
+    /// ILP32, little-endian — the DECstation 5000 of the paper.
+    pub fn ilp32() -> Abi {
+        Abi {
+            pointer_bytes: 4,
+            long_bytes: 4,
+            endian: Endian::Little,
+            char_signed: true,
+            max_align: 8,
+        }
+    }
+
+    /// ILP32, big-endian — the SPARC workstation of the paper.
+    pub fn ilp32_be() -> Abi {
+        Abi {
+            endian: Endian::Big,
+            ..Abi::ilp32()
+        }
+    }
+
+    /// LP64, little-endian — a modern x86-64 / AArch64 Linux target.
+    pub fn lp64() -> Abi {
+        Abi {
+            pointer_bytes: 8,
+            long_bytes: 8,
+            endian: Endian::Little,
+            char_signed: true,
+            max_align: 16,
+        }
+    }
+
+    /// Alignment of a pointer under this ABI.
+    pub fn pointer_align(&self) -> u64 {
+        self.pointer_bytes.min(self.max_align)
+    }
+}
+
+impl Default for Abi {
+    fn default() -> Abi {
+        Abi::lp64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Abi::ilp32().pointer_bytes, 4);
+        assert_eq!(Abi::ilp32().endian, Endian::Little);
+        assert_eq!(Abi::ilp32_be().endian, Endian::Big);
+        assert_eq!(Abi::lp64().long_bytes, 8);
+        assert_eq!(Abi::default(), Abi::lp64());
+    }
+
+    #[test]
+    fn pointer_align_capped() {
+        let mut abi = Abi::lp64();
+        abi.max_align = 4;
+        assert_eq!(abi.pointer_align(), 4);
+    }
+}

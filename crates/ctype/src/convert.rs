@@ -1,0 +1,155 @@
+//! C's implicit conversion rules: integer promotions and the *usual
+//! arithmetic conversions* (C90 §6.2.1.5), which DUEL applies to every
+//! arithmetic operator exactly as C does.
+
+use crate::{abi::Abi, prim::Prim};
+
+/// The conversion rank of an integer type (C's integer conversion rank,
+/// collapsed to what the promotion rules need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IntRank {
+    /// `char` and `signed/unsigned char`.
+    Char,
+    /// `short`.
+    Short,
+    /// `int`.
+    Int,
+    /// `long`.
+    Long,
+    /// `long long`.
+    LongLong,
+}
+
+/// Returns the conversion rank of an integer primitive.
+///
+/// # Panics
+///
+/// Panics if called with a floating type; callers filter first.
+pub fn rank(p: Prim) -> IntRank {
+    match p {
+        Prim::Char | Prim::SChar | Prim::UChar => IntRank::Char,
+        Prim::Short | Prim::UShort => IntRank::Short,
+        Prim::Int | Prim::UInt => IntRank::Int,
+        Prim::Long | Prim::ULong => IntRank::Long,
+        Prim::LongLong | Prim::ULongLong => IntRank::LongLong,
+        Prim::Float | Prim::Double => {
+            panic!("rank() called with floating type")
+        }
+    }
+}
+
+/// Applies the C integer promotions: types narrower than `int` promote to
+/// `int` (all their values fit in `int` on every supported ABI).
+pub fn integer_promote(p: Prim) -> Prim {
+    match p {
+        Prim::Char | Prim::SChar | Prim::UChar | Prim::Short | Prim::UShort => Prim::Int,
+        other => other,
+    }
+}
+
+/// Applies the usual arithmetic conversions to a pair of arithmetic types,
+/// returning the common type in which the operation is performed.
+pub fn usual_arithmetic(a: Prim, b: Prim, abi: &Abi) -> Prim {
+    if a == Prim::Double || b == Prim::Double {
+        return Prim::Double;
+    }
+    if a == Prim::Float || b == Prim::Float {
+        // C90 promoted float operands to double in many implementations;
+        // we follow C89 value-preserving style and compute in float only
+        // when both are float.
+        if a == Prim::Float && b == Prim::Float {
+            return Prim::Float;
+        }
+        return Prim::Double;
+    }
+    let a = integer_promote(a);
+    let b = integer_promote(b);
+    if a == b {
+        return a;
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    let (sa, sb) = (a.is_signed(abi), b.is_signed(abi));
+    if sa == sb {
+        return if ra >= rb { a } else { b };
+    }
+    let (uns, uns_r, sig, sig_r) = if sa { (b, rb, a, ra) } else { (a, ra, b, rb) };
+    if uns_r >= sig_r {
+        return uns;
+    }
+    // The signed type has greater rank. If it can represent all values of
+    // the unsigned type, use it; otherwise use its unsigned counterpart.
+    let uns_bits = prim_bits(uns, abi);
+    let sig_bits = prim_bits(sig, abi);
+    if sig_bits > uns_bits {
+        sig
+    } else {
+        sig.to_unsigned()
+    }
+}
+
+fn prim_bits(p: Prim, abi: &Abi) -> u64 {
+    p.size(abi) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotions() {
+        assert_eq!(integer_promote(Prim::Char), Prim::Int);
+        assert_eq!(integer_promote(Prim::UShort), Prim::Int);
+        assert_eq!(integer_promote(Prim::UInt), Prim::UInt);
+        assert_eq!(integer_promote(Prim::Long), Prim::Long);
+    }
+
+    #[test]
+    fn float_dominates() {
+        let abi = Abi::lp64();
+        assert_eq!(
+            usual_arithmetic(Prim::Int, Prim::Double, &abi),
+            Prim::Double
+        );
+        assert_eq!(
+            usual_arithmetic(Prim::Float, Prim::Float, &abi),
+            Prim::Float
+        );
+        assert_eq!(
+            usual_arithmetic(Prim::Float, Prim::Long, &abi),
+            Prim::Double
+        );
+    }
+
+    #[test]
+    fn same_signedness_takes_higher_rank() {
+        let abi = Abi::lp64();
+        assert_eq!(usual_arithmetic(Prim::Int, Prim::Long, &abi), Prim::Long);
+        assert_eq!(
+            usual_arithmetic(Prim::UInt, Prim::ULongLong, &abi),
+            Prim::ULongLong
+        );
+    }
+
+    #[test]
+    fn mixed_signedness() {
+        let lp64 = Abi::lp64();
+        // unsigned of rank >= signed rank wins.
+        assert_eq!(usual_arithmetic(Prim::UInt, Prim::Int, &lp64), Prim::UInt);
+        // long (64-bit) can hold all of unsigned int (32-bit): signed wins.
+        assert_eq!(usual_arithmetic(Prim::UInt, Prim::Long, &lp64), Prim::Long);
+        // Under ILP32 long is 32-bit, cannot hold all unsigned int values:
+        // result is unsigned long.
+        let ilp32 = Abi::ilp32();
+        assert_eq!(
+            usual_arithmetic(Prim::UInt, Prim::Long, &ilp32),
+            Prim::ULong
+        );
+    }
+
+    #[test]
+    fn narrow_types_meet_at_int() {
+        let abi = Abi::lp64();
+        assert_eq!(usual_arithmetic(Prim::Char, Prim::UShort, &abi), Prim::Int);
+        assert_eq!(usual_arithmetic(Prim::UChar, Prim::SChar, &abi), Prim::Int);
+    }
+}

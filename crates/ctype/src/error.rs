@@ -1,0 +1,76 @@
+//! Errors reported by the type system.
+
+use std::fmt;
+
+/// The result type used throughout this crate.
+pub type TypeResult<T> = Result<T, TypeError>;
+
+/// An error arising from type construction or layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// `sizeof` was requested for an incomplete type (e.g. a forward-
+    /// declared struct or an array of unknown length).
+    Incomplete(String),
+    /// `sizeof(void)` or layout of a function type.
+    NoSize(String),
+    /// A bitfield was wider than its declared storage type.
+    BitfieldTooWide {
+        /// The field name.
+        field: String,
+        /// The declared width in bits.
+        width: u8,
+        /// The storage type's width in bits.
+        max: u8,
+    },
+    /// A bitfield was declared with a non-integer type.
+    BitfieldNonInteger(String),
+    /// A struct/union tag or typedef name was not found.
+    Unknown(String),
+    /// A field name was not found in a record.
+    NoField {
+        /// The record's rendered type name.
+        record: String,
+        /// The missing field.
+        field: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Incomplete(t) => {
+                write!(f, "incomplete type `{t}` has no layout")
+            }
+            TypeError::NoSize(t) => write!(f, "type `{t}` has no size"),
+            TypeError::BitfieldTooWide { field, width, max } => write!(
+                f,
+                "bitfield `{field}`: width {width} exceeds storage width {max}"
+            ),
+            TypeError::BitfieldNonInteger(field) => {
+                write!(f, "bitfield `{field}` has a non-integer type")
+            }
+            TypeError::Unknown(name) => write!(f, "unknown type `{name}`"),
+            TypeError::NoField { record, field } => {
+                write!(f, "`{record}` has no field named `{field}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TypeError::Incomplete("struct s".into());
+        assert_eq!(e.to_string(), "incomplete type `struct s` has no layout");
+        let e = TypeError::NoField {
+            record: "struct s".into(),
+            field: "x".into(),
+        };
+        assert_eq!(e.to_string(), "`struct s` has no field named `x`");
+    }
+}

@@ -1,0 +1,174 @@
+//! Rendering types in C syntax.
+//!
+//! Uses the classic inside-out declarator algorithm so that types like
+//! `char *[1024]` (array of pointers) and `int (*)[10]` (pointer to
+//! array) print correctly.
+
+use std::fmt::Write as _;
+
+use crate::table::{TypeId, TypeKind, TypeTable};
+
+impl TypeTable {
+    /// Renders `ty` in C syntax, e.g. `"struct symbol *"`.
+    pub fn display(&self, ty: TypeId) -> String {
+        self.display_declarator(ty, "")
+    }
+
+    /// Renders a full declaration of `name` with type `ty`, e.g.
+    /// `display_declarator(ty, "hash")` → `"struct symbol *hash[1024]"`.
+    pub fn display_declarator(&self, ty: TypeId, name: &str) -> String {
+        let mut decl = name.to_string();
+        let mut cur = ty;
+        // `prev_suffix` tracks whether the declarator currently ends with
+        // an array/function suffix, which forces parentheses around a
+        // pointer layer.
+        let mut prev_suffix = false;
+        loop {
+            match self.kind(cur) {
+                TypeKind::Pointer(inner) => {
+                    decl = format!("*{decl}");
+                    prev_suffix = false;
+                    cur = *inner;
+                }
+                TypeKind::Array { elem, len } => {
+                    if !prev_suffix && decl.starts_with('*') {
+                        decl = format!("({decl})");
+                    }
+                    match len {
+                        Some(n) => {
+                            let _ = write!(decl, "[{n}]");
+                        }
+                        None => decl.push_str("[]"),
+                    }
+                    prev_suffix = true;
+                    cur = *elem;
+                }
+                TypeKind::Function {
+                    ret,
+                    params,
+                    varargs,
+                } => {
+                    if !prev_suffix && decl.starts_with('*') {
+                        decl = format!("({decl})");
+                    }
+                    let mut ps: Vec<String> = params.iter().map(|p| self.display(*p)).collect();
+                    if *varargs {
+                        ps.push("...".into());
+                    }
+                    if ps.is_empty() {
+                        ps.push("void".into());
+                    }
+                    let _ = write!(decl, "({})", ps.join(", "));
+                    prev_suffix = true;
+                    cur = *ret;
+                }
+                base => {
+                    let base_name = self.base_name(base);
+                    return if decl.is_empty() {
+                        base_name
+                    } else {
+                        format!("{base_name} {decl}")
+                    };
+                }
+            }
+        }
+    }
+
+    fn base_name(&self, kind: &TypeKind) -> String {
+        match kind {
+            TypeKind::Void => "void".into(),
+            TypeKind::Prim(p) => p.c_name().into(),
+            TypeKind::Struct(rid) => {
+                let r = self.record(*rid);
+                match &r.name {
+                    Some(n) => format!("struct {n}"),
+                    None => "struct <anon>".into(),
+                }
+            }
+            TypeKind::Union(rid) => {
+                let r = self.record(*rid);
+                match &r.name {
+                    Some(n) => format!("union {n}"),
+                    None => "union <anon>".into(),
+                }
+            }
+            TypeKind::Enum(eid) => {
+                let e = self.enum_def(*eid);
+                match &e.name {
+                    Some(n) => format!("enum {n}"),
+                    None => "enum <anon>".into(),
+                }
+            }
+            _ => unreachable!("base_name called with derived type"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Prim, TypeTable};
+
+    #[test]
+    fn simple_types() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        assert_eq!(tt.display(int), "int");
+        let v = tt.void();
+        assert_eq!(tt.display(v), "void");
+    }
+
+    #[test]
+    fn pointers_and_arrays() {
+        let mut tt = TypeTable::new();
+        let c = tt.prim(Prim::Char);
+        let pc = tt.pointer(c);
+        assert_eq!(tt.display(pc), "char *");
+        let apc = tt.array(pc, Some(1024));
+        assert_eq!(tt.display(apc), "char *[1024]");
+        let i = tt.prim(Prim::Int);
+        let ai = tt.array(i, Some(10));
+        let pai = tt.pointer(ai);
+        assert_eq!(tt.display(pai), "int (*)[10]");
+    }
+
+    #[test]
+    fn named_declarators() {
+        let mut tt = TypeTable::new();
+        let c = tt.prim(Prim::Char);
+        let (_, sty) = tt.declare_struct("symbol");
+        let ps = tt.pointer(sty);
+        let a = tt.array(ps, Some(1024));
+        assert_eq!(
+            tt.display_declarator(a, "hash"),
+            "struct symbol *hash[1024]"
+        );
+        let pc = tt.pointer(c);
+        let ppc = tt.pointer(pc);
+        assert_eq!(tt.display_declarator(ppc, "argv"), "char **argv");
+    }
+
+    #[test]
+    fn function_types() {
+        let mut tt = TypeTable::new();
+        let i = tt.prim(Prim::Int);
+        let c = tt.prim(Prim::Char);
+        let pc = tt.pointer(c);
+        let f = tt.function(i, vec![pc], true);
+        assert_eq!(
+            tt.display_declarator(f, "printf"),
+            "int printf(char *, ...)"
+        );
+        let pf = tt.pointer(f);
+        assert_eq!(tt.display(pf), "int (*)(char *, ...)");
+        let f0 = tt.function(i, vec![], false);
+        assert_eq!(tt.display_declarator(f0, "f"), "int f(void)");
+    }
+
+    #[test]
+    fn incomplete_array() {
+        let mut tt = TypeTable::new();
+        let i = tt.prim(Prim::Int);
+        let a = tt.array(i, None);
+        assert_eq!(tt.display(a), "int []");
+    }
+}

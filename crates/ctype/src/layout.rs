@@ -1,0 +1,414 @@
+//! Size, alignment, and field-offset computation.
+//!
+//! Implements a simplified System V layout: fields are placed at the next
+//! offset aligned to their alignment; bitfields pack into storage units of
+//! their declared type, starting a new unit when the remaining bits do not
+//! fit; a zero-width bitfield closes the current unit.
+
+use crate::{
+    abi::Abi,
+    error::{TypeError, TypeResult},
+    table::{RecordId, TypeId, TypeKind, TypeTable},
+};
+
+/// The layout of one record field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Byte offset of the field (of its storage unit, for bitfields).
+    pub offset: u64,
+    /// Size in bytes of the field's storage.
+    pub size: u64,
+    /// For bitfields: bit offset within the storage unit (little-endian
+    /// bit numbering from the least-significant bit).
+    pub bit_offset: Option<u8>,
+    /// For bitfields: width in bits.
+    pub bit_width: Option<u8>,
+}
+
+/// The layout of a whole record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Total size in bytes, including tail padding.
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+    /// Per-field layout, parallel to the record's field list.
+    pub fields: Vec<FieldLayout>,
+}
+
+fn align_up(v: u64, a: u64) -> u64 {
+    debug_assert!(a.is_power_of_two());
+    (v + a - 1) & !(a - 1)
+}
+
+impl TypeTable {
+    /// Returns `sizeof(ty)` in bytes under `abi`.
+    pub fn size_of(&self, ty: TypeId, abi: &Abi) -> TypeResult<u64> {
+        Ok(self.size_align(ty, abi)?.0)
+    }
+
+    /// Returns `alignof(ty)` in bytes under `abi`.
+    pub fn align_of(&self, ty: TypeId, abi: &Abi) -> TypeResult<u64> {
+        Ok(self.size_align(ty, abi)?.1)
+    }
+
+    /// Returns `(size, align)` for `ty`.
+    pub fn size_align(&self, ty: TypeId, abi: &Abi) -> TypeResult<(u64, u64)> {
+        match self.kind(ty) {
+            TypeKind::Void => Err(TypeError::NoSize("void".into())),
+            TypeKind::Prim(p) => Ok((p.size(abi), p.align(abi))),
+            TypeKind::Pointer(_) => Ok((abi.pointer_bytes, abi.pointer_align())),
+            TypeKind::Array { elem, len } => {
+                let (es, ea) = self.size_align(*elem, abi)?;
+                match len {
+                    Some(n) => Ok((es * n, ea)),
+                    None => Err(TypeError::Incomplete(self.display(ty))),
+                }
+            }
+            TypeKind::Function { .. } => Err(TypeError::NoSize(self.display(ty))),
+            TypeKind::Struct(rid) | TypeKind::Union(rid) => {
+                let l = self.record_layout(*rid, abi)?;
+                Ok((l.size, l.align))
+            }
+            TypeKind::Enum(_) => Ok((4, 4u64.min(abi.max_align))),
+        }
+    }
+
+    /// Computes the full layout of a record.
+    pub fn record_layout(&self, rid: RecordId, abi: &Abi) -> TypeResult<RecordLayout> {
+        let rec = self.record(rid);
+        if !rec.complete {
+            let name = rec.name.clone().unwrap_or_else(|| "<anon>".into());
+            return Err(TypeError::Incomplete(format!(
+                "{} {}",
+                if rec.is_union { "union" } else { "struct" },
+                name
+            )));
+        }
+        let mut fields = Vec::with_capacity(rec.fields.len());
+        let mut size: u64 = 0;
+        let mut align: u64 = 1;
+        // Bitfield packing state: the current storage unit.
+        let mut unit_offset: u64 = 0;
+        let mut unit_size: u64 = 0;
+        let mut bits_used: u8 = 0;
+
+        for f in &rec.fields {
+            let (fs, fa) = self.size_align(f.ty, abi)?;
+            align = align.max(fa);
+            if rec.is_union {
+                let (bo, bw) = match f.bits {
+                    Some(w) => {
+                        self.check_bitfield(f, fs)?;
+                        (Some(0), Some(w))
+                    }
+                    None => (None, None),
+                };
+                fields.push(FieldLayout {
+                    offset: 0,
+                    size: fs,
+                    bit_offset: bo,
+                    bit_width: bw,
+                });
+                size = size.max(fs);
+                continue;
+            }
+            match f.bits {
+                None => {
+                    // Any open bitfield unit is closed.
+                    if bits_used > 0 {
+                        size = unit_offset + unit_size;
+                        bits_used = 0;
+                    }
+                    let off = align_up(size, fa);
+                    fields.push(FieldLayout {
+                        offset: off,
+                        size: fs,
+                        bit_offset: None,
+                        bit_width: None,
+                    });
+                    size = off + fs;
+                }
+                Some(0) => {
+                    // Zero-width bitfield: close the unit.
+                    if bits_used > 0 {
+                        size = unit_offset + unit_size;
+                        bits_used = 0;
+                    }
+                    fields.push(FieldLayout {
+                        offset: size,
+                        size: 0,
+                        bit_offset: Some(0),
+                        bit_width: Some(0),
+                    });
+                }
+                Some(w) => {
+                    self.check_bitfield(f, fs)?;
+                    let unit_bits = (fs * 8) as u8;
+                    let fits = bits_used > 0 && unit_size == fs && bits_used + w <= unit_bits;
+                    if !fits {
+                        // Start a new storage unit.
+                        if bits_used > 0 {
+                            size = unit_offset + unit_size;
+                        }
+                        unit_offset = align_up(size, fa);
+                        unit_size = fs;
+                        bits_used = 0;
+                    }
+                    fields.push(FieldLayout {
+                        offset: unit_offset,
+                        size: fs,
+                        bit_offset: Some(bits_used),
+                        bit_width: Some(w),
+                    });
+                    bits_used += w;
+                }
+            }
+        }
+        if bits_used > 0 {
+            size = unit_offset + unit_size;
+        }
+        let size = align_up(size, align);
+        Ok(RecordLayout {
+            size,
+            align,
+            fields,
+        })
+    }
+
+    fn check_bitfield(&self, f: &crate::table::Field, storage: u64) -> TypeResult<()> {
+        if !self.is_integer(f.ty) {
+            return Err(TypeError::BitfieldNonInteger(f.name.clone()));
+        }
+        let max = (storage * 8) as u8;
+        match f.bits {
+            Some(w) if w > max => Err(TypeError::BitfieldTooWide {
+                field: f.name.clone(),
+                width: w,
+                max,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Returns the byte offset (and bitfield placement) of field `index`
+    /// of record `rid`.
+    pub fn field_layout(&self, rid: RecordId, index: usize, abi: &Abi) -> TypeResult<FieldLayout> {
+        let l = self.record_layout(rid, abi)?;
+        Ok(l.fields[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Prim};
+
+    fn table() -> (TypeTable, Abi) {
+        (TypeTable::new(), Abi::lp64())
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let (mut tt, abi) = table();
+        let int = tt.prim(Prim::Int);
+        let p = tt.pointer(int);
+        assert_eq!(tt.size_of(int, &abi).unwrap(), 4);
+        assert_eq!(tt.size_of(p, &abi).unwrap(), 8);
+        let v = tt.void();
+        assert!(tt.size_of(v, &abi).is_err());
+    }
+
+    #[test]
+    fn array_sizes() {
+        let (mut tt, abi) = table();
+        let int = tt.prim(Prim::Int);
+        let a = tt.array(int, Some(10));
+        assert_eq!(tt.size_of(a, &abi).unwrap(), 40);
+        let inc = tt.array(int, None);
+        assert!(matches!(
+            tt.size_of(inc, &abi),
+            Err(TypeError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn struct_padding() {
+        let (mut tt, abi) = table();
+        let c = tt.prim(Prim::Char);
+        let i = tt.prim(Prim::Int);
+        let (rid, sty) = tt.declare_struct("s");
+        tt.define_record(rid, vec![Field::new("c", c), Field::new("i", i)]);
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[1].offset, 4);
+        assert_eq!(l.size, 8);
+        assert_eq!(l.align, 4);
+        assert_eq!(tt.size_of(sty, &abi).unwrap(), 8);
+    }
+
+    #[test]
+    fn paper_symbol_struct_ilp32_vs_lp64() {
+        // struct symbol { char *name; int scope; struct symbol *next; }
+        // — the symbol-table node from the paper's Syntax section.
+        let mut tt = TypeTable::new();
+        let c = tt.prim(Prim::Char);
+        let i = tt.prim(Prim::Int);
+        let pc = tt.pointer(c);
+        let (rid, sty) = tt.declare_struct("symbol");
+        let ps = tt.pointer(sty);
+        tt.define_record(
+            rid,
+            vec![
+                Field::new("name", pc),
+                Field::new("scope", i),
+                Field::new("next", ps),
+            ],
+        );
+        let l32 = tt.record_layout(rid, &Abi::ilp32()).unwrap();
+        assert_eq!(l32.size, 12);
+        assert_eq!(
+            l32.fields.iter().map(|f| f.offset).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+        let l64 = tt.record_layout(rid, &Abi::lp64()).unwrap();
+        assert_eq!(l64.size, 24);
+        assert_eq!(
+            l64.fields.iter().map(|f| f.offset).collect::<Vec<_>>(),
+            vec![0, 8, 16]
+        );
+    }
+
+    #[test]
+    fn union_layout() {
+        let (mut tt, abi) = table();
+        let c = tt.prim(Prim::Char);
+        let d = tt.prim(Prim::Double);
+        let (rid, _) = tt.declare_union("u");
+        tt.define_record(rid, vec![Field::new("c", c), Field::new("d", d)]);
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(l.size, 8);
+        assert_eq!(l.align, 8);
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[1].offset, 0);
+    }
+
+    #[test]
+    fn bitfields_pack_into_units() {
+        let (mut tt, abi) = table();
+        let u = tt.prim(Prim::UInt);
+        let (rid, _) = tt.declare_struct("bf");
+        tt.define_record(
+            rid,
+            vec![
+                Field::bitfield("a", u, 3),
+                Field::bitfield("b", u, 5),
+                Field::bitfield("c", u, 28), // does not fit; new unit
+            ],
+        );
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(
+            l.fields[0],
+            FieldLayout {
+                offset: 0,
+                size: 4,
+                bit_offset: Some(0),
+                bit_width: Some(3)
+            }
+        );
+        assert_eq!(l.fields[1].bit_offset, Some(3));
+        assert_eq!(l.fields[1].offset, 0);
+        assert_eq!(l.fields[2].offset, 4);
+        assert_eq!(l.fields[2].bit_offset, Some(0));
+        assert_eq!(l.size, 8);
+    }
+
+    #[test]
+    fn zero_width_bitfield_closes_unit() {
+        let (mut tt, abi) = table();
+        let u = tt.prim(Prim::UInt);
+        let (rid, _) = tt.declare_struct("bf0");
+        tt.define_record(
+            rid,
+            vec![
+                Field::bitfield("a", u, 3),
+                Field::bitfield("", u, 0),
+                Field::bitfield("b", u, 3),
+            ],
+        );
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[2].offset, 4);
+        assert_eq!(l.fields[2].bit_offset, Some(0));
+    }
+
+    #[test]
+    fn bitfield_mixed_with_plain_fields() {
+        let (mut tt, abi) = table();
+        let u = tt.prim(Prim::UInt);
+        let c = tt.prim(Prim::Char);
+        let (rid, _) = tt.declare_struct("m");
+        tt.define_record(
+            rid,
+            vec![
+                Field::bitfield("a", u, 7),
+                Field::new("x", c),
+                Field::bitfield("b", u, 9),
+            ],
+        );
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[1].offset, 4); // unit closed at 4
+        assert_eq!(l.fields[2].offset, 8);
+    }
+
+    #[test]
+    fn bitfield_errors() {
+        let (mut tt, abi) = table();
+        let u = tt.prim(Prim::UInt);
+        let d = tt.prim(Prim::Double);
+        let (rid, _) = tt.declare_struct("bad1");
+        tt.define_record(rid, vec![Field::bitfield("w", u, 40)]);
+        assert!(matches!(
+            tt.record_layout(rid, &abi),
+            Err(TypeError::BitfieldTooWide { .. })
+        ));
+        let (rid2, _) = tt.declare_struct("bad2");
+        tt.define_record(rid2, vec![Field::bitfield("f", d, 3)]);
+        assert!(matches!(
+            tt.record_layout(rid2, &abi),
+            Err(TypeError::BitfieldNonInteger(_))
+        ));
+    }
+
+    #[test]
+    fn incomplete_record_has_no_layout() {
+        let (mut tt, abi) = table();
+        let (rid, _) = tt.declare_struct("fwd");
+        assert!(matches!(
+            tt.record_layout(rid, &abi),
+            Err(TypeError::Incomplete(_))
+        ));
+    }
+
+    #[test]
+    fn empty_struct_is_size_zero() {
+        let (mut tt, abi) = table();
+        let (rid, _) = tt.declare_struct("e");
+        tt.define_record(rid, vec![]);
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(l.size, 0);
+        assert_eq!(l.align, 1);
+    }
+
+    #[test]
+    fn tail_padding() {
+        let (mut tt, abi) = table();
+        let i = tt.prim(Prim::Int);
+        let c = tt.prim(Prim::Char);
+        let (rid, _) = tt.declare_struct("t");
+        tt.define_record(rid, vec![Field::new("i", i), Field::new("c", c)]);
+        let l = tt.record_layout(rid, &abi).unwrap();
+        assert_eq!(l.size, 8); // 5 rounded up to align 4... = 8
+    }
+}

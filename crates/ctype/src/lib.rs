@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! C type system and ABI layout engine.
+//!
+//! This crate is the bottom-most substrate of the DUEL reproduction. The
+//! paper's implementation contains "its own type and value representations
+//! and its own implementation of the C operators" so that DUEL does not
+//! depend on gdb internals; this crate is that type representation.
+//!
+//! It provides:
+//!
+//! * [`Prim`] — the C primitive (arithmetic) types;
+//! * [`TypeTable`] — an interning arena for derived types (pointers,
+//!   arrays, functions, structs, unions, enums, typedefs);
+//! * [`Abi`] — target ABI descriptions (pointer width, `long` width,
+//!   endianness, alignment rules) with ILP32 and LP64 presets;
+//! * layout computation — `sizeof`, `alignof`, field offsets, and
+//!   bitfield allocation (see [`TypeTable::size_of`] and
+//!   [`TypeTable::record_layout`]);
+//! * the *usual arithmetic conversions* and integer promotions of C
+//!   (see [`convert`]);
+//! * C-syntax rendering of types (see [`TypeTable::display`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use duel_ctype::{Abi, Prim, TypeTable};
+//!
+//! let mut tt = TypeTable::new();
+//! let abi = Abi::lp64();
+//! let int = tt.prim(Prim::Int);
+//! let p = tt.pointer(int);
+//! let a = tt.array(p, Some(1024));
+//! assert_eq!(tt.size_of(a, &abi).unwrap(), 8 * 1024);
+//! assert_eq!(tt.display(a), "int *[1024]");
+//! ```
+
+mod abi;
+pub mod convert;
+mod error;
+mod fmt;
+mod layout;
+mod prim;
+mod table;
+
+pub use abi::{Abi, Endian};
+pub use convert::{integer_promote, usual_arithmetic, IntRank};
+pub use error::{TypeError, TypeResult};
+pub use layout::{FieldLayout, RecordLayout};
+pub use prim::Prim;
+pub use table::{EnumDef, EnumId, Field, Record, RecordId, TypeId, TypeKind, TypeTable};

@@ -1,0 +1,489 @@
+//! The interning type arena.
+
+use std::collections::HashMap;
+
+use crate::{
+    error::{TypeError, TypeResult},
+    prim::Prim,
+};
+
+/// An index into a [`TypeTable`].
+///
+/// Type identity is structural for derived types (two `int *` requests
+/// intern to the same id) and nominal for records and enums.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub(crate) u32);
+
+/// An index identifying a struct or union definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RecordId(pub(crate) u32);
+
+/// An index identifying an enum definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EnumId(pub(crate) u32);
+
+/// The shape of a type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// `void`.
+    Void,
+    /// A primitive arithmetic type.
+    Prim(Prim),
+    /// A pointer to another type.
+    Pointer(TypeId),
+    /// An array; `len == None` is an incomplete array (`T []`).
+    Array {
+        /// Element type.
+        elem: TypeId,
+        /// Element count, if known.
+        len: Option<u64>,
+    },
+    /// A function type.
+    Function {
+        /// Return type.
+        ret: TypeId,
+        /// Parameter types.
+        params: Vec<TypeId>,
+        /// Whether the function is variadic (`...`).
+        varargs: bool,
+    },
+    /// A struct, by definition id.
+    Struct(RecordId),
+    /// A union, by definition id.
+    Union(RecordId),
+    /// An enum, by definition id.
+    Enum(EnumId),
+}
+
+/// A field of a struct or union.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name; anonymous bitfield padding has an empty name.
+    pub name: String,
+    /// Declared type of the field.
+    pub ty: TypeId,
+    /// Bitfield width in bits, or `None` for an ordinary field.
+    pub bits: Option<u8>,
+}
+
+impl Field {
+    /// Creates an ordinary (non-bitfield) field.
+    pub fn new(name: impl Into<String>, ty: TypeId) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+            bits: None,
+        }
+    }
+
+    /// Creates a bitfield member of `width` bits.
+    pub fn bitfield(name: impl Into<String>, ty: TypeId, width: u8) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+            bits: Some(width),
+        }
+    }
+}
+
+/// A struct or union definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Tag name, if any (`struct symbol` → `"symbol"`).
+    pub name: Option<String>,
+    /// Ordered member list.
+    pub fields: Vec<Field>,
+    /// `true` for unions.
+    pub is_union: bool,
+    /// `false` while only forward-declared.
+    pub complete: bool,
+}
+
+impl Record {
+    /// Finds a field by name, returning its index.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// An enum definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Tag name, if any.
+    pub name: Option<String>,
+    /// `(name, value)` pairs in declaration order.
+    pub enumerators: Vec<(String, i64)>,
+}
+
+/// The arena holding every type in a debugging session.
+///
+/// The paper notes that DUEL "contains its own type and value
+/// representations"; the `TypeTable` is shared between the simulated
+/// target, the mini-C compiler, and the DUEL evaluator so that a symbol's
+/// type means the same thing everywhere.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    kinds: Vec<TypeKind>,
+    records: Vec<Record>,
+    enums: Vec<EnumDef>,
+    interned: HashMap<TypeKind, TypeId>,
+    typedefs: HashMap<String, TypeId>,
+    struct_tags: HashMap<String, RecordId>,
+    union_tags: HashMap<String, RecordId>,
+    enum_tags: HashMap<String, EnumId>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> TypeTable {
+        TypeTable::default()
+    }
+
+    fn intern(&mut self, kind: TypeKind) -> TypeId {
+        if let Some(&id) = self.interned.get(&kind) {
+            return id;
+        }
+        let id = TypeId(self.kinds.len() as u32);
+        self.kinds.push(kind.clone());
+        self.interned.insert(kind, id);
+        id
+    }
+
+    /// Returns the id for `void`.
+    pub fn void(&mut self) -> TypeId {
+        self.intern(TypeKind::Void)
+    }
+
+    /// Returns the id for a primitive type.
+    pub fn prim(&mut self, p: Prim) -> TypeId {
+        self.intern(TypeKind::Prim(p))
+    }
+
+    /// Returns the id for a pointer to `to`.
+    pub fn pointer(&mut self, to: TypeId) -> TypeId {
+        self.intern(TypeKind::Pointer(to))
+    }
+
+    /// Returns the id for an array of `elem` with optional length.
+    pub fn array(&mut self, elem: TypeId, len: Option<u64>) -> TypeId {
+        self.intern(TypeKind::Array { elem, len })
+    }
+
+    /// Returns the id for a function type.
+    pub fn function(&mut self, ret: TypeId, params: Vec<TypeId>, varargs: bool) -> TypeId {
+        self.intern(TypeKind::Function {
+            ret,
+            params,
+            varargs,
+        })
+    }
+
+    /// Declares (or finds) a struct tag, initially incomplete.
+    pub fn declare_struct(&mut self, tag: &str) -> (RecordId, TypeId) {
+        if let Some(&rid) = self.struct_tags.get(tag) {
+            return (rid, self.intern(TypeKind::Struct(rid)));
+        }
+        let rid = RecordId(self.records.len() as u32);
+        self.records.push(Record {
+            name: Some(tag.to_string()),
+            fields: Vec::new(),
+            is_union: false,
+            complete: false,
+        });
+        self.struct_tags.insert(tag.to_string(), rid);
+        (rid, self.intern(TypeKind::Struct(rid)))
+    }
+
+    /// Declares (or finds) a union tag, initially incomplete.
+    pub fn declare_union(&mut self, tag: &str) -> (RecordId, TypeId) {
+        if let Some(&rid) = self.union_tags.get(tag) {
+            return (rid, self.intern(TypeKind::Union(rid)));
+        }
+        let rid = RecordId(self.records.len() as u32);
+        self.records.push(Record {
+            name: Some(tag.to_string()),
+            fields: Vec::new(),
+            is_union: true,
+            complete: false,
+        });
+        self.union_tags.insert(tag.to_string(), rid);
+        (rid, self.intern(TypeKind::Union(rid)))
+    }
+
+    /// Creates an anonymous record; `is_union` selects struct vs union.
+    pub fn anonymous_record(&mut self, is_union: bool) -> (RecordId, TypeId) {
+        let rid = RecordId(self.records.len() as u32);
+        self.records.push(Record {
+            name: None,
+            fields: Vec::new(),
+            is_union,
+            complete: false,
+        });
+        let kind = if is_union {
+            TypeKind::Union(rid)
+        } else {
+            TypeKind::Struct(rid)
+        };
+        let id = TypeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        (rid, id)
+    }
+
+    /// Completes a record with its field list.
+    pub fn define_record(&mut self, rid: RecordId, fields: Vec<Field>) {
+        let r = &mut self.records[rid.0 as usize];
+        r.fields = fields;
+        r.complete = true;
+    }
+
+    /// Defines (or finds) an enum tag with the given enumerators.
+    pub fn define_enum(
+        &mut self,
+        tag: Option<&str>,
+        enumerators: Vec<(String, i64)>,
+    ) -> (EnumId, TypeId) {
+        if let Some(tag) = tag {
+            if let Some(&eid) = self.enum_tags.get(tag) {
+                self.enums[eid.0 as usize].enumerators = enumerators;
+                return (eid, self.intern(TypeKind::Enum(eid)));
+            }
+        }
+        let eid = EnumId(self.enums.len() as u32);
+        self.enums.push(EnumDef {
+            name: tag.map(|s| s.to_string()),
+            enumerators,
+        });
+        if let Some(tag) = tag {
+            self.enum_tags.insert(tag.to_string(), eid);
+        }
+        (eid, self.intern(TypeKind::Enum(eid)))
+    }
+
+    /// Registers `name` as a typedef for `ty`.
+    pub fn define_typedef(&mut self, name: &str, ty: TypeId) {
+        self.typedefs.insert(name.to_string(), ty);
+    }
+
+    /// Resolves a typedef name.
+    pub fn typedef(&self, name: &str) -> Option<TypeId> {
+        self.typedefs.get(name).copied()
+    }
+
+    /// Resolves a struct tag to its record id.
+    pub fn struct_tag(&self, tag: &str) -> Option<RecordId> {
+        self.struct_tags.get(tag).copied()
+    }
+
+    /// Resolves a union tag to its record id.
+    pub fn union_tag(&self, tag: &str) -> Option<RecordId> {
+        self.union_tags.get(tag).copied()
+    }
+
+    /// Resolves an enum tag.
+    pub fn enum_tag(&self, tag: &str) -> Option<EnumId> {
+        self.enum_tags.get(tag).copied()
+    }
+
+    /// Looks up an enumerator constant by name across all enums.
+    pub fn enumerator(&self, name: &str) -> Option<(EnumId, i64)> {
+        for (i, e) in self.enums.iter().enumerate() {
+            for (n, v) in &e.enumerators {
+                if n == name {
+                    return Some((EnumId(i as u32), *v));
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns the kind of a type id.
+    pub fn kind(&self, id: TypeId) -> &TypeKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    /// Returns a record definition.
+    pub fn record(&self, rid: RecordId) -> &Record {
+        &self.records[rid.0 as usize]
+    }
+
+    /// Returns an enum definition.
+    pub fn enum_def(&self, eid: EnumId) -> &EnumDef {
+        &self.enums[eid.0 as usize]
+    }
+
+    /// Peels typedefs — in this table typedefs resolve at creation, so
+    /// this simply returns `id`; it exists for interface symmetry.
+    pub fn canonical(&self, id: TypeId) -> TypeId {
+        id
+    }
+
+    /// Returns the pointee of a pointer type, if `id` is a pointer.
+    pub fn pointee(&self, id: TypeId) -> Option<TypeId> {
+        match self.kind(id) {
+            TypeKind::Pointer(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Returns the element type of an array, if `id` is an array.
+    pub fn element(&self, id: TypeId) -> Option<TypeId> {
+        match self.kind(id) {
+            TypeKind::Array { elem, .. } => Some(*elem),
+            _ => None,
+        }
+    }
+
+    /// Returns the record id if `id` is a struct or union.
+    pub fn as_record(&self, id: TypeId) -> Option<(RecordId, bool)> {
+        match self.kind(id) {
+            TypeKind::Struct(r) => Some((*r, false)),
+            TypeKind::Union(r) => Some((*r, true)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `id` is an integer type (including enums).
+    pub fn is_integer(&self, id: TypeId) -> bool {
+        match self.kind(id) {
+            TypeKind::Prim(p) => p.is_integer(),
+            TypeKind::Enum(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if `id` is an arithmetic (integer or float) type.
+    pub fn is_arithmetic(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Prim(_) | TypeKind::Enum(_))
+    }
+
+    /// Returns `true` if `id` is a pointer type.
+    pub fn is_pointer(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Pointer(_))
+    }
+
+    /// Returns `true` if `id` is an array type.
+    pub fn is_array(&self, id: TypeId) -> bool {
+        matches!(self.kind(id), TypeKind::Array { .. })
+    }
+
+    /// Returns `true` if `id` is a scalar (arithmetic or pointer).
+    pub fn is_scalar(&self, id: TypeId) -> bool {
+        self.is_arithmetic(id) || self.is_pointer(id)
+    }
+
+    /// Finds a field in a record type, resolving the record.
+    pub fn find_field(&self, id: TypeId, name: &str) -> TypeResult<(usize, &Field)> {
+        let (rid, _) = self.as_record(id).ok_or_else(|| TypeError::NoField {
+            record: self.display(id),
+            field: name.to_string(),
+        })?;
+        let rec = self.record(rid);
+        match rec.field_index(name) {
+            Some(i) => Ok((i, &rec.fields[i])),
+            None => Err(TypeError::NoField {
+                record: self.display(id),
+                field: name.to_string(),
+            }),
+        }
+    }
+
+    /// Number of types interned so far (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_derived_types() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let p1 = tt.pointer(int);
+        let p2 = tt.pointer(int);
+        assert_eq!(p1, p2);
+        let a1 = tt.array(int, Some(10));
+        let a2 = tt.array(int, Some(10));
+        let a3 = tt.array(int, Some(11));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn struct_declaration_and_definition() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let (rid, sty) = tt.declare_struct("symbol");
+        assert!(!tt.record(rid).complete);
+        // Self-referential: struct symbol *next.
+        let pnext = tt.pointer(sty);
+        tt.define_record(
+            rid,
+            vec![Field::new("scope", int), Field::new("next", pnext)],
+        );
+        assert!(tt.record(rid).complete);
+        assert_eq!(tt.record(rid).field_index("next"), Some(1));
+        // Re-declaring finds the same record.
+        let (rid2, sty2) = tt.declare_struct("symbol");
+        assert_eq!(rid, rid2);
+        assert_eq!(sty, sty2);
+    }
+
+    #[test]
+    fn enums_and_enumerators() {
+        let mut tt = TypeTable::new();
+        let (eid, ety) =
+            tt.define_enum(Some("color"), vec![("RED".into(), 0), ("GREEN".into(), 5)]);
+        assert!(tt.is_integer(ety));
+        assert_eq!(tt.enumerator("GREEN"), Some((eid, 5)));
+        assert_eq!(tt.enumerator("BLUE"), None);
+        assert_eq!(tt.enum_tag("color"), Some(eid));
+    }
+
+    #[test]
+    fn typedefs() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let p = tt.pointer(int);
+        tt.define_typedef("intp", p);
+        assert_eq!(tt.typedef("intp"), Some(p));
+        assert_eq!(tt.typedef("nope"), None);
+    }
+
+    #[test]
+    fn find_field_errors() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let (rid, sty) = tt.declare_struct("s");
+        tt.define_record(rid, vec![Field::new("a", int)]);
+        assert!(tt.find_field(sty, "a").is_ok());
+        assert!(matches!(
+            tt.find_field(sty, "b"),
+            Err(TypeError::NoField { .. })
+        ));
+        assert!(tt.find_field(int, "a").is_err());
+    }
+
+    #[test]
+    fn classification() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let d = tt.prim(Prim::Double);
+        let p = tt.pointer(int);
+        let a = tt.array(int, Some(4));
+        assert!(tt.is_integer(int));
+        assert!(!tt.is_integer(d));
+        assert!(tt.is_arithmetic(d));
+        assert!(tt.is_pointer(p));
+        assert!(tt.is_array(a));
+        assert!(tt.is_scalar(p));
+        assert!(!tt.is_scalar(a));
+    }
+}

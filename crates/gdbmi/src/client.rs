@@ -1,0 +1,191 @@
+//! The transport-agnostic MI client.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    parser::parse_line,
+    syntax::{MiValue, Record, ResultClass},
+    MiError,
+};
+
+/// A bidirectional line transport to an MI server (a gdb process's
+/// stdio, or the in-process mock).
+pub trait MiTransport {
+    /// Sends one command line.
+    fn send_line(&mut self, line: &str) -> Result<(), MiError>;
+
+    /// Receives the next output line.
+    fn recv_line(&mut self) -> Result<String, MiError>;
+}
+
+/// An MI client: correlates commands with result records by token and
+/// collects stream/async output.
+pub struct MiClient<T: MiTransport> {
+    transport: T,
+    next_token: u64,
+    /// Accumulated console (`~`) output.
+    pub console: String,
+    /// Accumulated target (`@`) output — the debuggee's stdout.
+    pub target_out: String,
+    /// Async records seen since the last drain.
+    pub async_events: Vec<Record>,
+}
+
+impl<T: MiTransport> MiClient<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> MiClient<T> {
+        MiClient {
+            transport,
+            next_token: 1,
+            console: String::new(),
+            target_out: String::new(),
+            async_events: Vec::new(),
+        }
+    }
+
+    /// Executes one MI command, returning the result class and results.
+    ///
+    /// Stream records are accumulated; `^error` results are returned as
+    /// [`MiError::ErrorRecord`].
+    pub fn execute(&mut self, cmd: &str) -> Result<BTreeMap<String, MiValue>, MiError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.transport.send_line(&format!("{token}{cmd}"))?;
+        let mut result: Option<(ResultClass, BTreeMap<String, MiValue>)> = None;
+        loop {
+            let line = self.transport.recv_line()?;
+            match parse_line(&line)? {
+                Record::Prompt => {
+                    return match result {
+                        Some((ResultClass::Error, results)) => {
+                            let msg = results
+                                .get("msg")
+                                .and_then(|v| v.as_str())
+                                .unwrap_or("unknown error")
+                                .to_string();
+                            Err(MiError::ErrorRecord(msg))
+                        }
+                        Some((_, results)) => Ok(results),
+                        None => Err(MiError::Disconnected),
+                    };
+                }
+                Record::Result {
+                    token: t,
+                    class,
+                    results,
+                } => {
+                    if t == Some(token) || t.is_none() {
+                        result = Some((class, results));
+                    }
+                }
+                Record::Stream { kind: '~', text } => {
+                    self.console.push_str(&text);
+                }
+                Record::Stream { kind: '@', text } => {
+                    self.target_out.push_str(&text);
+                }
+                Record::Stream { .. } => {}
+                r @ Record::Async { .. } => {
+                    self.async_events.push(r);
+                }
+            }
+        }
+    }
+
+    /// Takes the accumulated target output.
+    pub fn take_target_out(&mut self) -> String {
+        std::mem::take(&mut self.target_out)
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted transport replaying canned responses.
+    struct Script {
+        sent: Vec<String>,
+        responses: Vec<Vec<String>>,
+    }
+
+    impl MiTransport for Script {
+        fn send_line(&mut self, line: &str) -> Result<(), MiError> {
+            self.sent.push(line.to_string());
+            Ok(())
+        }
+
+        fn recv_line(&mut self) -> Result<String, MiError> {
+            if self.responses.is_empty() {
+                return Err(MiError::Disconnected);
+            }
+            let batch = &mut self.responses[0];
+            let line = batch.remove(0);
+            if batch.is_empty() {
+                self.responses.remove(0);
+            }
+            Ok(line)
+        }
+    }
+
+    #[test]
+    fn correlates_tokens_and_collects_streams() {
+        let script = Script {
+            sent: Vec::new(),
+            responses: vec![vec![
+                "~\"console noise\\n\"".to_string(),
+                "@\"hello from target\"".to_string(),
+                "1^done,value=\"42\"".to_string(),
+                "(gdb)".to_string(),
+            ]],
+        };
+        let mut c = MiClient::new(script);
+        let r = c.execute("-data-evaluate-expression \"42\"").unwrap();
+        assert_eq!(r.get("value").unwrap().as_str(), Some("42"));
+        assert_eq!(c.console, "console noise\n");
+        assert_eq!(c.take_target_out(), "hello from target");
+        assert_eq!(c.take_target_out(), "");
+    }
+
+    #[test]
+    fn error_records_become_errors() {
+        let script = Script {
+            sent: Vec::new(),
+            responses: vec![vec![
+                "1^error,msg=\"No symbol\"".to_string(),
+                "(gdb)".to_string(),
+            ]],
+        };
+        let mut c = MiClient::new(script);
+        match c.execute("-duel-symbol-info zz") {
+            Err(MiError::ErrorRecord(m)) => {
+                assert_eq!(m, "No symbol")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_events_are_kept() {
+        let script = Script {
+            sent: Vec::new(),
+            responses: vec![vec![
+                "*stopped,reason=\"breakpoint-hit\"".to_string(),
+                "1^done".to_string(),
+                "(gdb)".to_string(),
+            ]],
+        };
+        let mut c = MiClient::new(script);
+        c.execute("-exec-continue").unwrap();
+        assert_eq!(c.async_events.len(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! MI command serialization.
+//!
+//! The standard commands (`-data-read-memory-bytes`,
+//! `-data-write-memory-bytes`, `-data-evaluate-expression`,
+//! `-break-insert`, `-exec-*`) follow the gdb manual. The `-duel-*`
+//! commands are this reproduction's documented stand-ins for the
+//! symbol/type queries that a real gdb session would assemble from
+//! `-symbol-info-variables`, `ptype`, and address evaluation; the mock
+//! server implements them against the simulated debuggee.
+
+/// Escapes a string for inclusion in an MI c-string argument.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// `-data-read-memory-bytes ADDR COUNT`.
+pub fn read_memory_bytes(addr: u64, count: u64) -> String {
+    format!("-data-read-memory-bytes 0x{addr:x} {count}")
+}
+
+/// `-data-write-memory-bytes ADDR "HEX"`.
+pub fn write_memory_bytes(addr: u64, bytes: &[u8]) -> String {
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    format!("-data-write-memory-bytes 0x{addr:x} \"{hex}\"")
+}
+
+/// `-data-evaluate-expression "EXPR"`.
+pub fn evaluate(expr: &str) -> String {
+    format!("-data-evaluate-expression \"{}\"", escape(expr))
+}
+
+/// `-break-insert LOCATION`.
+pub fn break_insert(location: &str) -> String {
+    format!("-break-insert {location}")
+}
+
+/// `-exec-run`.
+pub fn exec_run() -> String {
+    "-exec-run".to_string()
+}
+
+/// `-exec-continue`.
+pub fn exec_continue() -> String {
+    "-exec-continue".to_string()
+}
+
+/// `-duel-symbol-info NAME` — variable address/type lookup.
+pub fn symbol_info(name: &str) -> String {
+    format!("-duel-symbol-info {name}")
+}
+
+/// `-duel-frame-var NAME FRAME` — lookup in a specific frame.
+pub fn frame_var(name: &str, frame: usize) -> String {
+    format!("-duel-frame-var {name} {frame}")
+}
+
+/// `-duel-struct-info TAG` / `-duel-union-info TAG`.
+pub fn record_info(tag: &str, is_union: bool) -> String {
+    if is_union {
+        format!("-duel-union-info {tag}")
+    } else {
+        format!("-duel-struct-info {tag}")
+    }
+}
+
+/// `-duel-enum-info TAG`.
+pub fn enum_info(tag: &str) -> String {
+    format!("-duel-enum-info {tag}")
+}
+
+/// `-duel-typedef-info NAME`.
+pub fn typedef_info(name: &str) -> String {
+    format!("-duel-typedef-info {name}")
+}
+
+/// `-duel-alloc SIZE ALIGN` — debugger scratch allocation
+/// (`duel_alloc_target_space`).
+pub fn alloc(size: u64, align: u64) -> String {
+    format!("-duel-alloc {size} {align}")
+}
+
+/// `-duel-abi` — word size and endianness of the target.
+pub fn abi() -> String {
+    "-duel-abi".to_string()
+}
+
+/// `-duel-frame-count`.
+pub fn frame_count() -> String {
+    "-duel-frame-count".to_string()
+}
+
+/// `-duel-frame-info N`.
+pub fn frame_info(n: usize) -> String {
+    format!("-duel-frame-info {n}")
+}
+
+/// `-duel-has-function NAME`.
+pub fn has_function(name: &str) -> String {
+    format!("-duel-has-function {name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering() {
+        assert_eq!(
+            read_memory_bytes(0x100, 4),
+            "-data-read-memory-bytes 0x100 4"
+        );
+        assert_eq!(
+            write_memory_bytes(0x10, &[0xde, 0xad]),
+            "-data-write-memory-bytes 0x10 \"dead\""
+        );
+        assert_eq!(
+            evaluate("printf(\"%d\", 3)"),
+            "-data-evaluate-expression \"printf(\\\"%d\\\", 3)\""
+        );
+        assert_eq!(symbol_info("x"), "-duel-symbol-info x");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

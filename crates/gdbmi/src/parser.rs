@@ -1,0 +1,384 @@
+//! Parser for MI output lines.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    syntax::{MiValue, Record, ResultClass},
+    MiError,
+};
+
+/// Parses one line of MI output.
+pub fn parse_line(line: &str) -> Result<Record, MiError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line == "(gdb)" || line == "(gdb) " {
+        return Ok(Record::Prompt);
+    }
+    let mut p = P {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    // Optional numeric token.
+    let token = p.token();
+    match p.peek() {
+        b'^' => {
+            p.i += 1;
+            let class = p.ident()?;
+            let class = match class.as_str() {
+                "done" => ResultClass::Done,
+                "running" => ResultClass::Running,
+                "connected" => ResultClass::Connected,
+                "error" => ResultClass::Error,
+                "exit" => ResultClass::Exit,
+                other => return Err(p.err(format!("unknown result class `{other}`"))),
+            };
+            let results = p.results()?;
+            p.eof()?;
+            Ok(Record::Result {
+                token,
+                class,
+                results,
+            })
+        }
+        k @ (b'*' | b'=' | b'+') => {
+            p.i += 1;
+            let class = p.ident()?;
+            let results = p.results()?;
+            p.eof()?;
+            Ok(Record::Async {
+                kind: k as char,
+                class,
+                results,
+            })
+        }
+        k @ (b'~' | b'@' | b'&') => {
+            p.i += 1;
+            let text = p.cstring()?;
+            p.eof()?;
+            Ok(Record::Stream {
+                kind: k as char,
+                text,
+            })
+        }
+        _ => Err(p.err("unrecognized MI record".to_string())),
+    }
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> u8 {
+        *self.b.get(self.i).unwrap_or(&0)
+    }
+
+    fn err(&self, message: String) -> MiError {
+        MiError::Parse {
+            offset: self.i,
+            message,
+        }
+    }
+
+    fn eof(&self) -> Result<(), MiError> {
+        if self.i >= self.b.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "trailing input `{}`",
+                String::from_utf8_lossy(&self.b[self.i..])
+            )))
+        }
+    }
+
+    fn token(&mut self) -> Option<u64> {
+        let start = self.i;
+        while self.peek().is_ascii_digit() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn ident(&mut self) -> Result<String, MiError> {
+        let start = self.i;
+        while {
+            let c = self.peek();
+            c == b'-' || c == b'_' || c.is_ascii_alphanumeric()
+        } {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected an identifier".into()));
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.i]).into_owned())
+    }
+
+    fn results(&mut self) -> Result<BTreeMap<String, MiValue>, MiError> {
+        let mut out = BTreeMap::new();
+        let mut unnamed = 0usize;
+        while self.peek() == b',' {
+            self.i += 1;
+            // Real gdb sometimes emits *unnamed* values in result
+            // position (e.g. `+download,{…}`); the MI grammar says
+            // `variable "=" value`, but practice wins. Unnamed values
+            // get numeric keys, which cannot collide with MI variable
+            // names (those start with a letter).
+            if matches!(self.peek(), b'{' | b'[') {
+                let v = self.value()?;
+                out.insert(unnamed.to_string(), v);
+                unnamed += 1;
+                continue;
+            }
+            let (k, v) = self.result()?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+
+    fn result(&mut self) -> Result<(String, MiValue), MiError> {
+        let name = self.ident()?;
+        if self.peek() != b'=' {
+            return Err(self.err("expected `=` in result".into()));
+        }
+        self.i += 1;
+        let v = self.value()?;
+        Ok((name, v))
+    }
+
+    fn value(&mut self) -> Result<MiValue, MiError> {
+        match self.peek() {
+            b'"' => Ok(MiValue::Const(self.cstring()?)),
+            b'{' => {
+                self.i += 1;
+                let mut m = BTreeMap::new();
+                if self.peek() == b'}' {
+                    self.i += 1;
+                    return Ok(MiValue::Tuple(m));
+                }
+                loop {
+                    let (k, v) = self.result()?;
+                    m.insert(k, v);
+                    match self.peek() {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Ok(MiValue::Tuple(m));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`".into())),
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                if self.peek() == b']' {
+                    self.i += 1;
+                    return Ok(MiValue::List(Vec::new()));
+                }
+                // Lists hold either plain values or named results.
+                let named = {
+                    // Lookahead: ident then '='.
+                    let save = self.i;
+                    let is_named = self.ident().is_ok() && self.peek() == b'=';
+                    self.i = save;
+                    is_named
+                };
+                if named {
+                    let mut v = Vec::new();
+                    loop {
+                        let (k, val) = self.result()?;
+                        v.push((k, val));
+                        match self.peek() {
+                            b',' => self.i += 1,
+                            b']' => {
+                                self.i += 1;
+                                return Ok(MiValue::ResultList(v));
+                            }
+                            _ => return Err(self.err("expected `,` or `]`".into())),
+                        }
+                    }
+                }
+                let mut v = Vec::new();
+                loop {
+                    v.push(self.value()?);
+                    match self.peek() {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Ok(MiValue::List(v));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`".into())),
+                    }
+                }
+            }
+            _ => Err(self.err("expected a value".into())),
+        }
+    }
+
+    fn cstring(&mut self) -> Result<String, MiError> {
+        if self.peek() != b'"' {
+            return Err(self.err("expected a c-string".into()));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 => return Err(self.err("unterminated c-string".into())),
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let c = self.peek();
+                    self.i += 1;
+                    out.push(match c {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        b'0' => '\0',
+                        other => other as char,
+                    });
+                }
+                other => {
+                    out.push(other as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt() {
+        assert_eq!(parse_line("(gdb)").unwrap(), Record::Prompt);
+        assert_eq!(parse_line("(gdb)\r\n").unwrap(), Record::Prompt);
+    }
+
+    #[test]
+    fn done_with_results() {
+        // Authentic shape from `-data-evaluate-expression`.
+        let r = parse_line(r#"7^done,value="0x4015bc""#).unwrap();
+        match r {
+            Record::Result {
+                token,
+                class,
+                results,
+            } => {
+                assert_eq!(token, Some(7));
+                assert_eq!(class, ResultClass::Done);
+                assert_eq!(results.get("value").unwrap().as_str(), Some("0x4015bc"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_tuples_and_lists() {
+        // Authentic shape from `-data-read-memory-bytes`.
+        let r = parse_line(r#"^done,memory=[{begin="0x100",end="0x104",contents="07000000"}]"#)
+            .unwrap();
+        match r {
+            Record::Result { results, .. } => {
+                let mem = results.get("memory").unwrap();
+                let first = &mem.items()[0];
+                assert_eq!(first.get_str("contents"), Some("07000000"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn async_stopped() {
+        let r = parse_line(
+            r#"*stopped,reason="breakpoint-hit",bkptno="1",frame={func="main",line="7"}"#,
+        )
+        .unwrap();
+        match r {
+            Record::Async {
+                kind,
+                class,
+                results,
+            } => {
+                assert_eq!(kind, '*');
+                assert_eq!(class, "stopped");
+                let frame = results.get("frame").unwrap();
+                assert_eq!(frame.get_str("line"), Some("7"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_records() {
+        let r = parse_line(r#"~"Reading symbols...\n""#).unwrap();
+        assert_eq!(
+            r,
+            Record::Stream {
+                kind: '~',
+                text: "Reading symbols...\n".into()
+            }
+        );
+    }
+
+    #[test]
+    fn result_lists() {
+        let r = parse_line(r#"^done,stack=[frame={level="0"},frame={level="1"}]"#).unwrap();
+        match r {
+            Record::Result { results, .. } => match results.get("stack").unwrap() {
+                MiValue::ResultList(v) => {
+                    assert_eq!(v.len(), 2);
+                    assert_eq!(v[0].0, "frame");
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_containers() {
+        let r = parse_line(r#"^done,groups=[],frame={}"#).unwrap();
+        match r {
+            Record::Result { results, .. } => {
+                assert_eq!(results.get("groups").unwrap().items(), &[]);
+                assert!(matches!(
+                    results.get("frame").unwrap(),
+                    MiValue::Tuple(m) if m.is_empty()
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_record() {
+        let r = parse_line(r#"^error,msg="No symbol \"zz\" in current context.""#).unwrap();
+        match r {
+            Record::Result { class, results, .. } => {
+                assert_eq!(class, ResultClass::Error);
+                assert!(results.get("msg").unwrap().as_str().unwrap().contains("zz"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_line("garbage").is_err());
+        assert!(parse_line(r#"^done,x="unterminated"#).is_err());
+        assert!(parse_line(r#"^done,x={a="1""#).is_err());
+        assert!(parse_line(r#"^wat"#).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Record/replay transports.
+//!
+//! [`Recorder`] wraps any transport and logs the full exchange in a
+//! plain-text format (`> ` sent lines, `< ` received lines).
+//! [`Replayer`] serves a recorded exchange back, matching sent commands
+//! *ignoring their correlation tokens*, so a session captured against
+//! one debugger (a live gdb, or the mock) replays deterministically in
+//! tests — the "recorded/mock MI sessions" of DESIGN.md §2.
+
+use std::collections::VecDeque;
+
+use crate::{client::MiTransport, MiError};
+
+/// A transport wrapper that records every line in transit.
+pub struct Recorder<T: MiTransport> {
+    inner: T,
+    /// The recorded exchange: `> cmd` / `< reply` lines.
+    pub log: Vec<String>,
+}
+
+impl<T: MiTransport> Recorder<T> {
+    /// Wraps a transport.
+    pub fn new(inner: T) -> Recorder<T> {
+        Recorder {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// Serializes the recording.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for l in &self.log {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Consumes the recorder, returning the inner transport and log.
+    pub fn into_parts(self) -> (T, Vec<String>) {
+        (self.inner, self.log)
+    }
+}
+
+impl<T: MiTransport> MiTransport for Recorder<T> {
+    fn send_line(&mut self, line: &str) -> Result<(), MiError> {
+        self.log.push(format!("> {line}"));
+        self.inner.send_line(line)
+    }
+
+    fn recv_line(&mut self) -> Result<String, MiError> {
+        let line = self.inner.recv_line()?;
+        self.log.push(format!("< {line}"));
+        Ok(line)
+    }
+}
+
+/// Strips a leading numeric correlation token.
+fn strip_token(line: &str) -> &str {
+    let end = line
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(line.len());
+    &line[end..]
+}
+
+/// One recorded request/response exchange.
+struct Exchange {
+    command: String,
+    replies: Vec<String>,
+}
+
+/// A transport that replays a [`Recorder`] dump.
+///
+/// Commands must be issued in the recorded order (tokens excepted);
+/// replies are re-tokenized to match the live command's token.
+pub struct Replayer {
+    exchanges: VecDeque<Exchange>,
+    pending: VecDeque<String>,
+    /// Commands that were sent but did not match the recording.
+    pub mismatches: Vec<String>,
+}
+
+impl Replayer {
+    /// Parses a dump produced by [`Recorder::dump`].
+    pub fn from_dump(dump: &str) -> Replayer {
+        let mut exchanges: VecDeque<Exchange> = VecDeque::new();
+        for line in dump.lines() {
+            if let Some(cmd) = line.strip_prefix("> ") {
+                exchanges.push_back(Exchange {
+                    command: strip_token(cmd).to_string(),
+                    replies: Vec::new(),
+                });
+            } else if let Some(reply) = line.strip_prefix("< ") {
+                if let Some(e) = exchanges.back_mut() {
+                    e.replies.push(reply.to_string());
+                }
+            }
+        }
+        Replayer {
+            exchanges,
+            pending: VecDeque::new(),
+            mismatches: Vec::new(),
+        }
+    }
+
+    /// Remaining unreplayed exchanges.
+    pub fn remaining(&self) -> usize {
+        self.exchanges.len()
+    }
+}
+
+impl MiTransport for Replayer {
+    fn send_line(&mut self, line: &str) -> Result<(), MiError> {
+        let token: String = line.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let cmd = strip_token(line);
+        let e = match self.exchanges.pop_front() {
+            Some(e) => e,
+            None => {
+                self.mismatches.push(line.to_string());
+                return Err(MiError::Disconnected);
+            }
+        };
+        if e.command != cmd {
+            self.mismatches
+                .push(format!("sent `{cmd}`, recorded `{}`", e.command));
+            return Err(MiError::Disconnected);
+        }
+        for r in e.replies {
+            // Re-tokenize result records to the live token.
+            let stripped = strip_token(&r);
+            if stripped.starts_with('^') && !token.is_empty() {
+                self.pending.push_back(format!("{token}{stripped}"));
+            } else {
+                self.pending.push_back(r);
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_line(&mut self) -> Result<String, MiError> {
+        self.pending.pop_front().ok_or(MiError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{command, mock::MockGdb, target::MiTarget};
+    use duel_target::{scenario, Target};
+
+    /// Records a session against the mock, then replays it without the
+    /// mock and checks the adapter behaves identically.
+    #[test]
+    fn record_then_replay_roundtrip() {
+        // Record.
+        let rec = Recorder::new(MockGdb::new(scenario::hash_table_basic()));
+        let mut t = MiTarget::connect(rec).unwrap();
+        let hash = t.get_variable("hash").unwrap();
+        let mut buf = [0u8; 8];
+        t.get_bytes(hash.addr, &mut buf).unwrap();
+        let dump = t.client_mut().transport().dump();
+
+        // Replay: same calls, no simulator behind the wire.
+        let replay = Replayer::from_dump(&dump);
+        let mut t2 = MiTarget::connect(replay).unwrap();
+        let hash2 = t2.get_variable("hash").unwrap();
+        assert_eq!(hash2.addr, hash.addr);
+        assert_eq!(t2.types().display(hash2.ty), "struct symbol *[1024]");
+        let mut buf2 = [0u8; 8];
+        t2.get_bytes(hash2.addr, &mut buf2).unwrap();
+        assert_eq!(buf2, buf);
+    }
+
+    #[test]
+    fn replay_rejects_divergent_commands() {
+        let rec = Recorder::new(MockGdb::new(scenario::scan_array()));
+        let mut t = MiTarget::connect(rec).unwrap();
+        let _ = t.get_variable("x");
+        let dump = t.client_mut().transport().dump();
+
+        let replay = Replayer::from_dump(&dump);
+        let mut t2 = MiTarget::connect(replay).unwrap();
+        // The recording holds a `-duel-symbol-info x` next; asking for
+        // a different symbol must fail loudly rather than answer
+        // wrongly.
+        assert!(t2.get_variable("y").is_none());
+    }
+
+    #[test]
+    fn strip_token_works() {
+        assert_eq!(strip_token("12-exec-run"), "-exec-run");
+        assert_eq!(strip_token("^done"), "^done");
+        assert_eq!(strip_token(""), "");
+    }
+
+    #[test]
+    fn replayer_counts_remaining() {
+        let dump = "> 1-duel-abi\n< 1^done,ptr=\"8\"\n< (gdb)\n";
+        let mut r = Replayer::from_dump(dump);
+        assert_eq!(r.remaining(), 1);
+        r.send_line(&format!("7{}", command::abi())).unwrap();
+        assert_eq!(r.remaining(), 0);
+        // Replies were re-tokenized.
+        assert_eq!(r.recv_line().unwrap(), "7^done,ptr=\"8\"");
+        assert_eq!(r.recv_line().unwrap(), "(gdb)");
+    }
+}

@@ -1,0 +1,124 @@
+//! The gdb/MI output grammar (gdb manual, "GDB/MI Output Syntax").
+//!
+//! ```text
+//! output       → ( out-of-band-record )* [ result-record ] "(gdb)" nl
+//! result-record→ [ token ] "^" result-class ( "," result )*
+//! async-record → exec-async-output | status-async-output | notify-…
+//! stream-record→ "~" c-string | "@" c-string | "&" c-string
+//! result       → variable "=" value
+//! value        → const | tuple | list
+//! tuple        → "{}" | "{" result ( "," result )* "}"
+//! list         → "[]" | "[" value ( "," value )* "]"
+//!              | "[" result ( "," result )* "]"
+//! ```
+
+use std::collections::BTreeMap;
+
+/// A parsed MI value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MiValue {
+    /// A c-string constant.
+    Const(String),
+    /// A `{name=value, …}` tuple.
+    Tuple(BTreeMap<String, MiValue>),
+    /// A `[…]` list (of values; `name=value` items keep their names in
+    /// the paired variant).
+    List(Vec<MiValue>),
+    /// A list of named results (`[frame={…},frame={…}]`).
+    ResultList(Vec<(String, MiValue)>),
+}
+
+impl MiValue {
+    /// Fetches a tuple field.
+    pub fn get(&self, name: &str) -> Option<&MiValue> {
+        match self {
+            MiValue::Tuple(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    /// The string payload of a `Const`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MiValue::Const(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Fetches a tuple field as a string.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(|v| v.as_str())
+    }
+
+    /// The elements of a list.
+    pub fn items(&self) -> &[MiValue] {
+        match self {
+            MiValue::List(v) => v,
+            _ => &[],
+        }
+    }
+}
+
+/// The class of a result record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultClass {
+    /// `^done`.
+    Done,
+    /// `^running`.
+    Running,
+    /// `^connected`.
+    Connected,
+    /// `^error`.
+    Error,
+    /// `^exit`.
+    Exit,
+}
+
+/// One line of MI output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// `token^class,results…`.
+    Result {
+        /// The command-correlation token, if present.
+        token: Option<u64>,
+        /// The result class.
+        class: ResultClass,
+        /// Named results.
+        results: BTreeMap<String, MiValue>,
+    },
+    /// `*stopped,…` / `=thread-created,…` / `+download,…`.
+    Async {
+        /// `*`, `=`, or `+`.
+        kind: char,
+        /// The async class (e.g. `stopped`).
+        class: String,
+        /// Named results.
+        results: BTreeMap<String, MiValue>,
+    },
+    /// `~"…"` (console), `@"…"` (target), `&"…"` (log).
+    Stream {
+        /// `~`, `@`, or `&`.
+        kind: char,
+        /// The decoded text.
+        text: String,
+    },
+    /// The `(gdb)` prompt terminating an output block.
+    Prompt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let mut m = BTreeMap::new();
+        m.insert("addr".to_string(), MiValue::Const("0x10".into()));
+        let t = MiValue::Tuple(m);
+        assert_eq!(t.get_str("addr"), Some("0x10"));
+        assert_eq!(t.get_str("missing"), None);
+        let l = MiValue::List(vec![MiValue::Const("1".into())]);
+        assert_eq!(l.items().len(), 1);
+        assert_eq!(t.items().len(), 0);
+    }
+}

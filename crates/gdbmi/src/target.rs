@@ -1,0 +1,600 @@
+//! [`MiTarget`] — the paper's narrow debugger interface over gdb/MI.
+//!
+//! This is the reproduction's analogue of the paper's 400-line gdb
+//! interface module, with the same duties: "converting between gdb and
+//! Duel types" (here: parsing C type strings back into a local
+//! [`TypeTable`], fetching struct/union/enum definitions lazily),
+//! "symbol-table functions", and "accessing the target's address
+//! space" (`-data-read-memory-bytes` / `-data-write-memory-bytes`).
+
+use std::collections::HashSet;
+
+use duel_ctype::{Abi, Endian, EnumId, Prim, RecordId, TypeId, TypeTable};
+use duel_target::{CallValue, FrameInfo, Target, TargetError, TargetResult, VarInfo, VarKind};
+
+use crate::{client::MiClient, command, MiError, MiTransport};
+
+/// A [`Target`] that speaks gdb/MI to a debugger.
+pub struct MiTarget<T: MiTransport> {
+    client: MiClient<T>,
+    types: TypeTable,
+    abi: Abi,
+    fetched_records: HashSet<String>,
+    fetched_enums: HashSet<String>,
+}
+
+fn to_target_err(e: MiError) -> TargetError {
+    match e {
+        MiError::ErrorRecord(m) if m.contains("illegal memory") => {
+            // Surface address-space faults in their native form so DUEL
+            // error messages stay uniform across backends.
+            parse_illegal(&m)
+        }
+        other => TargetError::Backend(other.to_string()),
+    }
+}
+
+fn parse_illegal(m: &str) -> TargetError {
+    // "illegal memory reference: N byte(s) at 0xADDR"
+    let addr = m
+        .rsplit("0x")
+        .next()
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .unwrap_or(0);
+    let len = m
+        .split(':')
+        .nth(1)
+        .and_then(|t| t.trim().split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1);
+    TargetError::IllegalMemory { addr, len }
+}
+
+impl<T: MiTransport> MiTarget<T> {
+    /// Connects over a transport, querying the target ABI.
+    pub fn connect(transport: T) -> TargetResult<MiTarget<T>> {
+        let mut client = MiClient::new(transport);
+        let r = client.execute(&command::abi()).map_err(to_target_err)?;
+        let get = |k: &str| -> Option<String> {
+            r.get(k).and_then(|v| v.as_str()).map(|s| s.to_string())
+        };
+        let ptr: u64 = get("ptr")
+            .and_then(|s| s.parse().ok())
+            .ok_or(TargetError::Backend("missing ptr size".into()))?;
+        let long: u64 = get("long").and_then(|s| s.parse().ok()).unwrap_or(ptr);
+        let endian = match get("endian").as_deref() {
+            Some("big") => Endian::Big,
+            _ => Endian::Little,
+        };
+        let char_signed = get("char-signed").as_deref() != Some("0");
+        let abi = Abi {
+            pointer_bytes: ptr,
+            long_bytes: long,
+            endian,
+            char_signed,
+            max_align: if ptr == 8 { 16 } else { 8 },
+        };
+        Ok(MiTarget {
+            client,
+            types: TypeTable::new(),
+            abi,
+            fetched_records: HashSet::new(),
+            fetched_enums: HashSet::new(),
+        })
+    }
+
+    /// The underlying client (e.g. to inspect the command log of a
+    /// mock).
+    pub fn client_mut(&mut self) -> &mut MiClient<T> {
+        &mut self.client
+    }
+
+    // ----- type-string parsing -------------------------------------------
+
+    /// Parses a C type string as rendered by `ptype`-style output
+    /// (`"struct symbol *[1024]"`), importing record/enum definitions
+    /// on demand.
+    pub fn parse_type(&mut self, s: &str) -> TargetResult<TypeId> {
+        let s = s.trim();
+        // Split off trailing array dimensions.
+        let mut dims: Vec<Option<u64>> = Vec::new();
+        let mut head = s;
+        while let Some(open) = head.rfind('[') {
+            let close = head[open..]
+                .find(']')
+                .map(|c| open + c)
+                .ok_or_else(|| bad_type(s))?;
+            if close != head.trim_end().len() - 1 {
+                break;
+            }
+            let inner = head[open + 1..close].trim();
+            let dim = if inner.is_empty() {
+                None
+            } else {
+                Some(inner.parse().map_err(|_| bad_type(s))?)
+            };
+            dims.insert(0, dim);
+            head = head[..open].trim_end();
+        }
+        // Split off pointer stars.
+        let mut stars = 0;
+        let mut base = head.trim_end();
+        while let Some(stripped) = base.strip_suffix('*') {
+            stars += 1;
+            base = stripped.trim_end();
+        }
+        let mut ty = self.parse_base(base)?;
+        for _ in 0..stars {
+            ty = self.types.pointer(ty);
+        }
+        // Dimensions apply innermost-first: `int [3][4]` is an array
+        // of 3 arrays of 4 ints.
+        for d in dims.into_iter().rev() {
+            ty = self.types.array(ty, d);
+        }
+        Ok(ty)
+    }
+
+    fn parse_base(&mut self, base: &str) -> TargetResult<TypeId> {
+        if let Some(tag) = base.strip_prefix("struct ") {
+            return self.ensure_record(tag.trim(), false);
+        }
+        if let Some(tag) = base.strip_prefix("union ") {
+            return self.ensure_record(tag.trim(), true);
+        }
+        if let Some(tag) = base.strip_prefix("enum ") {
+            let eid = self
+                .ensure_enum(tag.trim())?
+                .ok_or_else(|| bad_type(base))?;
+            let def = self.types.enum_def(eid).clone();
+            return Ok(self.types.define_enum(Some(tag.trim()), def.enumerators).1);
+        }
+        let prim = match base {
+            "void" => return Ok(self.types.void()),
+            "char" => Prim::Char,
+            "signed char" => Prim::SChar,
+            "unsigned char" => Prim::UChar,
+            "short" => Prim::Short,
+            "unsigned short" => Prim::UShort,
+            "int" => Prim::Int,
+            "unsigned int" => Prim::UInt,
+            "long" => Prim::Long,
+            "unsigned long" => Prim::ULong,
+            "long long" => Prim::LongLong,
+            "unsigned long long" => Prim::ULongLong,
+            "float" => Prim::Float,
+            "double" => Prim::Double,
+            other => {
+                // A typedef name.
+                if let Some(ty) = self.fetch_typedef(other)? {
+                    return Ok(ty);
+                }
+                return Err(bad_type(other));
+            }
+        };
+        Ok(self.types.prim(prim))
+    }
+
+    fn ensure_record(&mut self, tag: &str, is_union: bool) -> TargetResult<TypeId> {
+        let (_, ty) = if is_union {
+            self.types.declare_union(tag)
+        } else {
+            self.types.declare_struct(tag)
+        };
+        let key = format!("{}{tag}", if is_union { "u:" } else { "s:" });
+        if self.fetched_records.contains(&key) {
+            return Ok(ty);
+        }
+        self.fetched_records.insert(key);
+        let r = self
+            .client
+            .execute(&command::record_info(tag, is_union))
+            .map_err(to_target_err)?;
+        if r.get("found").and_then(|v| v.as_str()) != Some("1") {
+            // Leave it declared but incomplete.
+            return Ok(ty);
+        }
+        let fields_val = r
+            .get("fields")
+            .cloned()
+            .ok_or(TargetError::Backend("missing fields".into()))?;
+        let mut fields = Vec::new();
+        for f in fields_val.items() {
+            let name = f
+                .get_str("name")
+                .ok_or(TargetError::Backend("field name".into()))?
+                .to_string();
+            let tystr = f
+                .get_str("type")
+                .ok_or(TargetError::Backend("field type".into()))?
+                .to_string();
+            let fty = self.parse_type(&tystr)?;
+            let bits = f
+                .get_str("bits")
+                .filter(|s| !s.is_empty())
+                .and_then(|s| s.parse::<u8>().ok());
+            fields.push(match bits {
+                Some(w) => duel_ctype::Field::bitfield(&name, fty, w),
+                None => duel_ctype::Field::new(&name, fty),
+            });
+        }
+        let rid = if is_union {
+            self.types.declare_union(tag).0
+        } else {
+            self.types.declare_struct(tag).0
+        };
+        self.types.define_record(rid, fields);
+        Ok(ty)
+    }
+
+    fn ensure_enum(&mut self, tag: &str) -> TargetResult<Option<EnumId>> {
+        if self.fetched_enums.contains(tag) {
+            return Ok(self.types.enum_tag(tag));
+        }
+        self.fetched_enums.insert(tag.to_string());
+        let r = self
+            .client
+            .execute(&command::enum_info(tag))
+            .map_err(to_target_err)?;
+        if r.get("found").and_then(|v| v.as_str()) != Some("1") {
+            return Ok(None);
+        }
+        let mut enumerators = Vec::new();
+        if let Some(list) = r.get("enumerators") {
+            for e in list.items() {
+                let name = e.get_str("name").unwrap_or_default().to_string();
+                let v: i64 = e.get_str("value").and_then(|s| s.parse().ok()).unwrap_or(0);
+                enumerators.push((name, v));
+            }
+        }
+        let (eid, _) = self.types.define_enum(Some(tag), enumerators);
+        Ok(Some(eid))
+    }
+
+    fn fetch_typedef(&mut self, name: &str) -> TargetResult<Option<TypeId>> {
+        if let Some(ty) = self.types.typedef(name) {
+            return Ok(Some(ty));
+        }
+        let r = self
+            .client
+            .execute(&command::typedef_info(name))
+            .map_err(to_target_err)?;
+        if r.get("found").and_then(|v| v.as_str()) != Some("1") {
+            return Ok(None);
+        }
+        let tystr = r
+            .get("type")
+            .and_then(|v| v.as_str())
+            .ok_or(TargetError::Backend("typedef type".into()))?
+            .to_string();
+        let ty = self.parse_type(&tystr)?;
+        self.types.define_typedef(name, ty);
+        Ok(Some(ty))
+    }
+
+    fn var_from_results(
+        &mut self,
+        r: &std::collections::BTreeMap<String, crate::MiValue>,
+        name: &str,
+        kind: VarKind,
+    ) -> TargetResult<Option<VarInfo>> {
+        if r.get("found").and_then(|v| v.as_str()) != Some("1") {
+            return Ok(None);
+        }
+        let addr = r
+            .get("addr")
+            .and_then(|v| v.as_str())
+            .and_then(parse_hex)
+            .ok_or(TargetError::Backend("symbol addr".into()))?;
+        let tystr = r
+            .get("type")
+            .and_then(|v| v.as_str())
+            .ok_or(TargetError::Backend("symbol type".into()))?
+            .to_string();
+        let ty = self.parse_type(&tystr)?;
+        Ok(Some(VarInfo {
+            name: name.to_string(),
+            addr,
+            ty,
+            kind,
+        }))
+    }
+}
+
+fn bad_type(s: &str) -> TargetError {
+    TargetError::Backend(format!("cannot parse type string `{s}`"))
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    let h = s.strip_prefix("0x")?;
+    u64::from_str_radix(h, 16).ok()
+}
+
+impl<T: MiTransport> Target for MiTarget<T> {
+    fn abi(&self) -> &Abi {
+        &self.abi
+    }
+
+    fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    fn types_mut(&mut self) -> &mut TypeTable {
+        &mut self.types
+    }
+
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        let r = self
+            .client
+            .execute(&command::read_memory_bytes(addr, buf.len() as u64))
+            .map_err(to_target_err)?;
+        let mem = r
+            .get("memory")
+            .ok_or(TargetError::Backend("missing memory".into()))?;
+        let first = mem
+            .items()
+            .first()
+            .ok_or(TargetError::Backend("empty memory list".into()))?;
+        let hex = first
+            .get_str("contents")
+            .ok_or(TargetError::Backend("missing contents".into()))?;
+        if hex.len() != buf.len() * 2 {
+            return Err(TargetError::Backend("short read".into()));
+        }
+        for (i, chunk) in buf.iter_mut().enumerate() {
+            *chunk = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
+                .map_err(|_| TargetError::Backend("bad hex".into()))?;
+        }
+        Ok(())
+    }
+
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+        self.client
+            .execute(&command::write_memory_bytes(addr, bytes))
+            .map_err(to_target_err)?;
+        Ok(())
+    }
+
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+        let r = self
+            .client
+            .execute(&command::alloc(size, align))
+            .map_err(to_target_err)?;
+        r.get("addr")
+            .and_then(|v| v.as_str())
+            .and_then(parse_hex)
+            .ok_or(TargetError::Backend("alloc addr".into()))
+    }
+
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+        let mut rendered = Vec::with_capacity(args.len());
+        for a in args {
+            let raw = a.to_u64(&self.abi);
+            let is_float = matches!(
+                self.types.kind(a.ty),
+                duel_ctype::TypeKind::Prim(p) if p.is_float()
+            );
+            if is_float {
+                let f = if a.bytes.len() == 4 {
+                    f32::from_bits(raw as u32) as f64
+                } else {
+                    f64::from_bits(raw)
+                };
+                let mut s = format!("{f}");
+                if !s.contains('.') && !s.contains('e') {
+                    s.push_str(".0");
+                }
+                rendered.push(s);
+            } else {
+                let sv = duel_target::value_io::sign_extend(raw, a.bytes.len());
+                rendered.push(format!("{sv}"));
+            }
+        }
+        let expr = format!("{name}({})", rendered.join(", "));
+        let r = self
+            .client
+            .execute(&command::evaluate(&expr))
+            .map_err(|e| match e {
+                MiError::ErrorRecord(m) => TargetError::CallFailed {
+                    func: name.to_string(),
+                    reason: m,
+                },
+                other => to_target_err(other),
+            })?;
+        let v = r
+            .get("value")
+            .and_then(|v| v.as_str())
+            .ok_or(TargetError::Backend("call value".into()))?;
+        if let Some(p) = parse_hex(v) {
+            let void = self.types.void();
+            let pv = self.types.pointer(void);
+            return Ok(CallValue::from_u64(
+                pv,
+                p,
+                self.abi.pointer_bytes as usize,
+                &self.abi,
+            ));
+        }
+        let n: i64 = v
+            .parse()
+            .map_err(|_| TargetError::Backend(format!("bad call value `{v}`")))?;
+        let long = self.types.prim(Prim::LongLong);
+        Ok(CallValue::from_u64(long, n as u64, 8, &self.abi))
+    }
+
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+        let r = self.client.execute(&command::symbol_info(name)).ok()?;
+        self.var_from_results(&r, name, VarKind::Global)
+            .ok()
+            .flatten()
+    }
+
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+        let r = self.client.execute(&command::frame_var(name, frame)).ok()?;
+        self.var_from_results(&r, name, VarKind::Local { frame })
+            .ok()
+            .flatten()
+    }
+
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+        self.fetch_typedef(name).ok().flatten()
+    }
+
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+        self.ensure_record(tag, false).ok()?;
+        let rid = self.types.struct_tag(tag)?;
+        if self.types.record(rid).complete {
+            Some(rid)
+        } else {
+            None
+        }
+    }
+
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+        self.ensure_record(tag, true).ok()?;
+        let rid = self.types.union_tag(tag)?;
+        if self.types.record(rid).complete {
+            Some(rid)
+        } else {
+            None
+        }
+    }
+
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+        self.ensure_enum(tag).ok().flatten()
+    }
+
+    fn has_function(&mut self, name: &str) -> bool {
+        self.client
+            .execute(&command::has_function(name))
+            .ok()
+            .and_then(|r| r.get("found").and_then(|v| v.as_str()).map(|s| s == "1"))
+            .unwrap_or(false)
+    }
+
+    fn frame_count(&mut self) -> usize {
+        self.client
+            .execute(&command::frame_count())
+            .ok()
+            .and_then(|r| {
+                r.get("count")
+                    .and_then(|v| v.as_str())
+                    .and_then(|s| s.parse().ok())
+            })
+            .unwrap_or(0)
+    }
+
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+        let r = self.client.execute(&command::frame_info(n)).ok()?;
+        let function = r.get("func")?.as_str()?.to_string();
+        let line: u32 = r
+            .get("line")
+            .and_then(|v| v.as_str())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        Some(FrameInfo {
+            function,
+            line: if line == 0 { None } else { Some(line) },
+        })
+    }
+
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        // Probe the first and last byte; MI has no mapping query, so a
+        // read attempt is the portable check (as gdb users do).
+        let mut b = [0u8; 1];
+        if self.get_bytes(addr, &mut b).is_err() {
+            return false;
+        }
+        if len > 1 && self.get_bytes(addr + len - 1, &mut b).is_err() {
+            return false;
+        }
+        true
+    }
+
+    fn take_output(&mut self) -> String {
+        self.client.take_target_out()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockGdb;
+    use duel_target::scenario;
+
+    fn connect(sim: duel_target::SimTarget) -> MiTarget<MockGdb> {
+        MiTarget::connect(MockGdb::new(sim)).unwrap()
+    }
+
+    #[test]
+    fn abi_is_negotiated() {
+        let t = connect(scenario::scan_array());
+        assert_eq!(t.abi().pointer_bytes, 8);
+        assert_eq!(t.abi().endian, Endian::Little);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut t = connect(scenario::scan_array());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        t.put_bytes(x.addr + 12, &(-5i32).to_le_bytes()).unwrap();
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), -5);
+    }
+
+    #[test]
+    fn types_are_imported_lazily() {
+        let mut t = connect(scenario::hash_table_basic());
+        let hash = t.get_variable("hash").unwrap();
+        // The imported type renders identically to the original.
+        assert_eq!(t.types().display(hash.ty), "struct symbol *[1024]");
+        // The struct definition came across with all three fields.
+        let rid = t.lookup_struct("symbol").unwrap();
+        let rec = t.types().record(rid);
+        assert_eq!(rec.fields.len(), 3);
+        assert_eq!(rec.fields[1].name, "scope");
+    }
+
+    #[test]
+    fn unknown_symbols_are_none() {
+        let mut t = connect(scenario::scan_array());
+        assert!(t.get_variable("nonesuch").is_none());
+        assert!(t.lookup_struct("nope").is_none());
+        assert!(t.lookup_enum("nope").is_none());
+    }
+
+    #[test]
+    fn is_mapped_probes() {
+        let mut t = connect(scenario::scan_array());
+        let x = t.get_variable("x").unwrap();
+        assert!(t.is_mapped(x.addr, 4));
+        assert!(!t.is_mapped(0, 1));
+        assert!(!t.is_mapped(0xdead_beef_0000, 8));
+    }
+
+    #[test]
+    fn calls_work_and_relay_output() {
+        let mut t = connect(scenario::scan_array());
+        // Allocate and fill a format string, then call printf.
+        let addr = t.alloc_space(8, 1).unwrap();
+        t.put_bytes(addr, b"v=%d\n\0").unwrap();
+        let ch = t.types_mut().prim(Prim::Char);
+        let pc = t.types_mut().pointer(ch);
+        let int = t.types_mut().prim(Prim::Int);
+        let args = [
+            CallValue::from_u64(pc, addr, 8, &Abi::lp64()),
+            CallValue::from_u64(int, 7, 4, &Abi::lp64()),
+        ];
+        let r = t.call_func("printf", &args).unwrap();
+        assert_eq!(r.to_u64(&Abi::lp64()), 4);
+        assert_eq!(t.take_output(), "v=7\n");
+        assert!(t.has_function("printf"));
+        assert!(!t.has_function("nope"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Parser robustness against a corpus of authentic gdb/MI output, drawn
+//! from the shapes documented in the gdb manual ("GDB/MI Output Syntax",
+//! "GDB/MI Breakpoint Commands", …) and typical gdb 7–13 sessions.
+
+use duel_gdbmi::{parse_line, MiValue, Record, ResultClass};
+
+const CORPUS: &[&str] = &[
+    // Result records.
+    r#"^done"#,
+    r#"^running"#,
+    r#"^connected"#,
+    r#"^exit"#,
+    r#"4^done,value="4""#,
+    r#"^done,value="0x00010734 \"a string\"""#,
+    r#"211^done,value="0xefbfeb7c""#,
+    r#"^error,msg="Undefined MI command: rubbish""#,
+    r#"^error,msg="No symbol \"xyz\" in current context.""#,
+    // Breakpoint machinery.
+    r#"^done,bkpt={number="1",type="breakpoint",disp="keep",enabled="y",addr="0x000100d0",func="main",file="hello.c",fullname="/home/foo/hello.c",line="5",thread-groups=["i1"],times="0"}"#,
+    r#"=breakpoint-modified,bkpt={number="1",type="breakpoint",disp="keep",enabled="y",addr="0x08048564",func="main",file="myprog.c",line="68",times="1"}"#,
+    // Async exec records.
+    r#"*running,thread-id="all""#,
+    r#"*stopped,reason="breakpoint-hit",disp="keep",bkptno="1",thread-id="0",frame={addr="0x08048564",func="main",args=[{name="argc",value="1"},{name="argv",value="0xbfc4d4d4"}],file="myprog.c",fullname="/home/nickrob/myprog.c",line="68"}"#,
+    r#"*stopped,reason="exited-normally""#,
+    r#"*stopped,reason="exited",exit-code="01""#,
+    r#"*stopped,reason="signal-received",signal-name="SIGINT",signal-meaning="Interrupt""#,
+    // Notify records.
+    r#"=thread-group-added,id="i1""#,
+    r#"=thread-created,id="1",group-id="i1""#,
+    r#"=library-loaded,id="/lib/ld.so",target-name="/lib/ld.so",host-name="/lib/ld.so",symbols-loaded="0",thread-group="i1""#,
+    // Status records.
+    r#"+download,{section=".text",section-size="6668",total-size="9880"}"#,
+    // Stream records.
+    r#"~"GNU gdb (GDB) 13.2\n""#,
+    r#"~"Reading symbols from /bin/true...\n""#,
+    r#"&"warning: core file may not match executable\n""#,
+    r#"@"Hello from the inferior\n""#,
+    // Stack and variable shapes.
+    r#"^done,stack=[frame={level="0",addr="0x0001076c",func="callee4",file="r.c",line="8"},frame={level="1",addr="0x000107a4",func="callee3",file="r.c",line="17"}]"#,
+    r#"^done,locals=[name="A",name="B",name="C""#,
+    r#"^done,variables=[{name="x",value="11"},{name="s",value="{a = 1, b = 2}"}]"#,
+    r#"^done,memory=[{begin="0x00001390",offset="0x00000000",end="0x00001396",contents="00000000000000"}]"#,
+    r#"^done,asm_insns=[{address="0x000107c0",func-name="main",offset="4",inst="mov  2, %o0"}]"#,
+    // Empty containers and prompt.
+    r#"^done,groups=[]"#,
+    r#"(gdb)"#,
+];
+
+#[test]
+fn corpus_parses_or_fails_cleanly() {
+    // One entry above is deliberately malformed (unclosed `locals`
+    // list) to check errors stay errors rather than panicking.
+    let mut ok = 0;
+    let mut failed = Vec::new();
+    for line in CORPUS {
+        match parse_line(line) {
+            Ok(_) => ok += 1,
+            Err(_) => failed.push(*line),
+        }
+    }
+    assert_eq!(
+        failed,
+        vec![r#"^done,locals=[name="A",name="B",name="C""#],
+        "unexpected parse failures"
+    );
+    assert_eq!(ok, CORPUS.len() - 1);
+}
+
+#[test]
+fn stopped_record_round_trips_structure() {
+    let r = parse_line(
+        r#"*stopped,reason="breakpoint-hit",disp="keep",bkptno="1",frame={addr="0x08048564",func="main",args=[{name="argc",value="1"}],line="68"}"#,
+    )
+    .unwrap();
+    match r {
+        Record::Async { class, results, .. } => {
+            assert_eq!(class, "stopped");
+            let frame = results.get("frame").unwrap();
+            assert_eq!(frame.get_str("func"), Some("main"));
+            let args = frame.get("args").unwrap();
+            assert_eq!(args.items().len(), 1);
+            assert_eq!(args.items()[0].get_str("name"), Some("argc"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn escaped_strings_decode() {
+    let r = parse_line(r#"~"a \"quoted\" word\tand tab\n""#).unwrap();
+    match r {
+        Record::Stream { text, .. } => {
+            assert_eq!(text, "a \"quoted\" word\tand tab\n")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn result_class_distinctions() {
+    for (line, class) in [
+        ("^done", ResultClass::Done),
+        ("^running", ResultClass::Running),
+        ("^connected", ResultClass::Connected),
+        ("^exit", ResultClass::Exit),
+        (r#"^error,msg="m""#, ResultClass::Error),
+    ] {
+        match parse_line(line).unwrap() {
+            Record::Result { class: c, .. } => assert_eq!(c, class),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn download_status_record() {
+    // `+download` carries an *unnamed* tuple — a quirk of real gdb
+    // output; unnamed values are filed under numeric keys.
+    let r =
+        parse_line(r#"+download,{section=".text",section-size="6668",total-size="9880"}"#).unwrap();
+    match r {
+        Record::Async { kind, results, .. } => {
+            assert_eq!(kind, '+');
+            let t = results.get("0").unwrap();
+            assert_eq!(t.get_str("section-size"), Some("6668"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deeply_nested_values() {
+    let r = parse_line(r#"^done,a=[{b=[{c="1"},{c="2"}],d={e=["x","y"]}}]"#).unwrap();
+    match r {
+        Record::Result { results, .. } => {
+            let a = results.get("a").unwrap();
+            let first = &a.items()[0];
+            let b = first.get("b").unwrap();
+            assert_eq!(b.items()[1].get_str("c"), Some("2"));
+            let d = first.get("d").unwrap();
+            match d.get("e").unwrap() {
+                MiValue::List(v) => assert_eq!(v.len(), 2),
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}

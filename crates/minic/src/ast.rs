@@ -1,0 +1,343 @@
+//! The mini-C abstract syntax.
+
+use duel_ctype::Prim;
+
+/// The base of a type name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CBase {
+    /// `void`.
+    Void,
+    /// A primitive spelled with keywords.
+    Prim(Prim),
+    /// `struct tag`.
+    Struct(String),
+    /// `union tag`.
+    Union(String),
+    /// `enum tag`.
+    Enum(String),
+    /// A typedef name.
+    Typedef(String),
+}
+
+/// One declarator derivation step (applied left-to-right to the base).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CDeriv {
+    /// A pointer level.
+    Ptr,
+    /// An array dimension.
+    Array(u64),
+}
+
+/// A full type name (casts, `sizeof`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CTypeName {
+    /// The base type.
+    pub base: CBase,
+    /// Derivations.
+    pub derivs: Vec<CDeriv>,
+}
+
+/// A declarator: name plus derivations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CDeclarator {
+    /// The declared name.
+    pub name: String,
+    /// Derivations (`*p` ⇒ `[Ptr]`, `a[3][4]` ⇒ `[Array(3), Array(4)]`).
+    pub derivs: Vec<CDeriv>,
+}
+
+/// A struct/union member.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CField {
+    /// The member's base type.
+    pub base: CBase,
+    /// The declarator.
+    pub decl: CDeclarator,
+    /// Bitfield width, if any.
+    pub bits: Option<u8>,
+}
+
+/// An initializer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CInit {
+    /// A scalar expression.
+    Scalar(CExpr),
+    /// A brace-enclosed list.
+    List(Vec<CInit>),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CBinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&`.
+    And,
+    /// `^`.
+    Xor,
+    /// `|`.
+    Or,
+    /// `&&` (short-circuit).
+    LogAnd,
+    /// `||` (short-circuit).
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CUnOp {
+    /// `-`.
+    Neg,
+    /// `+`.
+    Pos,
+    /// `!`.
+    Not,
+    /// `~`.
+    BitNot,
+    /// `*`.
+    Deref,
+    /// `&`.
+    Addr,
+}
+
+/// A mini-C expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Char literal.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Unary operator.
+    Un(CUnOp, Box<CExpr>),
+    /// Binary operator.
+    Bin(CBinOp, Box<CExpr>, Box<CExpr>),
+    /// Assignment (`op` is `None` for `=`).
+    Assign(Option<CBinOp>, Box<CExpr>, Box<CExpr>),
+    /// `c ? a : b`.
+    Cond(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// `f(args…)`.
+    Call(String, Vec<CExpr>),
+    /// `a[b]`.
+    Index(Box<CExpr>, Box<CExpr>),
+    /// `a.name` / `a->name`.
+    Member {
+        /// The aggregate (or pointer).
+        base: Box<CExpr>,
+        /// Field name.
+        name: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// `(type)e`.
+    Cast(CTypeName, Box<CExpr>),
+    /// `sizeof(type)`.
+    SizeofT(CTypeName),
+    /// `sizeof e`.
+    SizeofE(Box<CExpr>),
+    /// `++e` / `--e`.
+    PreIncDec {
+        /// `true` for `++`.
+        inc: bool,
+        /// Operand.
+        expr: Box<CExpr>,
+    },
+    /// `e++` / `e--`.
+    PostIncDec {
+        /// `true` for `++`.
+        inc: bool,
+        /// Operand.
+        expr: Box<CExpr>,
+    },
+    /// `a, b`.
+    Comma(Box<CExpr>, Box<CExpr>),
+}
+
+/// A statement, carrying its source line for the debugger.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmt {
+    /// An expression statement.
+    Expr {
+        /// The expression.
+        expr: CExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// A local declaration.
+    Decl {
+        /// The base type.
+        base: CBase,
+        /// Declarators with optional scalar initializers.
+        decls: Vec<(CDeclarator, Option<CExpr>)>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if`.
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// Then-branch.
+        then: Box<CStmt>,
+        /// Else-branch.
+        els: Option<Box<CStmt>>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: CExpr,
+        /// Body.
+        body: Box<CStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `do … while`.
+    DoWhile {
+        /// Body.
+        body: Box<CStmt>,
+        /// Condition.
+        cond: CExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// `for`.
+    For {
+        /// Init expression.
+        init: Option<CExpr>,
+        /// Condition.
+        cond: Option<CExpr>,
+        /// Step expression.
+        step: Option<CExpr>,
+        /// Body.
+        body: Box<CStmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return`.
+    Return {
+        /// Returned value, if any.
+        expr: Option<CExpr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break`.
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue`.
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// `switch`.
+    Switch {
+        /// The scrutinee.
+        scrutinee: CExpr,
+        /// `(label, statements)` arms in source order; `None` labels
+        /// the `default` arm. Fallthrough is preserved.
+        arms: Vec<(Option<CExpr>, Vec<CStmt>)>,
+        /// Source line.
+        line: u32,
+    },
+    /// `{ … }`.
+    Block(Vec<CStmt>),
+    /// `;`.
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CParam {
+    /// Base type.
+    pub base: CBase,
+    /// Declarator.
+    pub decl: CDeclarator,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CItem {
+    /// A struct/union definition.
+    Record {
+        /// `true` for unions.
+        is_union: bool,
+        /// The tag.
+        tag: String,
+        /// Members.
+        fields: Vec<CField>,
+    },
+    /// An enum definition.
+    Enum {
+        /// The tag, if any.
+        tag: Option<String>,
+        /// Enumerators with optional explicit values.
+        enumerators: Vec<(String, Option<CExpr>)>,
+    },
+    /// A typedef.
+    Typedef {
+        /// Base type.
+        base: CBase,
+        /// Declarator (its name becomes the typedef name).
+        decl: CDeclarator,
+    },
+    /// File-scope variables.
+    Globals {
+        /// Base type.
+        base: CBase,
+        /// Declarators with optional initializers.
+        decls: Vec<(CDeclarator, Option<CInit>)>,
+    },
+    /// A function definition.
+    Function {
+        /// Return base type.
+        ret_base: CBase,
+        /// Extra return derivations (`int *f()` ⇒ `[Ptr]`).
+        ret_derivs: Vec<CDeriv>,
+        /// The function name.
+        name: String,
+        /// Parameters.
+        params: Vec<CParam>,
+        /// The body.
+        body: Vec<CStmt>,
+        /// Line of the definition.
+        line: u32,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CUnit {
+    /// Top-level items in source order.
+    pub items: Vec<CItem>,
+}

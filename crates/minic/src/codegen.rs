@@ -1,0 +1,1216 @@
+//! Typed bytecode generation.
+//!
+//! Code generation doubles as the semantic pass: every expression is
+//! typed against the shared [`duel_ctype::TypeTable`] as it is lowered,
+//! so layout (field offsets, pointer scaling) is baked into the
+//! bytecode while names remain symbolic for the debugger.
+
+use std::collections::HashMap;
+
+use duel_ctype::{convert, Prim, TypeId, TypeKind};
+use duel_target::SimTarget;
+
+use crate::{
+    ast::{CBase, CBinOp, CDeriv, CExpr, CParam, CStmt, CUnOp},
+    ir::{Cmp, Instr, IrFunction},
+    CompileError, CompileResult,
+};
+
+/// A resolved place: object type plus bitfield placement, if any.
+#[derive(Clone, Copy, Debug)]
+pub struct PlaceTy {
+    /// The object type.
+    pub ty: TypeId,
+    /// `(unit_size, bit_off, width)` for bitfield members.
+    pub bits: Option<(u8, u8, u8)>,
+}
+
+struct LocalInfo {
+    runtime: String,
+    ty: TypeId,
+}
+
+/// Per-function code generator.
+pub struct Codegen<'a> {
+    /// The target whose type table and memory are being populated.
+    pub t: &'a mut SimTarget,
+    /// Known globals: name → type.
+    pub globals: &'a HashMap<String, TypeId>,
+    /// Known program functions: name → (ret, params).
+    pub funcs: &'a HashMap<String, (TypeId, Vec<TypeId>)>,
+    scopes: Vec<HashMap<String, LocalInfo>>,
+    locals: Vec<(String, TypeId)>,
+    code: Vec<Instr>,
+    breaks: Vec<Vec<usize>>,
+    continues: Vec<Vec<usize>>,
+    shadow_counter: u32,
+    line: u32,
+}
+
+impl<'a> Codegen<'a> {
+    /// Creates a generator for one function.
+    pub fn new(
+        t: &'a mut SimTarget,
+        globals: &'a HashMap<String, TypeId>,
+        funcs: &'a HashMap<String, (TypeId, Vec<TypeId>)>,
+    ) -> Codegen<'a> {
+        Codegen {
+            t,
+            globals,
+            funcs,
+            scopes: vec![HashMap::new()],
+            locals: Vec::new(),
+            code: Vec::new(),
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            shadow_counter: 0,
+            line: 0,
+        }
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> CompileResult<T> {
+        Err(CompileError {
+            line: self.line,
+            message: m.into(),
+        })
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Instr::Jmp(t) | Instr::Jz(t) | Instr::Jnz(t) => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    // ----- types -------------------------------------------------------
+
+    /// Resolves a base + derivations to a type id.
+    pub fn resolve(&mut self, base: &CBase, derivs: &[CDeriv]) -> CompileResult<TypeId> {
+        let tt = &mut self.t.core.types;
+        let mut ty = match base {
+            CBase::Void => tt.void(),
+            CBase::Prim(p) => tt.prim(*p),
+            CBase::Struct(tag) => tt.declare_struct(tag).1,
+            CBase::Union(tag) => tt.declare_union(tag).1,
+            CBase::Enum(tag) => {
+                if tag.is_empty() {
+                    tt.prim(Prim::Int)
+                } else if let Some(eid) = tt.enum_tag(tag) {
+                    let def = tt.enum_def(eid).clone();
+                    tt.define_enum(Some(tag), def.enumerators).1
+                } else {
+                    return self.err(format!("unknown enum `{tag}`"));
+                }
+            }
+            CBase::Typedef(name) => match tt.typedef(name) {
+                Some(t) => t,
+                None => return self.err(format!("unknown type `{name}`")),
+            },
+        };
+        // Pointer stars first, then array dimensions innermost-first
+        // (`int m[3][4]` is an array of 3 arrays of 4 ints).
+        for d in derivs.iter().filter(|d| matches!(d, CDeriv::Ptr)) {
+            let _ = d;
+            ty = self.t.core.types.pointer(ty);
+        }
+        for d in derivs.iter().rev() {
+            if let CDeriv::Array(n) = d {
+                ty = self.t.core.types.array(ty, Some(*n));
+            }
+        }
+        Ok(ty)
+    }
+
+    fn kind(&self, ty: TypeId) -> TypeKind {
+        self.t.core.types.kind(ty).clone()
+    }
+
+    fn size_of(&self, ty: TypeId) -> CompileResult<u64> {
+        self.t
+            .core
+            .types
+            .size_of(ty, &self.t.core.abi)
+            .map_err(|e| CompileError {
+                line: self.line,
+                message: e.to_string(),
+            })
+    }
+
+    fn int_ty(&mut self) -> TypeId {
+        self.t.core.types.prim(Prim::Int)
+    }
+
+    fn is_float(&self, ty: TypeId) -> bool {
+        matches!(self.kind(ty), TypeKind::Prim(p) if p.is_float())
+    }
+
+    fn is_ptr_like(&self, ty: TypeId) -> bool {
+        matches!(self.kind(ty), TypeKind::Pointer(_) | TypeKind::Array { .. })
+    }
+
+    fn pointee_or_elem(&self, ty: TypeId) -> Option<TypeId> {
+        match self.kind(ty) {
+            TypeKind::Pointer(p) => Some(p),
+            TypeKind::Array { elem, .. } => Some(elem),
+            _ => None,
+        }
+    }
+
+    fn prim_of(&self, ty: TypeId) -> Option<Prim> {
+        match self.kind(ty) {
+            TypeKind::Prim(p) => Some(p),
+            TypeKind::Enum(_) => Some(Prim::Int),
+            _ => None,
+        }
+    }
+
+    fn int_size_signed(&self, ty: TypeId) -> (u8, bool) {
+        match self.prim_of(ty) {
+            Some(p) => (
+                p.size(&self.t.core.abi) as u8,
+                p.is_signed(&self.t.core.abi),
+            ),
+            None => (self.t.core.abi.pointer_bytes as u8, false),
+        }
+    }
+
+    // ----- scopes -------------------------------------------------------
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Declares a local, handling shadowing via unique runtime names.
+    pub fn declare_local(&mut self, name: &str, ty: TypeId) -> String {
+        let taken = self.locals.iter().any(|(n, _)| n == name);
+        let runtime = if taken {
+            self.shadow_counter += 1;
+            format!("{name}@{}", self.shadow_counter)
+        } else {
+            name.to_string()
+        };
+        self.locals.push((runtime.clone(), ty));
+        self.scopes.last_mut().expect("scope").insert(
+            name.to_string(),
+            LocalInfo {
+                runtime: runtime.clone(),
+                ty,
+            },
+        );
+        runtime
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<(&str, TypeId)> {
+        for s in self.scopes.iter().rev() {
+            if let Some(info) = s.get(name) {
+                return Some((&info.runtime, info.ty));
+            }
+        }
+        None
+    }
+
+    // ----- lvalues -------------------------------------------------------
+
+    /// Emits code pushing the address of `e`; returns the place type.
+    pub fn lvalue(&mut self, e: &CExpr) -> CompileResult<PlaceTy> {
+        match e {
+            CExpr::Ident(name) => {
+                if let Some((rt, ty)) = self.lookup_local(name) {
+                    let rt = rt.to_string();
+                    self.emit(Instr::AddrLocal(rt));
+                    return Ok(PlaceTy { ty, bits: None });
+                }
+                if let Some(&ty) = self.globals.get(name) {
+                    self.emit(Instr::AddrGlobal(name.clone()));
+                    return Ok(PlaceTy { ty, bits: None });
+                }
+                self.err(format!("`{name}` is not a variable"))
+            }
+            CExpr::Un(CUnOp::Deref, inner) => {
+                let ty = self.rvalue(inner)?;
+                match self.pointee_or_elem(ty) {
+                    Some(p) => Ok(PlaceTy { ty: p, bits: None }),
+                    None => self.err("cannot dereference a non-pointer"),
+                }
+            }
+            CExpr::Index(base, idx) => {
+                let bty = self.rvalue(base)?;
+                let elem = match self.pointee_or_elem(bty) {
+                    Some(e) => e,
+                    None => return self.err("`[]` needs an array or pointer"),
+                };
+                let ity = self.rvalue(idx)?;
+                if self.is_float(ity) {
+                    return self.err("array index must be an integer");
+                }
+                let esize = self.size_of(elem)?;
+                self.emit(Instr::PtrAdd { esize });
+                Ok(PlaceTy {
+                    ty: elem,
+                    bits: None,
+                })
+            }
+            CExpr::Member { base, name, arrow } => {
+                let bty = if *arrow {
+                    let t = self.rvalue(base)?;
+                    match self.pointee_or_elem(t) {
+                        Some(p) => p,
+                        None => return self.err("`->` needs a pointer to a struct"),
+                    }
+                } else {
+                    self.lvalue(base)?.ty
+                };
+                let (rid, _) = match self.t.core.types.as_record(bty) {
+                    Some(r) => r,
+                    None => return self.err(format!("`.{name}` needs a struct or union")),
+                };
+                let (idx, fty) = {
+                    let rec = self.t.core.types.record(rid);
+                    match rec.field_index(name) {
+                        Some(i) => (i, rec.fields[i].ty),
+                        None => return self.err(format!("no field `{name}`")),
+                    }
+                };
+                let fl = self
+                    .t
+                    .core
+                    .types
+                    .field_layout(rid, idx, &self.t.core.abi)
+                    .map_err(|e| CompileError {
+                        line: self.line,
+                        message: e.to_string(),
+                    })?;
+                if fl.offset != 0 {
+                    self.emit(Instr::PushI(fl.offset as i64));
+                    self.emit(Instr::AddI);
+                }
+                let bits = match (fl.bit_offset, fl.bit_width) {
+                    (Some(o), Some(w)) => Some((fl.size as u8, o, w)),
+                    _ => None,
+                };
+                Ok(PlaceTy { ty: fty, bits })
+            }
+            other => self.err(format!("not an lvalue: {other:?}")),
+        }
+    }
+
+    fn emit_load(&mut self, p: PlaceTy) -> CompileResult<TypeId> {
+        if let Some((size, off, width)) = p.bits {
+            let (_, signed) = self.int_size_signed(p.ty);
+            self.emit(Instr::LoadBits {
+                size,
+                off,
+                width,
+                signed,
+            });
+            return Ok(p.ty);
+        }
+        match self.kind(p.ty) {
+            TypeKind::Prim(pr) => {
+                let size = pr.size(&self.t.core.abi) as u8;
+                if pr.is_float() {
+                    self.emit(Instr::Load {
+                        size,
+                        signed: false,
+                        float: true,
+                    });
+                } else {
+                    self.emit(Instr::Load {
+                        size,
+                        signed: pr.is_signed(&self.t.core.abi),
+                        float: false,
+                    });
+                }
+                Ok(p.ty)
+            }
+            TypeKind::Enum(_) => {
+                self.emit(Instr::Load {
+                    size: 4,
+                    signed: true,
+                    float: false,
+                });
+                Ok(p.ty)
+            }
+            TypeKind::Pointer(_) => {
+                self.emit(Instr::Load {
+                    size: self.t.core.abi.pointer_bytes as u8,
+                    signed: false,
+                    float: false,
+                });
+                Ok(p.ty)
+            }
+            // Arrays decay: the address *is* the value.
+            TypeKind::Array { .. } => Ok(p.ty),
+            _ => self.err("cannot load a value of this type"),
+        }
+    }
+
+    fn emit_store(&mut self, p: PlaceTy) -> CompileResult<()> {
+        if let Some((size, off, width)) = p.bits {
+            self.emit(Instr::StoreBits { size, off, width });
+            return Ok(());
+        }
+        match self.kind(p.ty) {
+            TypeKind::Prim(pr) => {
+                let size = pr.size(&self.t.core.abi) as u8;
+                self.emit(Instr::Store {
+                    size,
+                    float: pr.is_float(),
+                });
+                Ok(())
+            }
+            TypeKind::Enum(_) => {
+                self.emit(Instr::Store {
+                    size: 4,
+                    float: false,
+                });
+                Ok(())
+            }
+            TypeKind::Pointer(_) => {
+                self.emit(Instr::Store {
+                    size: self.t.core.abi.pointer_bytes as u8,
+                    float: false,
+                });
+                Ok(())
+            }
+            _ => self.err("cannot assign a value of this type"),
+        }
+    }
+
+    /// Emits a conversion from `from` to `to` on the value at top of
+    /// stack.
+    fn convert_to(&mut self, from: TypeId, to: TypeId) {
+        let ffloat = self.is_float(from);
+        let tfloat = self.is_float(to);
+        match (ffloat, tfloat) {
+            (false, true) => {
+                self.emit(Instr::I2F);
+            }
+            (true, false) => {
+                self.emit(Instr::F2I);
+                let (size, signed) = self.int_size_signed(to);
+                self.emit(Instr::Trunc { size, signed });
+            }
+            (false, false) => {
+                if !self.is_ptr_like(to) {
+                    let (size, signed) = self.int_size_signed(to);
+                    if size < 8 || !signed {
+                        self.emit(Instr::Trunc { size, signed });
+                    }
+                }
+            }
+            (true, true) => {}
+        }
+    }
+
+    // ----- rvalues --------------------------------------------------------
+
+    /// Emits code pushing the value of `e`; returns its type.
+    pub fn rvalue(&mut self, e: &CExpr) -> CompileResult<TypeId> {
+        match e {
+            CExpr::Int(v) => {
+                self.emit(Instr::PushI(*v));
+                Ok(self.int_ty())
+            }
+            CExpr::Char(c) => {
+                self.emit(Instr::PushI(*c as i64));
+                Ok(self.int_ty())
+            }
+            CExpr::Float(v) => {
+                self.emit(Instr::PushF(*v));
+                Ok(self.t.core.types.prim(Prim::Double))
+            }
+            CExpr::Str(s) => {
+                let addr = self.t.core.intern_cstring(s).map_err(|e| CompileError {
+                    line: self.line,
+                    message: e.to_string(),
+                })?;
+                self.emit(Instr::PushI(addr as i64));
+                let ch = self.t.core.types.prim(Prim::Char);
+                Ok(self.t.core.types.pointer(ch))
+            }
+            CExpr::Ident(name) => {
+                // Enumerators are constants.
+                if self.lookup_local(name).is_none() && !self.globals.contains_key(name) {
+                    if let Some((_, v)) = self.t.core.types.enumerator(name) {
+                        self.emit(Instr::PushI(v));
+                        return Ok(self.int_ty());
+                    }
+                }
+                let p = self.lvalue(e)?;
+                self.emit_load(p)
+            }
+            CExpr::Un(op, inner) => self.unary(*op, inner),
+            CExpr::Bin(op, a, b) => self.binary(*op, a, b),
+            CExpr::Assign(op, l, r) => self.assign(*op, l, r),
+            CExpr::Cond(c, a, b) => {
+                let cty = self.rvalue(c)?;
+                let _ = cty;
+                let jz = self.emit(Instr::Jz(0));
+                let t1 = self.rvalue(a)?;
+                let jend = self.emit(Instr::Jmp(0));
+                let here = self.here();
+                self.patch(jz, here);
+                let t2 = self.rvalue(b)?;
+                let end = self.here();
+                self.patch(jend, end);
+                // Unify loosely: prefer the pointer/float branch type.
+                Ok(if self.is_float(t1) || self.is_ptr_like(t1) {
+                    t1
+                } else {
+                    t2
+                })
+            }
+            CExpr::Call(name, args) => self.call(name, args),
+            CExpr::Index(..) | CExpr::Member { .. } => {
+                let p = self.lvalue(e)?;
+                self.emit_load(p)
+            }
+            CExpr::Cast(tn, inner) => {
+                let to = self.resolve(&tn.base, &tn.derivs)?;
+                if matches!(self.kind(to), TypeKind::Void) {
+                    // Evaluate for effect, push 0.
+                    let t = self.rvalue(inner)?;
+                    if self.is_float(t) {
+                        self.emit(Instr::F2I);
+                    }
+                    self.emit(Instr::Pop);
+                    self.emit(Instr::PushI(0));
+                    return Ok(to);
+                }
+                let from = self.rvalue(inner)?;
+                self.convert_to(from, to);
+                Ok(to)
+            }
+            CExpr::SizeofT(tn) => {
+                let ty = self.resolve(&tn.base, &tn.derivs)?;
+                let n = self.size_of(ty)?;
+                self.emit(Instr::PushI(n as i64));
+                Ok(self.t.core.types.prim(Prim::ULong))
+            }
+            CExpr::SizeofE(inner) => {
+                // Type only; no code emitted for the operand.
+                let save = self.code.len();
+                let ty = self.rvalue(inner)?;
+                self.code.truncate(save);
+                let n = self.size_of(ty)?;
+                self.emit(Instr::PushI(n as i64));
+                Ok(self.t.core.types.prim(Prim::ULong))
+            }
+            CExpr::PreIncDec { inc, expr } => self.incdec(*inc, true, expr),
+            CExpr::PostIncDec { inc, expr } => self.incdec(*inc, false, expr),
+            CExpr::Comma(a, b) => {
+                let t = self.rvalue(a)?;
+                let _ = t;
+                self.emit(Instr::Pop);
+                self.rvalue(b)
+            }
+        }
+    }
+
+    fn unary(&mut self, op: CUnOp, inner: &CExpr) -> CompileResult<TypeId> {
+        match op {
+            CUnOp::Addr => {
+                let p = self.lvalue(inner)?;
+                if p.bits.is_some() {
+                    return self.err("cannot take &bitfield");
+                }
+                Ok(self.t.core.types.pointer(p.ty))
+            }
+            CUnOp::Deref => {
+                let p = self.lvalue(&CExpr::Un(CUnOp::Deref, Box::new(inner.clone())))?;
+                self.emit_load(p)
+            }
+            CUnOp::Neg => {
+                let t = self.rvalue(inner)?;
+                if self.is_float(t) {
+                    self.emit(Instr::NegF);
+                    Ok(t)
+                } else {
+                    self.emit(Instr::NegI);
+                    let promoted = self.promote(t);
+                    let (size, signed) = self.int_size_signed(promoted);
+                    self.emit(Instr::Trunc { size, signed });
+                    Ok(promoted)
+                }
+            }
+            CUnOp::Pos => self.rvalue(inner),
+            CUnOp::Not => {
+                let t = self.rvalue(inner)?;
+                if self.is_float(t) {
+                    self.emit(Instr::PushF(0.0));
+                    self.emit(Instr::CmpF { op: Cmp::Eq });
+                } else {
+                    self.emit(Instr::LogNotI);
+                }
+                Ok(self.int_ty())
+            }
+            CUnOp::BitNot => {
+                let t = self.rvalue(inner)?;
+                if self.is_float(t) {
+                    return self.err("`~` needs an integer");
+                }
+                self.emit(Instr::NotI);
+                let promoted = self.promote(t);
+                let (size, signed) = self.int_size_signed(promoted);
+                self.emit(Instr::Trunc { size, signed });
+                Ok(promoted)
+            }
+        }
+    }
+
+    fn promote(&mut self, ty: TypeId) -> TypeId {
+        match self.prim_of(ty) {
+            Some(p) => {
+                let pp = convert::integer_promote(p);
+                self.t.core.types.prim(pp)
+            }
+            None => ty,
+        }
+    }
+
+    fn binary(&mut self, op: CBinOp, a: &CExpr, b: &CExpr) -> CompileResult<TypeId> {
+        use CBinOp::*;
+        match op {
+            LogAnd => {
+                let _ = self.rvalue(a)?;
+                let jz = self.emit(Instr::Jz(0));
+                let _ = self.rvalue(b)?;
+                self.emit(Instr::PushI(0));
+                self.emit(Instr::CmpI {
+                    op: Cmp::Ne,
+                    signed: true,
+                });
+                let jend = self.emit(Instr::Jmp(0));
+                let here = self.here();
+                self.patch(jz, here);
+                self.emit(Instr::PushI(0));
+                let end = self.here();
+                self.patch(jend, end);
+                return Ok(self.int_ty());
+            }
+            LogOr => {
+                let _ = self.rvalue(a)?;
+                let jnz = self.emit(Instr::Jnz(0));
+                let _ = self.rvalue(b)?;
+                self.emit(Instr::PushI(0));
+                self.emit(Instr::CmpI {
+                    op: Cmp::Ne,
+                    signed: true,
+                });
+                let jend = self.emit(Instr::Jmp(0));
+                let here = self.here();
+                self.patch(jnz, here);
+                self.emit(Instr::PushI(1));
+                let end = self.here();
+                self.patch(jend, end);
+                return Ok(self.int_ty());
+            }
+            _ => {}
+        }
+        let ta = self.rvalue(a)?;
+        let tb = self.rvalue(b)?;
+        // Pointer arithmetic.
+        let pa = self.is_ptr_like(ta);
+        let pb = self.is_ptr_like(tb);
+        if pa || pb {
+            return self.pointer_binary(op, ta, tb);
+        }
+        // Arithmetic conversions.
+        let (prim_a, prim_b) = match (self.prim_of(ta), self.prim_of(tb)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return self.err("invalid operands"),
+        };
+        let common = convert::usual_arithmetic(prim_a, prim_b, &self.t.core.abi);
+        if common.is_float() {
+            if !prim_b.is_float() {
+                self.emit(Instr::I2F);
+            }
+            if !prim_a.is_float() {
+                self.emit(Instr::Swap);
+                self.emit(Instr::I2F);
+                self.emit(Instr::Swap);
+            }
+            let cmp = |c| Instr::CmpF { op: c };
+            let instr = match op {
+                Add => Instr::AddF,
+                Sub => Instr::SubF,
+                Mul => Instr::MulF,
+                Div => Instr::DivF,
+                Lt => cmp(Cmp::Lt),
+                Le => cmp(Cmp::Le),
+                Gt => cmp(Cmp::Gt),
+                Ge => cmp(Cmp::Ge),
+                Eq => cmp(Cmp::Eq),
+                Ne => cmp(Cmp::Ne),
+                _ => return self.err("invalid float operation"),
+            };
+            let is_cmp = matches!(instr, Instr::CmpF { .. });
+            self.emit(instr);
+            return Ok(if is_cmp {
+                self.int_ty()
+            } else {
+                self.t.core.types.prim(common)
+            });
+        }
+        let signed = common.is_signed(&self.t.core.abi);
+        let size = common.size(&self.t.core.abi) as u8;
+        let cmp = |c| Instr::CmpI { op: c, signed };
+        let (instr, is_cmp) = match op {
+            Add => (Instr::AddI, false),
+            Sub => (Instr::SubI, false),
+            Mul => (Instr::MulI, false),
+            Div => (Instr::DivI { signed }, false),
+            Rem => (Instr::RemI { signed }, false),
+            Shl => (Instr::ShlI, false),
+            Shr => (Instr::ShrI { signed }, false),
+            And => (Instr::AndI, false),
+            Or => (Instr::OrI, false),
+            Xor => (Instr::XorI, false),
+            Lt => (cmp(Cmp::Lt), true),
+            Le => (cmp(Cmp::Le), true),
+            Gt => (cmp(Cmp::Gt), true),
+            Ge => (cmp(Cmp::Ge), true),
+            Eq => (cmp(Cmp::Eq), true),
+            Ne => (cmp(Cmp::Ne), true),
+            LogAnd | LogOr => unreachable!("handled above"),
+        };
+        self.emit(instr);
+        if is_cmp {
+            return Ok(self.int_ty());
+        }
+        self.emit(Instr::Trunc { size, signed });
+        Ok(self.t.core.types.prim(common))
+    }
+
+    fn pointer_binary(&mut self, op: CBinOp, ta: TypeId, tb: TypeId) -> CompileResult<TypeId> {
+        use CBinOp::*;
+        let pa = self.is_ptr_like(ta);
+        let pb = self.is_ptr_like(tb);
+        match op {
+            Add if pa && !pb => {
+                let elem = self.pointee_or_elem(ta).unwrap();
+                let esize = self.size_of(elem)?;
+                self.emit(Instr::PtrAdd { esize });
+                Ok(self.decayed(ta))
+            }
+            Add if pb && !pa => {
+                self.emit(Instr::Swap);
+                let elem = self.pointee_or_elem(tb).unwrap();
+                let esize = self.size_of(elem)?;
+                self.emit(Instr::PtrAdd { esize });
+                Ok(self.decayed(tb))
+            }
+            Sub if pa && !pb => {
+                self.emit(Instr::NegI);
+                let elem = self.pointee_or_elem(ta).unwrap();
+                let esize = self.size_of(elem)?;
+                self.emit(Instr::PtrAdd { esize });
+                Ok(self.decayed(ta))
+            }
+            Sub if pa && pb => {
+                let elem = self.pointee_or_elem(ta).unwrap();
+                let esize = self.size_of(elem)?.max(1);
+                self.emit(Instr::PtrDiff { esize });
+                Ok(self.int_ty())
+            }
+            Lt | Le | Gt | Ge | Eq | Ne => {
+                self.emit(Instr::CmpI {
+                    op: match op {
+                        Lt => Cmp::Lt,
+                        Le => Cmp::Le,
+                        Gt => Cmp::Gt,
+                        Ge => Cmp::Ge,
+                        Eq => Cmp::Eq,
+                        _ => Cmp::Ne,
+                    },
+                    signed: false,
+                });
+                Ok(self.int_ty())
+            }
+            _ => self.err("invalid pointer operation"),
+        }
+    }
+
+    fn decayed(&mut self, ty: TypeId) -> TypeId {
+        match self.kind(ty) {
+            TypeKind::Array { elem, .. } => self.t.core.types.pointer(elem),
+            _ => ty,
+        }
+    }
+
+    fn assign(&mut self, op: Option<CBinOp>, l: &CExpr, r: &CExpr) -> CompileResult<TypeId> {
+        let p = self.lvalue(l)?;
+        match op {
+            None => {
+                let rt = self.rvalue(r)?;
+                self.convert_assign(rt, p);
+                self.emit_store(p)?;
+                Ok(p.ty)
+            }
+            Some(op) => {
+                // [addr] → [addr addr] → [addr old] → [addr old rhs]
+                self.emit(Instr::Dup);
+                let old_ty = self.emit_load(p)?;
+                let rt = self.rvalue(r)?;
+                // Reuse the scalar binary machinery on the two stacked
+                // values: it emits the operation for [old, rhs].
+                let res_ty = self.apply_compound(op, old_ty, rt)?;
+                self.convert_assign(res_ty, p);
+                self.emit_store(p)?;
+                Ok(p.ty)
+            }
+        }
+    }
+
+    /// Emits the operation for a compound assignment whose operands are
+    /// already stacked (`[… old rhs]`).
+    fn apply_compound(&mut self, op: CBinOp, ta: TypeId, tb: TypeId) -> CompileResult<TypeId> {
+        if self.is_ptr_like(ta) {
+            return self.pointer_binary(op, ta, tb);
+        }
+        let (prim_a, prim_b) = match (self.prim_of(ta), self.prim_of(tb)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return self.err("invalid operands"),
+        };
+        let common = convert::usual_arithmetic(prim_a, prim_b, &self.t.core.abi);
+        if common.is_float() {
+            if !prim_b.is_float() {
+                self.emit(Instr::I2F);
+            }
+            if !prim_a.is_float() {
+                self.emit(Instr::Swap);
+                self.emit(Instr::I2F);
+                self.emit(Instr::Swap);
+            }
+            let instr = match op {
+                CBinOp::Add => Instr::AddF,
+                CBinOp::Sub => Instr::SubF,
+                CBinOp::Mul => Instr::MulF,
+                CBinOp::Div => Instr::DivF,
+                _ => return self.err("invalid float operation"),
+            };
+            self.emit(instr);
+            return Ok(self.t.core.types.prim(common));
+        }
+        let signed = common.is_signed(&self.t.core.abi);
+        let size = common.size(&self.t.core.abi) as u8;
+        let instr = match op {
+            CBinOp::Add => Instr::AddI,
+            CBinOp::Sub => Instr::SubI,
+            CBinOp::Mul => Instr::MulI,
+            CBinOp::Div => Instr::DivI { signed },
+            CBinOp::Rem => Instr::RemI { signed },
+            CBinOp::Shl => Instr::ShlI,
+            CBinOp::Shr => Instr::ShrI { signed },
+            CBinOp::And => Instr::AndI,
+            CBinOp::Or => Instr::OrI,
+            CBinOp::Xor => Instr::XorI,
+            _ => return self.err("invalid compound assignment"),
+        };
+        self.emit(instr);
+        self.emit(Instr::Trunc { size, signed });
+        Ok(self.t.core.types.prim(common))
+    }
+
+    fn convert_assign(&mut self, from: TypeId, to: PlaceTy) {
+        if to.bits.is_some() {
+            if self.is_float(from) {
+                self.emit(Instr::F2I);
+            }
+            return;
+        }
+        self.convert_to(from, to.ty);
+    }
+
+    fn incdec(&mut self, inc: bool, pre: bool, e: &CExpr) -> CompileResult<TypeId> {
+        let p = self.lvalue(e)?;
+        self.emit(Instr::Dup);
+        let ty = self.emit_load(p)?;
+        // [addr old]
+        if pre {
+            self.step_one(inc, p, ty)?;
+            // [addr new]
+            self.emit_store(p)?;
+            Ok(ty)
+        } else {
+            // [addr old] → [addr old old]
+            self.emit(Instr::Dup);
+            self.step_one(inc, p, ty)?;
+            // [addr old new] → [old new addr] → [old addr new]
+            self.emit(Instr::Rot3);
+            self.emit(Instr::Swap);
+            self.emit_store(p)?;
+            // [old new'] — drop the stored copy.
+            self.emit(Instr::Pop);
+            Ok(ty)
+        }
+    }
+
+    fn step_one(&mut self, inc: bool, p: PlaceTy, ty: TypeId) -> CompileResult<()> {
+        if let Some(elem) = self.pointee_or_elem(ty) {
+            let esize = self.size_of(elem)?;
+            self.emit(Instr::PushI(if inc { 1 } else { -1 }));
+            self.emit(Instr::PtrAdd { esize });
+            return Ok(());
+        }
+        if self.is_float(ty) {
+            self.emit(Instr::PushF(1.0));
+            self.emit(if inc { Instr::AddF } else { Instr::SubF });
+            return Ok(());
+        }
+        self.emit(Instr::PushI(1));
+        self.emit(if inc { Instr::AddI } else { Instr::SubI });
+        let (size, signed) = self.int_size_signed(p.ty);
+        self.emit(Instr::Trunc { size, signed });
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[CExpr]) -> CompileResult<TypeId> {
+        let known = self.funcs.get(name).cloned();
+        let mut arg_tys = Vec::with_capacity(args.len());
+        for (i, a) in args.iter().enumerate() {
+            let t = self.rvalue(a)?;
+            let t = self.decayed(t);
+            if let Some((_, params)) = &known {
+                if let Some(&pt) = params.get(i) {
+                    self.convert_to(t, pt);
+                    arg_tys.push(pt);
+                    continue;
+                }
+            }
+            arg_tys.push(t);
+        }
+        let ret = match &known {
+            Some((r, _)) => *r,
+            None => self.native_ret(name),
+        };
+        self.emit(Instr::Call {
+            name: name.to_string(),
+            args: arg_tys,
+            ret,
+        });
+        Ok(ret)
+    }
+
+    /// Return types of the well-known native functions; unknown
+    /// functions get C89's implicit `int`.
+    fn native_ret(&mut self, name: &str) -> TypeId {
+        let tt = &mut self.t.core.types;
+        match name {
+            "malloc" => {
+                let v = tt.void();
+                tt.pointer(v)
+            }
+            _ => tt.prim(Prim::Int),
+        }
+    }
+
+    // ----- statements --------------------------------------------------------
+
+    /// Lowers a statement.
+    pub fn stmt(&mut self, s: &CStmt) -> CompileResult<()> {
+        match s {
+            CStmt::Empty => Ok(()),
+            CStmt::Expr { expr, line } => {
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                let t = self.rvalue(expr)?;
+                let _ = t;
+                self.emit(Instr::Pop);
+                Ok(())
+            }
+            CStmt::Decl { base, decls, line } => {
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                for (d, init) in decls {
+                    let ty = self.resolve(base, &d.derivs)?;
+                    let rt = self.declare_local(&d.name, ty);
+                    if let Some(e) = init {
+                        let p = PlaceTy { ty, bits: None };
+                        self.emit(Instr::AddrLocal(rt));
+                        let rtty = self.rvalue(e)?;
+                        self.convert_to(rtty, ty);
+                        self.emit_store(p)?;
+                        self.emit(Instr::Pop);
+                    }
+                }
+                Ok(())
+            }
+            CStmt::Block(body) => {
+                self.push_scope();
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.pop_scope();
+                Ok(())
+            }
+            CStmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                self.rvalue(cond)?;
+                let jz = self.emit(Instr::Jz(0));
+                self.stmt(then)?;
+                match els {
+                    Some(e) => {
+                        let jend = self.emit(Instr::Jmp(0));
+                        let here = self.here();
+                        self.patch(jz, here);
+                        self.stmt(e)?;
+                        let end = self.here();
+                        self.patch(jend, end);
+                    }
+                    None => {
+                        let here = self.here();
+                        self.patch(jz, here);
+                    }
+                }
+                Ok(())
+            }
+            CStmt::While { cond, body, line } => {
+                let top = self.here();
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                self.rvalue(cond)?;
+                let jz = self.emit(Instr::Jz(0));
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                self.stmt(body)?;
+                let cont = top;
+                self.emit(Instr::Jmp(top));
+                let end = self.here();
+                self.patch(jz, end);
+                self.fix_loop(end, cont);
+                Ok(())
+            }
+            CStmt::DoWhile { body, cond, line } => {
+                let top = self.here();
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                self.stmt(body)?;
+                let cont = self.here();
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                self.rvalue(cond)?;
+                self.emit(Instr::Jnz(top));
+                let end = self.here();
+                self.fix_loop(end, cont);
+                Ok(())
+            }
+            CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                if let Some(e) = init {
+                    self.rvalue(e)?;
+                    self.emit(Instr::Pop);
+                }
+                let top = self.here();
+                let jz = match cond {
+                    Some(e) => {
+                        self.emit(Instr::Line(*line));
+                        self.rvalue(e)?;
+                        Some(self.emit(Instr::Jz(0)))
+                    }
+                    None => None,
+                };
+                self.breaks.push(Vec::new());
+                self.continues.push(Vec::new());
+                self.stmt(body)?;
+                let cont = self.here();
+                if let Some(e) = step {
+                    self.rvalue(e)?;
+                    self.emit(Instr::Pop);
+                }
+                self.emit(Instr::Jmp(top));
+                let end = self.here();
+                if let Some(jz) = jz {
+                    self.patch(jz, end);
+                }
+                self.fix_loop(end, cont);
+                Ok(())
+            }
+            CStmt::Return { expr, line } => {
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                match expr {
+                    Some(e) => {
+                        self.rvalue(e)?;
+                        self.emit(Instr::Ret { has_value: true });
+                    }
+                    None => {
+                        self.emit(Instr::Ret { has_value: false });
+                    }
+                }
+                Ok(())
+            }
+            CStmt::Switch {
+                scrutinee,
+                arms,
+                line,
+            } => {
+                self.line = *line;
+                self.emit(Instr::Line(*line));
+                let sty = self.rvalue(scrutinee)?;
+                if self.is_float(sty) {
+                    return self.err("switch needs an integer");
+                }
+                // Dispatch: compare the stacked scrutinee against each
+                // case label; a hit jumps to a trampoline that pops the
+                // scrutinee and enters the arm body (preserving C
+                // fallthrough between bodies).
+                let mut case_jumps = Vec::new();
+                for (i, (label, _)) in arms.iter().enumerate() {
+                    let label = match label {
+                        Some(e) => e,
+                        None => continue,
+                    };
+                    let v = self.const_label(label)?;
+                    self.emit(Instr::Dup);
+                    self.emit(Instr::PushI(v));
+                    self.emit(Instr::CmpI {
+                        op: Cmp::Eq,
+                        signed: true,
+                    });
+                    let j = self.emit(Instr::Jnz(0));
+                    case_jumps.push((i, j));
+                }
+                self.emit(Instr::Pop);
+                let miss_jump = self.emit(Instr::Jmp(0));
+                // Trampolines.
+                let mut tramp_to_body = Vec::new();
+                for (i, j) in &case_jumps {
+                    let here = self.here();
+                    self.patch(*j, here);
+                    self.emit(Instr::Pop);
+                    let t = self.emit(Instr::Jmp(0));
+                    tramp_to_body.push((*i, t));
+                }
+                // Bodies, in order, with fallthrough.
+                self.breaks.push(Vec::new());
+                let mut body_pos = vec![0usize; arms.len()];
+                for (i, (_, stmts)) in arms.iter().enumerate() {
+                    body_pos[i] = self.here();
+                    self.push_scope();
+                    for st in stmts {
+                        self.stmt(st)?;
+                    }
+                    self.pop_scope();
+                }
+                let end = self.here();
+                for (i, t) in tramp_to_body {
+                    self.patch(t, body_pos[i]);
+                }
+                // The miss path goes to `default`'s body, or past the
+                // switch.
+                let default_body = arms
+                    .iter()
+                    .position(|(l, _)| l.is_none())
+                    .map(|i| body_pos[i]);
+                self.patch(miss_jump, default_body.unwrap_or(end));
+                for j in self.breaks.pop().unwrap_or_default() {
+                    self.patch(j, end);
+                }
+                Ok(())
+            }
+            CStmt::Break { line } => {
+                self.line = *line;
+                let j = self.emit(Instr::Jmp(0));
+                match self.breaks.last_mut() {
+                    Some(v) => v.push(j),
+                    None => return self.err("`break` outside a loop"),
+                }
+                Ok(())
+            }
+            CStmt::Continue { line } => {
+                self.line = *line;
+                let j = self.emit(Instr::Jmp(0));
+                match self.continues.last_mut() {
+                    Some(v) => v.push(j),
+                    None => return self.err("`continue` outside a loop"),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves a `case` label to a constant (literals and
+    /// enumerators).
+    fn const_label(&mut self, e: &CExpr) -> CompileResult<i64> {
+        match e {
+            CExpr::Int(v) => Ok(*v),
+            CExpr::Char(c) => Ok(*c as i64),
+            CExpr::Un(CUnOp::Neg, inner) => Ok(-self.const_label(inner)?),
+            CExpr::Ident(name) => match self.t.core.types.enumerator(name) {
+                Some((_, v)) => Ok(v),
+                None => self.err(format!("case label `{name}` is not a constant")),
+            },
+            other => self.err(format!("unsupported case label: {other:?}")),
+        }
+    }
+
+    fn fix_loop(&mut self, break_to: usize, continue_to: usize) {
+        for j in self.breaks.pop().unwrap_or_default() {
+            self.patch(j, break_to);
+        }
+        for j in self.continues.pop().unwrap_or_default() {
+            self.patch(j, continue_to);
+        }
+    }
+
+    /// Finishes a function body, returning its code and locals.
+    pub fn finish(
+        mut self,
+        params: &[CParam],
+        body: &[CStmt],
+        ret: TypeId,
+        name: &str,
+        first_line: u32,
+    ) -> CompileResult<IrFunction> {
+        // Parameters become the first locals.
+        let mut param_list = Vec::new();
+        for p in params {
+            let ty = self.resolve(&p.base, &p.decl.derivs)?;
+            let rt = self.declare_local(&p.decl.name, ty);
+            param_list.push((rt, ty));
+        }
+        let nparams = param_list.len();
+        for s in body {
+            self.stmt(s)?;
+        }
+        // Implicit return.
+        self.emit(Instr::Ret { has_value: false });
+        let locals = self.locals.split_off(nparams);
+        Ok(IrFunction {
+            name: name.to_string(),
+            params: param_list,
+            locals,
+            ret,
+            code: self.code,
+            first_line,
+        })
+    }
+}

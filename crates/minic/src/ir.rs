@@ -1,0 +1,237 @@
+//! The bytecode instruction set.
+//!
+//! A stack machine whose variables live in simulated target memory:
+//! `AddrLocal`/`AddrGlobal` push addresses, `Load`/`Store` move values
+//! between the evaluation stack and the address space. Integer values
+//! are kept sign-extended in `i64`; `Trunc` renormalizes after
+//! arithmetic on narrow or unsigned types.
+
+use duel_ctype::TypeId;
+
+/// Comparison selector for `CmpI`/`CmpF`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+}
+
+/// One bytecode instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// Push an integer constant.
+    PushI(i64),
+    /// Push a float constant.
+    PushF(f64),
+    /// Push the address of a local (by runtime name).
+    AddrLocal(String),
+    /// Push the address of a global.
+    AddrGlobal(String),
+
+    /// Pop an address, push the value loaded from it.
+    Load {
+        /// Width in bytes (1/2/4/8).
+        size: u8,
+        /// Sign-extend on load.
+        signed: bool,
+        /// IEEE float rather than integer.
+        float: bool,
+    },
+    /// Pop value then address, store, push the value back.
+    Store {
+        /// Width in bytes.
+        size: u8,
+        /// IEEE float rather than integer.
+        float: bool,
+    },
+    /// Pop a storage-unit address, push the bitfield value.
+    LoadBits {
+        /// Storage unit size in bytes.
+        size: u8,
+        /// Bit offset from the unit LSB.
+        off: u8,
+        /// Width in bits.
+        width: u8,
+        /// Sign-extend.
+        signed: bool,
+    },
+    /// Pop value then unit address, read-modify-write the bitfield,
+    /// push the value back.
+    StoreBits {
+        /// Storage unit size in bytes.
+        size: u8,
+        /// Bit offset.
+        off: u8,
+        /// Width in bits.
+        width: u8,
+    },
+
+    /// Duplicate the top of stack.
+    Dup,
+    /// Drop the top of stack.
+    Pop,
+    /// Swap the top two values.
+    Swap,
+    /// Rotate the top three values: `[a b c]` → `[b c a]`.
+    Rot3,
+
+    /// Integer add.
+    AddI,
+    /// Integer subtract.
+    SubI,
+    /// Integer multiply.
+    MulI,
+    /// Integer divide.
+    DivI {
+        /// Signed division.
+        signed: bool,
+    },
+    /// Integer remainder.
+    RemI {
+        /// Signed remainder.
+        signed: bool,
+    },
+    /// Shift left.
+    ShlI,
+    /// Shift right (arithmetic if `signed`).
+    ShrI {
+        /// Arithmetic shift.
+        signed: bool,
+    },
+    /// Bitwise and.
+    AndI,
+    /// Bitwise or.
+    OrI,
+    /// Bitwise xor.
+    XorI,
+    /// Integer negate.
+    NegI,
+    /// Bitwise complement.
+    NotI,
+    /// Logical not (`!`): any → 0/1.
+    LogNotI,
+    /// Integer comparison, pushing 0/1.
+    CmpI {
+        /// Which comparison.
+        op: Cmp,
+        /// Compare as signed values.
+        signed: bool,
+    },
+
+    /// Float add.
+    AddF,
+    /// Float subtract.
+    SubF,
+    /// Float multiply.
+    MulF,
+    /// Float divide.
+    DivF,
+    /// Float negate.
+    NegF,
+    /// Float comparison, pushing 0/1.
+    CmpF {
+        /// Which comparison.
+        op: Cmp,
+    },
+
+    /// Integer → float.
+    I2F,
+    /// Float → integer (truncating).
+    F2I,
+    /// Renormalize an integer to `size` bytes with `signed`ness.
+    Trunc {
+        /// Width in bytes.
+        size: u8,
+        /// Sign-extend after masking.
+        signed: bool,
+    },
+
+    /// Pop int `i` and pointer `p`, push `p + i*esize`.
+    PtrAdd {
+        /// Element size.
+        esize: u64,
+    },
+    /// Pop pointers `b`, `a`, push `(a - b)/esize`.
+    PtrDiff {
+        /// Element size.
+        esize: u64,
+    },
+
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Jump if the popped value is zero.
+    Jz(usize),
+    /// Jump if the popped value is non-zero.
+    Jnz(usize),
+
+    /// Call `name` with `args.len()` stacked arguments (left-to-right).
+    /// If `name` is a program function, a frame is pushed; otherwise
+    /// the call is marshalled to the target's native functions.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument types (for native marshalling).
+        args: Vec<TypeId>,
+        /// Return type.
+        ret: TypeId,
+    },
+    /// Return from the current function.
+    Ret {
+        /// Whether a return value is on the stack.
+        has_value: bool,
+    },
+
+    /// A statement boundary at a source line (breakpoint site).
+    Line(u32),
+    /// No operation.
+    Nop,
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct IrFunction {
+    /// The function name.
+    pub name: String,
+    /// Parameters: runtime name and type, in call order.
+    pub params: Vec<(String, TypeId)>,
+    /// All locals (flattened from nested blocks; shadowed names are
+    /// suffixed with `@N`).
+    pub locals: Vec<(String, TypeId)>,
+    /// Return type.
+    pub ret: TypeId,
+    /// The bytecode.
+    pub code: Vec<Instr>,
+    /// Line of the definition (for the debugger).
+    pub first_line: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_equality() {
+        assert_eq!(Instr::PushI(1), Instr::PushI(1));
+        assert_ne!(
+            Instr::Load {
+                size: 4,
+                signed: true,
+                float: false
+            },
+            Instr::Load {
+                size: 4,
+                signed: false,
+                float: false
+            }
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! The mini-C lexer.
+//!
+//! Tracks 1-based line numbers for the debugger's line table. Supports
+//! `//` and `/* */` comments, decimal/hex/octal/char/float/string
+//! literals, and every C89 operator the parser understands.
+
+use crate::{CompileError, CompileResult};
+
+/// A mini-C token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CTok {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal.
+    Char(u8),
+    /// String literal.
+    Str(String),
+    /// Identifier or keyword.
+    Ident(String),
+    /// A punctuator, by spelling (e.g. `"+="`, `"->"`).
+    Punct(&'static str),
+    /// End of file.
+    Eof,
+}
+
+impl CTok {
+    /// `true` if this token is the punctuator `p`.
+    pub fn is(&self, p: &str) -> bool {
+        matches!(self, CTok::Punct(s) if *s == p)
+    }
+
+    /// `true` if this token is the keyword/identifier `k`.
+    pub fn is_kw(&self, k: &str) -> bool {
+        matches!(self, CTok::Ident(s) if s == k)
+    }
+
+    /// Display for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            CTok::Int(v) => format!("`{v}`"),
+            CTok::Float(v) => format!("`{v}`"),
+            CTok::Char(c) => format!("`'{}'`", *c as char),
+            CTok::Str(s) => format!("string {s:?}"),
+            CTok::Ident(s) => format!("`{s}`"),
+            CTok::Punct(p) => format!("`{p}`"),
+            CTok::Eof => "end of file".to_string(),
+        }
+    }
+}
+
+/// A token plus the line it starts on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lexed {
+    /// The token.
+    pub tok: CTok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// All multi-character punctuators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "[", "]", "{", "}", ";", ",", ".", "+",
+    "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":",
+];
+
+/// Lexes mini-C source into tokens.
+pub fn lex(src: &str) -> CompileResult<Vec<Lexed>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let err = |line: u32, m: String| CompileError { line, message: m };
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(b.len());
+            continue;
+        }
+        let start_line = line;
+        // Identifiers / keywords.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let s = i;
+            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            out.push(Lexed {
+                tok: CTok::Ident(std::str::from_utf8(&b[s..i]).unwrap().to_string()),
+                line: start_line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()) {
+            let s = i;
+            let mut is_float = false;
+            if c == b'0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X') {
+                i += 2;
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[s + 2..i]).unwrap();
+                let v = u64::from_str_radix(text, 16)
+                    .map_err(|_| err(start_line, "bad hex literal".to_string()))?;
+                while i < b.len() && matches!(b[i], b'u' | b'U' | b'l' | b'L') {
+                    i += 1;
+                }
+                out.push(Lexed {
+                    tok: CTok::Int(v as i64),
+                    line: start_line,
+                });
+                continue;
+            }
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' {
+                is_float = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let save = i;
+                i += 1;
+                if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                    i += 1;
+                }
+                if i < b.len() && b[i].is_ascii_digit() {
+                    is_float = true;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                } else {
+                    i = save;
+                }
+            }
+            let text = std::str::from_utf8(&b[s..i]).unwrap();
+            if is_float {
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| err(start_line, format!("bad float `{text}`")))?;
+                while i < b.len() && matches!(b[i], b'f' | b'F' | b'l' | b'L') {
+                    i += 1;
+                }
+                out.push(Lexed {
+                    tok: CTok::Float(v),
+                    line: start_line,
+                });
+            } else {
+                let v = if text.len() > 1 && text.starts_with('0') {
+                    i64::from_str_radix(&text[1..], 8)
+                        .map_err(|_| err(start_line, format!("bad octal `{text}`")))?
+                } else {
+                    text.parse::<i64>()
+                        .map_err(|_| err(start_line, format!("bad integer `{text}`")))?
+                };
+                while i < b.len() && matches!(b[i], b'u' | b'U' | b'l' | b'L') {
+                    i += 1;
+                }
+                out.push(Lexed {
+                    tok: CTok::Int(v),
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+        // Char literals.
+        if c == b'\'' {
+            i += 1;
+            let v = if i < b.len() && b[i] == b'\\' {
+                i += 1;
+                let (v, used) = unescape(&b[i..], start_line)?;
+                i += used;
+                v
+            } else if i < b.len() {
+                let v = b[i];
+                i += 1;
+                v
+            } else {
+                return Err(err(start_line, "unterminated char".into()));
+            };
+            if i >= b.len() || b[i] != b'\'' {
+                return Err(err(start_line, "unterminated char".into()));
+            }
+            i += 1;
+            out.push(Lexed {
+                tok: CTok::Char(v),
+                line: start_line,
+            });
+            continue;
+        }
+        // String literals.
+        if c == b'"' {
+            i += 1;
+            let mut s = Vec::new();
+            loop {
+                if i >= b.len() {
+                    return Err(err(start_line, "unterminated string".into()));
+                }
+                match b[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        let (v, used) = unescape(&b[i..], start_line)?;
+                        i += used;
+                        s.push(v);
+                    }
+                    b'\n' => return Err(err(start_line, "newline in string".into())),
+                    other => {
+                        s.push(other);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Lexed {
+                tok: CTok::Str(String::from_utf8_lossy(&s).into_owned()),
+                line: start_line,
+            });
+            continue;
+        }
+        // Punctuators, longest first.
+        let rest = &src[i..];
+        let mut matched = None;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        match matched {
+            Some(p) => {
+                i += p.len();
+                out.push(Lexed {
+                    tok: CTok::Punct(p),
+                    line: start_line,
+                });
+            }
+            None => {
+                return Err(err(
+                    start_line,
+                    format!("unexpected character `{}`", c as char),
+                ))
+            }
+        }
+    }
+    out.push(Lexed {
+        tok: CTok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn unescape(rest: &[u8], line: u32) -> CompileResult<(u8, usize)> {
+    let err = |m: &str| CompileError {
+        line,
+        message: m.to_string(),
+    };
+    let c = *rest.first().ok_or_else(|| err("dangling escape"))?;
+    Ok(match c {
+        b'n' => (b'\n', 1),
+        b't' => (b'\t', 1),
+        b'r' => (b'\r', 1),
+        b'0' => (0, 1),
+        b'a' => (7, 1),
+        b'b' => (8, 1),
+        b'f' => (12, 1),
+        b'v' => (11, 1),
+        b'\\' => (b'\\', 1),
+        b'\'' => (b'\'', 1),
+        b'"' => (b'"', 1),
+        b'x' => {
+            let mut v: u32 = 0;
+            let mut n = 1;
+            while n < rest.len() && n <= 2 && rest[n].is_ascii_hexdigit() {
+                v = v * 16 + (rest[n] as char).to_digit(16).unwrap();
+                n += 1;
+            }
+            if n == 1 {
+                return Err(err("\\x needs hex digits"));
+            }
+            (v as u8, n)
+        }
+        other => return Err(err(&format!("unknown escape \\{}", other as char))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<CTok> {
+        lex(src).unwrap().into_iter().map(|l| l.tok).collect()
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                CTok::Ident("int".into()),
+                CTok::Ident("x".into()),
+                CTok::Punct("="),
+                CTok::Int(42),
+                CTok::Punct(";"),
+                CTok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("0x10")[0], CTok::Int(16));
+        assert_eq!(toks("010")[0], CTok::Int(8));
+        assert_eq!(toks("1.5")[0], CTok::Float(1.5));
+        assert_eq!(toks("2e2")[0], CTok::Float(200.0));
+        assert_eq!(toks("10L")[0], CTok::Int(10));
+    }
+
+    #[test]
+    fn punctuator_max_munch() {
+        assert_eq!(
+            toks("a->b <<= c"),
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Punct("->"),
+                CTok::Ident("b".into()),
+                CTok::Punct("<<="),
+                CTok::Ident("c".into()),
+                CTok::Eof
+            ]
+        );
+        assert_eq!(toks("a-- -b")[1], CTok::Punct("--"));
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(toks(r#""a\nb""#)[0], CTok::Str("a\nb".into()));
+        assert_eq!(toks(r"'\0'")[0], CTok::Char(0));
+        assert_eq!(toks(r"'\x41'")[0], CTok::Char(65));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ls = lex("int a; // c\n/* multi\nline */ int b;").unwrap();
+        let b_line = ls.iter().find(|l| l.tok.is_kw("b")).map(|l| l.line);
+        assert_eq!(b_line, Some(3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("@").is_err());
+    }
+}

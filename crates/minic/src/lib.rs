@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! A mini-C compiler, bytecode VM, and source-level debugger.
+//!
+//! The DUEL paper runs on top of gdb attached to real C programs. This
+//! crate is that substrate's stand-in: it compiles a useful subset of
+//! C89, executes it on a stack-machine VM whose variables live in the
+//! *simulated target address space* ([`duel_target::SimTarget`]), emits
+//! debug information (symbols, types, a line table), and exposes a
+//! miniature source-level debugger with breakpoints and line stepping.
+//!
+//! Because globals and locals occupy real simulated memory and the type
+//! table is shared, a [`Debugger`] *is* a [`duel_target::Target`]: DUEL
+//! queries run against a stopped mini-C program exactly as they would
+//! against gdb (experiment E9's backend-swap).
+//!
+//! # Examples
+//!
+//! ```
+//! use duel_minic::Debugger;
+//!
+//! let src = r#"
+//!     int x[5];
+//!     int main() {
+//!         int i;
+//!         for (i = 0; i < 5; i = i + 1)
+//!             x[i] = i * i;
+//!         return x[4];          // line 7
+//!     }
+//! "#;
+//! let mut dbg = Debugger::new(src).unwrap();
+//! dbg.add_breakpoint(7);
+//! let stop = dbg.run().unwrap();
+//! assert_eq!(stop, duel_minic::StopReason::Breakpoint { line: 7 });
+//! // The program state is now visible through the Target interface.
+//! use duel_target::Target;
+//! assert!(dbg.get_variable("x").is_some());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod debugger;
+pub mod ir;
+pub mod lex;
+pub mod parse;
+pub mod program;
+pub mod vm;
+
+pub use debugger::{Debugger, StopReason};
+pub use program::{compile, Program};
+pub use vm::{Vm, VmError};
+
+/// Errors from compiling mini-C source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result alias for compilation.
+pub type CompileResult<T> = Result<T, CompileError>;

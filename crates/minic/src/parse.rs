@@ -1,0 +1,926 @@
+//! The mini-C recursive-descent parser.
+
+use duel_ctype::Prim;
+
+use crate::{
+    ast::{
+        CBase, CBinOp, CDeclarator, CDeriv, CExpr, CField, CInit, CItem, CParam, CStmt, CTypeName,
+        CUnOp, CUnit,
+    },
+    lex::{lex, CTok, Lexed},
+    CompileError, CompileResult,
+};
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "char", "short", "int", "long", "float", "double", "unsigned", "signed", "struct",
+    "union", "enum",
+];
+
+const KEYWORDS: &[&str] = &[
+    "void", "char", "short", "int", "long", "float", "double", "unsigned", "signed", "struct",
+    "union", "enum", "typedef", "if", "else", "while", "for", "do", "return", "break", "continue",
+    "sizeof", "static", "extern",
+];
+
+/// Parses a translation unit.
+pub fn parse(src: &str) -> CompileResult<CUnit> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        typedefs: Vec::new(),
+        depth: 0,
+    };
+    p.unit()
+}
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+    typedefs: Vec<String>,
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &CTok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek2(&self) -> &CTok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> CTok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> CompileResult<T> {
+        Err(CompileError {
+            line: self.line(),
+            message: m.into(),
+        })
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if self.peek().is(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: &str) -> bool {
+        if self.peek().is_kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> CompileResult<()> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek().describe()))
+        }
+    }
+
+    fn ident(&mut self) -> CompileResult<String> {
+        match self.bump() {
+            CTok::Ident(n) if !KEYWORDS.contains(&n.as_str()) => Ok(n),
+            other => self.err(format!(
+                "expected an identifier, found {}",
+                other.describe()
+            )),
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        match self.peek() {
+            CTok::Ident(s) => {
+                TYPE_KEYWORDS.contains(&s.as_str()) || self.typedefs.iter().any(|t| t == s)
+            }
+            _ => false,
+        }
+    }
+
+    // ----- top level ------------------------------------------------------
+
+    fn unit(&mut self) -> CompileResult<CUnit> {
+        let mut items = Vec::new();
+        while self.peek() != &CTok::Eof {
+            // Storage classes are accepted and ignored.
+            while self.eat_kw("static") || self.eat_kw("extern") {}
+            if self.eat_kw("typedef") {
+                let base = self.base_type(&mut items)?;
+                let decl = self.declarator()?;
+                self.expect(";")?;
+                self.typedefs.push(decl.name.clone());
+                items.push(CItem::Typedef { base, decl });
+                continue;
+            }
+            let line = self.line();
+            let base = self.base_type(&mut items)?;
+            // A bare `struct s { … };` definition.
+            if self.eat(";") {
+                continue;
+            }
+            let first = self.declarator()?;
+            if self.peek().is("(") {
+                // A function definition.
+                self.bump();
+                let params = self.params()?;
+                self.expect(")")?;
+                // Tolerate prototypes.
+                if self.eat(";") {
+                    continue;
+                }
+                self.expect("{")?;
+                let mut body = Vec::new();
+                while !self.peek().is("}") {
+                    body.push(self.stmt()?);
+                }
+                self.expect("}")?;
+                items.push(CItem::Function {
+                    ret_base: base,
+                    ret_derivs: first.derivs,
+                    name: first.name,
+                    params,
+                    body,
+                    line,
+                });
+                continue;
+            }
+            // Globals.
+            let mut decls = Vec::new();
+            let init = if self.eat("=") {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            decls.push((first, init));
+            while self.eat(",") {
+                let d = self.declarator()?;
+                let init = if self.eat("=") {
+                    Some(self.initializer()?)
+                } else {
+                    None
+                };
+                decls.push((d, init));
+            }
+            self.expect(";")?;
+            items.push(CItem::Globals { base, decls });
+        }
+        Ok(CUnit { items })
+    }
+
+    fn params(&mut self) -> CompileResult<Vec<CParam>> {
+        let mut out = Vec::new();
+        if self.peek().is(")") {
+            return Ok(out);
+        }
+        if self.peek().is_kw("void") && self.peek2().is(")") {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            if self.eat("...") {
+                // Varargs accepted (native functions handle them).
+                break;
+            }
+            let mut dummy = Vec::new();
+            let base = self.base_type(&mut dummy)?;
+            if !dummy.is_empty() {
+                return self.err("cannot define a type inside a parameter list");
+            }
+            let decl = self.declarator()?;
+            out.push(CParam { base, decl });
+            if !self.eat(",") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses a base type. Inline struct/union/enum *definitions* are
+    /// appended to `defs` as items so codegen sees them first.
+    fn base_type(&mut self, defs: &mut Vec<CItem>) -> CompileResult<CBase> {
+        if self.eat_kw("struct") {
+            return self.record_rest(false, defs);
+        }
+        if self.eat_kw("union") {
+            return self.record_rest(true, defs);
+        }
+        if self.eat_kw("enum") {
+            let tag = match self.peek() {
+                CTok::Ident(n) if !KEYWORDS.contains(&n.as_str()) => {
+                    let n = n.clone();
+                    self.bump();
+                    Some(n)
+                }
+                _ => None,
+            };
+            if self.eat("{") {
+                let mut enumerators = Vec::new();
+                while !self.peek().is("}") {
+                    let name = self.ident()?;
+                    let v = if self.eat("=") {
+                        Some(self.assign_expr()?)
+                    } else {
+                        None
+                    };
+                    enumerators.push((name, v));
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("}")?;
+                defs.push(CItem::Enum {
+                    tag: tag.clone(),
+                    enumerators,
+                });
+            }
+            return Ok(CBase::Enum(tag.unwrap_or_default()));
+        }
+        if self.eat_kw("void") {
+            return Ok(CBase::Void);
+        }
+        // Integer keyword soup.
+        let mut signed: Option<bool> = None;
+        let mut longs = 0u8;
+        let mut base: Option<&str> = None;
+        let mut any = false;
+        loop {
+            if self.eat_kw("signed") {
+                signed = Some(true);
+            } else if self.eat_kw("unsigned") {
+                signed = Some(false);
+            } else if self.eat_kw("long") {
+                longs += 1;
+            } else if self.eat_kw("short") {
+                base = Some("short");
+            } else if self.eat_kw("char") {
+                base = Some("char");
+            } else if self.eat_kw("int") {
+                if base.is_none() {
+                    base = Some("int");
+                }
+            } else if self.eat_kw("float") {
+                base = Some("float");
+            } else if self.eat_kw("double") {
+                base = Some("double");
+            } else {
+                break;
+            }
+            any = true;
+        }
+        if !any {
+            if let CTok::Ident(n) = self.peek() {
+                if self.typedefs.iter().any(|t| t == n) {
+                    let n = n.clone();
+                    self.bump();
+                    return Ok(CBase::Typedef(n));
+                }
+            }
+            return self.err(format!("expected a type, found {}", self.peek().describe()));
+        }
+        let unsigned = signed == Some(false);
+        let prim = match (base, longs) {
+            (Some("char"), _) => {
+                if unsigned {
+                    Prim::UChar
+                } else if signed == Some(true) {
+                    Prim::SChar
+                } else {
+                    Prim::Char
+                }
+            }
+            (Some("short"), _) => {
+                if unsigned {
+                    Prim::UShort
+                } else {
+                    Prim::Short
+                }
+            }
+            (Some("float"), _) => Prim::Float,
+            (Some("double"), _) => Prim::Double,
+            (_, 0) => {
+                if unsigned {
+                    Prim::UInt
+                } else {
+                    Prim::Int
+                }
+            }
+            (_, 1) => {
+                if unsigned {
+                    Prim::ULong
+                } else {
+                    Prim::Long
+                }
+            }
+            _ => {
+                if unsigned {
+                    Prim::ULongLong
+                } else {
+                    Prim::LongLong
+                }
+            }
+        };
+        Ok(CBase::Prim(prim))
+    }
+
+    fn record_rest(&mut self, is_union: bool, defs: &mut Vec<CItem>) -> CompileResult<CBase> {
+        let tag = self.ident()?;
+        if self.eat("{") {
+            let mut fields = Vec::new();
+            while !self.peek().is("}") {
+                let mut inner = Vec::new();
+                let base = self.base_type(&mut inner)?;
+                defs.extend(inner);
+                loop {
+                    let decl = self.declarator()?;
+                    let bits = if self.eat(":") {
+                        match self.bump() {
+                            CTok::Int(v) => Some(v as u8),
+                            other => {
+                                return self.err(format!(
+                                    "bitfield width must be an integer, \
+                                     found {}",
+                                    other.describe()
+                                ))
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    fields.push(CField {
+                        base: base.clone(),
+                        decl,
+                        bits,
+                    });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect(";")?;
+            }
+            self.expect("}")?;
+            defs.push(CItem::Record {
+                is_union,
+                tag: tag.clone(),
+                fields,
+            });
+        }
+        Ok(if is_union {
+            CBase::Union(tag)
+        } else {
+            CBase::Struct(tag)
+        })
+    }
+
+    fn declarator(&mut self) -> CompileResult<CDeclarator> {
+        let mut derivs = Vec::new();
+        while self.eat("*") {
+            derivs.push(CDeriv::Ptr);
+        }
+        let name = self.ident()?;
+        while self.eat("[") {
+            let n = match self.bump() {
+                CTok::Int(v) if v >= 0 => v as u64,
+                other => {
+                    return self.err(format!(
+                        "array length must be a constant, found {}",
+                        other.describe()
+                    ))
+                }
+            };
+            self.expect("]")?;
+            derivs.push(CDeriv::Array(n));
+        }
+        Ok(CDeclarator { name, derivs })
+    }
+
+    fn type_name(&mut self) -> CompileResult<CTypeName> {
+        let mut dummy = Vec::new();
+        let base = self.base_type(&mut dummy)?;
+        if !dummy.is_empty() {
+            return self.err("cannot define a type here");
+        }
+        let mut derivs = Vec::new();
+        while self.eat("*") {
+            derivs.push(CDeriv::Ptr);
+        }
+        while self.eat("[") {
+            let n = match self.bump() {
+                CTok::Int(v) if v >= 0 => v as u64,
+                other => {
+                    return self.err(format!(
+                        "array length must be a constant, found {}",
+                        other.describe()
+                    ))
+                }
+            };
+            self.expect("]")?;
+            derivs.push(CDeriv::Array(n));
+        }
+        Ok(CTypeName { base, derivs })
+    }
+
+    fn initializer(&mut self) -> CompileResult<CInit> {
+        if self.eat("{") {
+            let mut list = Vec::new();
+            while !self.peek().is("}") {
+                list.push(self.initializer()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("}")?;
+            Ok(CInit::List(list))
+        } else {
+            Ok(CInit::Scalar(self.assign_expr()?))
+        }
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn stmt(&mut self) -> CompileResult<CStmt> {
+        let line = self.line();
+        if self.eat(";") {
+            return Ok(CStmt::Empty);
+        }
+        if self.eat("{") {
+            let mut body = Vec::new();
+            while !self.peek().is("}") {
+                body.push(self.stmt()?);
+            }
+            self.expect("}")?;
+            return Ok(CStmt::Block(body));
+        }
+        if self.eat_kw("if") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(CStmt::If {
+                cond,
+                then,
+                els,
+                line,
+            });
+        }
+        if self.eat_kw("while") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(CStmt::While { cond, body, line });
+        }
+        if self.eat_kw("do") {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_kw("while") {
+                return self.err("expected `while` after `do` body");
+            }
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            self.expect(";")?;
+            return Ok(CStmt::DoWhile { body, cond, line });
+        }
+        if self.eat_kw("for") {
+            self.expect("(")?;
+            let init = if self.peek().is(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(";")?;
+            let cond = if self.peek().is(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(";")?;
+            let step = if self.peek().is(")") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            });
+        }
+        if self.eat_kw("switch") {
+            self.expect("(")?;
+            let scrutinee = self.expr()?;
+            self.expect(")")?;
+            self.expect("{")?;
+            let mut arms: Vec<(Option<CExpr>, Vec<CStmt>)> = Vec::new();
+            while !self.peek().is("}") {
+                let label = if self.eat_kw("case") {
+                    let e = self.assign_expr()?;
+                    self.expect(":")?;
+                    Some(e)
+                } else if self.eat_kw("default") {
+                    self.expect(":")?;
+                    None
+                } else if arms.is_empty() {
+                    return self.err("expected `case` or `default` in switch");
+                } else {
+                    // A statement belonging to the previous arm.
+                    let stmt = self.stmt()?;
+                    arms.last_mut().expect("non-empty").1.push(stmt);
+                    continue;
+                };
+                arms.push((label, Vec::new()));
+            }
+            self.expect("}")?;
+            return Ok(CStmt::Switch {
+                scrutinee,
+                arms,
+                line,
+            });
+        }
+        if self.eat_kw("return") {
+            let expr = if self.peek().is(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(";")?;
+            return Ok(CStmt::Return { expr, line });
+        }
+        if self.eat_kw("break") {
+            self.expect(";")?;
+            return Ok(CStmt::Break { line });
+        }
+        if self.eat_kw("continue") {
+            self.expect(";")?;
+            return Ok(CStmt::Continue { line });
+        }
+        if self.at_type() {
+            let mut defs = Vec::new();
+            let base = self.base_type(&mut defs)?;
+            if !defs.is_empty() {
+                return self.err("type definitions are only allowed at file scope");
+            }
+            let mut decls = Vec::new();
+            loop {
+                let d = self.declarator()?;
+                let init = if self.eat("=") {
+                    Some(self.assign_expr()?)
+                } else {
+                    None
+                };
+                decls.push((d, init));
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(";")?;
+            return Ok(CStmt::Decl { base, decls, line });
+        }
+        let expr = self.expr()?;
+        self.expect(";")?;
+        Ok(CStmt::Expr { expr, line })
+    }
+
+    // ----- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> CompileResult<CExpr> {
+        let mut e = self.assign_expr()?;
+        while self.eat(",") {
+            let r = self.assign_expr()?;
+            e = CExpr::Comma(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn assign_expr(&mut self) -> CompileResult<CExpr> {
+        self.depth += 1;
+        if self.depth > 128 {
+            self.depth -= 1;
+            return self.err("expression nests more than 128 levels deep");
+        }
+        let r = self.assign_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn assign_expr_inner(&mut self) -> CompileResult<CExpr> {
+        let lhs = self.cond_expr()?;
+        let op = match self.peek() {
+            CTok::Punct("=") => None,
+            CTok::Punct("+=") => Some(CBinOp::Add),
+            CTok::Punct("-=") => Some(CBinOp::Sub),
+            CTok::Punct("*=") => Some(CBinOp::Mul),
+            CTok::Punct("/=") => Some(CBinOp::Div),
+            CTok::Punct("%=") => Some(CBinOp::Rem),
+            CTok::Punct("&=") => Some(CBinOp::And),
+            CTok::Punct("|=") => Some(CBinOp::Or),
+            CTok::Punct("^=") => Some(CBinOp::Xor),
+            CTok::Punct("<<=") => Some(CBinOp::Shl),
+            CTok::Punct(">>=") => Some(CBinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assign_expr()?;
+        Ok(CExpr::Assign(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn cond_expr(&mut self) -> CompileResult<CExpr> {
+        let c = self.bin_expr(0)?;
+        if self.eat("?") {
+            let a = self.expr()?;
+            self.expect(":")?;
+            let b = self.cond_expr()?;
+            return Ok(CExpr::Cond(Box::new(c), Box::new(a), Box::new(b)));
+        }
+        Ok(c)
+    }
+
+    /// Binary operators via precedence climbing; `min` is the minimum
+    /// precedence level (0 = `||`).
+    fn bin_expr(&mut self, min: u8) -> CompileResult<CExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                CTok::Punct("||") => (CBinOp::LogOr, 0),
+                CTok::Punct("&&") => (CBinOp::LogAnd, 1),
+                CTok::Punct("|") => (CBinOp::Or, 2),
+                CTok::Punct("^") => (CBinOp::Xor, 3),
+                CTok::Punct("&") => (CBinOp::And, 4),
+                CTok::Punct("==") => (CBinOp::Eq, 5),
+                CTok::Punct("!=") => (CBinOp::Ne, 5),
+                CTok::Punct("<") => (CBinOp::Lt, 6),
+                CTok::Punct("<=") => (CBinOp::Le, 6),
+                CTok::Punct(">") => (CBinOp::Gt, 6),
+                CTok::Punct(">=") => (CBinOp::Ge, 6),
+                CTok::Punct("<<") => (CBinOp::Shl, 7),
+                CTok::Punct(">>") => (CBinOp::Shr, 7),
+                CTok::Punct("+") => (CBinOp::Add, 8),
+                CTok::Punct("-") => (CBinOp::Sub, 8),
+                CTok::Punct("*") => (CBinOp::Mul, 9),
+                CTok::Punct("/") => (CBinOp::Div, 9),
+                CTok::Punct("%") => (CBinOp::Rem, 9),
+                _ => break,
+            };
+            if prec < min {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = CExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> CompileResult<CExpr> {
+        if self.eat("-") {
+            return Ok(CExpr::Un(CUnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("+") {
+            return Ok(CExpr::Un(CUnOp::Pos, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("!") {
+            return Ok(CExpr::Un(CUnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("~") {
+            return Ok(CExpr::Un(CUnOp::BitNot, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("*") {
+            return Ok(CExpr::Un(CUnOp::Deref, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("&") {
+            return Ok(CExpr::Un(CUnOp::Addr, Box::new(self.unary_expr()?)));
+        }
+        if self.eat("++") {
+            return Ok(CExpr::PreIncDec {
+                inc: true,
+                expr: Box::new(self.unary_expr()?),
+            });
+        }
+        if self.eat("--") {
+            return Ok(CExpr::PreIncDec {
+                inc: false,
+                expr: Box::new(self.unary_expr()?),
+            });
+        }
+        if self.peek().is_kw("sizeof") {
+            self.bump();
+            if self.peek().is("(") && self.type_ahead() {
+                self.bump();
+                let t = self.type_name()?;
+                self.expect(")")?;
+                return Ok(CExpr::SizeofT(t));
+            }
+            return Ok(CExpr::SizeofE(Box::new(self.unary_expr()?)));
+        }
+        if self.peek().is("(") && self.type_ahead() {
+            self.bump();
+            let t = self.type_name()?;
+            self.expect(")")?;
+            return Ok(CExpr::Cast(t, Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    /// Is `(` followed by a type name?
+    fn type_ahead(&self) -> bool {
+        match self.peek2() {
+            CTok::Ident(s) => {
+                TYPE_KEYWORDS.contains(&s.as_str()) || self.typedefs.iter().any(|t| t == s)
+            }
+            _ => false,
+        }
+    }
+
+    fn postfix_expr(&mut self) -> CompileResult<CExpr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat("[") {
+                let idx = self.expr()?;
+                self.expect("]")?;
+                e = CExpr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat(".") {
+                let name = self.ident()?;
+                e = CExpr::Member {
+                    base: Box::new(e),
+                    name,
+                    arrow: false,
+                };
+            } else if self.eat("->") {
+                let name = self.ident()?;
+                e = CExpr::Member {
+                    base: Box::new(e),
+                    name,
+                    arrow: true,
+                };
+            } else if self.eat("++") {
+                e = CExpr::PostIncDec {
+                    inc: true,
+                    expr: Box::new(e),
+                };
+            } else if self.eat("--") {
+                e = CExpr::PostIncDec {
+                    inc: false,
+                    expr: Box::new(e),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> CompileResult<CExpr> {
+        match self.bump() {
+            CTok::Int(v) => Ok(CExpr::Int(v)),
+            CTok::Float(v) => Ok(CExpr::Float(v)),
+            CTok::Char(c) => Ok(CExpr::Char(c)),
+            CTok::Str(s) => Ok(CExpr::Str(s)),
+            CTok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            CTok::Ident(name) => {
+                if KEYWORDS.contains(&name.as_str()) {
+                    return self.err(format!("`{name}` cannot appear in an expression"));
+                }
+                if self.eat("(") {
+                    let mut args = Vec::new();
+                    if !self.peek().is(")") {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(")")?;
+                    Ok(CExpr::Call(name, args))
+                } else {
+                    Ok(CExpr::Ident(name))
+                }
+            }
+            other => self.err(format!(
+                "expected an expression, found {}",
+                other.describe()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_symbol_table_program() {
+        let src = r#"
+            struct symbol { char *name; int scope; struct symbol *next; };
+            struct symbol *hash[1024];
+            int nsyms = 0;
+            int main(void) {
+                int i;
+                for (i = 0; i < 1024; i++)
+                    hash[i] = 0;
+                return nsyms;
+            }
+        "#;
+        let u = parse(src).unwrap();
+        assert_eq!(u.items.len(), 4);
+        assert!(matches!(u.items[0], CItem::Record { .. }));
+        assert!(matches!(u.items[1], CItem::Globals { .. }));
+        assert!(matches!(u.items[3], CItem::Function { .. }));
+    }
+
+    #[test]
+    fn typedefs_enable_casts() {
+        let src = r#"
+            typedef struct node { int v; struct node *next; } Node;
+            Node *head;
+            int main() { head = (Node *)malloc(sizeof(Node)); return 0; }
+        "#;
+        let u = parse(src).unwrap();
+        assert!(matches!(&u.items[1], CItem::Typedef { .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let u = parse("int main(){ return 2+3*4 << 1; }").unwrap();
+        match &u.items[0] {
+            CItem::Function { body, .. } => match &body[0] {
+                CStmt::Return {
+                    expr: Some(CExpr::Bin(CBinOp::Shl, _, _)),
+                    ..
+                } => {}
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn statements_parse() {
+        let src = r#"
+            int main() {
+                int i, n = 10;
+                do { n--; } while (n > 0);
+                while (i < 3) i++;
+                if (n) return 1; else return 0;
+            }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let u = parse("int x[3] = {1, 2, 3}; char *s = \"hi\";").unwrap();
+        match &u.items[0] {
+            CItem::Globals { decls, .. } => {
+                assert!(matches!(decls[0].1, Some(CInit::List(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitfields_in_structs() {
+        let u = parse("struct f { unsigned a : 3; unsigned b : 5; };").unwrap();
+        match &u.items[0] {
+            CItem::Record { fields, .. } => {
+                assert_eq!(fields[0].bits, Some(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse("int main() {\n  return $;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

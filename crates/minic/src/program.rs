@@ -1,0 +1,495 @@
+//! Translation-unit compilation: type definitions, global
+//! materialization, and function lowering.
+
+use std::collections::HashMap;
+
+use duel_ctype::{Abi, Field, Prim, TypeId, TypeKind};
+use duel_target::SimTarget;
+
+use crate::{
+    ast::{CBase, CBinOp, CDeriv, CExpr, CInit, CItem, CUnOp, CUnit},
+    codegen::Codegen,
+    ir::IrFunction,
+    parse::parse,
+    CompileError, CompileResult,
+};
+
+/// A compiled mini-C program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All functions.
+    pub functions: Vec<IrFunction>,
+    /// Function name → index.
+    pub by_name: HashMap<String, usize>,
+    /// Global name → type (also registered in the target).
+    pub globals: HashMap<String, TypeId>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&IrFunction> {
+        self.by_name.get(name).map(|&i| &self.functions[i])
+    }
+}
+
+/// Resolves a base + derivations against the target's type table.
+pub(crate) fn resolve_ty(
+    t: &mut SimTarget,
+    base: &CBase,
+    derivs: &[CDeriv],
+    line: u32,
+) -> CompileResult<TypeId> {
+    let tt = &mut t.core.types;
+    let mut ty = match base {
+        CBase::Void => tt.void(),
+        CBase::Prim(p) => tt.prim(*p),
+        CBase::Struct(tag) => tt.declare_struct(tag).1,
+        CBase::Union(tag) => tt.declare_union(tag).1,
+        CBase::Enum(tag) => {
+            if tag.is_empty() {
+                tt.prim(Prim::Int)
+            } else if let Some(eid) = tt.enum_tag(tag) {
+                let def = tt.enum_def(eid).clone();
+                tt.define_enum(Some(tag), def.enumerators).1
+            } else {
+                return Err(CompileError {
+                    line,
+                    message: format!("unknown enum `{tag}`"),
+                });
+            }
+        }
+        CBase::Typedef(name) => match tt.typedef(name) {
+            Some(t) => t,
+            None => {
+                return Err(CompileError {
+                    line,
+                    message: format!("unknown type `{name}`"),
+                })
+            }
+        },
+    };
+    // Pointer stars apply first; array dimensions apply innermost-first
+    // (`int m[3][4]` is an array of 3 arrays of 4 ints).
+    for d in derivs.iter().filter(|d| matches!(d, CDeriv::Ptr)) {
+        let _ = d;
+        ty = t.core.types.pointer(ty);
+    }
+    for d in derivs.iter().rev() {
+        if let CDeriv::Array(n) = d {
+            ty = t.core.types.array(ty, Some(*n));
+        }
+    }
+    Ok(ty)
+}
+
+/// A compile-time constant.
+#[derive(Clone, Copy, Debug)]
+enum CV {
+    I(i64),
+    F(f64),
+}
+
+impl CV {
+    fn as_i(self) -> i64 {
+        match self {
+            CV::I(v) => v,
+            CV::F(f) => f as i64,
+        }
+    }
+
+    fn as_f(self) -> f64 {
+        match self {
+            CV::I(v) => v as f64,
+            CV::F(f) => f,
+        }
+    }
+}
+
+fn const_eval(t: &mut SimTarget, e: &CExpr) -> CompileResult<CV> {
+    let err = |m: &str| CompileError {
+        line: 0,
+        message: m.to_string(),
+    };
+    Ok(match e {
+        CExpr::Int(v) => CV::I(*v),
+        CExpr::Char(c) => CV::I(*c as i64),
+        CExpr::Float(f) => CV::F(*f),
+        CExpr::Str(s) => {
+            let addr = t.core.intern_cstring(s).map_err(|e| err(&e.to_string()))?;
+            CV::I(addr as i64)
+        }
+        CExpr::Ident(name) => match t.core.types.enumerator(name) {
+            Some((_, v)) => CV::I(v),
+            None => return Err(err(&format!("`{name}` is not a constant"))),
+        },
+        CExpr::Un(CUnOp::Neg, inner) => match const_eval(t, inner)? {
+            CV::I(v) => CV::I(-v),
+            CV::F(f) => CV::F(-f),
+        },
+        CExpr::Un(CUnOp::BitNot, inner) => CV::I(!const_eval(t, inner)?.as_i()),
+        CExpr::Un(CUnOp::Not, inner) => CV::I((const_eval(t, inner)?.as_i() == 0) as i64),
+        CExpr::Un(CUnOp::Pos, inner) => const_eval(t, inner)?,
+        CExpr::Bin(op, a, b) => {
+            let a = const_eval(t, a)?;
+            let b = const_eval(t, b)?;
+            if matches!(a, CV::F(_)) || matches!(b, CV::F(_)) {
+                let (x, y) = (a.as_f(), b.as_f());
+                match op {
+                    CBinOp::Add => CV::F(x + y),
+                    CBinOp::Sub => CV::F(x - y),
+                    CBinOp::Mul => CV::F(x * y),
+                    CBinOp::Div => CV::F(x / y),
+                    _ => return Err(err("unsupported constant float operation")),
+                }
+            } else {
+                let (x, y) = (a.as_i(), b.as_i());
+                let v = match op {
+                    CBinOp::Add => x.wrapping_add(y),
+                    CBinOp::Sub => x.wrapping_sub(y),
+                    CBinOp::Mul => x.wrapping_mul(y),
+                    CBinOp::Div => {
+                        if y == 0 {
+                            return Err(err("division by zero in constant"));
+                        }
+                        x / y
+                    }
+                    CBinOp::Rem => {
+                        if y == 0 {
+                            return Err(err("division by zero in constant"));
+                        }
+                        x % y
+                    }
+                    CBinOp::Shl => x << (y & 63),
+                    CBinOp::Shr => x >> (y & 63),
+                    CBinOp::And => x & y,
+                    CBinOp::Or => x | y,
+                    CBinOp::Xor => x ^ y,
+                    CBinOp::Lt => (x < y) as i64,
+                    CBinOp::Le => (x <= y) as i64,
+                    CBinOp::Gt => (x > y) as i64,
+                    CBinOp::Ge => (x >= y) as i64,
+                    CBinOp::Eq => (x == y) as i64,
+                    CBinOp::Ne => (x != y) as i64,
+                    CBinOp::LogAnd => ((x != 0) && (y != 0)) as i64,
+                    CBinOp::LogOr => ((x != 0) || (y != 0)) as i64,
+                };
+                CV::I(v)
+            }
+        }
+        CExpr::SizeofT(tn) => {
+            let ty = resolve_ty(t, &tn.base, &tn.derivs, 0)?;
+            let n = t
+                .core
+                .types
+                .size_of(ty, &t.core.abi)
+                .map_err(|e| err(&e.to_string()))?;
+            CV::I(n as i64)
+        }
+        CExpr::Cast(_, inner) => const_eval(t, inner)?,
+        other => return Err(err(&format!("not a constant expression: {other:?}"))),
+    })
+}
+
+fn write_scalar(t: &mut SimTarget, addr: u64, ty: TypeId, cv: CV) -> CompileResult<()> {
+    let err = |m: String| CompileError {
+        line: 0,
+        message: m,
+    };
+    match t.core.types.kind(ty).clone() {
+        TypeKind::Prim(p) if p.is_float() => {
+            let size = p.size(&t.core.abi) as usize;
+            let raw = if size == 4 {
+                (cv.as_f() as f32).to_bits() as u64
+            } else {
+                cv.as_f().to_bits()
+            };
+            t.core
+                .write_uint(addr, raw, size)
+                .map_err(|e| err(e.to_string()))
+        }
+        TypeKind::Prim(p) => {
+            let size = p.size(&t.core.abi) as usize;
+            t.core
+                .write_uint(addr, cv.as_i() as u64, size)
+                .map_err(|e| err(e.to_string()))
+        }
+        TypeKind::Enum(_) => t
+            .core
+            .write_uint(addr, cv.as_i() as u64, 4)
+            .map_err(|e| err(e.to_string())),
+        TypeKind::Pointer(_) => t
+            .core
+            .write_ptr(addr, cv.as_i() as u64)
+            .map_err(|e| err(e.to_string())),
+        other => Err(err(format!("cannot initialize a value of type {other:?}"))),
+    }
+}
+
+fn write_init(t: &mut SimTarget, addr: u64, ty: TypeId, init: &CInit) -> CompileResult<()> {
+    let err = |m: String| CompileError {
+        line: 0,
+        message: m,
+    };
+    match init {
+        CInit::Scalar(e) => {
+            // `char s[N] = "…"` writes the bytes.
+            if let (CExpr::Str(s), TypeKind::Array { elem, .. }) =
+                (e, t.core.types.kind(ty).clone())
+            {
+                if matches!(
+                    t.core.types.kind(elem),
+                    TypeKind::Prim(Prim::Char | Prim::SChar | Prim::UChar)
+                ) {
+                    t.core
+                        .mem
+                        .write(addr, s.as_bytes())
+                        .map_err(|e| err(e.to_string()))?;
+                    t.core
+                        .mem
+                        .write(addr + s.len() as u64, &[0])
+                        .map_err(|e| err(e.to_string()))?;
+                    return Ok(());
+                }
+            }
+            let cv = const_eval(t, e)?;
+            write_scalar(t, addr, ty, cv)
+        }
+        CInit::List(items) => match t.core.types.kind(ty).clone() {
+            TypeKind::Array { elem, len } => {
+                let esize = t
+                    .core
+                    .types
+                    .size_of(elem, &t.core.abi)
+                    .map_err(|e| err(e.to_string()))?;
+                let max = len.unwrap_or(items.len() as u64);
+                for (i, item) in items.iter().enumerate() {
+                    if (i as u64) >= max {
+                        return Err(err("too many initializers".to_string()));
+                    }
+                    write_init(t, addr + i as u64 * esize, elem, item)?;
+                }
+                Ok(())
+            }
+            TypeKind::Struct(rid) => {
+                let layout = t
+                    .core
+                    .types
+                    .record_layout(rid, &t.core.abi)
+                    .map_err(|e| err(e.to_string()))?;
+                let fields: Vec<(TypeId, u64)> = {
+                    let rec = t.core.types.record(rid);
+                    rec.fields
+                        .iter()
+                        .zip(layout.fields.iter())
+                        .map(|(f, fl)| (f.ty, fl.offset))
+                        .collect()
+                };
+                for (item, (fty, off)) in items.iter().zip(fields.iter()) {
+                    write_init(t, addr + off, *fty, item)?;
+                }
+                Ok(())
+            }
+            other => Err(err(format!(
+                "brace initializer needs an array or struct, got \
+                 {other:?}"
+            ))),
+        },
+    }
+}
+
+/// Compiles mini-C source into a program plus the target holding its
+/// globals (types registered, memory initialized).
+pub fn compile(src: &str) -> CompileResult<(Program, SimTarget)> {
+    let unit = parse(src)?;
+    let mut t = SimTarget::new(Abi::lp64());
+    compile_into(&unit, &mut t).map(|p| (p, t))
+}
+
+/// Compiles a parsed unit into an existing target.
+pub fn compile_into(unit: &CUnit, t: &mut SimTarget) -> CompileResult<Program> {
+    // Pass 1: declare all record tags (forward references).
+    for item in &unit.items {
+        if let CItem::Record { is_union, tag, .. } = item {
+            if *is_union {
+                t.core.types.declare_union(tag);
+            } else {
+                t.core.types.declare_struct(tag);
+            }
+        }
+    }
+    // Pass 2: define records, enums, typedefs in order.
+    for item in &unit.items {
+        match item {
+            CItem::Record {
+                is_union,
+                tag,
+                fields,
+            } => {
+                let mut fs = Vec::new();
+                for f in fields {
+                    let ty = resolve_ty(t, &f.base, &f.decl.derivs, 0)?;
+                    fs.push(match f.bits {
+                        Some(w) => Field::bitfield(&f.decl.name, ty, w),
+                        None => Field::new(&f.decl.name, ty),
+                    });
+                }
+                let rid = if *is_union {
+                    t.core.types.declare_union(tag).0
+                } else {
+                    t.core.types.declare_struct(tag).0
+                };
+                t.core.types.define_record(rid, fs);
+            }
+            CItem::Enum { tag, enumerators } => {
+                let mut out = Vec::new();
+                let mut next = 0i64;
+                for (name, v) in enumerators {
+                    let val = match v {
+                        Some(e) => const_eval(t, e)?.as_i(),
+                        None => next,
+                    };
+                    next = val + 1;
+                    out.push((name.clone(), val));
+                }
+                t.core.types.define_enum(tag.as_deref(), out);
+            }
+            CItem::Typedef { base, decl } => {
+                let ty = resolve_ty(t, base, &decl.derivs, 0)?;
+                t.core.types.define_typedef(&decl.name, ty);
+            }
+            _ => {}
+        }
+    }
+    // Pass 3: globals.
+    let mut globals: HashMap<String, TypeId> = HashMap::new();
+    for item in &unit.items {
+        if let CItem::Globals { base, decls } = item {
+            for (d, init) in decls {
+                let ty = resolve_ty(t, base, &d.derivs, 0)?;
+                let addr = t
+                    .core
+                    .define_global(&d.name, ty)
+                    .map_err(|e| CompileError {
+                        line: 0,
+                        message: e.to_string(),
+                    })?;
+                globals.insert(d.name.clone(), ty);
+                if let Some(init) = init {
+                    write_init(t, addr, ty, init)?;
+                }
+            }
+        }
+    }
+    // Pass 4: function signatures.
+    let mut funcs: HashMap<String, (TypeId, Vec<TypeId>)> = HashMap::new();
+    for item in &unit.items {
+        if let CItem::Function {
+            ret_base,
+            ret_derivs,
+            name,
+            params,
+            ..
+        } = item
+        {
+            let ret = resolve_ty(t, ret_base, ret_derivs, 0)?;
+            let mut ps = Vec::new();
+            for p in params {
+                ps.push(resolve_ty(t, &p.base, &p.decl.derivs, 0)?);
+            }
+            funcs.insert(name.clone(), (ret, ps));
+        }
+    }
+    // Pass 5: lower bodies.
+    let mut functions = Vec::new();
+    let mut by_name = HashMap::new();
+    for item in &unit.items {
+        if let CItem::Function {
+            ret_base,
+            ret_derivs,
+            name,
+            params,
+            body,
+            line,
+        } = item
+        {
+            let ret = resolve_ty(t, ret_base, ret_derivs, *line)?;
+            let cg = Codegen::new(t, &globals, &funcs);
+            let f = cg.finish(params, body, ret, name, *line)?;
+            by_name.insert(name.clone(), functions.len());
+            functions.push(f);
+        }
+    }
+    Ok(Program {
+        functions,
+        by_name,
+        globals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duel_target::Target;
+
+    #[test]
+    fn globals_materialize_with_initializers() {
+        let (p, mut t) =
+            compile("int x[3] = {10, 20, 30}; int y = 6*7; char *s = \"hi\";").unwrap();
+        assert!(p.globals.contains_key("x"));
+        let x = t.get_variable("x").unwrap();
+        assert_eq!(t.core.read_int(x.addr + 4).unwrap(), 20);
+        let y = t.get_variable("y").unwrap();
+        assert_eq!(t.core.read_int(y.addr).unwrap(), 42);
+        let s = t.get_variable("s").unwrap();
+        let sp = t.core.read_uint(s.addr, 8).unwrap();
+        assert_eq!(t.core.mem.read_cstring(sp, 8).unwrap(), "hi");
+    }
+
+    #[test]
+    fn enums_and_consts() {
+        let (_, mut t) = compile(
+            "enum color { RED, GREEN = 5, BLUE };\
+             int c = BLUE;",
+        )
+        .unwrap();
+        let c = t.get_variable("c").unwrap();
+        assert_eq!(t.core.read_int(c.addr).unwrap(), 6);
+    }
+
+    #[test]
+    fn struct_global_with_initializer() {
+        let (_, mut t) = compile(
+            "struct pt { int x; int y; };\
+             struct pt origin = {3, 4};",
+        )
+        .unwrap();
+        let o = t.get_variable("origin").unwrap();
+        assert_eq!(t.core.read_int(o.addr).unwrap(), 3);
+        assert_eq!(t.core.read_int(o.addr + 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn char_array_string_initializer() {
+        let (_, mut t) = compile("char msg[16] = \"hello\";").unwrap();
+        let m = t.get_variable("msg").unwrap();
+        assert_eq!(t.core.mem.read_cstring(m.addr, 16).unwrap(), "hello");
+    }
+
+    #[test]
+    fn functions_are_collected() {
+        let (p, _) = compile(
+            "int add(int a, int b) { return a + b; }\
+             int main() { return add(2, 3); }",
+        )
+        .unwrap();
+        assert!(p.function("add").is_some());
+        assert!(p.function("main").is_some());
+        assert_eq!(p.function("add").unwrap().params.len(), 2);
+    }
+
+    #[test]
+    fn unknown_type_errors() {
+        assert!(compile("foo x;").is_err());
+        assert!(compile("enum nope e;").is_err());
+    }
+}

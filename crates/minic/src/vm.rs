@@ -1,0 +1,577 @@
+//! The bytecode virtual machine.
+//!
+//! Executes over a [`SimTarget`]: every variable occupies simulated
+//! target memory, frames are mirrored into the target's frame stack, and
+//! unknown callees are marshalled to the target's native functions. The
+//! VM is resumable instruction-by-instruction, which is what gives the
+//! debugger breakpoints and stepping.
+
+use duel_ctype::TypeKind;
+use duel_target::{value_io, CallValue, SimTarget, Target, TargetError};
+
+use crate::{
+    ir::{Cmp, Instr},
+    program::Program,
+};
+
+/// A value on the evaluation stack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VmVal {
+    /// Integer (and pointer) values.
+    I(i64),
+    /// Floating values.
+    F(f64),
+}
+
+impl VmVal {
+    fn as_i(self) -> i64 {
+        match self {
+            VmVal::I(v) => v,
+            VmVal::F(f) => f as i64,
+        }
+    }
+
+    fn as_f(self) -> f64 {
+        match self {
+            VmVal::I(v) => v as f64,
+            VmVal::F(f) => f,
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            VmVal::I(v) => v != 0,
+            VmVal::F(f) => f != 0.0,
+        }
+    }
+}
+
+/// A runtime error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VmError {
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// The source line.
+        line: u32,
+    },
+    /// A memory or native-call failure from the target.
+    Target(TargetError),
+    /// The program has no `main`.
+    NoMain,
+    /// An unknown local or global name (a codegen invariant violation).
+    UnknownName(String),
+    /// Execution exceeded the step budget (runaway loop protection).
+    OutOfFuel,
+    /// Internal stack protocol violation.
+    StackUnderflow,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::DivByZero { line } => {
+                write!(f, "division by zero at line {line}")
+            }
+            VmError::Target(e) => write!(f, "{e}"),
+            VmError::NoMain => write!(f, "program has no `main`"),
+            VmError::UnknownName(n) => {
+                write!(f, "unknown name `{n}` at runtime")
+            }
+            VmError::OutOfFuel => {
+                write!(f, "execution exceeded the step budget")
+            }
+            VmError::StackUnderflow => {
+                write!(f, "evaluation stack underflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<TargetError> for VmError {
+    fn from(e: TargetError) -> VmError {
+        VmError::Target(e)
+    }
+}
+
+/// Execution status.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Status {
+    /// `main` has not been entered yet.
+    NotStarted,
+    /// Stopped mid-execution (resumable).
+    Stopped,
+    /// The program returned from `main`.
+    Exited(i64),
+}
+
+/// An observable event from one instruction step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VmEvent {
+    /// Crossed a statement boundary at this source line.
+    Line(u32),
+    /// The program exited with this code.
+    Exited(i64),
+}
+
+struct VmFrame {
+    func: usize,
+    pc: usize,
+}
+
+/// The virtual machine.
+pub struct Vm {
+    /// The simulated debuggee (memory, symbols, natives).
+    pub target: SimTarget,
+    /// The compiled program.
+    pub program: Program,
+    frames: Vec<VmFrame>,
+    stack: Vec<VmVal>,
+    /// Current status.
+    pub status: Status,
+    /// Most recently crossed source line.
+    pub current_line: u32,
+    /// Remaining instruction budget.
+    pub fuel: u64,
+}
+
+impl Vm {
+    /// Creates a VM over a compiled program and its target.
+    pub fn new(program: Program, target: SimTarget) -> Vm {
+        Vm {
+            target,
+            program,
+            frames: Vec::new(),
+            stack: Vec::new(),
+            status: Status::NotStarted,
+            current_line: 0,
+            fuel: 200_000_000,
+        }
+    }
+
+    /// Enters `main`.
+    pub fn start(&mut self) -> Result<(), VmError> {
+        let main = *self.program.by_name.get("main").ok_or(VmError::NoMain)?;
+        self.enter(main, &[])?;
+        self.status = Status::Stopped;
+        Ok(())
+    }
+
+    fn enter(&mut self, func: usize, args: &[VmVal]) -> Result<(), VmError> {
+        let f = &self.program.functions[func];
+        let params: Vec<_> = f.params.clone();
+        let locals: Vec<_> = f.locals.clone();
+        self.target.core.push_frame(&f.name.clone());
+        for (i, (name, ty)) in params.iter().enumerate() {
+            let addr = self.target.core.define_local(name, *ty)?;
+            let v = args.get(i).copied().unwrap_or(VmVal::I(0));
+            self.write_typed(addr, *ty, v)?;
+        }
+        for (name, ty) in &locals {
+            let addr = self.target.core.define_local(name, *ty)?;
+            // Zero-initialize for determinism.
+            let size = self
+                .target
+                .core
+                .types
+                .size_of(*ty, &self.target.core.abi)
+                .unwrap_or(8);
+            let zeros = vec![0u8; size as usize];
+            self.target.core.mem.write(addr, &zeros)?;
+        }
+        self.frames.push(VmFrame { func, pc: 0 });
+        Ok(())
+    }
+
+    fn write_typed(&mut self, addr: u64, ty: duel_ctype::TypeId, v: VmVal) -> Result<(), VmError> {
+        match self.target.core.types.kind(ty).clone() {
+            TypeKind::Prim(p) if p.is_float() => {
+                let size = p.size(&self.target.core.abi) as usize;
+                let raw = if size == 4 {
+                    (v.as_f() as f32).to_bits() as u64
+                } else {
+                    v.as_f().to_bits()
+                };
+                self.target.core.write_uint(addr, raw, size)?;
+            }
+            TypeKind::Prim(p) => {
+                let size = p.size(&self.target.core.abi) as usize;
+                self.target.core.write_uint(addr, v.as_i() as u64, size)?;
+            }
+            TypeKind::Enum(_) => {
+                self.target.core.write_uint(addr, v.as_i() as u64, 4)?;
+            }
+            _ => {
+                let size = self.target.core.abi.pointer_bytes as usize;
+                self.target.core.write_uint(addr, v.as_i() as u64, size)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<VmVal, VmError> {
+        self.stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    fn push(&mut self, v: VmVal) {
+        self.stack.push(v);
+    }
+
+    /// Executes one instruction; returns an event if one occurred.
+    pub fn step_instr(&mut self) -> Result<Option<VmEvent>, VmError> {
+        if let Status::Exited(code) = self.status {
+            return Ok(Some(VmEvent::Exited(code)));
+        }
+        if self.fuel == 0 {
+            return Err(VmError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        let frame = self.frames.last().ok_or(VmError::StackUnderflow)?;
+        let fidx = frame.func;
+        let pc = frame.pc;
+        let instr = self.program.functions[fidx].code[pc].clone();
+        self.frames.last_mut().unwrap().pc += 1;
+        match instr {
+            Instr::PushI(v) => self.push(VmVal::I(v)),
+            Instr::PushF(v) => self.push(VmVal::F(v)),
+            Instr::AddrLocal(name) => {
+                let info = self
+                    .target
+                    .get_variable_in_frame(&name, 0)
+                    .ok_or_else(|| VmError::UnknownName(name.clone()))?;
+                self.push(VmVal::I(info.addr as i64));
+            }
+            Instr::AddrGlobal(name) => {
+                let (addr, _) = self
+                    .target
+                    .core
+                    .global_addr(&name)
+                    .ok_or_else(|| VmError::UnknownName(name.clone()))?;
+                self.push(VmVal::I(addr as i64));
+            }
+            Instr::Load {
+                size,
+                signed,
+                float,
+            } => {
+                let addr = self.pop()?.as_i() as u64;
+                if float {
+                    let f = value_io::read_float(&mut self.target, addr, size as usize)?;
+                    self.push(VmVal::F(f));
+                } else {
+                    let raw = value_io::read_uint(&mut self.target, addr, size as usize)?;
+                    let v = if signed {
+                        value_io::sign_extend(raw, size as usize)
+                    } else {
+                        raw as i64
+                    };
+                    self.push(VmVal::I(v));
+                }
+            }
+            Instr::Store { size, float } => {
+                let v = self.pop()?;
+                let addr = self.pop()?.as_i() as u64;
+                if float {
+                    value_io::write_float(&mut self.target, addr, v.as_f(), size as usize)?;
+                } else {
+                    value_io::write_uint(&mut self.target, addr, v.as_i() as u64, size as usize)?;
+                }
+                self.push(v);
+            }
+            Instr::LoadBits {
+                size,
+                off,
+                width,
+                signed,
+            } => {
+                let addr = self.pop()?.as_i() as u64;
+                let v = value_io::read_bitfield(
+                    &mut self.target,
+                    addr,
+                    size as usize,
+                    off,
+                    width,
+                    signed,
+                )?;
+                self.push(VmVal::I(v));
+            }
+            Instr::StoreBits { size, off, width } => {
+                let v = self.pop()?;
+                let addr = self.pop()?.as_i() as u64;
+                value_io::write_bitfield(
+                    &mut self.target,
+                    addr,
+                    size as usize,
+                    off,
+                    width,
+                    v.as_i(),
+                )?;
+                self.push(v);
+            }
+            Instr::Dup => {
+                let v = *self.stack.last().ok_or(VmError::StackUnderflow)?;
+                self.push(v);
+            }
+            Instr::Pop => {
+                self.pop()?;
+            }
+            Instr::Swap => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b);
+                self.push(a);
+            }
+            Instr::Rot3 => {
+                let c = self.pop()?;
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b);
+                self.push(c);
+                self.push(a);
+            }
+            Instr::AddI => self.int_bin(|a, b| Ok(a.wrapping_add(b)))?,
+            Instr::SubI => self.int_bin(|a, b| Ok(a.wrapping_sub(b)))?,
+            Instr::MulI => self.int_bin(|a, b| Ok(a.wrapping_mul(b)))?,
+            Instr::DivI { signed } => {
+                let line = self.current_line;
+                self.int_bin(move |a, b| {
+                    if b == 0 {
+                        return Err(VmError::DivByZero { line });
+                    }
+                    Ok(if signed {
+                        a.wrapping_div(b)
+                    } else {
+                        ((a as u64) / (b as u64)) as i64
+                    })
+                })?
+            }
+            Instr::RemI { signed } => {
+                let line = self.current_line;
+                self.int_bin(move |a, b| {
+                    if b == 0 {
+                        return Err(VmError::DivByZero { line });
+                    }
+                    Ok(if signed {
+                        a.wrapping_rem(b)
+                    } else {
+                        ((a as u64) % (b as u64)) as i64
+                    })
+                })?
+            }
+            Instr::ShlI => self.int_bin(|a, b| Ok(a.wrapping_shl(b as u32 & 63)))?,
+            Instr::ShrI { signed } => self.int_bin(move |a, b| {
+                Ok(if signed {
+                    a >> (b as u32 & 63)
+                } else {
+                    ((a as u64) >> (b as u32 & 63)) as i64
+                })
+            })?,
+            Instr::AndI => self.int_bin(|a, b| Ok(a & b))?,
+            Instr::OrI => self.int_bin(|a, b| Ok(a | b))?,
+            Instr::XorI => self.int_bin(|a, b| Ok(a ^ b))?,
+            Instr::NegI => {
+                let v = self.pop()?.as_i();
+                self.push(VmVal::I(v.wrapping_neg()));
+            }
+            Instr::NotI => {
+                let v = self.pop()?.as_i();
+                self.push(VmVal::I(!v));
+            }
+            Instr::LogNotI => {
+                let v = self.pop()?;
+                self.push(VmVal::I(!v.truthy() as i64));
+            }
+            Instr::CmpI { op, signed } => {
+                let b = self.pop()?.as_i();
+                let a = self.pop()?.as_i();
+                let r = if signed {
+                    cmp_ord(op, a.cmp(&b))
+                } else {
+                    cmp_ord(op, (a as u64).cmp(&(b as u64)))
+                };
+                self.push(VmVal::I(r as i64));
+            }
+            Instr::AddF => self.float_bin(|a, b| a + b)?,
+            Instr::SubF => self.float_bin(|a, b| a - b)?,
+            Instr::MulF => self.float_bin(|a, b| a * b)?,
+            Instr::DivF => self.float_bin(|a, b| a / b)?,
+            Instr::NegF => {
+                let v = self.pop()?.as_f();
+                self.push(VmVal::F(-v));
+            }
+            Instr::CmpF { op } => {
+                let b = self.pop()?.as_f();
+                let a = self.pop()?.as_f();
+                let r = match op {
+                    Cmp::Lt => a < b,
+                    Cmp::Le => a <= b,
+                    Cmp::Gt => a > b,
+                    Cmp::Ge => a >= b,
+                    Cmp::Eq => a == b,
+                    Cmp::Ne => a != b,
+                };
+                self.push(VmVal::I(r as i64));
+            }
+            Instr::I2F => {
+                let v = self.pop()?.as_i();
+                self.push(VmVal::F(v as f64));
+            }
+            Instr::F2I => {
+                let v = self.pop()?.as_f();
+                self.push(VmVal::I(v as i64));
+            }
+            Instr::Trunc { size, signed } => {
+                let v = self.pop()?.as_i();
+                let bits = size as u32 * 8;
+                let r = if bits >= 64 {
+                    v
+                } else {
+                    let m = v & ((1i64 << bits) - 1);
+                    if signed && (m >> (bits - 1)) & 1 == 1 {
+                        m - (1i64 << bits)
+                    } else {
+                        m
+                    }
+                };
+                self.push(VmVal::I(r));
+            }
+            Instr::PtrAdd { esize } => {
+                let i = self.pop()?.as_i();
+                let p = self.pop()?.as_i();
+                self.push(VmVal::I(p.wrapping_add(i.wrapping_mul(esize as i64))));
+            }
+            Instr::PtrDiff { esize } => {
+                let b = self.pop()?.as_i();
+                let a = self.pop()?.as_i();
+                self.push(VmVal::I(a.wrapping_sub(b) / esize.max(1) as i64));
+            }
+            Instr::Jmp(t) => {
+                self.frames.last_mut().unwrap().pc = t;
+            }
+            Instr::Jz(t) => {
+                if !self.pop()?.truthy() {
+                    self.frames.last_mut().unwrap().pc = t;
+                }
+            }
+            Instr::Jnz(t) => {
+                if self.pop()?.truthy() {
+                    self.frames.last_mut().unwrap().pc = t;
+                }
+            }
+            Instr::Call { name, args, ret } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for _ in 0..args.len() {
+                    argv.push(self.pop()?);
+                }
+                argv.reverse();
+                if let Some(&idx) = self.program.by_name.get(&name) {
+                    self.enter(idx, &argv)?;
+                } else {
+                    // Native call.
+                    let mut cvs = Vec::with_capacity(args.len());
+                    for (v, ty) in argv.iter().zip(args.iter()) {
+                        cvs.push(self.marshal(*v, *ty)?);
+                    }
+                    let r = self.target.call_func(&name, &cvs)?;
+                    let rv = self.unmarshal(&r, ret)?;
+                    self.push(rv);
+                }
+            }
+            Instr::Ret { has_value } => {
+                let v = if has_value { self.pop()? } else { VmVal::I(0) };
+                self.target.core.pop_frame();
+                self.frames.pop();
+                if self.frames.is_empty() {
+                    self.status = Status::Exited(v.as_i());
+                    return Ok(Some(VmEvent::Exited(v.as_i())));
+                }
+                self.push(v);
+            }
+            Instr::Line(l) => {
+                self.current_line = l;
+                self.target.core.set_line(l);
+                return Ok(Some(VmEvent::Line(l)));
+            }
+            Instr::Nop => {}
+        }
+        Ok(None)
+    }
+
+    fn int_bin(&mut self, f: impl FnOnce(i64, i64) -> Result<i64, VmError>) -> Result<(), VmError> {
+        let b = self.pop()?.as_i();
+        let a = self.pop()?.as_i();
+        let r = f(a, b)?;
+        self.push(VmVal::I(r));
+        Ok(())
+    }
+
+    fn float_bin(&mut self, f: impl FnOnce(f64, f64) -> f64) -> Result<(), VmError> {
+        let b = self.pop()?.as_f();
+        let a = self.pop()?.as_f();
+        self.push(VmVal::F(f(a, b)));
+        Ok(())
+    }
+
+    fn marshal(&self, v: VmVal, ty: duel_ctype::TypeId) -> Result<CallValue, VmError> {
+        let abi = &self.target.core.abi;
+        let kind = self.target.core.types.kind(ty).clone();
+        Ok(match kind {
+            TypeKind::Prim(p) if p.is_float() => {
+                let size = p.size(abi) as usize;
+                let raw = if size == 4 {
+                    (v.as_f() as f32).to_bits() as u64
+                } else {
+                    v.as_f().to_bits()
+                };
+                CallValue::from_u64(ty, raw, size, abi)
+            }
+            TypeKind::Prim(p) => {
+                let size = p.size(abi) as usize;
+                CallValue::from_u64(ty, v.as_i() as u64, size, abi)
+            }
+            TypeKind::Enum(_) => CallValue::from_u64(ty, v.as_i() as u64, 4, abi),
+            _ => CallValue::from_u64(ty, v.as_i() as u64, abi.pointer_bytes as usize, abi),
+        })
+    }
+
+    fn unmarshal(&self, cv: &CallValue, ty: duel_ctype::TypeId) -> Result<VmVal, VmError> {
+        let abi = &self.target.core.abi;
+        let raw = cv.to_u64(abi);
+        Ok(match self.target.core.types.kind(ty) {
+            TypeKind::Prim(p) if p.is_float() => {
+                if p.size(abi) == 4 {
+                    VmVal::F(f32::from_bits(raw as u32) as f64)
+                } else {
+                    VmVal::F(f64::from_bits(raw))
+                }
+            }
+            TypeKind::Prim(p) => {
+                let size = p.size(abi) as usize;
+                VmVal::I(if p.is_signed(abi) {
+                    value_io::sign_extend(raw, size)
+                } else {
+                    raw as i64
+                })
+            }
+            _ => VmVal::I(raw as i64),
+        })
+    }
+
+    /// The current call depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+fn cmp_ord(op: Cmp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        Cmp::Lt => ord == Less,
+        Cmp::Le => ord != Greater,
+        Cmp::Gt => ord == Greater,
+        Cmp::Ge => ord != Less,
+        Cmp::Eq => ord == Equal,
+        Cmp::Ne => ord != Equal,
+    }
+}

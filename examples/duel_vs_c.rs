@@ -1,0 +1,79 @@
+//! Experiment E8 as a demonstration: the paper's Introduction query —
+//! "does list L contain two identical elements in its value fields?" —
+//! answered three ways:
+//!
+//! 1. the paper's C code, *as printed* (which hides a bug: the inner
+//!    loop starts at `q = p`, so every node matches itself);
+//! 2. the corrected C code;
+//! 3. the DUEL one-liner, which has no place for that bug to hide.
+//!
+//! Because DUEL accepts C declarations and statements, both C versions
+//! run verbatim inside the debugger, exactly as the paper describes
+//! typing them.
+//!
+//! ```sh
+//! cargo run --example duel_vs_c
+//! ```
+
+use duel::core::Session;
+use duel::target::scenario;
+
+fn run(s: &mut Session<'_>, title: &str, src: &str) {
+    println!("== {title} ==");
+    println!("duel> {src}\n");
+    match s.eval_lines(src) {
+        Ok(lines) if lines.is_empty() => println!("(no output)"),
+        Ok(lines) => {
+            println!("({} line(s))", lines.len());
+            for l in &lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => println!("{e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let mut target = scenario::linked_lists();
+    let mut session = Session::new(&mut target);
+
+    run(
+        &mut session,
+        "the paper's C code (buggy: q starts at p)",
+        "struct list *p, *q; \
+         for (p = L; p; p = p->next) \
+             for (q = p; q; q = q->next) \
+                 if (p->value == q->value) \
+                     printf(\"%x %x contain %d\\n\", p, q, p->value);",
+    );
+
+    run(
+        &mut session,
+        "corrected C code (q starts at p->next)",
+        "struct list *p, *q; \
+         for (p = L; p; p = p->next) \
+             for (q = p->next; q; q = q->next) \
+                 if (p->value == q->value) \
+                     printf(\"%x %x contain %d\\n\", p, q, p->value);",
+    );
+
+    run(
+        &mut session,
+        "the DUEL one-liner",
+        "L-->next->(value ==? next-->next->value)",
+    );
+
+    run(
+        &mut session,
+        "…and the two-alias form that reports both positions",
+        "L-->next#i->value ==? L-->next#j->value => \
+         if (i < j) L-->next[[i,j]]->value",
+    );
+
+    println!(
+        "The buggy C prints one spurious line per node (12 of them) \
+         plus the real duplicate;\nthe corrected C and both DUEL forms \
+         report only the true pair."
+    );
+}

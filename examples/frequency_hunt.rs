@@ -1,0 +1,117 @@
+//! A full debugging session: conditional breakpoints, watchpoints, and
+//! frame exploration on a frequency-counting program.
+//!
+//! The debuggee tallies byte frequencies of a message into `freq[]`
+//! through a (deliberately off-by-one) helper. We let a DUEL watchpoint
+//! and a whole-array conditional breakpoint find the corruption — the
+//! integrations the paper's Discussion proposes.
+//!
+//! ```sh
+//! cargo run --example frequency_hunt
+//! ```
+
+use duel::core::Session;
+use duel::minic::{Debugger, StopReason};
+
+const PROGRAM: &str = r#"
+char *msg = "hello generators";
+int freq[26];
+int total;
+
+int tally(char c) {
+    int slot;
+    if (c < 'a') return 0;
+    if (c > 'z') return 0;
+    slot = c - 'a' + 1;      /* BUG: off by one — should be c - 'a' */
+    slot = slot % 26;        /* ...which smears 'z'..'a' wraps */
+    freq[slot] = freq[slot] + 1;
+    total = total + 1;
+    return 1;
+}
+
+int main() {
+    int i;
+    for (i = 0; msg[i] != '\0'; i++)
+        tally(msg[i]);
+    return total;             /* line 21 */
+}
+"#;
+
+fn show(s: &mut Session<'_>, what: &str, q: &str) {
+    println!("# {what}");
+    println!("duel> {q}");
+    match s.eval_lines(q) {
+        Ok(lines) if lines.is_empty() => println!("(no values)"),
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => println!("{e}"),
+    }
+    println!();
+}
+
+fn main() {
+    // Pass 1: stop the moment the histogram *first* changes, and look
+    // at which slot moved.
+    let mut dbg = Debugger::new(PROGRAM).expect("compiles");
+    dbg.add_watchpoint("freq[..26]");
+    match dbg.run().expect("runs") {
+        StopReason::Watchpoint { line } => {
+            println!("watchpoint: freq[] changed by line {line}\n");
+        }
+        other => panic!("unexpected stop: {other:?}"),
+    }
+    {
+        let mut s = Session::new(&mut dbg);
+        // The first message byte is 'h' (index 7) — but slot 8 moved.
+        show(&mut s, "which slot changed first?", "freq[..26] >? 0");
+        show(
+            &mut s,
+            "the helper's local, one frame in",
+            "local(\"slot\", frames())",
+        );
+        show(
+            &mut s,
+            "…and the letter being tallied",
+            "local(\"c\", 0..0)",
+        );
+    }
+    dbg.clear_watchpoints();
+
+    // Pass 2 (fresh run): a conditional breakpoint on a histogram
+    // invariant. 'e' occurs in the message, so its bucket (freq[4])
+    // must be non-empty once tallying has happened; with the bug every
+    // count lands one slot high, and 'd' (the letter that *would* land
+    // in freq[4]) never occurs — so the invariant trips.
+    let mut dbg = Debugger::new(PROGRAM).expect("compiles");
+    dbg.add_conditional_breakpoint(21, "freq['e' - 'a'] == 0 && total > 0");
+    match dbg.run().expect("runs") {
+        StopReason::Breakpoint { line } => println!(
+            "conditional breakpoint at line {line}: the 'e' bucket is \
+             empty although letters were tallied\n"
+        ),
+        other => panic!("unexpected stop: {other:?}"),
+    }
+    let mut s = Session::new(&mut dbg);
+    show(
+        &mut s,
+        "full histogram (nonzero slots, shifted one to the right)",
+        "freq[..26] >? 0",
+    );
+    show(
+        &mut s,
+        "counts are conserved, so the sum still matches",
+        "equal(+/freq[..26], total + 0) , +/freq[..26]",
+    );
+    show(
+        &mut s,
+        "the smoking gun: 'e' appears in msg but its bucket is empty",
+        "#/(msg[0..99]@0 ==? 'e') , freq['e' - 'a'], freq['e' - 'a' + 1]",
+    );
+    println!(
+        "diagnosis: every count landed one slot too high — the classic \
+         off-by-one in `slot = c - 'a' + 1`."
+    );
+}

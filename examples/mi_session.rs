@@ -1,0 +1,59 @@
+//! DUEL over the gdb/MI wire protocol, with record/replay.
+//!
+//! Every byte of this session crosses a real MI serialization → parse
+//! boundary: the `MiTarget` adapter implements the paper's narrow
+//! debugger interface by issuing MI commands, and `MockGdb` answers
+//! them from a simulated debuggee. The session is recorded and then
+//! replayed with *no debuggee at all* — the transcript alone drives the
+//! second run.
+//!
+//! ```sh
+//! cargo run --example mi_session
+//! ```
+
+use duel::core::Session;
+use duel::gdbmi::{MiTarget, MockGdb, Recorder, Replayer};
+use duel::target::scenario;
+
+fn main() {
+    // 1. A live session over MI, recorded.
+    let recorder = Recorder::new(MockGdb::new(scenario::hash_table_basic()));
+    let mut target = MiTarget::connect(recorder).expect("connect");
+    let queries = [
+        "(hash[..1024] !=? 0)->scope >? 5",
+        "hash[0]-->next->scope",
+        "#/(hash[..1024]-->next)",
+    ];
+    let mut first_run = Vec::new();
+    {
+        let mut session = Session::new(&mut target);
+        for q in queries {
+            println!("duel> {q}");
+            let lines = session.eval_lines(q).expect("query");
+            for l in &lines {
+                println!("{l}");
+            }
+            println!();
+            first_run.push(lines);
+        }
+    }
+    let dump = target.client_mut().transport().dump();
+    let exchanges = dump.lines().filter(|l| l.starts_with('>')).count();
+    println!(
+        "— recorded {exchanges} MI commands ({} bytes of transcript)\n",
+        dump.len()
+    );
+    for line in dump.lines().take(6) {
+        println!("    {line}");
+    }
+    println!("    …\n");
+
+    // 2. Replay: the transcript alone answers the same queries.
+    let mut target = MiTarget::connect(Replayer::from_dump(&dump)).expect("replay connect");
+    let mut session = Session::new(&mut target);
+    for (q, want) in queries.iter().zip(first_run.iter()) {
+        let got = session.eval_lines(q).expect("replayed query");
+        assert_eq!(&got, want, "replay diverged on `{q}`");
+    }
+    println!("replayed the session from the transcript: outputs identical");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: attach a DUEL session to a debuggee and run the paper's
+//! signature queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use duel::core::Session;
+use duel::target::scenario;
+
+fn main() {
+    // A simulated debuggee with the paper's array `x` (x[3] = 7,
+    // x[18] = 9, x[47] = 6 hidden among out-of-range values).
+    let mut target = scenario::scan_array();
+    let mut session = Session::new(&mut target);
+
+    let queries = [
+        // Plain C expressions evaluate as a debugger's `print`.
+        "1 + (double)3/2",
+        // Generators: ranges, alternation, cross products.
+        "(1..3)+(5,9)",
+        // The headline example: which elements of x are in (5, 10)?
+        "x[1..4,8,12..50] >? 5 <? 10",
+        // The same search, formulated with ==? against a range.
+        "x[1..4,8,12..50] ==? (6..9)",
+        // Plain C comparison semantics still available.
+        "x[1..3] == 7",
+        // Reductions.
+        "#/(x[..60] >? 100)",
+        "+/x[..5]",
+        // An alias, then use it in a later expression.
+        "y := x[3]; y + 1",
+        // Declarations and C statements work too (the paper's E6).
+        "int i; for (i = 0; i < 60; i++) x[i] >? 5 <? 10",
+    ];
+
+    for q in queries {
+        println!("duel> {q}");
+        match session.eval_lines(q) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+        println!();
+    }
+}

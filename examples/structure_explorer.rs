@@ -1,0 +1,74 @@
+//! Exploring linked data structures: lists, trees, and argv — every
+//! expansion operator from the paper on one debuggee.
+//!
+//! ```sh
+//! cargo run --example structure_explorer
+//! ```
+
+use duel::core::Session;
+use duel::target::scenario;
+
+fn show(s: &mut Session<'_>, what: &str, q: &str) {
+    println!("# {what}");
+    println!("duel> {q}");
+    match s.eval_lines(q) {
+        Ok(lines) if lines.is_empty() => println!("(no values)"),
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => println!("{e}"),
+    }
+    println!();
+}
+
+fn main() {
+    // L (12 nodes, duplicate 27s at positions 4 and 9), head (8 nodes),
+    // root (the paper's tree (9, (3 (4) (5)), (12))), argv, s.
+    let mut target = scenario::combined();
+    let mut session = Session::new(&mut target);
+    let s = &mut session;
+
+    println!("== linked lists ==\n");
+    show(s, "every element of L", "L-->next->value");
+    show(s, "how long is L?", "#/(L-->next)");
+    show(
+        s,
+        "the Introduction's duplicate query",
+        "L-->next->(value ==? next-->next->value)",
+    );
+    show(
+        s,
+        "…with both positions, via index aliases",
+        "L-->next#i->value ==? L-->next#j->value => \
+         if (i < j) L-->next[[i,j]]->value",
+    );
+    show(
+        s,
+        "third and fifth nodes of head",
+        "head-->next->value[[3,5]]",
+    );
+    show(s, "sum of L's values", "+/(L-->next->value)");
+    show(s, "largest value in L (and where)", ">/(L-->next->value)");
+
+    println!("== binary tree ==\n");
+    show(s, "preorder keys", "root-->(left,right)->key");
+    show(s, "breadth-first keys", "root-->>(left,right)->key");
+    show(s, "node count", "#/(root-->(left,right))");
+    show(
+        s,
+        "guided descent to the key 5",
+        "root-->(if (key > 5) left else if (key < 5) right)->key",
+    );
+    show(
+        s,
+        "leaves only",
+        "root-->(left,right)->(if (!left && !right) key)",
+    );
+
+    println!("== strings and argv ==\n");
+    show(s, "argv until the NULL", "argv[0..]@0");
+    show(s, "characters of s", "s[0..999]@(_=='\\0')");
+    show(s, "how long is s?", "#/(s[0..999]@(_=='\\0'))");
+}

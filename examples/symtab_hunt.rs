@@ -1,0 +1,103 @@
+//! The paper's central scenario: debugging a compiler's symbol table.
+//!
+//! A mini-C program builds a hash table of `struct symbol` nodes — and
+//! plants a sortedness bug. We run it under the mini source-level
+//! debugger to a breakpoint, then hunt the bug with DUEL one-liners,
+//! exactly as the paper's user would under gdb.
+//!
+//! ```sh
+//! cargo run --example symtab_hunt
+//! ```
+
+use duel::core::Session;
+use duel::minic::{Debugger, StopReason};
+
+const PROGRAM: &str = r#"
+struct symbol { char *name; int scope; struct symbol *next; };
+struct symbol *hash[256];
+int nsyms;
+
+int insert(int bucket, char *name, int scope) {
+    struct symbol *s;
+    s = (struct symbol *)malloc(sizeof(struct symbol));
+    s->name = name;
+    s->scope = scope;
+    s->next = hash[bucket];
+    hash[bucket] = s;
+    nsyms = nsyms + 1;
+    return nsyms;
+}
+
+int main() {
+    /* Bucket 9: correctly sorted by decreasing scope. */
+    insert(9, "outer", 1);
+    insert(9, "mid", 3);
+    insert(9, "inner", 5);
+    /* Bucket 42: someone inserted out of order — the bug. */
+    insert(42, "a", 2);
+    insert(42, "b", 6);   /* 6 ends up *under* 4: 4 < 6 violates */
+    insert(42, "c", 4);
+    /* Bucket 77: a deep scope that a query should surface. */
+    insert(77, "deep", 9);
+    return nsyms;               /* line 28: breakpoint here */
+}
+"#;
+
+fn main() {
+    let mut dbg = Debugger::new(PROGRAM).expect("program compiles");
+    dbg.add_breakpoint(28);
+    let stop = dbg.run().expect("program runs");
+    assert_eq!(stop, StopReason::Breakpoint { line: 28 });
+    println!("stopped at line {} — exploring with DUEL\n", dbg.line());
+
+    let mut s = Session::new(&mut dbg);
+    let queries = [
+        // How many symbols are there, table-wide?
+        ("count every symbol", "#/(hash[..256]-->next)"),
+        // Which buckets are occupied, and by what chain of scopes?
+        ("walk one bucket", "hash[9]-->next->(scope, name)"),
+        // Any symbol with a suspiciously deep scope?
+        ("deep scopes", "(hash[..256]-->next->scope) >? 5"),
+        // The paper's sortedness check: every list must be sorted by
+        // decreasing scope; this pinpoints the violation.
+        (
+            "sortedness check",
+            "hash[..256]-->next-> if (next) scope <? next->scope",
+        ),
+        // Name of the offending symbol.
+        (
+            "who is out of order?",
+            "hash[..256]-->next->(if (next && scope < next->scope) name)",
+        ),
+    ];
+    for (what, q) in queries {
+        println!("# {what}");
+        println!("duel> {q}");
+        match s.eval_lines(q) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+        println!();
+    }
+
+    // Fix it live: clear the bad entry's scope, then re-check.
+    println!("# fixing: demote every scope above 5, then re-check");
+    println!("duel> (hash[..256]-->next->scope >? 5) = 5 ;");
+    s.eval("(hash[..256]-->next->scope >? 5) = 5 ;").unwrap();
+    println!("duel> (hash[..256]-->next->scope) >? 5");
+    let after = s.eval_lines("(hash[..256]-->next->scope) >? 5").unwrap();
+    if after.is_empty() {
+        println!("(no values — all scopes capped)\n");
+    }
+
+    drop(s);
+    let code = match dbg.cont().unwrap() {
+        StopReason::Exited { code } => code,
+        other => panic!("unexpected stop: {other:?}"),
+    };
+    println!("program exited with {code} symbols inserted");
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the DUEL reproduction workspace.
+//!
+//! Re-exports every member crate so the workspace-level integration tests
+//! and examples can reach them with one dependency, and so a downstream
+//! user can depend on `duel` alone.
+//!
+//! * [`ctype`] — C type system and ABI layout engine.
+//! * [`target`] — the simulated debuggee and the paper's narrow debugger
+//!   interface.
+//! * [`minic`] — a mini-C compiler, bytecode VM, and source-level
+//!   debugger that stands in for gdb.
+//! * [`core`] — the DUEL language itself: lexer, parser, resumable
+//!   generator evaluator, symbolic display.
+//! * [`gdbmi`] — a gdb/MI protocol client and a `Target` adapter over it.
+//!
+//! # Examples
+//!
+//! ```
+//! use duel::core::Session;
+//! use duel::target::scenario;
+//!
+//! let mut target = scenario::binary_tree();
+//! let mut session = Session::new(&mut target);
+//! // The paper's preorder walk of (9, (3 (4) (5)), (12)).
+//! let keys = session.eval_lines("root-->(left,right)->key").unwrap();
+//! assert_eq!(keys[0], "root->key = 9");
+//! assert_eq!(keys.len(), 5);
+//! ```
+
+pub use duel_core as core;
+pub use duel_ctype as ctype;
+pub use duel_gdbmi as gdbmi;
+pub use duel_minic as minic;
+pub use duel_target as target;

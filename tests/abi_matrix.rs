@@ -1,0 +1,106 @@
+//! The paper ran on DECstation (ILP32 little-endian) and SPARC (ILP32
+//! big-endian) workstations. The same DUEL queries must produce the
+//! same answers under every supported ABI — only object sizes differ.
+
+use duel::core::Session;
+use duel::target::{scenario, SimTarget, Target};
+use duel_ctype::{Abi, Prim};
+
+/// Builds the linked-list debuggee under a given ABI.
+fn list_target(abi: Abi) -> SimTarget {
+    let mut t = SimTarget::new(abi);
+    let (_, plty) = scenario::define_list_struct(&mut t);
+    let head = scenario::build_int_list(&mut t, &[10, 11, 12, 13, 27, 15, 16, 17, 18, 27, 20, 21]);
+    let la = t.core.define_global("L", plty).unwrap();
+    t.core.write_ptr(la, head).unwrap();
+    let int = t.core.types.prim(Prim::Int);
+    let arr = t.core.types.array(int, Some(16));
+    let base = t.core.define_global("x", arr).unwrap();
+    for i in 0..16i32 {
+        t.core.write_int(base + (i as u64) * 4, i * i - 8).unwrap();
+    }
+    t
+}
+
+fn lines(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    s.eval_lines(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+}
+
+#[test]
+fn queries_agree_across_abis() {
+    let queries = [
+        "x[..16] >? 40",
+        "L-->next->value",
+        "#/(L-->next)",
+        "L-->next->(value ==? next-->next->value)",
+        "+/(L-->next->value)",
+        "x[3] + x[4]",
+    ];
+    let mut reference: Option<Vec<Vec<String>>> = None;
+    for abi in [Abi::lp64(), Abi::ilp32(), Abi::ilp32_be()] {
+        let mut t = list_target(abi.clone());
+        let got: Vec<Vec<String>> = queries.iter().map(|q| lines(&mut t, q)).collect();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                assert_eq!(&got, want, "ABI {abi:?} diverged")
+            }
+        }
+    }
+}
+
+#[test]
+fn sizes_differ_as_expected() {
+    // struct list { int value; struct list *next; }
+    let mut t32 = list_target(Abi::ilp32());
+    assert_eq!(
+        lines(&mut t32, "sizeof(struct list)"),
+        vec!["8"] // 4 + 4
+    );
+    let mut t64 = list_target(Abi::lp64());
+    assert_eq!(
+        lines(&mut t64, "sizeof(struct list)"),
+        vec!["16"] // 4 + pad + 8
+    );
+    assert_eq!(lines(&mut t32, "sizeof(char *)"), vec!["4"]);
+    assert_eq!(lines(&mut t64, "sizeof(char *)"), vec!["8"]);
+    // `long` is 4 bytes under ILP32, 8 under LP64.
+    assert_eq!(lines(&mut t32, "sizeof(long)"), vec!["4"]);
+    assert_eq!(lines(&mut t64, "sizeof(long)"), vec!["8"]);
+}
+
+#[test]
+fn big_endian_memory_reads_back_correctly() {
+    let mut t = list_target(Abi::ilp32_be());
+    // Raw big-endian bytes: x[3] = 1 must store as 00 00 00 01.
+    let mut s = Session::new(&mut t);
+    s.eval("x[3] = 1 ;").unwrap();
+    drop(s);
+    let x = t.get_variable("x").unwrap();
+    let mut buf = [0u8; 4];
+    t.get_bytes(x.addr + 12, &mut buf).unwrap();
+    assert_eq!(buf, [0, 0, 0, 1]);
+    // And DUEL reads it back as 1.
+    assert_eq!(lines(&mut t, "x[2..4]")[1], "x[3] = 1");
+}
+
+#[test]
+fn pointer_walks_respect_abi_pointer_size() {
+    for abi in [Abi::ilp32(), Abi::ilp32_be(), Abi::lp64()] {
+        let mut t = list_target(abi.clone());
+        // The duplicate query must find positions 4 and 9 regardless
+        // of node layout.
+        let out = lines(
+            &mut t,
+            "L-->next#i->value ==? L-->next#j->value => \
+             if (i < j) L-->next[[i,j]]->value",
+        );
+        assert_eq!(
+            out,
+            vec!["L-->next[[4]]->value = 27", "L-->next[[9]]->value = 27"],
+            "ABI {abi:?}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Experiment E9: the interface is narrow enough to swap backends.
+//!
+//! The paper reports that porting DUEL from gdb 4.2 to gdb 4.6 changed
+//! only 4 lines, because everything flows through the narrow interface.
+//! Here the same DUEL commands run against three backends —
+//!
+//! 1. the simulated debuggee directly ([`duel::target::SimTarget`]),
+//! 2. the gdb/MI adapter over the mock MI server
+//!    ([`duel::gdbmi::MiTarget`]), exercising the full wire protocol,
+//! 3. the mini-C source-level debugger ([`duel::minic::Debugger`]),
+//!
+//! — and must produce identical output.
+
+use duel::core::Session;
+use duel::gdbmi::{MiTarget, MockGdb};
+use duel::target::{scenario, Target};
+
+fn run(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    s.eval_lines(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+}
+
+/// The E1 subset used for cross-backend comparison (scan-array state).
+const SCAN_CASES: &[&str] = &[
+    "x[1..4,8,12..50] >? 5 <? 10",
+    "x[1..3] == 7",
+    "(1..3)+(5,9)",
+    "1 + (double)3/2",
+    "#/(x[..60] >? 100)",
+    "+/x[1..3]",
+];
+
+#[test]
+fn sim_and_mi_agree_on_scan_array() {
+    for case in SCAN_CASES {
+        let mut direct = scenario::scan_array();
+        let expected = run(&mut direct, case);
+        let mut mi = MiTarget::connect(MockGdb::new(scenario::scan_array())).unwrap();
+        let got = run(&mut mi, case);
+        assert_eq!(got, expected, "case `{case}` diverged over MI");
+    }
+}
+
+#[test]
+fn sim_and_mi_agree_on_hash_table() {
+    let cases = [
+        "(hash[..1024] !=? 0)->scope >? 5",
+        "hash[0]-->next->scope",
+        "hash[1,9]->(scope,name)",
+    ];
+    for case in cases {
+        let mut direct = scenario::hash_table_basic();
+        let expected = run(&mut direct, case);
+        let mut mi = MiTarget::connect(MockGdb::new(scenario::hash_table_basic())).unwrap();
+        let got = run(&mut mi, case);
+        assert_eq!(got, expected, "case `{case}` diverged over MI");
+    }
+}
+
+#[test]
+fn mi_backend_supports_writes_and_aliases() {
+    let mut mi = MiTarget::connect(MockGdb::new(scenario::scan_array())).unwrap();
+    let mut s = Session::new(&mut mi);
+    // A DUEL declaration allocates in the target over MI.
+    s.eval("int i; i = 41; i + 1").unwrap();
+    // `i + 1` renders symbolically identical to the input, so only
+    // the value prints.
+    assert_eq!(s.eval_lines("i + 1").unwrap(), vec!["42"]);
+    // Assignment through a generator writes target memory over MI.
+    s.eval("x[0..2] = 0 ;").unwrap();
+    assert_eq!(
+        s.eval_lines("x[0..2]").unwrap(),
+        vec!["x[0] = 0", "x[1] = 0", "x[2] = 0"]
+    );
+}
+
+#[test]
+fn mi_backend_calls_functions_with_output() {
+    let mut mi = MiTarget::connect(MockGdb::new(scenario::scan_array())).unwrap();
+    let mut s = Session::new(&mut mi);
+    let out = s.eval("printf(\"%d %d, \", (3,4), 5..7)").unwrap();
+    let stdout: String = out
+        .iter()
+        .filter_map(|l| match l {
+            duel::core::OutputLine::Stdout(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stdout, "3 5, 3 6, 3 7, 4 5, 4 6, 4 7, ");
+}
+
+#[test]
+fn minic_debugger_is_a_full_backend() {
+    // Build the paper's symbol table by *running a C program*, then
+    // query it with DUEL — the complete paper workflow.
+    let src = r#"
+struct symbol { char *name; int scope; struct symbol *next; };
+struct symbol *hash[1024];
+char *names[6];
+int main() {
+    int i;
+    struct symbol *s;
+    names[0] = "alpha"; names[1] = "beta"; names[2] = "gamma";
+    names[3] = "delta"; names[4] = "deep"; names[5] = "top";
+    for (i = 0; i < 4; i++) {
+        s = (struct symbol *)malloc(sizeof(struct symbol));
+        s->name = names[3 - i];
+        s->scope = i + 1;
+        s->next = hash[0];
+        hash[0] = s;
+    }
+    s = (struct symbol *)malloc(sizeof(struct symbol));
+    s->name = names[4]; s->scope = 7; s->next = 0;
+    hash[42] = s;
+    s = (struct symbol *)malloc(sizeof(struct symbol));
+    s->name = names[5]; s->scope = 8; s->next = 0;
+    hash[529] = s;
+    return 0;                                   /* line 23 */
+}
+"#;
+    let mut dbg = duel::minic::Debugger::new(src).unwrap();
+    dbg.add_breakpoint(23);
+    assert_eq!(
+        dbg.run().unwrap(),
+        duel::minic::StopReason::Breakpoint { line: 23 }
+    );
+    let mut s = Session::new(&mut dbg);
+    assert_eq!(
+        s.eval_lines("(hash[..1024] !=? 0)->scope >? 5").unwrap(),
+        vec!["hash[42]->scope = 7", "hash[529]->scope = 8"]
+    );
+    assert_eq!(
+        s.eval_lines("hash[0]-->next->scope").unwrap(),
+        vec![
+            "hash[0]->scope = 4",
+            "hash[0]->next->scope = 3",
+            "hash[0]->next->next->scope = 2",
+            "hash[0]->next->next->next->scope = 1",
+        ]
+    );
+    // Locals of the stopped frame are visible to DUEL.
+    assert_eq!(s.eval_lines("i + 0").unwrap(), vec!["4"]);
+}

@@ -1,0 +1,169 @@
+//! Differential testing: random generator expressions are rendered to
+//! DUEL source and simultaneously evaluated by an independent Rust
+//! oracle; the produced value sequences must match exactly.
+//!
+//! The grammar covers the pure-generator core of the language — ranges,
+//! alternation, arithmetic lifting, filters, imply, selection, count and
+//! sum — which is where the paper's coroutine evaluation scheme does all
+//! its work.
+
+use duel::core::Session;
+use duel::target::scenario;
+use proptest::prelude::*;
+
+/// A small generator-expression AST with a reference semantics.
+#[derive(Clone, Debug)]
+enum G {
+    Const(i8),
+    Range(i8, i8),
+    Alt(Box<G>, Box<G>),
+    Add(Box<G>, Box<G>),
+    Mul(Box<G>, Box<G>),
+    FilterGt(Box<G>, i8),
+    Imply(Box<G>, Box<G>),
+    Select(Box<G>, Vec<u8>),
+    Count(Box<G>),
+    Sum(Box<G>),
+    Until(Box<G>, i8),
+}
+
+impl G {
+    /// Renders as DUEL concrete syntax (fully parenthesized).
+    fn render(&self) -> String {
+        match self {
+            G::Const(v) => format!("({v})"),
+            G::Range(a, b) => format!("(({a})..({b}))"),
+            G::Alt(a, b) => format!("({},{})", a.render(), b.render()),
+            G::Add(a, b) => format!("({}+{})", a.render(), b.render()),
+            G::Mul(a, b) => format!("({}*{})", a.render(), b.render()),
+            G::FilterGt(a, k) => format!("({} >? ({k}))", a.render()),
+            G::Imply(a, b) => {
+                format!("({} => {})", a.render(), b.render())
+            }
+            G::Select(a, idx) => {
+                let parts: Vec<String> = idx.iter().map(|i| i.to_string()).collect();
+                format!("({}[[{}]])", a.render(), parts.join(","))
+            }
+            G::Count(a) => format!("(#/{})", a.render()),
+            G::Sum(a) => format!("(+/{})", a.render()),
+            G::Until(a, k) => format!("({}@({k}))", a.render()),
+        }
+    }
+
+    /// The reference semantics, mirroring the paper's operational
+    /// definitions over eager lists.
+    fn eval(&self) -> Vec<i64> {
+        match self {
+            G::Const(v) => vec![*v as i64],
+            G::Range(a, b) => (*a as i64..=*b as i64).collect(),
+            G::Alt(a, b) => {
+                let mut v = a.eval();
+                v.extend(b.eval());
+                v
+            }
+            G::Add(a, b) => {
+                // All combinations, left operand slowest — C int
+                // wrapping.
+                let bs = b.eval();
+                a.eval()
+                    .into_iter()
+                    .flat_map(|x| {
+                        bs.iter()
+                            .map(move |y| (x as i32).wrapping_add(*y as i32) as i64)
+                    })
+                    .collect()
+            }
+            G::Mul(a, b) => {
+                let bs = b.eval();
+                a.eval()
+                    .into_iter()
+                    .flat_map(|x| {
+                        bs.iter()
+                            .map(move |y| (x as i32).wrapping_mul(*y as i32) as i64)
+                    })
+                    .collect()
+            }
+            G::FilterGt(a, k) => a.eval().into_iter().filter(|v| *v > *k as i64).collect(),
+            G::Imply(a, b) => {
+                let bs = b.eval();
+                a.eval().into_iter().flat_map(|_| bs.clone()).collect()
+            }
+            G::Select(a, idx) => {
+                let vals = a.eval();
+                idx.iter()
+                    .filter_map(|i| vals.get(*i as usize).copied())
+                    .collect()
+            }
+            G::Count(a) => vec![a.eval().len() as i64],
+            G::Sum(a) => vec![a.eval().iter().sum()],
+            // e@k: values of e up to (excluding) the first equal to k.
+            G::Until(a, k) => a
+                .eval()
+                .into_iter()
+                .take_while(|v| *v != *k as i64)
+                .collect(),
+        }
+    }
+
+    /// Number of values this expression produces (guards test size).
+    fn cardinality(&self) -> usize {
+        self.eval().len()
+    }
+}
+
+/// Proptest strategy for the AST; `depth` bounds recursion.
+fn strategy(depth: u32) -> BoxedStrategy<G> {
+    if depth == 0 {
+        prop_oneof![
+            (-9i8..=9).prop_map(G::Const),
+            (-6i8..=6, -6i8..=6).prop_map(|(a, b)| G::Range(a, b)),
+        ]
+        .boxed()
+    } else {
+        let sub = strategy(depth - 1);
+        prop_oneof![
+            (-9i8..=9).prop_map(G::Const),
+            (-6i8..=6, -6i8..=6).prop_map(|(a, b)| G::Range(a, b)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| G::Alt(a.into(), b.into())),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| G::Add(a.into(), b.into())),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| G::Mul(a.into(), b.into())),
+            (sub.clone(), -6i8..=6).prop_map(|(a, k)| G::FilterGt(a.into(), k)),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| G::Imply(a.into(), b.into())),
+            (sub.clone(), prop::collection::vec(0u8..20, 1..4))
+                .prop_map(|(a, idx)| G::Select(a.into(), idx)),
+            sub.clone().prop_map(|a| G::Count(a.into())),
+            sub.clone().prop_map(|a| G::Sum(a.into())),
+            (sub, -6i8..=6).prop_map(|(a, k)| G::Until(a.into(), k)),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn duel_matches_the_oracle(g in strategy(3)) {
+        // Bound the work so pathological products stay fast.
+        prop_assume!(g.cardinality() <= 4000);
+        let want = g.eval();
+        let src = g.render();
+        let mut t = scenario::scan_array();
+        let mut s = Session::new(&mut t);
+        s.options.max_values = 100_000;
+        let got: Vec<i64> = s
+            .eval(&src)
+            .unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+            .into_iter()
+            .filter_map(|l| match l {
+                duel::core::OutputLine::Value { value, .. } => {
+                    Some(value.parse::<i64>().expect("int value"))
+                }
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(got, want, "expression `{}`", src);
+    }
+}

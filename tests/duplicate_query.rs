@@ -1,0 +1,97 @@
+//! Experiment E8: the Introduction's motivating query — "does list L
+//! contain two identical elements in its value fields?"
+//!
+//! The paper gives C code for it and notes: "The longer C code hides a
+//! bug: the initialization of the inner for loop should be
+//! q = p->next." Because DUEL accepts C statements, we can run the
+//! paper's *exact* buggy code, observe the spurious self-matches, run
+//! the corrected code, and compare with the DUEL one-liners.
+
+use duel::core::{OutputLine, Session};
+use duel::target::{scenario, Target};
+
+fn stdout_lines(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    let out = s
+        .eval(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"));
+    let mut text = String::new();
+    for l in out {
+        if let OutputLine::Stdout(chunk) = l {
+            text.push_str(&chunk);
+        }
+    }
+    text.lines().map(|l| l.to_string()).collect()
+}
+
+/// The paper's C code, verbatim modulo the declaration style (our list
+/// type is `struct list`).
+const BUGGY_C: &str = "\
+struct list *p, *q; \
+for (p = L; p; p = p->next) \
+    for (q = p; q; q = q->next) \
+        if (p->value == q->value) \
+            printf(\"%x %x contain %d\\n\", p, q, p->value);";
+
+/// The corrected inner initialization.
+const FIXED_C: &str = "\
+struct list *p, *q; \
+for (p = L; p; p = p->next) \
+    for (q = p->next; q; q = q->next) \
+        if (p->value == q->value) \
+            printf(\"%x %x contain %d\\n\", p, q, p->value);";
+
+#[test]
+fn buggy_c_self_matches_every_node() {
+    let mut t = scenario::linked_lists();
+    let out = stdout_lines(&mut t, BUGGY_C);
+    // 12 self-matches (q starts at p) plus the one real duplicate.
+    assert_eq!(out.len(), 13, "{out:#?}");
+    let dups: Vec<&String> = out.iter().filter(|l| l.contains("contain 27")).collect();
+    // 27 appears twice as a self-match and once as the true pair.
+    assert_eq!(dups.len(), 3);
+}
+
+#[test]
+fn fixed_c_finds_exactly_the_duplicate() {
+    let mut t = scenario::linked_lists();
+    let out = stdout_lines(&mut t, FIXED_C);
+    assert_eq!(out.len(), 1, "{out:#?}");
+    assert!(out[0].ends_with("contain 27"), "{}", out[0]);
+}
+
+#[test]
+fn duel_one_liner_is_correct_by_construction() {
+    // The paper's compact form: each node's value compared against the
+    // values of its successors only — no self-match bug possible.
+    let mut t = scenario::linked_lists();
+    let mut s = Session::new(&mut t);
+    let out = s
+        .eval_lines("L-->next->(value ==? next-->next->value)")
+        .unwrap();
+    assert_eq!(out, vec!["L-->next[[4]]->value = 27"]);
+}
+
+#[test]
+fn duel_index_alias_form_reports_both_positions() {
+    let mut t = scenario::linked_lists();
+    let mut s = Session::new(&mut t);
+    let out = s
+        .eval_lines(
+            "L-->next#i->value ==? L-->next#j->value => \
+             if (i < j) L-->next[[i,j]]->value",
+        )
+        .unwrap();
+    assert_eq!(
+        out,
+        vec!["L-->next[[4]]->value = 27", "L-->next[[9]]->value = 27"]
+    );
+}
+
+#[test]
+fn expression_length_comparison() {
+    // The paper's point is concision: the one-liner is a fraction of
+    // the C code's length.
+    let one_liner = "L-->next->(value ==? next-->next->value)";
+    assert!(one_liner.len() * 3 < BUGGY_C.len());
+}

@@ -1,0 +1,274 @@
+//! The paper's Discussion-section proposals, implemented as
+//! extensions:
+//!
+//! * frame exploration (`frames()`, `local("x", k)`) — "displaying the
+//!   local x in all of the currently active stack frames … is tedious
+//!   to do with most debuggers. Mechanisms for exploring such 'unnamed'
+//!   portions of the program state would be useful";
+//! * DUEL-powered conditional breakpoints — "Duel would also be useful
+//!   in other traditional debugging facilities, e.g., watchpoints and
+//!   conditional breakpoints";
+//! * assertion checking via the `&&/` reduction — "Complex assertions,
+//!   e.g., 'x[0] through x[n] are positive', often need non-trivial
+//!   code to compute the assertion outcome."
+
+use duel::core::Session;
+use duel::minic::{Debugger, StopReason};
+use duel::target::scenario;
+
+/// A recursive program stopped four frames deep, each with a local `n`.
+const RECURSIVE: &str = "\
+int depth_reached;\n\
+int dig(int n) {\n\
+    depth_reached = n;\n\
+    if (n == 3) return n;     /* line 4: stop here */\n\
+    return dig(n + 1) + 1;\n\
+}\n\
+int main() {\n\
+    int n;\n\
+    n = 99;\n\
+    return dig(0);\n\
+}\n";
+
+#[test]
+fn frames_generator_counts_active_frames() {
+    let mut d = Debugger::new(RECURSIVE).unwrap();
+    d.add_breakpoint(4);
+    // Line 4 executes on every call; the fourth hit is at n == 3, with
+    // frames dig(3) dig(2) dig(1) dig(0) main.
+    for _ in 0..4 {
+        assert_eq!(d.run().unwrap(), StopReason::Breakpoint { line: 4 });
+    }
+    let mut s = Session::new(&mut d);
+    assert_eq!(s.eval_lines("#/frames()").unwrap(), vec!["5"]);
+    assert_eq!(
+        s.eval_lines("frames()").unwrap(),
+        vec!["0", "1", "2", "3", "4"]
+    );
+}
+
+#[test]
+fn local_in_every_frame() {
+    let mut d = Debugger::new(RECURSIVE).unwrap();
+    d.add_breakpoint(4);
+    loop {
+        match d.run().unwrap() {
+            StopReason::Breakpoint { .. } => {
+                // Only stop when the innermost n is 3.
+                let mut s = Session::new(&mut d);
+                let v = s.eval_lines("n + 0").unwrap();
+                if v == vec!["3"] {
+                    break;
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    let mut s = Session::new(&mut d);
+    // The paper's wished-for query: the local `n` in every frame.
+    assert_eq!(
+        s.eval_lines("local(\"n\", frames())").unwrap(),
+        vec![
+            "local(\"n\", 0) = 3",
+            "local(\"n\", 1) = 2",
+            "local(\"n\", 2) = 1",
+            "local(\"n\", 3) = 0",
+            "local(\"n\", 4) = 99",
+        ]
+    );
+    // Frames lacking the local are skipped silently.
+    assert_eq!(
+        s.eval_lines("#/local(\"no_such\", frames())").unwrap(),
+        vec!["0"]
+    );
+    // And they compose with ordinary operators.
+    assert_eq!(
+        s.eval_lines("+/local(\"n\", frames())").unwrap(),
+        vec!["105"]
+    );
+}
+
+#[test]
+fn conditional_breakpoint_with_duel_expression() {
+    const LOOP: &str = "\
+int x[32];\n\
+int main() {\n\
+    int i;\n\
+    for (i = 0; i < 32; i++)\n\
+        x[i] = i * 3;          /* line 5 */\n\
+    return x[31];\n\
+}\n";
+    let mut d = Debugger::new(LOOP).unwrap();
+    // Stop at line 5 only once some element exceeds 20 — a query over
+    // the whole array, not just a scalar condition.
+    d.add_conditional_breakpoint(5, "||/(x[..32] >? 20)");
+    match d.run().unwrap() {
+        StopReason::Breakpoint { line } => assert_eq!(line, 5),
+        other => panic!("{other:?}"),
+    }
+    // x[7] = 21 was just written; i is 8 on the next iteration's entry.
+    let mut s = Session::new(&mut d);
+    assert_eq!(s.eval_lines("x[..32] >? 20").unwrap(), vec!["x[7] = 21"]);
+    drop(s);
+    assert!(matches!(
+        d.cont().unwrap(),
+        StopReason::Breakpoint { line: 5 }
+    ));
+}
+
+#[test]
+fn assertions_via_all_reduction() {
+    // "x[0] through x[n] are positive" is one reduction.
+    let mut t = scenario::range_array();
+    let mut s = Session::new(&mut t);
+    // range_array has x[3] = -9: the assertion fails…
+    assert_eq!(s.eval_lines("&&/(x[..10] >= 0)").unwrap(), vec!["0"]);
+    // …fix the offending element and it holds.
+    s.eval("x[3] = 9 ;").unwrap();
+    assert_eq!(s.eval_lines("&&/(x[..10] >= 0)").unwrap(), vec!["1"]);
+}
+
+#[test]
+fn sequence_equality_builtin() {
+    // The paper's `(equality e1 e2)` reduction, exposed as `equal()`.
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    assert_eq!(s.eval_lines("equal(1..3, (1,2,3))").unwrap(), vec!["1"]);
+    assert_eq!(s.eval_lines("equal(1..3, 1..4)").unwrap(), vec!["0"]);
+    assert_eq!(s.eval_lines("equal(1..3, (1,9,3))").unwrap(), vec!["0"]);
+    assert_eq!(s.eval_lines("equal(1..0, 5..4)").unwrap(), vec!["1"]);
+    // Against target data: x[1..3] vs itself and vs a shifted window.
+    assert_eq!(s.eval_lines("equal(x[1..3], x[1..3])").unwrap(), vec!["1"]);
+    assert_eq!(s.eval_lines("equal(x[1..3], x[2..4])").unwrap(), vec!["0"]);
+}
+
+#[test]
+fn eval_stats_expose_work_counters() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.eval("x[..10] >? 0").unwrap();
+    let stats = s.last_stats();
+    assert_eq!(stats.values, 10, "{stats:?}");
+    assert!(stats.ticks >= 10, "{stats:?}");
+    // A bigger scan does proportionally more work.
+    s.eval("x[..60] >? 0").unwrap();
+    assert!(s.last_stats().ticks > stats.ticks);
+}
+
+#[test]
+fn ast_notation_matches_the_paper() {
+    // The Semantics section's own example.
+    let ast = duel::core::parser::parse("a*5 + *b", &mut |_| false).unwrap();
+    assert_eq!(
+        duel::core::to_sexpr(&ast),
+        "(plus (multiply (name \"a\") (constant 5)) \
+         (indirect (name \"b\")))"
+    );
+}
+
+#[test]
+fn trace_reproduces_the_papers_walkthrough() {
+    // The Semantics section walks through evaluating (1..3)+(5,9):
+    // "This recursive invocation of eval returns 1 … This second call
+    // to eval on (alternate 5 9) returns 5, apply computes the sum, 6
+    // … This call returns 9, which causes the top-level call to eval
+    // to return 10 … the whole process of re-evaluating
+    // (alternate 5 9) begins anew".
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.options.trace = true;
+    s.eval("(1..3)+(5,9)").unwrap();
+    let trace = s.take_trace();
+    let top: Vec<&str> = trace
+        .iter()
+        .filter(|l| l.starts_with("eval(binary)"))
+        .map(|s| s.as_str())
+        .collect();
+    assert_eq!(
+        top,
+        vec![
+            "eval(binary) -> yield 1+5",
+            "eval(binary) -> yield 1+9",
+            "eval(binary) -> yield 2+5",
+            "eval(binary) -> yield 2+9",
+            "eval(binary) -> yield 3+5",
+            "eval(binary) -> yield 3+9",
+            "eval(binary) -> NOVALUE",
+        ]
+    );
+    // The alternate restarts once per left value: it hits NOVALUE
+    // exactly 3 times before the range is exhausted.
+    let alt_dead = trace
+        .iter()
+        .filter(|l| l.trim_start().starts_with("eval(alternate) -> NOVALUE"))
+        .count();
+    assert_eq!(alt_dead, 3);
+    // Tracing off ⇒ no trace.
+    s.options.trace = false;
+    s.eval("1+1").unwrap();
+    assert!(s.take_trace().is_empty());
+}
+
+#[test]
+fn watchpoints_fire_on_structure_change() {
+    const PROG: &str = "\
+int x[8];\n\
+int untouched;\n\
+int main() {\n\
+    int i;\n\
+    untouched = 0;\n\
+    for (i = 0; i < 4; i++)\n\
+        x[i * 2] = i + 1;\n\
+    return x[6];\n\
+}\n";
+    let mut d = Debugger::new(PROG).unwrap();
+    // Watch the whole array: fires once per element write.
+    d.add_watchpoint("x[..8]");
+    let mut fires = 0;
+    loop {
+        match d.run().unwrap() {
+            StopReason::Watchpoint { .. } => fires += 1,
+            StopReason::Exited { code } => {
+                assert_eq!(code, 4);
+                break;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(fires, 4);
+    // At the end, querying confirms the final state.
+    let mut s = Session::new(&mut d);
+    assert_eq!(
+        s.eval_lines("x[..8] >? 0").unwrap(),
+        vec!["x[0] = 1", "x[2] = 2", "x[4] = 3", "x[6] = 4"]
+    );
+}
+
+#[test]
+fn watchpoint_on_a_reduction() {
+    const PROG: &str = "\
+int total;\n\
+int main() {\n\
+    int i;\n\
+    for (i = 1; i <= 10; i++)\n\
+        if (i % 3 == 0)\n\
+            total = total + i;\n\
+    return total;\n\
+}\n";
+    let mut d = Debugger::new(PROG).unwrap();
+    // A derived quantity: stops only when the sum actually changes
+    // (i = 3, 6, 9).
+    d.add_watchpoint("+/(total, 0)");
+    let mut fires = 0;
+    loop {
+        match d.run().unwrap() {
+            StopReason::Watchpoint { .. } => fires += 1,
+            StopReason::Exited { code } => {
+                assert_eq!(code, 18);
+                break;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(fires, 3);
+}

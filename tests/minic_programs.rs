@@ -1,0 +1,455 @@
+//! Deep coverage of the mini-C substrate: the compiler + VM must be
+//! trustworthy enough that debugging sessions over it are meaningful.
+//! Each test runs a complete program and checks its exit code, its
+//! output, or the memory it leaves behind.
+
+use duel::minic::{Debugger, StopReason};
+use duel::target::Target;
+
+fn run_exit(src: &str) -> i64 {
+    let mut d = Debugger::new(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+    match d.run().unwrap_or_else(|e| panic!("run failed: {e}")) {
+        StopReason::Exited { code } => code,
+        other => panic!("did not exit: {other:?}"),
+    }
+}
+
+fn run_output(src: &str) -> String {
+    let mut d = Debugger::new(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
+    d.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+    d.take_output()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_exit("int main() { return 2 + 3 * 4; }"), 14);
+    assert_eq!(run_exit("int main() { return (2 + 3) * 4; }"), 20);
+    assert_eq!(run_exit("int main() { return 17 % 5; }"), 2);
+    assert_eq!(run_exit("int main() { return 1 << 6 >> 2; }"), 16);
+    assert_eq!(run_exit("int main() { return -7 / 2; }"), -3);
+    assert_eq!(run_exit("int main() { return (5 & 3) | (4 ^ 12); }"), 9);
+}
+
+#[test]
+fn short_circuit_evaluation() {
+    // The right operand must not run when short-circuited.
+    let src = "\
+int hits;\n\
+int bump() { hits = hits + 1; return 1; }\n\
+int main() {\n\
+    int a;\n\
+    a = 0 && bump();\n\
+    a = 1 || bump();\n\
+    return hits;\n\
+}\n";
+    assert_eq!(run_exit(src), 0);
+}
+
+#[test]
+fn comparison_chains_and_ternary() {
+    assert_eq!(run_exit("int main() { return 3 < 4 ? 10 : 20; }"), 10);
+    assert_eq!(run_exit("int main() { int x = 5; return x == 5; }"), 1);
+}
+
+#[test]
+fn loops_break_continue() {
+    let src = "\
+int main() {\n\
+    int i, sum;\n\
+    sum = 0;\n\
+    for (i = 0; i < 100; i++) {\n\
+        if (i % 2) continue;\n\
+        if (i >= 20) break;\n\
+        sum = sum + i;\n\
+    }\n\
+    return sum;\n\
+}\n";
+    // 0+2+4+…+18 = 90.
+    assert_eq!(run_exit(src), 90);
+}
+
+#[test]
+fn do_while_runs_at_least_once() {
+    let src = "\
+int main() {\n\
+    int n = 0;\n\
+    do { n = n + 1; } while (0);\n\
+    return n;\n\
+}\n";
+    assert_eq!(run_exit(src), 1);
+}
+
+#[test]
+fn nested_function_calls_and_params() {
+    let src = "\
+int max(int a, int b) { return a > b ? a : b; }\n\
+int clamp(int v, int lo, int hi) {\n\
+    return max(lo, v < hi ? v : hi);\n\
+}\n\
+int main() { return clamp(42, 0, 10) + clamp(-5, 0, 10); }\n";
+    assert_eq!(run_exit(src), 10);
+}
+
+#[test]
+fn recursion_ackermann_small() {
+    let src = "\
+int ack(int m, int n) {\n\
+    if (m == 0) return n + 1;\n\
+    if (n == 0) return ack(m - 1, 1);\n\
+    return ack(m - 1, ack(m, n - 1));\n\
+}\n\
+int main() { return ack(2, 3); }\n";
+    assert_eq!(run_exit(src), 9);
+}
+
+#[test]
+fn pointers_and_swap() {
+    let src = "\
+int swap(int *a, int *b) {\n\
+    int t;\n\
+    t = *a; *a = *b; *b = t;\n\
+    return 0;\n\
+}\n\
+int main() {\n\
+    int x = 3, y = 4;\n\
+    swap(&x, &y);\n\
+    return x * 10 + y;\n\
+}\n";
+    assert_eq!(run_exit(src), 43);
+}
+
+#[test]
+fn arrays_and_pointer_walks() {
+    let src = "\
+int a[8];\n\
+int main() {\n\
+    int i, sum;\n\
+    int *p;\n\
+    for (i = 0; i < 8; i++) a[i] = i * i;\n\
+    sum = 0;\n\
+    for (p = a; p < a + 8; p++) sum = sum + *p;\n\
+    return sum;\n\
+}\n";
+    // 0+1+4+…+49 = 140.
+    assert_eq!(run_exit(src), 140);
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    let src = "\
+int m[3][4];\n\
+int main() {\n\
+    int i, j, sum;\n\
+    for (i = 0; i < 3; i++)\n\
+        for (j = 0; j < 4; j++)\n\
+            m[i][j] = i * 10 + j;\n\
+    sum = 0;\n\
+    for (i = 0; i < 3; i++) sum = sum + m[i][3];\n\
+    return sum + m[2][1];\n\
+}\n";
+    // m[0][3]+m[1][3]+m[2][3] = 3+13+23 = 39; +21 = 60.
+    assert_eq!(run_exit(src), 60);
+}
+
+#[test]
+fn structs_unions_typedefs() {
+    let src = "\
+typedef struct pt { int x; int y; } Point;\n\
+union both { int i; unsigned u; };\n\
+Point corner;\n\
+union both b;\n\
+int main() {\n\
+    Point local;\n\
+    local.x = 3; local.y = 4;\n\
+    corner = local;          /* struct assignment unsupported */\n\
+    return 0;\n\
+}\n";
+    // Struct assignment is documented as unsupported: compile error.
+    assert!(Debugger::new(src).is_err());
+
+    let src2 = "\
+typedef struct pt { int x; int y; } Point;\n\
+Point corner;\n\
+int main() {\n\
+    corner.x = 3; corner.y = 4;\n\
+    return corner.x * 10 + corner.y;\n\
+}\n";
+    assert_eq!(run_exit(src2), 34);
+}
+
+#[test]
+fn bitfields_in_c() {
+    let src = "\
+struct flags { unsigned a : 3; unsigned b : 5; unsigned c : 8; };\n\
+struct flags f;\n\
+int main() {\n\
+    f.a = 5; f.b = 17; f.c = 200;\n\
+    f.a = f.a + 2;\n\
+    return f.a + f.b + f.c;\n\
+}\n";
+    assert_eq!(run_exit(src), 7 + 17 + 200);
+}
+
+#[test]
+fn enums_in_c() {
+    let src = "\
+enum state { IDLE, BUSY = 5, DONE };\n\
+int main() {\n\
+    enum state s;\n\
+    s = DONE;\n\
+    return s + IDLE + BUSY;\n\
+}\n";
+    assert_eq!(run_exit(src), 11);
+}
+
+#[test]
+fn char_arithmetic_and_strings() {
+    let src = "\
+char *msg = \"hello\";\n\
+int main() {\n\
+    return msg[0] + msg[4] - 'a';\n\
+}\n";
+    assert_eq!(run_exit(src), ('h' as i64) + ('o' as i64) - ('a' as i64));
+    assert_eq!(
+        run_output(
+            "int main() { printf(\"len=%d\\n\", strlen(\"four\")); \
+             return 0; }"
+        ),
+        "len=4\n"
+    );
+}
+
+#[test]
+fn unsigned_wraparound_in_c() {
+    let src = "\
+int main() {\n\
+    unsigned char c = 255;\n\
+    c = c + 2;\n\
+    return c;\n\
+}\n";
+    assert_eq!(run_exit(src), 1);
+    assert_eq!(
+        run_exit(
+            "int main() { unsigned u = 0; u = u - 1; \
+             return u > 1000; }"
+        ),
+        1
+    );
+}
+
+#[test]
+fn float_computation() {
+    let src = "\
+int main() {\n\
+    double s;\n\
+    int i;\n\
+    s = 0.0;\n\
+    for (i = 1; i <= 10; i++) s = s + 1.0 / i;\n\
+    return (int)(s * 1000.0);\n\
+}\n";
+    // H(10) ≈ 2.928968…
+    assert_eq!(run_exit(src), 2928);
+}
+
+#[test]
+fn comma_and_compound_assignment() {
+    let src = "\
+int main() {\n\
+    int a = 1, b = 2;\n\
+    a += 5; b *= 3;\n\
+    a <<= 1, b -= 1;\n\
+    return a * 100 + b;\n\
+}\n";
+    assert_eq!(run_exit(src), 1205);
+}
+
+#[test]
+fn scope_shadowing() {
+    let src = "\
+int x = 1;\n\
+int main() {\n\
+    int x = 2;\n\
+    {\n\
+        int x = 3;\n\
+        if (x != 3) return 100;\n\
+    }\n\
+    return x;\n\
+}\n";
+    assert_eq!(run_exit(src), 2);
+}
+
+#[test]
+fn printf_formats() {
+    let out = run_output(
+        "int main() { \
+           printf(\"%d|%u|%x|%c|%s|%5d|%-3d|\", \
+                  -7, 7, 255, 'Z', \"str\", 42, 1); \
+           return 0; }",
+    );
+    assert_eq!(out, "-7|7|ff|Z|str|   42|1  |");
+}
+
+#[test]
+fn malloc_builds_reachable_graphs() {
+    let src = "\
+struct node { int v; struct node *l; struct node *r; };\n\
+struct node *root;\n\
+struct node *mk(int v) {\n\
+    struct node *n;\n\
+    n = (struct node *)malloc(sizeof(struct node));\n\
+    n->v = v; n->l = 0; n->r = 0;\n\
+    return n;\n\
+}\n\
+int sum(struct node *n) {\n\
+    if (!n) return 0;\n\
+    return n->v + sum(n->l) + sum(n->r);\n\
+}\n\
+int main() {\n\
+    root = mk(1);\n\
+    root->l = mk(2);\n\
+    root->r = mk(3);\n\
+    root->l->l = mk(4);\n\
+    return sum(root);\n\
+}\n";
+    assert_eq!(run_exit(src), 10);
+}
+
+#[test]
+fn division_by_zero_is_a_runtime_error() {
+    let mut d = Debugger::new("int main() { int z = 0; return 7 / z; }").unwrap();
+    assert!(d.run().is_err());
+}
+
+#[test]
+fn infinite_loop_hits_fuel_limit() {
+    let mut d = Debugger::new("int main() { for (;;) ; return 0; }").unwrap();
+    d.vm_mut().fuel = 100_000;
+    assert!(matches!(d.run(), Err(duel::minic::VmError::OutOfFuel)));
+}
+
+#[test]
+fn null_deref_is_a_memory_error() {
+    let mut d = Debugger::new("int main() { int *p; p = 0; return *p; }").unwrap();
+    assert!(d.run().is_err());
+}
+
+#[test]
+fn globals_visible_after_exit() {
+    let src = "\
+int total;\n\
+int main() {\n\
+    int i;\n\
+    for (i = 1; i <= 10; i++) total = total + i;\n\
+    return 0;\n\
+}\n";
+    let mut d = Debugger::new(src).unwrap();
+    d.run().unwrap();
+    let total = d.get_variable("total").unwrap();
+    let mut buf = [0u8; 4];
+    d.get_bytes(total.addr, &mut buf).unwrap();
+    assert_eq!(i32::from_le_bytes(buf), 55);
+}
+
+#[test]
+fn switch_dispatch_and_fallthrough() {
+    let src = "\
+int classify(int v) {\n\
+    int r;\n\
+    r = 0;\n\
+    switch (v) {\n\
+    case 1:\n\
+        r = 10;\n\
+        break;\n\
+    case 2:          /* falls through to 3 */\n\
+    case 3:\n\
+        r = 23;\n\
+        break;\n\
+    default:\n\
+        r = 99;\n\
+    }\n\
+    return r;\n\
+}\n\
+int main() {\n\
+    return classify(1) * 1000000 + classify(2) * 10000\n\
+         + classify(3) * 100 + classify(7);\n\
+}\n";
+    assert_eq!(run_exit(src), 10 * 1000000 + 23 * 10000 + 23 * 100 + 99);
+}
+
+#[test]
+fn switch_without_default_skips() {
+    let src = "\
+int main() {\n\
+    int r = 5;\n\
+    switch (42) {\n\
+    case 1: r = 1; break;\n\
+    case 2: r = 2; break;\n\
+    }\n\
+    return r;\n\
+}\n";
+    assert_eq!(run_exit(src), 5);
+}
+
+#[test]
+fn switch_on_enumerators_and_break_scoping() {
+    let src = "\
+enum op { ADD, SUB = 10, MUL };\n\
+int apply(int op, int a, int b) {\n\
+    switch (op) {\n\
+    case ADD: return a + b;\n\
+    case SUB: return a - b;\n\
+    case MUL: return a * b;\n\
+    }\n\
+    return -1;\n\
+}\n\
+int main() {\n\
+    int i, total;\n\
+    total = 0;\n\
+    /* break inside switch must not break the for loop */\n\
+    for (i = 0; i < 3; i++) {\n\
+        switch (i) {\n\
+        case 0: total += apply(ADD, 7, 2); break;\n\
+        case 1: total += apply(SUB, 7, 2); break;\n\
+        case 2: total += apply(MUL, 7, 2); break;\n\
+        }\n\
+    }\n\
+    return total;\n\
+}\n";
+    assert_eq!(run_exit(src), 9 + 5 + 14);
+}
+
+#[test]
+fn switch_fallthrough_counts_duel_visible() {
+    // A switch-built histogram the DUEL session can then query.
+    let src = "\
+int histo[4];\n\
+int main() {\n\
+    int i;\n\
+    for (i = 0; i < 12; i++) {\n\
+        switch (i % 4) {\n\
+        case 0:\n\
+        case 1:\n\
+            histo[0]++;\n\
+            break;\n\
+        case 2:\n\
+            histo[2]++;\n\
+            break;\n\
+        default:\n\
+            histo[3]++;\n\
+        }\n\
+    }\n\
+    return 0;\n\
+}\n";
+    let mut d = Debugger::new(src).unwrap();
+    d.run().unwrap();
+    let mut s = duel::core::Session::new(&mut d);
+    assert_eq!(
+        s.eval_lines("histo[..4]").unwrap(),
+        vec![
+            "histo[0] = 6",
+            "histo[1] = 0",
+            "histo[2] = 3",
+            "histo[3] = 3"
+        ]
+    );
+}

@@ -1,0 +1,509 @@
+//! Experiment E1: the paper-transcript conformance suite.
+//!
+//! Every `gdb> duel …` transcript in the paper is reproduced against the
+//! debuggee states of `duel_target::scenario`. Where the paper's own
+//! transcripts are internally inconsistent (documented in
+//! EXPERIMENTS.md §E1), the test asserts the self-consistent behaviour
+//! and a comment records the divergence.
+
+use duel::core::Session;
+use duel::target::{scenario, Target};
+
+fn lines(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    s.eval_lines(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+}
+
+fn values(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    let out = s
+        .eval(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"));
+    out.iter()
+        .filter_map(|l| match l {
+            duel::core::OutputLine::Value { value, .. } => Some(value.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+// ---- Design-section warm-ups -------------------------------------------
+
+#[test]
+fn design_intro_examples() {
+    let mut t = scenario::scan_array();
+    // "(1..3)+(5,9) prints 6 10 7 11 8 12".
+    assert_eq!(
+        values(&mut t, "(1..3)+(5,9)"),
+        vec!["6", "10", "7", "11", "8", "12"]
+    );
+}
+
+#[test]
+fn syntax_section_arithmetic_transcripts() {
+    let mut t = scenario::scan_array();
+    // gdb> duel (1,2,5)*4+(10,200)  ⇒  14 204 18 208 30 220
+    assert_eq!(
+        values(&mut t, "(1,2,5)*4+(10,200)"),
+        vec!["14", "204", "18", "208", "30", "220"]
+    );
+    // gdb> duel (3,11)+(5..7)  ⇒  8 9 10 16 17 18
+    assert_eq!(
+        values(&mut t, "(3,11)+(5..7)"),
+        vec!["8", "9", "10", "16", "17", "18"]
+    );
+}
+
+#[test]
+fn to_with_generator_operands() {
+    // (to (alternate 1 5) (alternate 5 10)) ⇒ 1..5, 1..10, 5, 5..10.
+    let mut t = scenario::scan_array();
+    let got = values(&mut t, "(1,5)..(5,10)");
+    let expect: Vec<String> = (1..=5)
+        .chain(1..=10)
+        .chain(5..=5)
+        .chain(5..=10)
+        .map(|v| v.to_string())
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn pure_c_print_equivalence() {
+    // gdb> duel 1 + (double)3/2  ⇒  2.500
+    let mut t = scenario::scan_array();
+    assert_eq!(lines(&mut t, "1 + (double)3/2"), vec!["2.500"]);
+}
+
+// ---- The array searches --------------------------------------------------
+
+#[test]
+fn search_with_filters() {
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(&mut t, "x[1..4,8,12..50] >? 5 <? 10"),
+        vec!["x[3] = 7", "x[18] = 9", "x[47] = 6"]
+    );
+}
+
+#[test]
+fn search_with_eq_range_formulation() {
+    // "x[1..4,8,12..50] ==? (6..9) is another formulation of the same
+    // search."
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(&mut t, "x[1..4,8,12..50] ==? (6..9)"),
+        vec!["x[3] = 7", "x[18] = 9", "x[47] = 6"]
+    );
+}
+
+#[test]
+fn plain_c_equality_prints_all() {
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(&mut t, "x[1..3] == 7"),
+        vec!["x[1]==7 = 0", "x[2]==7 = 0", "x[3]==7 = 1"]
+    );
+}
+
+// ---- The hash-table transcripts ------------------------------------------
+
+#[test]
+fn heads_with_scope_over_five() {
+    let mut t = scenario::hash_table_basic();
+    assert_eq!(
+        lines(&mut t, "(hash[..1024] !=? 0)->scope >? 5"),
+        vec!["hash[42]->scope = 7", "hash[529]->scope = 8"]
+    );
+}
+
+#[test]
+fn clearing_first_symbol_scopes() {
+    // gdb> duel hash[0..1023]->scope = 0 ;
+    // "clears the scope field of the first symbol on each list … This
+    // example produces no output."
+    let mut t = scenario::hash_table_full();
+    assert!(lines(&mut t, "hash[0..1023]->scope = 0 ;").is_empty());
+    // Every head's scope is now zero.
+    assert!(lines(&mut t, "(hash[..1024] !=? 0)->scope >? 0").is_empty());
+}
+
+#[test]
+fn four_equivalent_formulations() {
+    // The four formulations from the Syntax section print the same
+    // scope fields (7 and 8 on the basic table).
+    let forms = [
+        "(hash[..1024] !=? 0)->scope >? 5",
+        "int i; for (i = 0; i < 1024; i++) \
+         if (hash[i] && hash[i]->scope > 5) hash[i]->scope",
+        "int i; for (i = 0; i < 1024; i++) \
+         if (hash[i]) hash[i]->scope >? 5",
+        "int i; for (i = 0; i < 1024; i++) \
+         (hash[i] !=? 0)->scope >? 5",
+    ];
+    for form in forms {
+        let mut t = scenario::hash_table_basic();
+        assert_eq!(values(&mut t, form), vec!["7", "8"], "formulation `{form}`");
+    }
+}
+
+#[test]
+fn printf_formulation_matches() {
+    let mut t = scenario::hash_table_basic();
+    let got = lines(
+        &mut t,
+        "int i; for (i = 0; i < 1024; i++) \
+         if (hash[i] != 0) if (hash[i]->scope > 5) \
+         printf(\"hash[%d]->scope = %d\\n\", i, hash[i]->scope);",
+    );
+    assert_eq!(got, vec!["hash[42]->scope = 7", "hash[529]->scope = 8"]);
+}
+
+#[test]
+fn field_alternation() {
+    // gdb> duel hash[1,9]->(scope,name)
+    let mut t = scenario::hash_table_basic();
+    let out = lines(&mut t, "hash[1,9]->(scope,name)");
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[0], "hash[1]->scope = 3");
+    assert!(
+        out[1].starts_with("hash[1]->name = ") && out[1].ends_with("\"x\""),
+        "{}",
+        out[1]
+    );
+    assert_eq!(out[2], "hash[9]->scope = 2");
+    assert!(out[3].ends_with("\"abc\""), "{}", out[3]);
+}
+
+#[test]
+fn alias_chain_clears_scopes() {
+    // x:= hash[..1024] !=? 0 => y:= x->scope => y = 0
+    let mut t = scenario::hash_table_basic();
+    {
+        let mut s = Session::new(&mut t);
+        s.eval("x:= hash[..1024] !=? 0 => y:= x->scope => y = 0 ;")
+            .unwrap();
+    }
+    assert!(lines(&mut t, "(hash[..1024] !=? 0)->scope >? 0").is_empty());
+}
+
+#[test]
+fn conditional_field_selection_with_alias() {
+    let mut t = scenario::hash_table_basic();
+    let out = lines(&mut t, "x:= hash[..1024] !=? 0 => x->(if (scope > 5) name)");
+    assert_eq!(out.len(), 2);
+    assert!(out[0].ends_with("\"deep\""), "{}", out[0]);
+    assert!(out[1].ends_with("\"top\""), "{}", out[1]);
+}
+
+#[test]
+fn underscore_guards_null_buckets() {
+    // hash[..1024]->(if (_ && scope > 5) name) must not dereference the
+    // NULL buckets.
+    let mut t = scenario::hash_table_basic();
+    let out = lines(&mut t, "hash[..1024]->(if (_ && scope > 5) name)");
+    assert_eq!(out.len(), 2);
+    assert!(out[0].contains("name"), "{}", out[0]);
+    assert!(out[0].ends_with("\"deep\""), "{}", out[0]);
+}
+
+// ---- The out-of-range searches -------------------------------------------
+
+#[test]
+fn alias_display_shows_alias_name() {
+    // gdb> duel y:= x[..10] => if (y < 0 || y > 100) y
+    let mut t = scenario::range_array();
+    assert_eq!(
+        lines(&mut t, "y:= x[..10] => if (y < 0 || y > 100) y"),
+        vec!["y = -9", "y = 120"]
+    );
+}
+
+#[test]
+fn underscore_display_shows_derivation() {
+    // gdb> duel x[..10].if (_ < 0 || _ > 100) _
+    let mut t = scenario::range_array();
+    assert_eq!(
+        lines(&mut t, "x[..10].if (_ < 0 || _ > 100) _"),
+        vec!["x[3] = -9", "x[8] = 120"]
+    );
+}
+
+#[test]
+fn index_alias_recovers_position() {
+    // y:= x[j := ..10] => if (y < 0 || y > 100) x[{j}]
+    let mut t = scenario::range_array();
+    assert_eq!(
+        lines(&mut t, "y:= x[j := ..10] => if (y < 0 || y > 100) x[{j}]"),
+        vec!["x[3] = -9", "x[8] = 120"]
+    );
+}
+
+// ---- Sequencing and braces ------------------------------------------------
+
+#[test]
+fn sequence_keeps_last_alias_value() {
+    // gdb> duel i := 1..3; i + 4  ⇒  i+4 = 7
+    let mut t = scenario::scan_array();
+    assert_eq!(lines(&mut t, "i := 1..3; i + 4"), vec!["i+4 = 7"]);
+}
+
+#[test]
+fn imply_iterates_body() {
+    // gdb> duel i := 1..3 => {i} + 4
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(&mut t, "i := 1..3 => {i} + 4"),
+        vec!["1+4 = 5", "2+4 = 6", "3+4 = 7"]
+    );
+}
+
+#[test]
+fn for_with_if_expression_body() {
+    // gdb> duel int i; for (i = 0; i < 9; i++) 4 + if (i%3==0) i*5
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(&mut t, "int i; for (i = 0; i < 9; i++) 4 + if (i%3==0) i*5"),
+        vec!["4+i*5 = 4", "4+i*5 = 19", "4+i*5 = 34"]
+    );
+}
+
+#[test]
+fn braces_substitute_values() {
+    // gdb> duel int i; for (i = 0; i < 9; i++) 4 + if (i%3 == 0) {i}*5
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(
+            &mut t,
+            "int i; for (i = 0; i < 9; i++) 4 + if (i%3 == 0) {i}*5"
+        ),
+        vec!["4+0*5 = 4", "4+3*5 = 19", "4+6*5 = 34"]
+    );
+}
+
+// ---- List and tree expansion -----------------------------------------------
+
+#[test]
+fn dfs_list_walk_with_expanded_syms() {
+    // gdb> duel hash[0]-->next->scope — the paper shows the symbolic
+    // paths fully expanded at up to three `->next` steps.
+    let mut t = scenario::hash_table_basic();
+    assert_eq!(
+        lines(&mut t, "hash[0]-->next->scope"),
+        vec![
+            "hash[0]->scope = 4",
+            "hash[0]->next->scope = 3",
+            "hash[0]->next->next->scope = 2",
+            "hash[0]->next->next->next->scope = 1",
+        ]
+    );
+}
+
+#[test]
+fn dfs_generates_list_elements() {
+    let mut t = scenario::linked_lists();
+    // L has 12 nodes.
+    assert_eq!(values(&mut t, "#/(L-->next)"), vec!["12"]);
+    assert_eq!(values(&mut t, "#/(head-->next)"), vec!["8"]);
+}
+
+#[test]
+fn duplicate_value_query() {
+    // The Introduction's query: L-->next->(value ==? next-->next->value)
+    let mut t = scenario::linked_lists();
+    let out = lines(&mut t, "L-->next->(value ==? next-->next->value)");
+    assert_eq!(out, vec!["L-->next[[4]]->value = 27"]);
+}
+
+#[test]
+fn tree_preorder_keys() {
+    // gdb> duel root-->(left,right)->key
+    //
+    // NOTE: the paper's transcript lists `root->left->right` before
+    // `root->left->left`, contradicting its own claim that children are
+    // stacked in reverse "so that the nodes are visited in the expected
+    // order" (preorder). We produce true preorder; see EXPERIMENTS.md.
+    let mut t = scenario::binary_tree();
+    assert_eq!(
+        lines(&mut t, "root-->(left,right)->key"),
+        vec![
+            "root->key = 9",
+            "root->left->key = 3",
+            "root->left->left->key = 4",
+            "root->left->right->key = 5",
+            "root->right->key = 12",
+        ]
+    );
+}
+
+#[test]
+fn tree_guided_path() {
+    // The paper prints the path to the node holding 5. Its transcript
+    // writes the comparisons flipped relative to the tree it defines;
+    // with the tree as given, the descent must go left when the key is
+    // larger. See EXPERIMENTS.md §E1.
+    let mut t = scenario::binary_tree();
+    assert_eq!(
+        lines(
+            &mut t,
+            "root-->(if (key > 5) left else if (key < 5) right)->key"
+        ),
+        vec![
+            "root->key = 9",
+            "root->left->key = 3",
+            "root->left->right->key = 5",
+        ]
+    );
+}
+
+#[test]
+fn sortedness_check_finds_violation() {
+    // gdb> duel hash[..1024]-->next-> if (next) scope <? next->scope
+    //   ⇒ hash[287]-->next[[8]]->scope = 5
+    let mut t = scenario::hash_table_sorted_violation();
+    assert_eq!(
+        lines(
+            &mut t,
+            "hash[..1024]-->next-> if (next) scope <? next->scope"
+        ),
+        vec!["hash[287]-->next[[8]]->scope = 5"]
+    );
+}
+
+#[test]
+fn bfs_visits_level_order() {
+    // `-->>` (extension): breadth-first visits 9, 3, 12, 4, 5.
+    let mut t = scenario::binary_tree();
+    assert_eq!(
+        values(&mut t, "root-->>(left,right)->key"),
+        vec!["9", "3", "12", "4", "5"]
+    );
+}
+
+// ---- Selection --------------------------------------------------------------
+
+#[test]
+fn select_from_products() {
+    // gdb> duel ((1..9)*(1..9))[[52,74]]  ⇒  6*8 = 48, 9*3 = 27
+    let mut t = scenario::scan_array();
+    assert_eq!(
+        lines(&mut t, "((1..9)*(1..9))[[52,74]]"),
+        vec!["6*8 = 48", "9*3 = 27"]
+    );
+}
+
+#[test]
+fn select_from_list_walk() {
+    // gdb> duel head-->next->value[[3,5]] — the paper compresses at
+    // three steps here; our default threshold is 4, so this test runs
+    // with threshold 2 to match the transcript exactly.
+    let mut t = scenario::linked_lists();
+    let mut s = Session::new(&mut t);
+    s.options.compress_threshold = 2;
+    assert_eq!(
+        s.eval_lines("head-->next->value[[3,5]]").unwrap(),
+        vec![
+            "head-->next[[3]]->value = 33",
+            "head-->next[[5]]->value = 29",
+        ]
+    );
+}
+
+#[test]
+fn count_reduction() {
+    // gdb> duel #/(root-->(left,right)->key)  ⇒  5
+    let mut t = scenario::binary_tree();
+    assert_eq!(lines(&mut t, "#/(root-->(left,right)->key)"), vec!["5"]);
+}
+
+#[test]
+fn duplicate_detection_via_index_aliases() {
+    // gdb> duel L-->next#i->value ==? L-->next#j->value =>
+    //        if (i < j) L-->next[[i,j]]->value
+    let mut t = scenario::linked_lists();
+    assert_eq!(
+        lines(
+            &mut t,
+            "L-->next#i->value ==? L-->next#j->value => \
+             if (i < j) L-->next[[i,j]]->value"
+        ),
+        vec!["L-->next[[4]]->value = 27", "L-->next[[9]]->value = 27",]
+    );
+}
+
+// ---- Termination (`@`) -------------------------------------------------------
+
+#[test]
+fn until_string_terminator() {
+    // s[0..999]@(_=='\0') produces s[0], s[1], … before the NUL.
+    let mut t = scenario::argv_strings();
+    let out = lines(&mut t, "s[0..999]@(_=='\\0')");
+    assert_eq!(
+        out,
+        vec![
+            "s[0] = 'h'",
+            "s[1] = 'e'",
+            "s[2] = 'l'",
+            "s[3] = 'l'",
+            "s[4] = 'o'",
+        ]
+    );
+}
+
+#[test]
+fn until_null_pointer_terminator() {
+    // argv[0..]@0 generates the strings in argv.
+    let mut t = scenario::argv_strings();
+    let out = lines(&mut t, "argv[0..]@0");
+    assert_eq!(out.len(), 3);
+    assert!(out[0].starts_with("argv[0] = ") && out[0].ends_with("\"prog\""));
+    assert!(out[1].ends_with("\"-v\""));
+    assert!(out[2].ends_with("\"input.c\""));
+}
+
+// ---- Calls with generator arguments ------------------------------------------
+
+#[test]
+fn printf_cross_product() {
+    // gdb> duel printf("%d %d, ", (3,4), 5..7)
+    //   ⇒ 3 5, 3 6, 3 7, 4 5, 4 6, 4 7,
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    let out = s.eval("printf(\"%d %d, \", (3,4), 5..7)").unwrap();
+    let stdout: String = out
+        .iter()
+        .filter_map(|l| match l {
+            duel::core::OutputLine::Stdout(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stdout, "3 5, 3 6, 3 7, 4 5, 4 6, 4 7, ");
+}
+
+// ---- Errors -------------------------------------------------------------------
+
+#[test]
+fn illegal_memory_error_format() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    let err = s.eval("*(int *)0x999999").unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.starts_with("Illegal memory reference in"),
+        "unexpected message: {msg}"
+    );
+    assert!(msg.contains("0x999999"), "{msg}");
+}
+
+#[test]
+fn errors_carry_symbolic_values() {
+    // A walk through a list whose pointers go wild stops; but an
+    // explicit dereference reports the offending operand symbolically.
+    let mut t = scenario::linked_lists();
+    let mut s = Session::new(&mut t);
+    let err = s.eval("*(int *)(L->value)").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("Illegal memory reference"), "{msg}");
+    assert!(msg.contains("(int *)"), "{msg}");
+}

@@ -1,0 +1,568 @@
+//! Semantics coverage beyond the paper's transcripts: every operator
+//! family, edge cases, failure modes, and evaluator options.
+
+use duel::core::{DuelError, EvalOptions, Session, SymMode};
+use duel::target::{scenario, SimTarget, Target};
+use duel_ctype::{Abi, Prim};
+
+fn lines(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    s.eval_lines(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+}
+
+fn values(t: &mut dyn Target, src: &str) -> Vec<String> {
+    let mut s = Session::new(t);
+    s.eval(src)
+        .unwrap_or_else(|e| panic!("`{src}` failed: {e}"))
+        .into_iter()
+        .filter_map(|l| match l {
+            duel::core::OutputLine::Value { value, .. } => Some(value),
+            _ => None,
+        })
+        .collect()
+}
+
+// ---- arithmetic and conversions ------------------------------------------
+
+#[test]
+fn c_operator_zoo() {
+    let mut t = scenario::scan_array();
+    assert_eq!(lines(&mut t, "7 % 3"), vec!["1"]);
+    assert_eq!(lines(&mut t, "1 << 4"), vec!["16"]);
+    assert_eq!(lines(&mut t, "-16 >> 2"), vec!["-4"]);
+    // Hex literals display in decimal in symbolic values.
+    assert_eq!(lines(&mut t, "0x0f & 0x35"), vec!["15&53 = 5"]);
+    assert_eq!(lines(&mut t, "1 | 6"), vec!["7"]);
+    assert_eq!(lines(&mut t, "5 ^ 3"), vec!["6"]);
+    assert_eq!(lines(&mut t, "~0"), vec!["-1"]);
+    assert_eq!(lines(&mut t, "!5"), vec!["0"]);
+    assert_eq!(lines(&mut t, "!0"), vec!["1"]);
+    assert_eq!(lines(&mut t, "-(3+4)"), vec!["-7"]);
+    assert_eq!(lines(&mut t, "3 < 4"), vec!["1"]);
+    assert_eq!(lines(&mut t, "3 >= 4"), vec!["0"]);
+}
+
+#[test]
+fn ternary_and_logical() {
+    let mut t = scenario::scan_array();
+    assert_eq!(lines(&mut t, "1 ? 10 : 20"), vec!["10"]);
+    assert_eq!(lines(&mut t, "0 ? 10 : 20"), vec!["20"]);
+    assert_eq!(lines(&mut t, "2 && 3"), vec!["3"]);
+    assert_eq!(lines(&mut t, "0 && 3"), Vec::<String>::new());
+    assert_eq!(lines(&mut t, "0 || 7"), vec!["7"]);
+    // `&&` with a generator right operand (paper semantics): all values
+    // of e2 for each non-zero e1.
+    assert_eq!(values(&mut t, "1 && (1..3)"), vec!["1", "2", "3"]);
+}
+
+#[test]
+fn unsigned_semantics() {
+    let mut t = scenario::scan_array();
+    // Unsigned comparison wraps: (unsigned)-1 is the max value.
+    assert_eq!(lines(&mut t, "(unsigned int)-1 > 0"), vec!["1"]);
+    // Char-typed values display as glyphs.
+    assert_eq!(lines(&mut t, "(unsigned char)300"), vec!["','"]);
+    assert_eq!(lines(&mut t, "(char)200 < 0"), vec!["1"]);
+}
+
+#[test]
+fn float_formatting_and_math() {
+    let mut t = scenario::scan_array();
+    assert_eq!(lines(&mut t, "1.5 + 2"), vec!["3.500"]);
+    assert_eq!(lines(&mut t, "10 / 4"), vec!["2"]);
+    assert_eq!(lines(&mut t, "10 / 4.0"), vec!["2.500"]);
+    assert_eq!(lines(&mut t, "(int)2.75"), vec!["2"]);
+}
+
+#[test]
+fn sizeof_forms() {
+    let mut t = scenario::hash_table_basic();
+    assert_eq!(lines(&mut t, "sizeof(int)"), vec!["4"]);
+    assert_eq!(lines(&mut t, "sizeof(char *)"), vec!["8"]);
+    // LP64 symbol: 8 (name) + 4 (scope) + pad + 8 (next) = 24.
+    assert_eq!(lines(&mut t, "sizeof(struct symbol)"), vec!["24"]);
+    // `sizeof expr` shows the resolved type symbolically.
+    assert_eq!(
+        lines(&mut t, "sizeof hash"),
+        vec!["sizeof(struct symbol *[1024]) = 8192"]
+    );
+    assert_eq!(
+        lines(&mut t, "sizeof hash[0]"),
+        vec!["sizeof(struct symbol *) = 8"]
+    );
+}
+
+// ---- lvalues, assignment, increment ----------------------------------------
+
+#[test]
+fn compound_assignment_and_incdec() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.eval("int i; i = 10 ;").unwrap();
+    assert_eq!(s.eval_lines("i += 5").unwrap(), vec!["15"]);
+    assert_eq!(s.eval_lines("i -= 1").unwrap(), vec!["14"]);
+    assert_eq!(s.eval_lines("i *= 2").unwrap(), vec!["28"]);
+    assert_eq!(s.eval_lines("i /= 4").unwrap(), vec!["7"]);
+    assert_eq!(s.eval_lines("i %= 4").unwrap(), vec!["3"]);
+    assert_eq!(s.eval_lines("i <<= 2").unwrap(), vec!["12"]);
+    assert_eq!(s.eval_lines("++i").unwrap(), vec!["13"]);
+    assert_eq!(s.eval_lines("i++").unwrap(), vec!["13"]);
+    assert_eq!(s.eval_lines("i + 0").unwrap(), vec!["14"]);
+    assert_eq!(s.eval_lines("--i; i + 0").unwrap(), vec!["i+0 = 13"]);
+}
+
+#[test]
+fn pointers_and_address_of() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    // &x[3] dereferences back to x[3].
+    assert_eq!(s.eval_lines("*&x[3]").unwrap(), vec!["7"]);
+    // Pointer arithmetic scales by the element size.
+    assert_eq!(s.eval_lines("*(&x[0] + 3)").unwrap(), vec!["7"]);
+    assert_eq!(s.eval_lines("&x[4] - &x[1]").unwrap(), vec!["3"]);
+    // An alias to a pointer walks like one.
+    s.eval("p := &x[0] ;").unwrap();
+    assert_eq!(s.eval_lines("p[3]").unwrap(), vec!["7"]);
+}
+
+#[test]
+fn assignment_is_an_error_on_rvalues() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    match s.eval("(x[0] + 1) = 5") {
+        Err(DuelError::NotLvalue { sym }) => {
+            assert_eq!(sym, "x[0]+1")
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(s.eval("&42"), Err(DuelError::NotLvalue { .. })));
+}
+
+#[test]
+fn division_by_zero_reports_symbolically() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    match s.eval("x[3] / 0") {
+        Err(DuelError::DivByZero { sym }) => {
+            assert_eq!(sym, "x[3]/0")
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(s.eval("7 % 0"), Err(DuelError::DivByZero { .. })));
+}
+
+// ---- generators -------------------------------------------------------------
+
+#[test]
+fn ranges_edge_cases() {
+    let mut t = scenario::scan_array();
+    // Empty range produces nothing.
+    assert_eq!(values(&mut t, "5..4"), Vec::<String>::new());
+    assert_eq!(values(&mut t, "..0"), Vec::<String>::new());
+    // Single-element range.
+    assert_eq!(values(&mut t, "5..5"), vec!["5"]);
+    // Negative bounds.
+    assert_eq!(values(&mut t, "-2..1"), vec!["-2", "-1", "0", "1"]);
+}
+
+#[test]
+fn value_limit_stops_runaways() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.options.max_values = 100;
+    match s.eval("0..") {
+        Err(DuelError::LimitExceeded { limit }) => {
+            assert_eq!(limit, 100)
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn filters_with_generator_rhs() {
+    let mut t = scenario::scan_array();
+    // x[3] ==? each of 6..9 — yields once (on the 7).
+    assert_eq!(lines(&mut t, "x[3] ==? (6..9)"), vec!["x[3] = 7"]);
+    // A filter that never passes yields nothing.
+    assert_eq!(lines(&mut t, "x[1..3] >? 1000"), Vec::<String>::new());
+}
+
+#[test]
+fn while_expression_semantics() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    // The body runs until the condition has a zero value, re-evaluating
+    // each round (the paper's WHILE).
+    s.eval("int n; n = 3 ;").unwrap();
+    assert_eq!(
+        s.eval_lines("while (n > 0) {n--}").unwrap(),
+        vec!["3", "2", "1"]
+    );
+}
+
+#[test]
+fn do_not_confuse_seq_and_imply() {
+    let mut t = scenario::scan_array();
+    // `;` discards the left values; `=>` multiplies.
+    assert_eq!(values(&mut t, "(1,2); 10"), vec!["10"]);
+    assert_eq!(values(&mut t, "(1,2) => 10"), vec!["10", "10"]);
+}
+
+#[test]
+fn reductions_cover_families() {
+    let mut t = scenario::scan_array();
+    assert_eq!(lines(&mut t, "#/(1..100)"), vec!["100"]);
+    assert_eq!(lines(&mut t, "+/(1..100)"), vec!["5050"]);
+    assert_eq!(lines(&mut t, "&&/(1..5)"), vec!["1"]);
+    assert_eq!(lines(&mut t, "&&/(0..5)"), vec!["0"]);
+    assert_eq!(lines(&mut t, "||/(0..0)"), vec!["0"]);
+    assert_eq!(lines(&mut t, "||/(0..1)"), vec!["1"]);
+    // Max/min keep the symbolic value of the extremum — they pinpoint
+    // *where*.
+    assert_eq!(lines(&mut t, ">/x[1..4]"), vec!["x[4] = 104"]);
+    assert_eq!(lines(&mut t, "</x[1..4]"), vec!["x[3] = 7"]);
+    // Reductions over empty sequences.
+    assert_eq!(lines(&mut t, "#/(1..0)"), vec!["0"]);
+    assert_eq!(lines(&mut t, "+/(1..0)"), vec!["0"]);
+    assert_eq!(lines(&mut t, ">/(1..0)"), Vec::<String>::new());
+}
+
+#[test]
+fn select_edge_cases() {
+    let mut t = scenario::scan_array();
+    // Out-of-range select indices produce nothing.
+    assert_eq!(values(&mut t, "(1..3)[[5]]"), Vec::<String>::new());
+    assert_eq!(values(&mut t, "(1..3)[[0,2]]"), vec!["1", "3"]);
+    // Selection caches: selecting the same index twice works.
+    assert_eq!(values(&mut t, "(1..3)[[1,1]]"), vec!["2", "2"]);
+}
+
+#[test]
+fn until_with_literal() {
+    let mut t = scenario::scan_array();
+    // Stop at the first value equal to 3 (exclusive).
+    assert_eq!(values(&mut t, "(1..9)@3"), vec!["1", "2"]);
+    // Stop condition on values.
+    assert_eq!(values(&mut t, "(1..9)@(_>4)"), vec!["1", "2", "3", "4"]);
+}
+
+#[test]
+fn index_alias_resets_between_commands() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    assert_eq!(
+        s.eval_lines("x[10..12]#k => {k}").unwrap(),
+        vec!["0", "1", "2"]
+    );
+    // And again — the counter restarts.
+    assert_eq!(
+        s.eval_lines("x[10..12]#k => {k}").unwrap(),
+        vec!["0", "1", "2"]
+    );
+}
+
+// ---- structures ---------------------------------------------------------------
+
+#[test]
+fn nested_with_scopes() {
+    let mut t = scenario::hash_table_basic();
+    // Inner `with` shadows outer: `next->scope` inside a node's scope.
+    // Typed verbatim, the symbolic equals the input, so only the
+    // value prints.
+    assert_eq!(lines(&mut t, "hash[0]->next->scope"), vec!["3"]);
+    // `_` reaches the inner operand.
+    assert_eq!(
+        lines(&mut t, "hash[0]->(_->scope)"),
+        vec!["hash[0]->scope = 4"]
+    );
+}
+
+#[test]
+fn dfs_cycle_guard() {
+    // Build a cyclic list: a -> b -> a.
+    let mut t = SimTarget::new(Abi::lp64());
+    let (_, plty) = scenario::define_list_struct(&mut t);
+    let rid = t.core.types.struct_tag("list").unwrap();
+    let l = t.core.types.record_layout(rid, &t.core.abi).unwrap();
+    let (voff, noff, size) = (l.fields[0].offset, l.fields[1].offset, l.size);
+    let a = t.core.malloc(size).unwrap();
+    let b = t.core.malloc(size).unwrap();
+    t.core.write_int(a + voff, 1).unwrap();
+    t.core.write_ptr(a + noff, b).unwrap();
+    t.core.write_int(b + voff, 2).unwrap();
+    t.core.write_ptr(b + noff, a).unwrap();
+    let la = t.core.define_global("L", plty).unwrap();
+    t.core.write_ptr(la, a).unwrap();
+    // With the (default) cycle guard the walk terminates at 2 nodes.
+    assert_eq!(values(&mut t, "L-->next->value"), vec!["1", "2"]);
+    // With the guard off (the paper's behaviour) the value limit trips.
+    let mut s = Session::new(&mut t);
+    s.options.dfs_cycle_check = false;
+    s.options.max_values = 50;
+    assert!(matches!(
+        s.eval("L-->next->value"),
+        Err(DuelError::LimitExceeded { .. })
+    ));
+}
+
+#[test]
+fn dfs_stops_at_wild_pointers() {
+    // A list whose second node's next points into unmapped memory: the
+    // expansion silently stops, per the paper ("an invalid pointer
+    // terminates the sequence").
+    let mut t = SimTarget::new(Abi::lp64());
+    let (_, plty) = scenario::define_list_struct(&mut t);
+    let rid = t.core.types.struct_tag("list").unwrap();
+    let l = t.core.types.record_layout(rid, &t.core.abi).unwrap();
+    let (voff, noff, size) = (l.fields[0].offset, l.fields[1].offset, l.size);
+    let a = t.core.malloc(size).unwrap();
+    let b = t.core.malloc(size).unwrap();
+    t.core.write_int(a + voff, 1).unwrap();
+    t.core.write_ptr(a + noff, b).unwrap();
+    t.core.write_int(b + voff, 2).unwrap();
+    t.core.write_ptr(b + noff, 0xdead_beef).unwrap();
+    let la = t.core.define_global("L", plty).unwrap();
+    t.core.write_ptr(la, a).unwrap();
+    assert_eq!(values(&mut t, "L-->next->value"), vec!["1", "2"]);
+}
+
+#[test]
+fn bitfields_through_duel() {
+    let mut t = SimTarget::new(Abi::lp64());
+    let u = t.core.types.prim(Prim::UInt);
+    let (rid, sty) = t.core.types.declare_struct("flags");
+    t.core.types.define_record(
+        rid,
+        vec![
+            duel_ctype::Field::bitfield("lo", u, 4),
+            duel_ctype::Field::bitfield("hi", u, 4),
+        ],
+    );
+    let addr = t.core.define_global("f", sty).unwrap();
+    t.core.write_uint(addr, 0xa5, 4).unwrap();
+    assert_eq!(lines(&mut t, "f.lo"), vec!["5"]);
+    assert_eq!(lines(&mut t, "f.hi"), vec!["10"]);
+    // Writing a bitfield preserves its neighbours.
+    let mut s = Session::new(&mut t);
+    s.eval("f.hi = 3 ;").unwrap();
+    assert_eq!(s.eval_lines("f.lo").unwrap(), vec!["5"]);
+    assert_eq!(s.eval_lines("f.hi").unwrap(), vec!["3"]);
+}
+
+#[test]
+fn enum_values_display_by_name() {
+    let mut t = SimTarget::new(Abi::lp64());
+    let (_, ety) = t.core.types.define_enum(
+        Some("color"),
+        vec![("RED".into(), 0), ("GREEN".into(), 1), ("BLUE".into(), 2)],
+    );
+    let addr = t.core.define_global("c", ety).unwrap();
+    t.core.write_int(addr, 1).unwrap();
+    assert_eq!(lines(&mut t, "c + 0"), vec!["1"]);
+    assert_eq!(values(&mut t, "c, c"), vec!["GREEN", "GREEN"]);
+    // Enumerators resolve as constants.
+    assert_eq!(lines(&mut t, "BLUE + 1"), vec!["3"]);
+}
+
+#[test]
+fn struct_display_format() {
+    let mut t = scenario::binary_tree();
+    let out = lines(&mut t, "*root, 0");
+    assert!(
+        out[0].starts_with("*root = {key = 9, left = 0x"),
+        "{}",
+        out[0]
+    );
+}
+
+// ---- options -------------------------------------------------------------------
+
+#[test]
+fn lazy_sym_mode_prints_values_only() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::with_options(
+        &mut t,
+        EvalOptions {
+            sym_mode: SymMode::Lazy,
+            ..EvalOptions::default()
+        },
+    );
+    assert_eq!(
+        s.eval_lines("x[1..4,8,12..50] >? 5 <? 10").unwrap(),
+        vec!["7", "9", "6"]
+    );
+}
+
+#[test]
+fn compression_threshold_is_configurable() {
+    let mut t = scenario::hash_table_basic();
+    let mut s = Session::new(&mut t);
+    s.options.compress_threshold = 2;
+    assert_eq!(
+        s.eval_lines("hash[0]-->next->scope").unwrap(),
+        vec![
+            "hash[0]->scope = 4",
+            "hash[0]->next->scope = 3",
+            "hash[0]-->next[[2]]->scope = 2",
+            "hash[0]-->next[[3]]->scope = 1",
+        ]
+    );
+}
+
+#[test]
+fn frames_are_reported() {
+    let mut t = scenario::scan_array();
+    t.core.push_frame("main");
+    t.core.push_frame("helper");
+    assert_eq!(t.frame_count(), 2);
+    assert_eq!(t.frame_info(0).unwrap().function, "helper");
+}
+
+#[test]
+fn with_on_array_of_structs() {
+    // `.` enters each element of a struct array (no pointers involved).
+    let mut t = SimTarget::new(Abi::lp64());
+    let int = t.core.types.prim(Prim::Int);
+    let (rid, sty) = t.core.types.declare_struct("pt");
+    t.core.types.define_record(
+        rid,
+        vec![
+            duel_ctype::Field::new("x", int),
+            duel_ctype::Field::new("y", int),
+        ],
+    );
+    let arr = t.core.types.array(sty, Some(3));
+    let base = t.core.define_global("pts", arr).unwrap();
+    for i in 0..3u64 {
+        t.core.write_int(base + i * 8, i as i32 + 1).unwrap();
+        t.core
+            .write_int(base + i * 8 + 4, (i as i32 + 1) * 10)
+            .unwrap();
+    }
+    assert_eq!(
+        lines(&mut t, "pts[..3].x"),
+        vec!["pts[0].x = 1", "pts[1].x = 2", "pts[2].x = 3"]
+    );
+    assert_eq!(
+        lines(&mut t, "pts[..3].(x*100 + y)"),
+        vec![
+            "pts[0].x*100+pts[0].y = 110",
+            "pts[1].x*100+pts[1].y = 220",
+            "pts[2].x*100+pts[2].y = 330"
+        ]
+    );
+    // Sum over a struct-array field.
+    assert_eq!(lines(&mut t, "+/(pts[..3].y)"), vec!["60"]);
+}
+
+#[test]
+fn while_with_generator_condition() {
+    // The paper: `while (x[..N]) e` produces e "as long as all of the
+    // elements of x are non-zero" — the condition is a *generator* that
+    // must be all-truthy each round.
+    let mut t = SimTarget::new(Abi::lp64());
+    let int = t.core.types.prim(Prim::Int);
+    let arr = t.core.types.array(int, Some(3));
+    let base = t.core.define_global("x", arr).unwrap();
+    for i in 0..3u64 {
+        t.core.write_int(base + i * 4, 3 - i as i32).unwrap();
+    }
+    // x = {3, 2, 1}: each round decrements x[2]; after one round x[2]
+    // is 0 and the while stops.
+    let mut s = Session::new(&mut t);
+    let out = s.eval_lines("while (x[..3]) (x[2] -= 1; {x[2]})").unwrap();
+    assert_eq!(out, vec!["0"]);
+}
+
+#[test]
+fn underscore_requires_with_scope() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    assert!(matches!(s.eval("_ + 1"), Err(DuelError::Undefined { .. })));
+}
+
+#[test]
+fn chained_aliases_preserve_lvalueness() {
+    // The paper: "If e is an lvalue, so is a … after (define b x[5]),
+    // changing b changes x[5]."
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.eval("b := x[5] ;").unwrap();
+    s.eval("b = 777 ;").unwrap();
+    assert_eq!(s.eval_lines("x[5..5]").unwrap(), vec!["x[5] = 777"]);
+    // An alias of an alias still writes through.
+    s.eval("c := b; c = 3 ;").unwrap();
+    assert_eq!(s.eval_lines("x[5..5]").unwrap(), vec!["x[5] = 3"]);
+}
+
+#[test]
+fn deep_nesting_fails_gracefully() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    // 300 nested parens must error, not blow the stack.
+    let deep = format!("{}1{}", "(".repeat(300), ")".repeat(300));
+    assert!(matches!(s.eval(&deep), Err(DuelError::Parse { .. })));
+    // 64 levels is fine.
+    let ok = format!("{}1{}", "(".repeat(64), ")".repeat(64));
+    assert_eq!(s.eval_lines(&ok).unwrap(), vec!["1"]);
+}
+
+#[test]
+fn struct_and_pointer_display_forms() {
+    let mut t = scenario::hash_table_basic();
+    // Deref of a struct pointer prints the whole record, with the char*
+    // name shown as a string.
+    let out = lines(&mut t, "*hash[0..0]");
+    assert_eq!(out.len(), 1);
+    assert!(out[0].starts_with("*hash[0] = {name = 0x"), "{}", out[0]);
+    assert!(out[0].contains("\"alpha\""), "{}", out[0]);
+    assert!(out[0].contains("scope = 4"), "{}", out[0]);
+    // A NULL pointer prints as 0x0.
+    let out = lines(&mut t, "hash[2..2]");
+    assert_eq!(out, vec!["hash[2] = 0x0"]);
+}
+
+#[test]
+fn dfs_applies_to_each_root_value() {
+    // `hash[0,42]-->next` restarts the walk per root.
+    let mut t = scenario::hash_table_basic();
+    assert_eq!(
+        values(&mut t, "hash[0,42]-->next->scope"),
+        vec!["4", "3", "2", "1", "7", "4"]
+    );
+}
+
+#[test]
+fn sequence_chains_left_to_right() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.eval("int a, b; a = 1; b = 2 ;").unwrap();
+    assert_eq!(
+        s.eval_lines("a = a + b; b = a * 10; {b}").unwrap(),
+        vec!["30"]
+    );
+}
+
+#[test]
+fn imply_rhs_sees_each_alias_binding() {
+    // The paper's `x:= … => y:= x->scope => y = 0` pattern relies on
+    // the alias being rebound per value *before* the RHS runs.
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    assert_eq!(
+        s.eval_lines("k := (2,5,7) => {k} * 10").unwrap(),
+        vec!["2*10 = 20", "5*10 = 50", "7*10 = 70"]
+    );
+}
+
+#[test]
+fn until_with_parenthesized_negative_constant() {
+    // Regression found by the differential oracle: `e@(-1)` must treat
+    // `(-1)` as a constant terminator (paper: "n can be a constant"),
+    // not as an always-true stop condition.
+    let mut t = scenario::scan_array();
+    assert_eq!(values(&mut t, "(0..3)@(-1)"), vec!["0", "1", "2", "3"]);
+    assert_eq!(values(&mut t, "(-3..3)@(-1)"), vec!["-3", "-2"]);
+    assert_eq!(values(&mut t, "(0)@(-1)"), vec!["0"]);
+}
