@@ -62,17 +62,42 @@ DUEL commands:
   .set lazy|eager    symbolic-value construction (experiment E4)
   .set threshold N   `->a->a…` compression threshold (default 4)
   .set maxvalues N   value limit per command
+  .set maxsteps N    step budget per command (also: --max-steps)
+  .set maxdepth N    generator nesting budget (also: --max-depth)
+  .set timeout N     per-command deadline in ms, 0 = off (--timeout-ms)
+  .set errors tolerant|strict
+                     render faults as <error: ...> values, or abort the
+                     command at the first fault (default: tolerant)
   .quit              exit
 ";
 
 impl Repl {
     /// Creates a REPL over the combined built-in scenario.
     pub fn new() -> Repl {
+        Repl::with_options(Repl::default_options())
+    }
+
+    /// Creates a REPL with explicit evaluation options (the binary
+    /// feeds the `--max-steps`/`--max-depth`/`--timeout-ms` flags
+    /// through here).
+    pub fn with_options(options: EvalOptions) -> Repl {
         Repl {
             backend: Backend::Sim(Box::new(scenario::combined())),
             aliases: HashMap::new(),
-            options: EvalOptions::default(),
+            options,
             last_stats: EvalStats::default(),
+        }
+    }
+
+    /// The REPL's default options: like [`EvalOptions::default`], but
+    /// fault-tolerant — an unreadable element of a stream prints as
+    /// `<error: ...>` and the session keeps going, since an interactive
+    /// debugging session should not lose the rest of a scan to one bad
+    /// pointer.
+    pub fn default_options() -> EvalOptions {
+        EvalOptions {
+            error_values: true,
+            ..EvalOptions::default()
         }
     }
 
@@ -205,6 +230,24 @@ impl Repl {
                             self.options.max_values = n;
                         }
                     }
+                    "maxsteps" => {
+                        if let Ok(n) = val.parse() {
+                            self.options.max_ticks = n;
+                        }
+                    }
+                    "maxdepth" => {
+                        if let Ok(n) = val.parse() {
+                            self.options.max_depth = n;
+                        }
+                    }
+                    "timeout" => {
+                        if let Ok(n) = val.parse() {
+                            self.options.timeout_ms = n;
+                        }
+                    }
+                    "errors" => {
+                        self.options.error_values = val != "strict";
+                    }
                     other => {
                         let _ = writeln!(out, "unknown option `{other}`");
                     }
@@ -328,6 +371,52 @@ impl Default for Repl {
     }
 }
 
+/// Usage string for the `duel` binary.
+pub const USAGE: &str = "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] [program.c]";
+
+/// Parses the binary's command line: resource-budget flags plus an
+/// optional mini-C program path. Accepts both `--flag N` and
+/// `--flag=N` spellings.
+pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>), String> {
+    let mut options = Repl::default_options();
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        match name {
+            "--max-steps" | "--max-depth" | "--timeout-ms" => {
+                let val = match inline {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))?
+                    }
+                };
+                let n: u64 = val
+                    .parse()
+                    .map_err(|_| format!("invalid value `{val}` for {name}\n{USAGE}"))?;
+                match name {
+                    "--max-steps" => options.max_ticks = n,
+                    "--max-depth" => options.max_depth = n,
+                    _ => options.timeout_ms = n,
+                }
+            }
+            _ if name.starts_with('-') => {
+                return Err(format!("unknown flag `{name}`\n{USAGE}"));
+            }
+            _ => path = Some(arg.clone()),
+        }
+        i += 1;
+    }
+    Ok((options, path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +491,46 @@ mod tests {
         assert!(out.contains("`nonesuch` is not defined"), "{out}");
         assert!(out.contains("syntax error"), "{out}");
         assert!(out.contains("unknown command"), "{out}");
+    }
+
+    #[test]
+    fn budget_errors_name_the_budget() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".set maxsteps 500", &mut out);
+        r.handle("while (1) 1 ;", &mut out);
+        assert!(out.contains("step budget of 500"), "{out}");
+        out.clear();
+        r.handle(".set maxdepth 4", &mut out);
+        r.handle("1+(2+(3+(4+(5+6))))", &mut out);
+        assert!(out.contains("depth budget of 4"), "{out}");
+    }
+
+    #[test]
+    fn parse_args_flags_and_path() {
+        let args: Vec<String> = ["--max-steps", "1000", "--timeout-ms=250", "prog.c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (o, p) = parse_args(&args).unwrap();
+        assert_eq!(o.max_ticks, 1000);
+        assert_eq!(o.timeout_ms, 250);
+        assert!(o.error_values, "the REPL defaults to tolerant errors");
+        assert_eq!(p.as_deref(), Some("prog.c"));
+
+        let (o, p) = parse_args(&[]).unwrap();
+        assert_eq!(o.max_ticks, EvalOptions::default().max_ticks);
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_input() {
+        let e = parse_args(&["--max-steps".to_string()]).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+        let e = parse_args(&["--max-depth".to_string(), "x".to_string()]).unwrap_err();
+        assert!(e.contains("invalid value"), "{e}");
+        let e = parse_args(&["--bogus".to_string()]).unwrap_err();
+        assert!(e.contains("unknown flag"), "{e}");
     }
 
     #[test]

@@ -3,17 +3,29 @@
 //! ```sh
 //! duel                 # explore a built-in scenario
 //! duel program.c       # debug a mini-C program
+//! duel --max-steps 100000 --timeout-ms 2000 program.c
 //! ```
 
 use std::io::{BufRead, Write};
 
-use duel_cli::Repl;
+use duel_cli::{parse_args, Repl, USAGE};
 
 fn main() {
-    let mut repl = Repl::new();
-    let mut out = String::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(path) = args.first() {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let (options, path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut repl = Repl::with_options(options);
+    let mut out = String::new();
+    if let Some(path) = path {
         repl.handle(&format!(".load {path}"), &mut out);
         print!("{out}");
         out.clear();

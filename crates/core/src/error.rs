@@ -72,8 +72,36 @@ pub enum DuelError {
         /// The configured limit.
         limit: u64,
     },
+    /// The evaluation exhausted one of the resource budgets guarding
+    /// against hostile expressions (`while(1) 1`, cyclic `-->` walks,
+    /// pathological nesting). `budget` names which guard fired so the
+    /// user knows which knob to raise.
+    BudgetExceeded {
+        /// Which budget was exhausted: `"step"`, `"depth"`,
+        /// `"expansion"`, or `"time"`.
+        budget: String,
+        /// The configured limit (for `"time"`, in milliseconds).
+        limit: u64,
+        /// The offending sub-expression's symbolic value, when one is
+        /// known (empty otherwise).
+        sym: String,
+    },
     /// An error reported by the debugger backend.
     Target(TargetError),
+}
+
+impl DuelError {
+    /// Is this a *fault* — an error confined to the value being
+    /// computed (bad pointer, unmapped address), as opposed to a
+    /// failure of the evaluation as a whole? Faults can be rendered as
+    /// `<error: ...>` values while the rest of a stream continues.
+    pub fn is_fault(&self) -> bool {
+        match self {
+            DuelError::IllegalMemory { .. } => true,
+            DuelError::Target(e) => e.is_fault(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for DuelError {
@@ -106,6 +134,22 @@ impl fmt::Display for DuelError {
                 "expression produced more than {limit} values; \
                  raise EvalOptions::max_values to continue"
             ),
+            DuelError::BudgetExceeded { budget, limit, sym } => {
+                let unit = if budget == "time" { " ms" } else { "" };
+                if sym.is_empty() {
+                    write!(
+                        f,
+                        "evaluation exceeded the {budget} budget of {limit}{unit}; \
+                         raise the limit to continue"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "evaluation exceeded the {budget} budget of {limit}{unit} \
+                         at `{sym}`; raise the limit to continue"
+                    )
+                }
+            }
             DuelError::Target(e) => write!(f, "{e}"),
         }
     }

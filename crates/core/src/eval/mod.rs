@@ -46,7 +46,26 @@ pub struct EvalOptions {
     pub dfs_cycle_check: bool,
     /// Hard limit on evaluation *steps* (leaf-generator activations),
     /// bounding even loops that produce no values (`while (1) (1..0)`).
+    /// Exhausting it reports [`crate::DuelError::BudgetExceeded`] with
+    /// budget `"step"`.
     pub max_ticks: u64,
+    /// Hard limit on generator nesting depth, bounding the native call
+    /// stack against pathologically nested expressions. Budget
+    /// `"depth"`.
+    pub max_depth: u64,
+    /// Hard limit on nodes visited per root value of a `-->`/`-->>`
+    /// expansion — the backstop that terminates cyclic structures when
+    /// [`EvalOptions::dfs_cycle_check`] is off. Budget `"expansion"`.
+    pub max_expand: u64,
+    /// Wall-clock deadline for one command, in milliseconds (0 = no
+    /// deadline). Budget `"time"`.
+    pub timeout_ms: u64,
+    /// Render fault-class errors (unmapped memory, unknown symbols)
+    /// that occur while *displaying* one value of a stream as
+    /// `sym = <error: ...>` lines and keep the stream going, instead of
+    /// aborting the command. Off by default: the paper's sessions stop
+    /// at the first error.
+    pub error_values: bool,
     /// Trace every generator resumption (the paper's `eval` calls) into
     /// the session's trace buffer — the Semantics section's evaluation
     /// walkthroughs, made observable.
@@ -61,6 +80,10 @@ impl Default for EvalOptions {
             sym_mode: SymMode::Eager,
             dfs_cycle_check: true,
             max_ticks: 100_000_000,
+            max_depth: 256,
+            max_expand: 1_000_000,
+            timeout_ms: 0,
+            error_values: false,
             trace: false,
         }
     }
@@ -95,10 +118,23 @@ struct TraceGen {
 
 impl GenT for TraceGen {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
-        if !ctx.opts.trace {
-            return self.inner.next(ctx);
-        }
+        // Every compiled node passes through here, so the nesting depth
+        // of `next` calls — and with it the native stack — is bounded
+        // even when tracing is off.
         ctx.trace_depth += 1;
+        if ctx.trace_depth as u64 > ctx.opts.max_depth {
+            ctx.trace_depth -= 1;
+            return Err(crate::error::DuelError::BudgetExceeded {
+                budget: "depth".into(),
+                limit: ctx.opts.max_depth,
+                sym: self.label.to_string(),
+            });
+        }
+        if !ctx.opts.trace {
+            let r = self.inner.next(ctx);
+            ctx.trace_depth -= 1;
+            return r;
+        }
         let depth = ctx.trace_depth;
         let r = self.inner.next(ctx);
         ctx.trace_depth -= 1;

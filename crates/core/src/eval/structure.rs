@@ -229,6 +229,10 @@ struct ExpandGen {
     frontier: VecDeque<Value>,
     visited: HashSet<u64>,
     running: bool,
+    /// Nodes visited for the current root value, checked against
+    /// `max_expand` — the backstop that terminates cyclic structures
+    /// when the visited-set check is disabled.
+    expanded: u64,
 }
 
 impl ExpandGen {
@@ -276,6 +280,7 @@ impl GenT for ExpandGen {
                 match self.root.next(ctx)? {
                     Some(u) => {
                         self.visited.clear();
+                        self.expanded = 0;
                         if let Some(p) = self.pointer_target(ctx, &u)? {
                             self.visited.insert(p);
                             let node = self.as_node(ctx, &u, p);
@@ -297,6 +302,14 @@ impl GenT for ExpandGen {
             } else {
                 self.frontier.pop_back().unwrap()
             };
+            self.expanded += 1;
+            if self.expanded > ctx.opts.max_expand {
+                return Err(DuelError::BudgetExceeded {
+                    budget: "expansion".into(),
+                    limit: ctx.opts.max_expand,
+                    sym: x.sym.render(ctx.opts.compress_threshold),
+                });
+            }
             // Expand: evaluate e2 in the scope of *X.
             ctx.with_stack.push(WithEntry {
                 value: x.clone(),
@@ -337,6 +350,7 @@ impl GenT for ExpandGen {
         self.frontier.clear();
         self.visited.clear();
         self.running = false;
+        self.expanded = 0;
     }
 }
 
@@ -349,6 +363,7 @@ pub fn expand(root: Gen, expand_expr: &Expr, bfs: bool) -> Gen {
         frontier: VecDeque::new(),
         visited: HashSet::new(),
         running: false,
+        expanded: 0,
     })
 }
 

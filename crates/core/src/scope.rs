@@ -50,8 +50,11 @@ pub struct Ctx<'a> {
     pub ticks: u64,
     /// Trace lines accumulated when [`EvalOptions::trace`] is on.
     pub trace: Vec<String>,
-    /// Current generator nesting depth (trace indentation).
+    /// Current generator nesting depth (trace indentation and the
+    /// `max_depth` guard).
     pub trace_depth: usize,
+    /// Wall-clock deadline derived from [`EvalOptions::timeout_ms`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl<'a> Ctx<'a> {
@@ -61,6 +64,11 @@ impl<'a> Ctx<'a> {
         aliases: &'a mut HashMap<String, Value>,
         opts: EvalOptions,
     ) -> Ctx<'a> {
+        let deadline = if opts.timeout_ms > 0 {
+            std::time::Instant::now().checked_add(std::time::Duration::from_millis(opts.timeout_ms))
+        } else {
+            None
+        };
         Ctx {
             target,
             aliases,
@@ -70,6 +78,7 @@ impl<'a> Ctx<'a> {
             ticks: 0,
             trace: Vec::new(),
             trace_depth: 0,
+            deadline,
         }
     }
 
@@ -152,16 +161,29 @@ impl<'a> Ctx<'a> {
 
     /// Counts one leaf-generator activation against `max_ticks` —
     /// every unbounded evaluation loop re-activates some leaf, so this
-    /// bounds even value-free loops.
+    /// bounds even value-free loops. Also polls the wall-clock
+    /// deadline (cheaply: every 1024 ticks).
     pub fn tick(&mut self) -> DuelResult<()> {
         self.ticks += 1;
         if self.ticks > self.opts.max_ticks {
-            Err(DuelError::LimitExceeded {
+            return Err(DuelError::BudgetExceeded {
+                budget: "step".into(),
                 limit: self.opts.max_ticks,
-            })
-        } else {
-            Ok(())
+                sym: String::new(),
+            });
         }
+        if self.ticks & 0x3ff == 0 {
+            if let Some(deadline) = self.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(DuelError::BudgetExceeded {
+                        budget: "time".into(),
+                        limit: self.opts.timeout_ms,
+                        sym: String::new(),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Counts a produced top-level value against `max_values`.

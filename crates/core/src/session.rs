@@ -143,7 +143,18 @@ impl<'t> Session<'t> {
             if suppress_values {
                 return Ok(());
             }
-            let value = printer::format_value(ctx.target, &v, thr)?;
+            // With `error_values` on, a fault while rendering one value
+            // (unmapped address, poisoned page) becomes an
+            // `<error: ...>` line for that element and the stream
+            // continues — the fault is confined to the sub-expression
+            // that hit it.
+            let value = match printer::format_value(ctx.target, &v, thr) {
+                Ok(s) => s,
+                Err(e) if ctx.opts.error_values && e.is_fault() => {
+                    format!("<error: {e}>")
+                }
+                Err(e) => return Err(e),
+            };
             let sym = if matches!(v.sym, Sym::None) {
                 None
             } else {

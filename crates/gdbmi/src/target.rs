@@ -35,19 +35,30 @@ fn to_target_err(e: MiError) -> TargetError {
 }
 
 fn parse_illegal(m: &str) -> TargetError {
-    // "illegal memory reference: N byte(s) at 0xADDR"
-    let addr = m
-        .rsplit("0x")
-        .next()
-        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
-        .unwrap_or(0);
+    // The simulator formats faults as "illegal memory reference:
+    // N byte(s) at 0xADDR", but a real gdb has its own wording.
+    // Reconstruct the structured fault only when an address actually
+    // parses; otherwise pass the message through unmangled rather than
+    // inventing address 0.
+    let addr = m.rfind("0x").and_then(|i| {
+        let hex = &m[i + 2..];
+        let end = hex
+            .find(|c: char| !c.is_ascii_hexdigit())
+            .unwrap_or(hex.len());
+        u64::from_str_radix(&hex[..end], 16).ok()
+    });
     let len = m
         .split(':')
         .nth(1)
         .and_then(|t| t.trim().split(' ').next())
-        .and_then(|n| n.parse().ok())
-        .unwrap_or(1);
-    TargetError::IllegalMemory { addr, len }
+        .and_then(|n| n.parse().ok());
+    match addr {
+        Some(addr) => TargetError::IllegalMemory {
+            addr,
+            len: len.unwrap_or(1),
+        },
+        None => TargetError::Backend(m.to_string()),
+    }
 }
 
 impl<T: MiTransport> MiTarget<T> {
@@ -87,6 +98,21 @@ impl<T: MiTransport> MiTarget<T> {
     /// mock).
     pub fn client_mut(&mut self) -> &mut MiClient<T> {
         &mut self.client
+    }
+
+    /// Connects like [`MiTarget::connect`], wrapping the adapter in a
+    /// [`duel_target::RetryTarget`]: transient transport failures
+    /// (dropped lines, timeouts) during memory and call operations are
+    /// retried with bounded exponential backoff, while faults (bad
+    /// addresses, unknown symbols) pass through untouched.
+    pub fn connect_with_retry(
+        transport: T,
+        policy: duel_target::RetryPolicy,
+    ) -> TargetResult<duel_target::RetryTarget<MiTarget<T>>> {
+        Ok(duel_target::RetryTarget::with_policy(
+            MiTarget::connect(transport)?,
+            policy,
+        ))
     }
 
     // ----- type-string parsing -------------------------------------------
@@ -576,6 +602,122 @@ mod tests {
         assert!(t.is_mapped(x.addr, 4));
         assert!(!t.is_mapped(0, 1));
         assert!(!t.is_mapped(0xdead_beef_0000, 8));
+    }
+
+    // ---- MI error-record → TargetError mapping --------------------------
+
+    #[test]
+    fn illegal_memory_messages_roundtrip() {
+        // The simulator's fault rendering must survive the trip through
+        // an MI `^error` record and come back out structured.
+        let e = TargetError::IllegalMemory {
+            addr: 0x2f00,
+            len: 4,
+        };
+        assert_eq!(to_target_err(MiError::ErrorRecord(e.to_string())), e);
+    }
+
+    #[test]
+    fn illegal_memory_without_address_keeps_the_message() {
+        // A debugger wording the fault its own way (no hex address)
+        // must not be mangled into `addr: 0`.
+        let m = "illegal memory reference while accessing inferior";
+        assert_eq!(
+            to_target_err(MiError::ErrorRecord(m.to_string())),
+            TargetError::Backend(m.to_string())
+        );
+    }
+
+    #[test]
+    fn illegal_memory_with_trailing_punctuation() {
+        assert_eq!(
+            parse_illegal("illegal memory reference: 8 byte(s) at 0xdead."),
+            TargetError::IllegalMemory {
+                addr: 0xdead,
+                len: 8
+            }
+        );
+        // Missing length falls back to one byte.
+        assert_eq!(
+            parse_illegal("illegal memory reference at 0x10"),
+            TargetError::IllegalMemory { addr: 0x10, len: 1 }
+        );
+    }
+
+    #[test]
+    fn other_errors_map_to_backend() {
+        assert!(matches!(
+            to_target_err(MiError::Disconnected),
+            TargetError::Backend(_)
+        ));
+        assert!(matches!(
+            to_target_err(MiError::ErrorRecord("No symbol \"zz\"".into())),
+            TargetError::Backend(_)
+        ));
+    }
+
+    // ---- retry wiring ---------------------------------------------------
+
+    /// A transport that drops the next `fail_next` sends on the floor.
+    struct Flaky<T> {
+        inner: T,
+        fail_next: u32,
+    }
+
+    impl<T: MiTransport> MiTransport for Flaky<T> {
+        fn send_line(&mut self, line: &str) -> Result<(), MiError> {
+            if self.fail_next > 0 {
+                self.fail_next -= 1;
+                return Err(MiError::Disconnected);
+            }
+            self.inner.send_line(line)
+        }
+
+        fn recv_line(&mut self) -> Result<String, MiError> {
+            self.inner.recv_line()
+        }
+    }
+
+    #[test]
+    fn transient_transport_failures_are_retried() {
+        let flaky = Flaky {
+            inner: MockGdb::new(scenario::scan_array()),
+            fail_next: 0,
+        };
+        let mut t = MiTarget::connect_with_retry(flaky, duel_target::RetryPolicy::fast(3)).unwrap();
+        let x = t.get_variable("x").unwrap();
+        t.inner_mut().client_mut().transport_mut().fail_next = 2;
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        assert_eq!(t.retries(), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transport_error() {
+        let flaky = Flaky {
+            inner: MockGdb::new(scenario::scan_array()),
+            fail_next: 0,
+        };
+        let mut t = MiTarget::connect_with_retry(flaky, duel_target::RetryPolicy::fast(2)).unwrap();
+        t.inner_mut().client_mut().transport_mut().fail_next = 10;
+        let mut buf = [0u8; 4];
+        let err = t.get_bytes(0x1000, &mut buf).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(t.retries(), 2);
+    }
+
+    #[test]
+    fn faults_pass_through_retry_unchanged() {
+        let flaky = Flaky {
+            inner: MockGdb::new(scenario::scan_array()),
+            fail_next: 0,
+        };
+        let mut t = MiTarget::connect_with_retry(flaky, duel_target::RetryPolicy::fast(3)).unwrap();
+        let mut buf = [0u8; 4];
+        let err = t.get_bytes(0x10, &mut buf).unwrap_err();
+        assert!(matches!(err, TargetError::IllegalMemory { .. }), "{err}");
+        assert_eq!(t.retries(), 0, "faults must not be retried");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The fault taxonomy of the target layer.
+//!
+//! Every operation on a [`crate::Target`] returns a [`TargetResult`].
+//! Errors fall into two classes that the rest of the system treats very
+//! differently:
+//!
+//! * **Faults** ([`TargetError::is_fault`]) — the debuggee state is bad
+//!   (wild pointer, missing symbol), but the debugger connection is
+//!   healthy. Evaluation converts these into per-subexpression symbolic
+//!   errors and keeps streaming the remaining values.
+//! * **Transient failures** ([`TargetError::is_transient`]) — the
+//!   backend hiccupped (dropped connection, timeout, short read). These
+//!   are worth retrying; [`crate::RetryTarget`] does exactly that with
+//!   bounded exponential backoff.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used by every [`crate::Target`] operation.
+pub type TargetResult<T> = Result<T, TargetError>;
+
+/// An error reported by a debugger target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TargetError {
+    /// The debuggee address range is not mapped (a *fault*: the
+    /// debuggee's data is bad, the debugger itself is fine).
+    IllegalMemory {
+        /// First address of the attempted access.
+        addr: u64,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
+    /// No variable/symbol with this name is visible (a *fault*).
+    UnknownSymbol(String),
+    /// No function with this name exists in the debuggee (a *fault*).
+    UnknownFunction(String),
+    /// Calling a debuggee function failed (a *fault*).
+    CallFailed {
+        /// Name of the function that was called.
+        func: String,
+        /// Backend-reported reason.
+        reason: String,
+    },
+    /// The backend itself misbehaved — protocol error, dropped
+    /// connection, garbled reply (a *transient failure*, retryable).
+    Backend(String),
+    /// A backend call exceeded its deadline (a *transient failure*).
+    Timeout {
+        /// The deadline that was exceeded, in milliseconds.
+        ms: u64,
+    },
+    /// The backend returned fewer bytes than requested (a *transient
+    /// failure*: the classic symptom of a half-dead remote stub).
+    Truncated {
+        /// First address of the read.
+        addr: u64,
+        /// Bytes requested.
+        wanted: u64,
+        /// Bytes actually delivered.
+        got: u64,
+    },
+}
+
+impl TargetError {
+    /// True for *faults*: the debuggee state is bad but the backend is
+    /// healthy. These become per-subexpression symbolic errors during
+    /// evaluation; retrying them cannot help.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            TargetError::IllegalMemory { .. }
+                | TargetError::UnknownSymbol(_)
+                | TargetError::UnknownFunction(_)
+                | TargetError::CallFailed { .. }
+        )
+    }
+
+    /// True for *transient failures*: the backend hiccupped and the
+    /// same operation may well succeed if retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TargetError::Backend(_) | TargetError::Timeout { .. } | TargetError::Truncated { .. }
+        )
+    }
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::IllegalMemory { addr, len } => {
+                write!(f, "illegal memory reference: {len} byte(s) at 0x{addr:x}")
+            }
+            TargetError::UnknownSymbol(name) => write!(f, "unknown symbol: {name}"),
+            TargetError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            TargetError::CallFailed { func, reason } => {
+                write!(f, "call to {func} failed: {reason}")
+            }
+            TargetError::Backend(msg) => write!(f, "backend error: {msg}"),
+            TargetError::Timeout { ms } => write!(f, "target call timed out after {ms} ms"),
+            TargetError::Truncated { addr, wanted, got } => write!(
+                f,
+                "truncated read at 0x{addr:x}: wanted {wanted} byte(s), got {got}"
+            ),
+        }
+    }
+}
+
+impl Error for TargetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn illegal_memory_display_is_stable() {
+        // This exact rendering round-trips through the MI wire format
+        // (MockGdb relays it; MiTarget re-parses it) — do not change it.
+        let e = TargetError::IllegalMemory { addr: 0x99, len: 4 };
+        assert_eq!(e.to_string(), "illegal memory reference: 4 byte(s) at 0x99");
+    }
+
+    #[test]
+    fn taxonomy_is_a_partition() {
+        let all = [
+            TargetError::IllegalMemory { addr: 1, len: 1 },
+            TargetError::UnknownSymbol("x".into()),
+            TargetError::UnknownFunction("f".into()),
+            TargetError::CallFailed {
+                func: "f".into(),
+                reason: "r".into(),
+            },
+            TargetError::Backend("b".into()),
+            TargetError::Timeout { ms: 10 },
+            TargetError::Truncated {
+                addr: 1,
+                wanted: 4,
+                got: 2,
+            },
+        ];
+        for e in &all {
+            assert!(
+                e.is_fault() != e.is_transient(),
+                "{e:?} must be exactly one of fault/transient"
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Deterministic fault injection for testing the robustness stack.
+//!
+//! [`FaultTarget`] wraps any [`Target`] and injects configurable
+//! misbehaviour on the I/O-shaped operations (`get_bytes`, `put_bytes`,
+//! `alloc_space`, `call_func`): a burst of transient errors, a
+//! permanent fail-every-N pattern, poisoned address ranges, truncated
+//! reads and artificial latency. Everything is counter-based, so tests
+//! are fully reproducible.
+
+use crate::error::{TargetError, TargetResult};
+use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
+use std::time::Duration;
+
+/// What a [`FaultTarget`] should inject.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Fail the first N I/O operations with [`FaultConfig::error`],
+    /// then behave normally (models a backend that recovers).
+    pub transient_failures: u32,
+    /// Additionally fail every Nth I/O operation (0 = never) with
+    /// [`FaultConfig::error`] (models a persistently flaky link).
+    pub fail_every: u64,
+    /// The transient error to inject.
+    pub error: TargetError,
+    /// Address ranges `(start, len)` that permanently fault with
+    /// [`TargetError::IllegalMemory`] (models corrupted pages).
+    pub poison: Vec<(u64, u64)>,
+    /// Reads longer than this many bytes report
+    /// [`TargetError::Truncated`] (models a half-dead remote stub).
+    pub truncate_reads_above: Option<usize>,
+    /// Artificial delay added to every I/O operation.
+    pub latency: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            transient_failures: 0,
+            fail_every: 0,
+            error: TargetError::Backend("injected transient fault".to_string()),
+            poison: Vec::new(),
+            truncate_reads_above: None,
+            latency: Duration::ZERO,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that fails the first `n` I/O operations with a
+    /// transient backend error, then recovers.
+    pub fn transient(n: u32) -> FaultConfig {
+        FaultConfig {
+            transient_failures: n,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A config that permanently poisons `[start, start+len)`.
+    pub fn poisoned(start: u64, len: u64) -> FaultConfig {
+        FaultConfig {
+            poison: vec![(start, len)],
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A [`Target`] decorator that injects faults per [`FaultConfig`].
+#[derive(Debug)]
+pub struct FaultTarget<T: Target> {
+    inner: T,
+    cfg: FaultConfig,
+    remaining_transients: u32,
+    ops: u64,
+    injected: u64,
+}
+
+impl<T: Target> FaultTarget<T> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: T, cfg: FaultConfig) -> FaultTarget<T> {
+        let remaining_transients = cfg.transient_failures;
+        FaultTarget {
+            inner,
+            cfg,
+            remaining_transients,
+            ops: 0,
+            injected: 0,
+        }
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped target.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// How many faults have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// How many I/O operations have been attempted.
+    pub fn operations(&self) -> u64 {
+        self.ops
+    }
+
+    /// Begins the operation: applies latency and decides whether to
+    /// inject a transient error.
+    fn gate(&mut self) -> TargetResult<()> {
+        self.ops += 1;
+        if !self.cfg.latency.is_zero() {
+            std::thread::sleep(self.cfg.latency);
+        }
+        if self.remaining_transients > 0 {
+            self.remaining_transients -= 1;
+            self.injected += 1;
+            return Err(self.cfg.error.clone());
+        }
+        if self.cfg.fail_every > 0 && self.ops.is_multiple_of(self.cfg.fail_every) {
+            self.injected += 1;
+            return Err(self.cfg.error.clone());
+        }
+        Ok(())
+    }
+
+    fn poisoned_at(&self, addr: u64, len: u64) -> bool {
+        let end = addr.saturating_add(len.max(1));
+        self.cfg
+            .poison
+            .iter()
+            .any(|(start, plen)| addr < start.saturating_add(*plen) && *start < end)
+    }
+}
+
+impl<T: Target> Target for FaultTarget<T> {
+    fn abi(&self) -> &Abi {
+        self.inner.abi()
+    }
+
+    fn types(&self) -> &TypeTable {
+        self.inner.types()
+    }
+
+    fn types_mut(&mut self) -> &mut TypeTable {
+        self.inner.types_mut()
+    }
+
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        self.gate()?;
+        if self.poisoned_at(addr, buf.len() as u64) {
+            return Err(TargetError::IllegalMemory {
+                addr,
+                len: buf.len() as u64,
+            });
+        }
+        if let Some(cap) = self.cfg.truncate_reads_above {
+            if buf.len() > cap {
+                return Err(TargetError::Truncated {
+                    addr,
+                    wanted: buf.len() as u64,
+                    got: cap as u64,
+                });
+            }
+        }
+        self.inner.get_bytes(addr, buf)
+    }
+
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+        self.gate()?;
+        if self.poisoned_at(addr, bytes.len() as u64) {
+            return Err(TargetError::IllegalMemory {
+                addr,
+                len: bytes.len() as u64,
+            });
+        }
+        self.inner.put_bytes(addr, bytes)
+    }
+
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+        self.gate()?;
+        self.inner.alloc_space(size, align)
+    }
+
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+        self.gate()?;
+        self.inner.call_func(name, args)
+    }
+
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+        self.inner.get_variable(name)
+    }
+
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+        self.inner.get_variable_in_frame(name, frame)
+    }
+
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+        self.inner.lookup_typedef(name)
+    }
+
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+        self.inner.lookup_struct(tag)
+    }
+
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+        self.inner.lookup_union(tag)
+    }
+
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+        self.inner.lookup_enum(tag)
+    }
+
+    fn has_function(&mut self, name: &str) -> bool {
+        self.inner.has_function(name)
+    }
+
+    fn frame_count(&mut self) -> usize {
+        self.inner.frame_count()
+    }
+
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+        self.inner.frame_info(n)
+    }
+
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+        if self.poisoned_at(addr, len) {
+            return false;
+        }
+        self.inner.is_mapped(addr, len)
+    }
+
+    fn take_output(&mut self) -> String {
+        self.inner.take_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn transient_burst_then_recovers() {
+        let mut t = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(2));
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        assert!(t.get_bytes(x.addr, &mut buf).is_err());
+        assert!(t.get_bytes(x.addr, &mut buf).is_err());
+        assert!(t.get_bytes(x.addr, &mut buf).is_ok());
+        assert_eq!(t.injected(), 2);
+        assert_eq!(t.operations(), 3);
+    }
+
+    #[test]
+    fn poison_is_permanent_and_unmapped() {
+        let mut t = scenario::scan_array();
+        let x = t.get_variable("x").unwrap();
+        let mut t = FaultTarget::new(t, FaultConfig::poisoned(x.addr + 12, 4));
+        let mut buf = [0u8; 4];
+        assert!(t.get_bytes(x.addr, &mut buf).is_ok());
+        for _ in 0..3 {
+            assert_eq!(
+                t.get_bytes(x.addr + 12, &mut buf),
+                Err(TargetError::IllegalMemory {
+                    addr: x.addr + 12,
+                    len: 4
+                })
+            );
+        }
+        assert!(!t.is_mapped(x.addr + 12, 4));
+        assert!(t.is_mapped(x.addr, 4));
+    }
+
+    #[test]
+    fn truncation_reports_partial_length() {
+        let mut t = FaultTarget::new(
+            scenario::scan_array(),
+            FaultConfig {
+                truncate_reads_above: Some(2),
+                ..FaultConfig::default()
+            },
+        );
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            t.get_bytes(x.addr, &mut buf),
+            Err(TargetError::Truncated {
+                addr: x.addr,
+                wanted: 4,
+                got: 2
+            })
+        );
+        let mut small = [0u8; 2];
+        assert!(t.get_bytes(x.addr, &mut small).is_ok());
+    }
+}

@@ -1,0 +1,171 @@
+//! The narrow two-way debugger interface.
+//!
+//! Following the paper, *everything* DUEL knows about the debuggee
+//! flows through [`Target`]: raw memory, symbol/type lookups, frames,
+//! and function calls. Porting DUEL to a new debugger means
+//! implementing this one trait (the paper's gdb 4.2→4.6 port changed
+//! four lines).
+
+use crate::error::TargetResult;
+use duel_ctype::{Abi, Endian, EnumId, RecordId, TypeId, TypeTable};
+
+/// Where a variable lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// File- or program-scope variable.
+    Global,
+    /// Local of a stack frame; `frame` 0 is the innermost frame.
+    Local {
+        /// Frame index, 0 = innermost.
+        frame: usize,
+    },
+}
+
+/// A resolved variable: its address and type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source-level name.
+    pub name: String,
+    /// Address of the variable's storage in the debuggee.
+    pub addr: u64,
+    /// Its C type.
+    pub ty: TypeId,
+    /// Global or frame-local.
+    pub kind: VarKind,
+}
+
+/// A stack frame, innermost-first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Name of the function executing in this frame.
+    pub function: String,
+    /// Current source line, if known.
+    pub line: Option<u32>,
+}
+
+/// A raw value crossing the call boundary: the bytes of one argument
+/// or return value, tagged with its C type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallValue {
+    /// C type of the value.
+    pub ty: TypeId,
+    /// Its object representation, target byte order, `size` bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl CallValue {
+    /// Builds a `size`-byte value from the low bytes of `raw`, in the
+    /// target's byte order.
+    pub fn from_u64(ty: TypeId, raw: u64, size: usize, abi: &Abi) -> CallValue {
+        let size = size.clamp(1, 8);
+        let bytes = match abi.endian {
+            Endian::Little => raw.to_le_bytes()[..size].to_vec(),
+            Endian::Big => raw.to_be_bytes()[8 - size..].to_vec(),
+        };
+        CallValue { ty, bytes }
+    }
+
+    /// Reassembles the bytes into a zero-extended `u64` (low 8 bytes if
+    /// the value is wider).
+    pub fn to_u64(&self, abi: &Abi) -> u64 {
+        let mut raw = 0u64;
+        match abi.endian {
+            Endian::Little => {
+                for (i, b) in self.bytes.iter().take(8).enumerate() {
+                    raw |= (*b as u64) << (8 * i);
+                }
+            }
+            Endian::Big => {
+                for b in self.bytes.iter().take(8) {
+                    raw = (raw << 8) | *b as u64;
+                }
+            }
+        }
+        raw
+    }
+}
+
+/// The debugger-target interface.
+///
+/// Memory access and function calls return [`TargetResult`] so that
+/// faults (bad address) and failures (dead backend) stay
+/// distinguishable; lookups return `Option` because "not found" is an
+/// ordinary answer, not an error.
+pub trait Target {
+    /// The ABI (sizes, alignment, byte order) of the debuggee.
+    fn abi(&self) -> &Abi;
+
+    /// The type table describing the debuggee's types.
+    fn types(&self) -> &TypeTable;
+
+    /// Mutable access to the type table (evaluation interns derived
+    /// types — pointers, arrays — as it goes).
+    fn types_mut(&mut self) -> &mut TypeTable;
+
+    /// Reads `buf.len()` bytes of debuggee memory starting at `addr`.
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()>;
+
+    /// Writes `bytes` into debuggee memory starting at `addr`.
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()>;
+
+    /// Allocates scratch space in the debuggee (for interned strings
+    /// and call marshalling).
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64>;
+
+    /// Calls debuggee function `name` with the given argument values.
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue>;
+
+    /// Resolves a variable: innermost-frame locals shadow globals.
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo>;
+
+    /// Resolves a variable in a specific frame (0 = innermost).
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo>;
+
+    /// Looks up a `typedef` name.
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId>;
+
+    /// Looks up a `struct` tag.
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId>;
+
+    /// Looks up a `union` tag.
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId>;
+
+    /// Looks up an `enum` tag.
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId>;
+
+    /// Whether the debuggee has a callable function named `name`.
+    fn has_function(&mut self, name: &str) -> bool;
+
+    /// Number of stack frames in the debuggee.
+    fn frame_count(&mut self) -> usize;
+
+    /// Frame metadata (0 = innermost).
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo>;
+
+    /// Whether `[addr, addr+len)` is readable debuggee memory.
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool;
+
+    /// Drains any `printf`-style output the debuggee produced since the
+    /// last call.
+    fn take_output(&mut self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duel_ctype::TypeTable;
+
+    #[test]
+    fn call_value_roundtrips_both_endians() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(duel_ctype::Prim::Int);
+        let le = Abi::lp64();
+        let be = Abi::ilp32_be();
+        let v = CallValue::from_u64(int, 0x1122_3344, 4, &le);
+        assert_eq!(v.bytes, vec![0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(v.to_u64(&le), 0x1122_3344);
+        let v = CallValue::from_u64(int, 0x1122_3344, 4, &be);
+        assert_eq!(v.bytes, vec![0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(v.to_u64(&be), 0x1122_3344);
+    }
+}

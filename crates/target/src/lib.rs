@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The debugger-target layer of the DUEL reproduction.
+//!
+//! The paper's central architectural claim is that a very-high-level
+//! debugging language can sit on *any* debugger through a narrow
+//! two-way interface; porting between gdb versions changed four lines.
+//! This crate is that seam, rebuilt as a fault-tolerant stack:
+//!
+//! * [`Target`] — the narrow trait: memory, symbols, types, frames,
+//!   calls. Everything above (eval, mini-C VM, CLI) talks only to this.
+//! * [`TargetError`] — a two-class fault taxonomy: *faults* (bad
+//!   debuggee state, surfaced as per-subexpression symbolic errors)
+//!   vs *transient failures* (sick backend, retryable).
+//! * [`SimTarget`] — an in-process simulated debuggee; [`scenario`]
+//!   builds the paper's worked examples on top of it.
+//! * [`value_io`] — endian-aware encode/decode of scalars, pointers
+//!   and bit-fields through any `Target`.
+//! * [`FaultTarget`] — deterministic fault injection (transient bursts,
+//!   poisoned pages, truncation, latency) for robustness tests.
+//! * [`RetryTarget`] — bounded retry with exponential backoff and
+//!   per-call deadlines; wraps flaky backends such as a remote MI
+//!   connection.
+
+pub mod error;
+pub mod fault;
+pub mod iface;
+pub mod retry;
+pub mod scenario;
+pub mod sim;
+pub mod value_io;
+
+pub use error::{TargetError, TargetResult};
+pub use fault::{FaultConfig, FaultTarget};
+pub use iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
+pub use retry::{RetryPolicy, RetryTarget};
+pub use sim::{SimCore, SimMemory, SimTarget, ARENA_BASE};

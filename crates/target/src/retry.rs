@@ -1,0 +1,284 @@
+//! Bounded retry with exponential backoff over a flaky [`Target`].
+//!
+//! [`RetryTarget`] re-issues an operation when it fails with a
+//! *transient* error ([`TargetError::is_transient`]); *faults* (bad
+//! address, unknown symbol) are the debuggee's honest answer and are
+//! returned immediately. Each call carries an optional wall-clock
+//! deadline, after which the operation fails with
+//! [`TargetError::Timeout`] instead of retrying forever.
+
+use crate::error::{TargetError, TargetResult};
+use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
+use std::time::{Duration, Instant};
+
+/// How a [`RetryTarget`] behaves.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum retries per operation (total attempts = retries + 1).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Per-operation wall-clock budget, checked before every retry.
+    pub deadline: Option<Duration>,
+    /// Whether to actually sleep between attempts (tests disable this
+    /// to stay fast while still observing the retry count).
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            deadline: Some(Duration::from_secs(5)),
+            sleep: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for tests: same retry shape, no real sleeping.
+    pub fn fast(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            sleep: false,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry number `n` (1-based), doubled each
+    /// time and capped at [`RetryPolicy::max_delay`].
+    pub fn backoff(&self, n: u32) -> Duration {
+        let factor = 1u32 << n.saturating_sub(1).min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
+
+/// A [`Target`] decorator that absorbs transient backend failures.
+#[derive(Debug)]
+pub struct RetryTarget<T: Target> {
+    inner: T,
+    policy: RetryPolicy,
+    retries: u64,
+}
+
+impl<T: Target> RetryTarget<T> {
+    /// Wraps `inner` with the default policy.
+    pub fn new(inner: T) -> RetryTarget<T> {
+        RetryTarget::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wraps `inner` with an explicit policy.
+    pub fn with_policy(inner: T, policy: RetryPolicy) -> RetryTarget<T> {
+        RetryTarget {
+            inner,
+            policy,
+            retries: 0,
+        }
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped target.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Total retries performed across all operations so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    fn run<R>(&mut self, mut op: impl FnMut(&mut T) -> TargetResult<R>) -> TargetResult<R> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut self.inner) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    if let Some(deadline) = self.policy.deadline {
+                        if start.elapsed() >= deadline {
+                            return Err(TargetError::Timeout {
+                                ms: deadline.as_millis() as u64,
+                            });
+                        }
+                    }
+                    if self.policy.sleep {
+                        std::thread::sleep(self.policy.backoff(attempt));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<T: Target> Target for RetryTarget<T> {
+    fn abi(&self) -> &Abi {
+        self.inner.abi()
+    }
+
+    fn types(&self) -> &TypeTable {
+        self.inner.types()
+    }
+
+    fn types_mut(&mut self) -> &mut TypeTable {
+        self.inner.types_mut()
+    }
+
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        self.run(|t| t.get_bytes(addr, buf))
+    }
+
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+        self.run(|t| t.put_bytes(addr, bytes))
+    }
+
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+        self.run(|t| t.alloc_space(size, align))
+    }
+
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+        // Calls are NOT retried blindly: a call may have side effects,
+        // so only an error that provably happened before execution
+        // (a transport-level failure) would be safe. We retry anyway
+        // only when the backend says the failure was transient, which
+        // for the MI adapter means the command never ran.
+        self.run(|t| t.call_func(name, args))
+    }
+
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+        self.inner.get_variable(name)
+    }
+
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+        self.inner.get_variable_in_frame(name, frame)
+    }
+
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+        self.inner.lookup_typedef(name)
+    }
+
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+        self.inner.lookup_struct(tag)
+    }
+
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+        self.inner.lookup_union(tag)
+    }
+
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+        self.inner.lookup_enum(tag)
+    }
+
+    fn has_function(&mut self, name: &str) -> bool {
+        self.inner.has_function(name)
+    }
+
+    fn frame_count(&mut self) -> usize {
+        self.inner.frame_count()
+    }
+
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+        self.inner.frame_info(n)
+    }
+
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+        self.inner.is_mapped(addr, len)
+    }
+
+    fn take_output(&mut self) -> String {
+        self.inner.take_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultTarget};
+    use crate::scenario;
+
+    #[test]
+    fn absorbs_transient_burst() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(2));
+        let mut t = RetryTarget::with_policy(flaky, RetryPolicy::fast(3));
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        assert_eq!(t.retries(), 2);
+    }
+
+    #[test]
+    fn does_not_retry_faults() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::default());
+        let mut t = RetryTarget::with_policy(flaky, RetryPolicy::fast(3));
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            t.get_bytes(0x99, &mut buf),
+            Err(TargetError::IllegalMemory { addr: 0x99, len: 4 })
+        );
+        assert_eq!(t.retries(), 0, "faults must not be retried");
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(10));
+        let mut t = RetryTarget::with_policy(flaky, RetryPolicy::fast(3));
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        let err = t.get_bytes(x.addr, &mut buf).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(t.retries(), 3);
+    }
+
+    #[test]
+    fn deadline_converts_to_timeout() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(100));
+        let policy = RetryPolicy {
+            max_retries: 100,
+            deadline: Some(Duration::ZERO),
+            sleep: false,
+            ..RetryPolicy::default()
+        };
+        let mut t = RetryTarget::with_policy(flaky, policy);
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            t.get_bytes(x.addr, &mut buf),
+            Err(TargetError::Timeout { ms: 0 })
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35));
+        assert_eq!(p.backoff(10), Duration::from_millis(35));
+    }
+}

@@ -1,0 +1,170 @@
+//! Byte-level encode/decode over a [`Target`].
+//!
+//! These free functions are the *only* place the rest of the system
+//! converts between debuggee object representations and host scalars;
+//! they work against any `Target` implementation (trait object or
+//! concrete) and honour the target's byte order.
+
+use crate::error::{TargetError, TargetResult};
+use crate::iface::Target;
+use duel_ctype::Endian;
+
+/// Sign-extends the low `size` bytes of `raw` into an `i64`.
+/// `size >= 8` is interpreted as a full-width value.
+pub fn sign_extend(raw: u64, size: usize) -> i64 {
+    if size >= 8 {
+        return raw as i64;
+    }
+    let shift = 64 - size * 8;
+    ((raw << shift) as i64) >> shift
+}
+
+/// Reads a `size`-byte unsigned integer at `addr`.
+pub fn read_uint(t: &mut (impl Target + ?Sized), addr: u64, size: usize) -> TargetResult<u64> {
+    let endian = t.abi().endian;
+    let mut buf = vec![0u8; size];
+    t.get_bytes(addr, &mut buf)?;
+    let mut raw = 0u64;
+    match endian {
+        Endian::Little => {
+            for (i, b) in buf.iter().take(8).enumerate() {
+                raw |= (*b as u64) << (8 * i);
+            }
+        }
+        Endian::Big => {
+            for b in buf.iter().take(8) {
+                raw = (raw << 8) | *b as u64;
+            }
+        }
+    }
+    Ok(raw)
+}
+
+/// Reads a `size`-byte signed integer at `addr`.
+pub fn read_int(t: &mut (impl Target + ?Sized), addr: u64, size: usize) -> TargetResult<i64> {
+    Ok(sign_extend(read_uint(t, addr, size)?, size))
+}
+
+/// Reads a 4- or 8-byte IEEE float at `addr`, widening to `f64`.
+pub fn read_float(t: &mut (impl Target + ?Sized), addr: u64, size: usize) -> TargetResult<f64> {
+    let raw = read_uint(t, addr, size)?;
+    match size {
+        4 => Ok(f32::from_bits(raw as u32) as f64),
+        8 => Ok(f64::from_bits(raw)),
+        n => Err(TargetError::Backend(format!(
+            "unsupported float size {n} byte(s)"
+        ))),
+    }
+}
+
+/// Reads a pointer (the ABI's pointer width) at `addr`.
+pub fn read_ptr(t: &mut (impl Target + ?Sized), addr: u64) -> TargetResult<u64> {
+    let size = t.abi().pointer_bytes as usize;
+    read_uint(t, addr, size)
+}
+
+/// Writes the low `size` bytes of `v` at `addr` in target byte order.
+pub fn write_uint(
+    t: &mut (impl Target + ?Sized),
+    addr: u64,
+    v: u64,
+    size: usize,
+) -> TargetResult<()> {
+    let endian = t.abi().endian;
+    let size = size.min(8);
+    let bytes = match endian {
+        Endian::Little => v.to_le_bytes()[..size].to_vec(),
+        Endian::Big => v.to_be_bytes()[8 - size..].to_vec(),
+    };
+    t.put_bytes(addr, &bytes)
+}
+
+/// Writes `v` as a 4- or 8-byte IEEE float at `addr`.
+pub fn write_float(
+    t: &mut (impl Target + ?Sized),
+    addr: u64,
+    v: f64,
+    size: usize,
+) -> TargetResult<()> {
+    let raw = match size {
+        4 => (v as f32).to_bits() as u64,
+        8 => v.to_bits(),
+        n => {
+            return Err(TargetError::Backend(format!(
+                "unsupported float size {n} byte(s)"
+            )))
+        }
+    };
+    write_uint(t, addr, raw, size)
+}
+
+/// Writes a pointer value (the ABI's pointer width) at `addr`.
+pub fn write_ptr(t: &mut (impl Target + ?Sized), addr: u64, v: u64) -> TargetResult<()> {
+    let size = t.abi().pointer_bytes as usize;
+    write_uint(t, addr, v, size)
+}
+
+fn width_mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Reads a bit-field: `width` bits starting `off` bits above the LSB of
+/// the `unit`-byte storage unit at `addr`.
+pub fn read_bitfield(
+    t: &mut (impl Target + ?Sized),
+    addr: u64,
+    unit: usize,
+    off: u8,
+    width: u8,
+    signed: bool,
+) -> TargetResult<i64> {
+    let raw = read_uint(t, addr, unit)?;
+    let v = (raw >> off) & width_mask(width);
+    if signed && width < 64 {
+        let shift = 64 - width as u32;
+        Ok(((v << shift) as i64) >> shift)
+    } else {
+        Ok(v as i64)
+    }
+}
+
+/// Writes a bit-field with read-modify-write, preserving the
+/// neighbouring bits of the storage unit.
+pub fn write_bitfield(
+    t: &mut (impl Target + ?Sized),
+    addr: u64,
+    unit: usize,
+    off: u8,
+    width: u8,
+    v: i64,
+) -> TargetResult<()> {
+    let raw = read_uint(t, addr, unit)?;
+    let mask = width_mask(width) << off;
+    let new = (raw & !mask) | (((v as u64) << off) & mask);
+    write_uint(t, addr, new, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extend_widths() {
+        assert_eq!(sign_extend(0xff, 1), -1);
+        assert_eq!(sign_extend(0x7f, 1), 127);
+        assert_eq!(sign_extend(0xffff_fff9, 4), -7);
+        assert_eq!(sign_extend(u64::MAX, 8), -1);
+        assert_eq!(sign_extend(5, 8), 5);
+    }
+
+    #[test]
+    fn bitfield_mask_widths() {
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(4), 0xf);
+        assert_eq!(width_mask(64), u64::MAX);
+    }
+}

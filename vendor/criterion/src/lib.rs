@@ -1,0 +1,235 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so the real crates.io `criterion`
+//! cannot be fetched; this shim keeps the workspace's benches
+//! compiling and runnable with the same source code. It implements the
+//! subset the benches use — `criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` — measuring wall-clock time with
+//! `std::time::Instant` and printing a mean-per-iteration line.
+//!
+//! Under `cargo test` (the binary receives `--test`) each benchmark
+//! body runs exactly once, so the correctness asserts inside bench
+//! setup still execute without the timing loops.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let _ = routine();
+            self.iters_done = 1;
+            return;
+        }
+        // Warm up once, then time a batch sized so the measurement
+        // takes a perceptible but short interval.
+        let start = Instant::now();
+        let _ = routine();
+        let once = start.elapsed().max(Duration::from_nanos(100));
+        let target = Duration::from_millis(50);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        if !self.criterion.test_mode && b.iters_done > 0 {
+            let per_iter = b.elapsed.as_nanos() / b.iters_done as u128;
+            println!(
+                "{}/{}: {} iterations, mean {} ns/iter",
+                self.name, id, b.iters_done, per_iter
+            );
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run(id, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// API-compatibility hook; the shim has no post-run reports.
+    pub fn final_summary(&mut self) {}
+}
+
+/// An opaque wrapper preventing the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut hits = 0u64;
+        group.bench_function("count", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn shim_runs_benches() {
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_generates_an_entry_point() {
+        let _entry: fn() = benches;
+    }
+}

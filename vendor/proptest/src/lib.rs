@@ -1,0 +1,647 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so the real crates.io `proptest`
+//! cannot be fetched; this shim implements the subset of its API that
+//! the workspace's property tests use, with the same names and shapes:
+//!
+//! * the `proptest!` macro (with `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! * strategies: integer ranges, regex-shaped string patterns,
+//!   `prop::collection::vec`, tuples, `prop_oneof!`, `prop_map`,
+//!   `BoxedStrategy`,
+//! * deterministic seeding, a `PROPTEST_CASES` cap, and replay of
+//!   `*.proptest-regressions` seed files.
+//!
+//! Failing cases print their seed; appending `cc <seed-hex>` to the
+//! sibling `<test-file>.proptest-regressions` file makes the seed
+//! replay first on every future run.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic splitmix64 generator driving all sampling.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)` (i128 domain to fit every int type).
+    pub fn below(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo) as u128;
+        if span == 0 {
+            return lo;
+        }
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Mirror of proptest's run configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Total `prop_assume!` rejections tolerated across the whole run
+    /// before the test aborts as unproductive.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A value generator. `sample` must be deterministic in the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between same-typed strategies (see `prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(0, self.0.len() as i128) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.below(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.below(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `&str` patterns act as regex-shaped string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `elem` with a length drawn from
+    /// `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values of `elem` with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.below(
+                self.len.start as i128,
+                self.len.end.max(self.len.start + 1) as i128,
+            ) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+mod pattern {
+    //! A tiny generator for regex-shaped patterns: alternation `|`,
+    //! groups `(..)`, classes `[a-b]`, escapes, `\PC` (any printable),
+    //! and `{m,n}` / `{m}` / `*` / `+` / `?` quantifiers. It produces
+    //! strings *matching* the pattern; distribution quality is not a
+    //! goal.
+
+    use super::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Lit(char),
+        AnyPrintable,
+        Class(Vec<(char, char)>),
+        Group(Vec<Seq>),
+    }
+
+    type Seq = Vec<(Node, (u32, u32))>;
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    impl<'a> Parser<'a> {
+        fn alternation(&mut self) -> Vec<Seq> {
+            let mut branches = vec![self.sequence()];
+            while self.chars.peek() == Some(&'|') {
+                self.chars.next();
+                branches.push(self.sequence());
+            }
+            branches
+        }
+
+        fn sequence(&mut self) -> Seq {
+            let mut seq = Vec::new();
+            while let Some(&c) = self.chars.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let node = self.atom();
+                let quant = self.quantifier();
+                seq.push((node, quant));
+            }
+            seq
+        }
+
+        fn atom(&mut self) -> Node {
+            match self.chars.next().unwrap() {
+                '(' => {
+                    let inner = self.alternation();
+                    self.chars.next(); // ')'
+                    Node::Group(inner)
+                }
+                '[' => {
+                    let mut ranges = Vec::new();
+                    while let Some(&c) = self.chars.peek() {
+                        if c == ']' {
+                            self.chars.next();
+                            break;
+                        }
+                        let lo = self.chars.next().unwrap();
+                        if self.chars.peek() == Some(&'-') {
+                            self.chars.next();
+                            let hi = self.chars.next().unwrap_or(lo);
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Node::Class(ranges)
+                }
+                '\\' => match self.chars.next().unwrap_or('\\') {
+                    'P' => {
+                        // `\PC` — anything that is not a control char.
+                        self.chars.next(); // consume the property name
+                        Node::AnyPrintable
+                    }
+                    'n' => Node::Lit('\n'),
+                    't' => Node::Lit('\t'),
+                    other => Node::Lit(other),
+                },
+                c => Node::Lit(c),
+            }
+        }
+
+        fn quantifier(&mut self) -> (u32, u32) {
+            match self.chars.peek() {
+                Some('{') => {
+                    self.chars.next();
+                    let mut lo = 0u32;
+                    let mut hi: Option<u32> = None;
+                    let mut cur = 0u32;
+                    let mut saw_comma = false;
+                    for c in self.chars.by_ref() {
+                        match c {
+                            '0'..='9' => cur = cur * 10 + (c as u32 - '0' as u32),
+                            ',' => {
+                                lo = cur;
+                                cur = 0;
+                                saw_comma = true;
+                            }
+                            '}' => break,
+                            _ => {}
+                        }
+                    }
+                    if saw_comma {
+                        hi = Some(cur);
+                    } else {
+                        lo = cur;
+                    }
+                    (lo, hi.unwrap_or(lo))
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    fn gen_branches(branches: &[Seq], rng: &mut TestRng, out: &mut String) {
+        let pick = rng.below(0, branches.len().max(1) as i128) as usize;
+        for (node, (lo, hi)) in &branches[pick] {
+            let n = rng.below(*lo as i128, *hi as i128 + 1) as u32;
+            for _ in 0..n {
+                gen_node(node, rng, out);
+            }
+        }
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::AnyPrintable => {
+                // Mostly printable ASCII, occasionally multibyte.
+                let r = rng.below(0, 20) as u32;
+                if r == 0 {
+                    let extras = ['é', 'λ', '中', '🙂', 'ß'];
+                    out.push(extras[rng.below(0, extras.len() as i128) as usize]);
+                } else {
+                    out.push(char::from_u32(rng.below(0x20, 0x7f) as u32).unwrap());
+                }
+            }
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(0, ranges.len().max(1) as i128) as usize];
+                let c = rng.below(lo as i128, hi as i128 + 1) as u32;
+                out.push(char::from_u32(c).unwrap_or(lo));
+            }
+            Node::Group(branches) => gen_branches(branches, rng, out),
+        }
+    }
+
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let mut p = Parser {
+            chars: pattern.chars().peekable(),
+        };
+        let branches = p.alternation();
+        let mut out = String::new();
+        gen_branches(&branches, rng, &mut out);
+        out
+    }
+}
+
+/// The harness behind the `proptest!` macro.
+pub mod test_runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
+    /// Seeds recorded in the sibling `*.proptest-regressions` file
+    /// (lines of the form `cc <hex> # shrinks to ...`).
+    fn regression_seeds(source_file: &str) -> Vec<u64> {
+        let path = source_file.replace(".rs", ".proptest-regressions");
+        let Ok(body) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in body.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("cc ") {
+                let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+                if hex.is_empty() {
+                    continue;
+                }
+                let mut seed = 0u64;
+                for c in hex.chars() {
+                    seed = seed
+                        .wrapping_mul(16)
+                        .wrapping_add(c.to_digit(16).unwrap() as u64)
+                        .rotate_left(7);
+                }
+                seeds.push(seed);
+            }
+        }
+        seeds
+    }
+
+    /// Runs one property: regression seeds first, then `cases` fresh
+    /// seeds derived deterministically from the test name.
+    pub fn run(
+        name: &str,
+        source_file: &str,
+        cfg: &ProptestConfig,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        for seed in regression_seeds(source_file) {
+            let mut rng = TestRng::new(seed);
+            if let Err(TestCaseError::Fail(msg)) = case(&mut rng) {
+                panic!("[{name}] regression seed {seed:#018x} failed: {msg}");
+            }
+        }
+        let cases = match env_cases() {
+            Some(env) => cfg.cases.min(env),
+            None => cfg.cases,
+        };
+        let mut seeder = TestRng::new(name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        }));
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < cases {
+            let seed = seeder.next_u64();
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > cfg.max_global_rejects {
+                        panic!(
+                            "[{name}] too many `prop_assume!` rejections \
+                             ({rejected} > max_global_rejects {}); the \
+                             precondition filters out nearly every case",
+                            cfg.max_global_rejects
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "[{name}] case failed (replay by adding `cc {seed:016x}` to \
+                     {source_file}.proptest-regressions): {msg}"
+                ),
+            }
+        }
+    }
+}
+
+/// `proptest!` — wraps `#[test]` functions whose arguments are drawn
+/// from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for `proptest!` — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run(
+                stringify!($name),
+                file!(),
+                &__cfg,
+                |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure reports the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The usual `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirror of proptest's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(-50i32..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let v = Strategy::sample(&(-6i8..=6), &mut rng);
+            assert!((-6..=6).contains(&v));
+            let v = Strategy::sample(&(0u32..=u32::MAX / 2), &mut rng);
+            assert!(v <= u32::MAX / 2);
+        }
+    }
+
+    #[test]
+    fn patterns_match_shape() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let s = Strategy::sample(&"\\PC{0,60}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            let s = Strategy::sample(&"(a|bb){1,3}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_and_oneof() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            let v = Strategy::sample(&crate::collection::vec(0u8..3, 1..12), &mut rng);
+            assert!(!v.is_empty() && v.len() < 12);
+            assert!(v.iter().all(|x| *x < 3));
+            let (a, b) = Strategy::sample(&(0i32..10, 10i32..20), &mut rng);
+            assert!((0..10).contains(&a) && (10..20).contains(&b));
+            let s = prop_oneof![(0i32..1).prop_map(|_| 1i32), (0i32..1).prop_map(|_| 2i32)];
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v == 1 || v == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_itself_works(a in 0i32..100, b in prop::collection::vec(0u8..4, 0..6)) {
+            prop_assume!(a != 1);
+            prop_assert!(a < 100);
+            prop_assert_eq!(b.len(), b.len());
+        }
+    }
+}
