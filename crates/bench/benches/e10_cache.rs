@@ -1,0 +1,171 @@
+//! E10 — the cost of crossing the narrow interface, and what the
+//! [`duel_target::CachedTarget`] decorator buys back.
+//!
+//! Every workload runs twice over the *same* latency-injected debuggee
+//! (a [`duel_target::FaultTarget`] adding a fixed per-operation delay,
+//! the shape of a gdb/MI round-trip): once through a disabled cache
+//! (pure pass-through, still counting backend traffic) and once
+//! through an enabled one. The run asserts that the rendered output is
+//! identical and that the cached path issues at least 5× fewer backend
+//! `get_bytes` calls, then writes the counters to `BENCH_cache.json`
+//! at the repository root.
+//!
+//! Not a criterion bench on purpose: the quantity of interest is the
+//! *backend call count* from `CacheStats`, which criterion cannot
+//! report. Run with `cargo bench --bench e10_cache`.
+
+use std::time::{Duration, Instant};
+
+use duel_bench::try_eval_lines;
+use duel_core::EvalOptions;
+use duel_target::{CacheConfig, CachedTarget, FaultConfig, FaultTarget, SimTarget};
+
+/// Per-operation latency injected into the backend. Kept small so the
+/// bench doubles as a CI smoke test; the *call counts* are what the
+/// acceptance check reads, and those are latency-independent.
+const LATENCY: Duration = Duration::from_micros(20);
+
+struct Workload {
+    name: &'static str,
+    expr: &'static str,
+    scenario: fn() -> SimTarget,
+}
+
+fn scan_scenario() -> SimTarget {
+    duel_target::scenario::bench_array(256, 42)
+}
+
+fn list_scenario() -> SimTarget {
+    duel_target::scenario::bench_list(128, 7)
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "array_scan",
+        expr: "x[..256] >? 5 <? 10",
+        scenario: scan_scenario,
+    },
+    Workload {
+        name: "list_walk",
+        expr: "head-->next->value",
+        scenario: list_scenario,
+    },
+    Workload {
+        name: "hash_walk",
+        expr: "#/(hash[..1024]-->next)",
+        scenario: duel_target::scenario::hash_table_basic,
+    },
+];
+
+struct Measurement {
+    lines: Vec<String>,
+    backend_reads: u64,
+    wire_bytes: u64,
+    lookup_misses: u64,
+    wall: Duration,
+}
+
+fn run(w: &Workload, cached: bool) -> Measurement {
+    let slow = FaultTarget::new(
+        (w.scenario)(),
+        FaultConfig {
+            latency: LATENCY,
+            ..FaultConfig::default()
+        },
+    );
+    let cfg = if cached {
+        CacheConfig::default()
+    } else {
+        CacheConfig::disabled()
+    };
+    let mut t = CachedTarget::with_config(slow, cfg);
+    let opts = EvalOptions::default();
+    let start = Instant::now();
+    let lines = match try_eval_lines(&mut t, w.expr, &opts) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("workload `{}` failed: {e}", w.name);
+            Vec::new()
+        }
+    };
+    let wall = start.elapsed();
+    let s = t.stats();
+    Measurement {
+        lines,
+        backend_reads: s.backend_reads,
+        wire_bytes: s.wire_bytes,
+        lookup_misses: s.lookup_misses,
+        wall,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for w in WORKLOADS {
+        let uncached = run(w, false);
+        let cached = run(w, true);
+        let identical = uncached.lines == cached.lines && !uncached.lines.is_empty();
+        let reduction = uncached.backend_reads as f64 / cached.backend_reads.max(1) as f64;
+        println!(
+            "{:<11} backend reads {:>6} -> {:>4}  ({reduction:>5.1}x), wire bytes {:>7} -> {:>6}, \
+             wall {:>7.2?} -> {:>7.2?}, identical output: {identical}",
+            w.name,
+            uncached.backend_reads,
+            cached.backend_reads,
+            uncached.wire_bytes,
+            cached.wire_bytes,
+            uncached.wall,
+            cached.wall,
+        );
+        if !identical {
+            eprintln!("FAIL: `{}` output differs under caching", w.name);
+            failed = true;
+        }
+        if reduction < 5.0 {
+            eprintln!(
+                "FAIL: `{}` backend-read reduction {reduction:.1}x is below the 5x target",
+                w.name
+            );
+            failed = true;
+        }
+        rows.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"expr\": {},\n      \"values\": {},\n      \
+             \"uncached_backend_reads\": {},\n      \"cached_backend_reads\": {},\n      \
+             \"read_reduction\": {:.2},\n      \"uncached_wire_bytes\": {},\n      \
+             \"cached_wire_bytes\": {},\n      \"cached_lookup_misses\": {},\n      \
+             \"uncached_wall_us\": {},\n      \"cached_wall_us\": {},\n      \
+             \"identical_output\": {}\n    }}",
+            w.name,
+            json_str(w.expr),
+            cached.lines.len(),
+            uncached.backend_reads,
+            cached.backend_reads,
+            reduction,
+            uncached.wire_bytes,
+            cached.wire_bytes,
+            cached.lookup_misses,
+            uncached.wall.as_micros(),
+            cached.wall.as_micros(),
+            identical,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"e10_cache\",\n  \"latency_us\": {},\n  \"page_size\": {},\n  \
+         \"max_pages\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        LATENCY.as_micros(),
+        CacheConfig::default().page_size,
+        CacheConfig::default().max_pages,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(path, &json).expect("write BENCH_cache.json");
+    println!("wrote {path}");
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}

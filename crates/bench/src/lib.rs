@@ -1,29 +1,48 @@
 #![warn(missing_docs)]
 
-//! Shared workload helpers for the experiment benches (E1–E7) and the
-//! E5 line-count report.
+//! Shared workload helpers for the experiment benches (E1–E7, E9–E10)
+//! and the E5 line-count report.
 //!
 //! The experiment ↔ paper-claim mapping lives in `DESIGN.md` §5; the
 //! measured results are recorded in `EXPERIMENTS.md`.
 
-use duel_core::{EvalOptions, Session};
+use duel_core::{DuelError, EvalOptions, Session};
 use duel_target::Target;
 
 /// Evaluates `expr` against `target`, returning how many values it
-/// produced (panicking on error — benches must be well-formed).
-pub fn eval_count(target: &mut dyn Target, expr: &str, options: &EvalOptions) -> usize {
+/// produced. One bad expression fails that measurement, not the whole
+/// bench run.
+pub fn try_eval_count(
+    target: &mut dyn Target,
+    expr: &str,
+    options: &EvalOptions,
+) -> Result<usize, DuelError> {
     let mut s = Session::with_options(target, options.clone());
-    let out = s
-        .eval(expr)
-        .unwrap_or_else(|e| panic!("bench expr `{expr}` failed: {e}"));
-    out.len()
+    Ok(s.eval(expr)?.len())
 }
 
-/// Evaluates and returns the rendered lines (for correctness checks
-/// inside bench setup).
-pub fn eval_lines(target: &mut dyn Target, expr: &str, options: &EvalOptions) -> Vec<String> {
+/// Evaluates `expr` and returns the rendered output lines (for
+/// correctness checks inside bench setup and differential runs).
+pub fn try_eval_lines(
+    target: &mut dyn Target,
+    expr: &str,
+    options: &EvalOptions,
+) -> Result<Vec<String>, DuelError> {
     let mut s = Session::with_options(target, options.clone());
     s.eval_lines(expr)
+}
+
+/// Panicking wrapper over [`try_eval_count`] for bench *setup*, where
+/// an eval error means the bench itself is broken and aborting is the
+/// right answer.
+pub fn eval_count(target: &mut dyn Target, expr: &str, options: &EvalOptions) -> usize {
+    try_eval_count(target, expr, options)
+        .unwrap_or_else(|e| panic!("bench expr `{expr}` failed: {e}"))
+}
+
+/// Panicking wrapper over [`try_eval_lines`] for bench setup.
+pub fn eval_lines(target: &mut dyn Target, expr: &str, options: &EvalOptions) -> Vec<String> {
+    try_eval_lines(target, expr, options)
         .unwrap_or_else(|e| panic!("bench expr `{expr}` failed: {e}"))
 }
 
@@ -38,5 +57,14 @@ mod tests {
         let opts = EvalOptions::default();
         assert_eq!(eval_count(&mut t, "x[1..4,8,12..50] >? 5 <? 10", &opts), 3);
         assert_eq!(eval_lines(&mut t, "1+1", &opts), vec!["2"]);
+    }
+
+    #[test]
+    fn try_helpers_surface_errors_instead_of_panicking() {
+        let mut t = scenario::scan_array();
+        let opts = EvalOptions::default();
+        assert!(try_eval_count(&mut t, "nonesuch", &opts).is_err());
+        assert!(try_eval_lines(&mut t, "1 +", &opts).is_err());
+        assert_eq!(try_eval_count(&mut t, "x[..10]", &opts).unwrap(), 10);
     }
 }

@@ -13,11 +13,11 @@ use std::fmt::Write as _;
 
 use duel_core::{EvalOptions, EvalStats, Session, SymMode, Value};
 use duel_minic::{Debugger, StopReason};
-use duel_target::{scenario, SimTarget, Target};
+use duel_target::{scenario, CacheConfig, CacheStats, CachedTarget, SimTarget, Target};
 
 pub(crate) enum Backend {
-    Sim(Box<SimTarget>),
-    Minic(Box<Debugger>),
+    Sim(Box<CachedTarget<SimTarget>>),
+    Minic(Box<CachedTarget<Debugger>>),
 }
 
 impl Backend {
@@ -26,6 +26,41 @@ impl Backend {
             Backend::Sim(t) => &mut **t,
             Backend::Minic(d) => &mut **d,
         }
+    }
+
+    fn cache_stats(&self) -> &CacheStats {
+        match self {
+            Backend::Sim(t) => t.stats(),
+            Backend::Minic(d) => d.stats(),
+        }
+    }
+
+    fn set_cache(&mut self, on: bool) {
+        match self {
+            Backend::Sim(t) => t.set_enabled(on),
+            Backend::Minic(d) => d.set_enabled(on),
+        }
+    }
+
+    fn cache_config(enabled: bool) -> CacheConfig {
+        CacheConfig {
+            enabled,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn sim(t: SimTarget, cache: bool) -> Backend {
+        Backend::Sim(Box::new(CachedTarget::with_config(
+            t,
+            Backend::cache_config(cache),
+        )))
+    }
+
+    fn minic(d: Debugger, cache: bool) -> Backend {
+        Backend::Minic(Box::new(CachedTarget::with_config(
+            d,
+            Backend::cache_config(cache),
+        )))
     }
 }
 
@@ -38,6 +73,7 @@ pub struct Repl {
     aliases: HashMap<String, Value>,
     options: EvalOptions,
     last_stats: EvalStats,
+    cache_enabled: bool,
 }
 
 const HELP: &str = "\
@@ -55,7 +91,7 @@ DUEL commands:
   .watch EXPR        stop when the DUEL expression's values change
   .frames            show the stopped program's frames
   .ast EXPR          show the AST in the paper's LISP-like notation
-  .stats             counters from the last evaluation
+  .stats             counters from the last evaluation + target cache
   .aliases           list DUEL aliases (`a := e`, declarations)
   .clear             drop all aliases
   .set trace on|off  log every generator resumption (the paper's eval)
@@ -68,6 +104,8 @@ DUEL commands:
   .set errors tolerant|strict
                      render faults as <error: ...> values, or abort the
                      command at the first fault (default: tolerant)
+  .set cache on|off  page-cache + lookup memoization over the debugger
+                     wire (default: on; also: --no-cache)
   .quit              exit
 ";
 
@@ -81,11 +119,18 @@ impl Repl {
     /// feeds the `--max-steps`/`--max-depth`/`--timeout-ms` flags
     /// through here).
     pub fn with_options(options: EvalOptions) -> Repl {
+        Repl::with_config(options, true)
+    }
+
+    /// Creates a REPL with explicit options and an initial caching
+    /// state (`--no-cache` passes `cache_enabled = false`).
+    pub fn with_config(options: EvalOptions, cache_enabled: bool) -> Repl {
         Repl {
-            backend: Backend::Sim(Box::new(scenario::combined())),
+            backend: Backend::sim(scenario::combined(), cache_enabled),
             aliases: HashMap::new(),
             options,
             last_stats: EvalStats::default(),
+            cache_enabled,
         }
     }
 
@@ -152,7 +197,7 @@ impl Repl {
                     }
                 };
                 if let Some(t) = t {
-                    self.backend = Backend::Sim(Box::new(t));
+                    self.backend = Backend::sim(t, self.cache_enabled);
                     self.aliases.clear();
                     let _ = writeln!(out, "scenario loaded; aliases cleared");
                 }
@@ -160,7 +205,7 @@ impl Repl {
             ".load" => match std::fs::read_to_string(arg) {
                 Ok(src) => match Debugger::new(&src) {
                     Ok(d) => {
-                        self.backend = Backend::Minic(Box::new(d));
+                        self.backend = Backend::minic(d, self.cache_enabled);
                         self.aliases.clear();
                         let _ = writeln!(out, "compiled `{arg}`; set breakpoints and .run");
                     }
@@ -199,6 +244,21 @@ impl Repl {
                     out,
                     "values: {}, ticks: {}",
                     self.last_stats.values, self.last_stats.ticks
+                );
+                let c = self.backend.cache_stats();
+                let _ = writeln!(
+                    out,
+                    "cache: {} ({} page hits, {} misses, {} backend reads, {} bytes over the wire)",
+                    if self.cache_enabled { "on" } else { "off" },
+                    c.page_hits,
+                    c.page_misses,
+                    c.backend_reads,
+                    c.wire_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "lookups: {} memoized, {} fetched; {} invalidations",
+                    c.lookup_hits, c.lookup_misses, c.invalidations
                 );
             }
             ".aliases" => {
@@ -248,6 +308,10 @@ impl Repl {
                     "errors" => {
                         self.options.error_values = val != "strict";
                     }
+                    "cache" => {
+                        self.cache_enabled = val != "off";
+                        self.backend.set_cache(self.cache_enabled);
+                    }
                     other => {
                         let _ = writeln!(out, "unknown option `{other}`");
                     }
@@ -261,7 +325,7 @@ impl Repl {
     }
 
     fn debugger_command(&mut self, cmd: &str, arg: &str, out: &mut String) {
-        let dbg = match &mut self.backend {
+        let cache = match &mut self.backend {
             Backend::Minic(d) => d,
             Backend::Sim(_) => {
                 let _ = writeln!(out, "no program loaded (use `.load file.c` first)");
@@ -271,7 +335,7 @@ impl Repl {
         match cmd {
             ".break" => match arg.parse::<u32>() {
                 Ok(n) => {
-                    dbg.add_breakpoint(n);
+                    cache.inner_mut().add_breakpoint(n);
                     let _ = writeln!(out, "breakpoint at line {n}");
                 }
                 Err(_) => {
@@ -280,11 +344,11 @@ impl Repl {
             },
             ".delete" => {
                 if let Ok(n) = arg.parse::<u32>() {
-                    dbg.remove_breakpoint(n);
+                    cache.inner_mut().remove_breakpoint(n);
                 }
             }
             ".breaks" => {
-                let _ = writeln!(out, "{:?}", dbg.breakpoints());
+                let _ = writeln!(out, "{:?}", cache.inner_mut().breakpoints());
             }
             ".watch" => {
                 if arg.is_empty() {
@@ -292,11 +356,12 @@ impl Repl {
                         let _ = writeln!(out, "usage: .watch EXPR");
                     };
                 } else {
-                    dbg.add_watchpoint(arg);
+                    cache.inner_mut().add_watchpoint(arg);
                     let _ = writeln!(out, "watching `{arg}`");
                 }
             }
             ".run" | ".cont" => {
+                let dbg = cache.inner_mut();
                 let r = if cmd == ".run" { dbg.run() } else { dbg.cont() };
                 match r {
                     Ok(StopReason::Breakpoint { line }) => {
@@ -319,25 +384,31 @@ impl Repl {
                 if !prog_out.is_empty() {
                     out.push_str(&prog_out);
                 }
+                // The program ran: everything cached at the previous
+                // stop is suspect.
+                cache.invalidate_all();
             }
-            ".step" => match dbg.step_line() {
-                Ok(StopReason::Step { line }) => {
-                    let _ = writeln!(out, "line {line}");
+            ".step" => {
+                match cache.inner_mut().step_line() {
+                    Ok(StopReason::Step { line }) => {
+                        let _ = writeln!(out, "line {line}");
+                    }
+                    Ok(StopReason::Exited { code }) => {
+                        let _ = writeln!(out, "program exited with code {code}");
+                    }
+                    Ok(other) => {
+                        let _ = writeln!(out, "{other:?}");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "runtime error: {e}");
+                    }
                 }
-                Ok(StopReason::Exited { code }) => {
-                    let _ = writeln!(out, "program exited with code {code}");
-                }
-                Ok(other) => {
-                    let _ = writeln!(out, "{other:?}");
-                }
-                Err(e) => {
-                    let _ = writeln!(out, "runtime error: {e}");
-                }
-            },
+                cache.invalidate_all();
+            }
             ".frames" => {
-                let n = dbg.frame_count();
+                let n = cache.frame_count();
                 for i in 0..n {
-                    if let Some(f) = dbg.frame_info(i) {
+                    if let Some(f) = cache.frame_info(i) {
                         let line = f.line.map(|l| format!(" at line {l}")).unwrap_or_default();
                         let _ = writeln!(out, "#{i} {}{}", f.function, line);
                     }
@@ -372,14 +443,18 @@ impl Default for Repl {
 }
 
 /// Usage string for the `duel` binary.
-pub const USAGE: &str = "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] [program.c]";
+pub const USAGE: &str =
+    "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] [--no-cache] [program.c]";
 
-/// Parses the binary's command line: resource-budget flags plus an
-/// optional mini-C program path. Accepts both `--flag N` and
-/// `--flag=N` spellings.
-pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>), String> {
+/// Parses the binary's command line: resource-budget flags, the
+/// `--no-cache` switch (disable the target page cache + lookup
+/// memoization), plus an optional mini-C program path. Accepts both
+/// `--flag N` and `--flag=N` spellings. Returns `(options, path,
+/// cache_enabled)`.
+pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>, bool), String> {
     let mut options = Repl::default_options();
     let mut path = None;
+    let mut cache = true;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -407,6 +482,7 @@ pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>), Stri
                     _ => options.timeout_ms = n,
                 }
             }
+            "--no-cache" => cache = false,
             _ if name.starts_with('-') => {
                 return Err(format!("unknown flag `{name}`\n{USAGE}"));
             }
@@ -414,7 +490,7 @@ pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>), Stri
         }
         i += 1;
     }
-    Ok((options, path))
+    Ok((options, path, cache))
 }
 
 #[cfg(test)]
@@ -512,15 +588,20 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (o, p) = parse_args(&args).unwrap();
+        let (o, p, cache) = parse_args(&args).unwrap();
         assert_eq!(o.max_ticks, 1000);
         assert_eq!(o.timeout_ms, 250);
         assert!(o.error_values, "the REPL defaults to tolerant errors");
         assert_eq!(p.as_deref(), Some("prog.c"));
+        assert!(cache, "caching defaults to on");
 
-        let (o, p) = parse_args(&[]).unwrap();
+        let (o, p, cache) = parse_args(&[]).unwrap();
         assert_eq!(o.max_ticks, EvalOptions::default().max_ticks);
         assert!(p.is_none());
+        assert!(cache);
+
+        let (_, _, cache) = parse_args(&["--no-cache".to_string()]).unwrap();
+        assert!(!cache);
     }
 
     #[test]
@@ -531,6 +612,69 @@ mod tests {
         assert!(e.contains("invalid value"), "{e}");
         let e = parse_args(&["--bogus".to_string()]).unwrap_err();
         assert!(e.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn stats_reports_cache_counters() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..10]", &mut out);
+        out.clear();
+        r.handle(".stats", &mut out);
+        assert!(out.contains("cache: on"), "{out}");
+        assert!(out.contains("backend reads"), "{out}");
+        r.handle(".set cache off", &mut out);
+        out.clear();
+        r.handle(".stats", &mut out);
+        assert!(out.contains("cache: off"), "{out}");
+    }
+
+    #[test]
+    fn cached_and_uncached_evaluation_agree() {
+        let queries = ["x[1..4,8,12..50] >? 5 <? 10", "#/(head-->next)"];
+        let mut cached = Repl::with_config(Repl::default_options(), true);
+        let mut plain = Repl::with_config(Repl::default_options(), false);
+        for q in queries {
+            let (mut a, mut b) = (String::new(), String::new());
+            cached.handle(q, &mut a);
+            plain.handle(q, &mut b);
+            assert_eq!(a, b, "`{q}` must not change under caching");
+        }
+    }
+
+    #[test]
+    fn no_cache_repl_passes_reads_through() {
+        let mut r = Repl::with_config(Repl::default_options(), false);
+        let mut out = String::new();
+        r.handle("x[..10]", &mut out);
+        out.clear();
+        r.handle(".stats", &mut out);
+        assert!(out.contains("cache: off"), "{out}");
+        assert!(out.contains("0 page hits"), "{out}");
+    }
+
+    #[test]
+    fn minic_resume_invalidates_the_cache() {
+        // A stepped program mutates memory; the REPL must bump the
+        // cache epoch at every stop so DUEL reads stay fresh.
+        let src = "int g;\nint main() {\n  g = 1;\n  g = 2;\n  g = 3;\n  return 0;\n}\n";
+        let dir = std::env::temp_dir().join("duel-cli-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("steps.c");
+        std::fs::write(&path, src).unwrap();
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(&format!(".load {}", path.display()), &mut out);
+        assert!(out.contains("compiled"), "{out}");
+        r.handle(".break 4", &mut out);
+        r.handle(".run", &mut out);
+        out.clear();
+        r.handle("g", &mut out);
+        assert_eq!(out.trim_end(), "1", "{out}");
+        r.handle(".step", &mut out);
+        out.clear();
+        r.handle("g", &mut out);
+        assert_eq!(out.trim_end(), "2", "stale cached g after step: {out}");
     }
 
     #[test]

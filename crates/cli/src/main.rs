@@ -16,14 +16,14 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let (options, path) = match parse_args(&args) {
+    let (options, path, cache) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
-    let mut repl = Repl::with_options(options);
+    let mut repl = Repl::with_config(options, cache);
     let mut out = String::new();
     if let Some(path) = path {
         repl.handle(&format!(".load {path}"), &mut out);

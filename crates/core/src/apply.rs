@@ -799,7 +799,7 @@ pub fn to_call_value(t: &mut dyn Target, v: &Value) -> DuelResult<CallValue> {
     let s = load(t, v)?;
     let abi = t.abi();
     Ok(match classify(t, v.ty) {
-        Class::Int { size, .. } => CallValue::from_u64(v.ty, as_int(s) as u64, size as usize, abi),
+        Class::Int { size, .. } => CallValue::from_u64(v.ty, as_int(s) as u64, size as usize, abi)?,
         Class::Float { size, .. } => {
             let f = scalar_to_f64(s);
             let raw = if size == 4 {
@@ -807,10 +807,10 @@ pub fn to_call_value(t: &mut dyn Target, v: &Value) -> DuelResult<CallValue> {
             } else {
                 f.to_bits()
             };
-            CallValue::from_u64(v.ty, raw, size as usize, abi)
+            CallValue::from_u64(v.ty, raw, size as usize, abi)?
         }
         Class::Ptr { .. } | Class::Array { .. } | Class::Func => {
-            CallValue::from_u64(v.ty, as_addr(s), abi.pointer_bytes as usize, abi)
+            CallValue::from_u64(v.ty, as_addr(s), abi.pointer_bytes as usize, abi)?
         }
         _ => {
             return Err(DuelError::Type {

@@ -294,7 +294,8 @@ impl MockGdb {
                         match a.parse::<f64>() {
                             Ok(f) => {
                                 let d = self.sim.core.types.prim(Prim::Double);
-                                CallValue::from_u64(d, f.to_bits(), 8, self.sim.abi())
+                                // 8-byte doubles always fit the call boundary.
+                                CallValue::from_u64(d, f.to_bits(), 8, self.sim.abi()).unwrap()
                             }
                             Err(_) => return self.reply_error(&token, "bad float argument"),
                         }
@@ -302,7 +303,7 @@ impl MockGdb {
                         match parse_i64(a) {
                             Some(v) => {
                                 let long = self.sim.core.types.prim(Prim::LongLong);
-                                CallValue::from_u64(long, v as u64, 8, self.sim.abi())
+                                CallValue::from_u64(long, v as u64, 8, self.sim.abi()).unwrap()
                             }
                             None => return self.reply_error(&token, "bad argument"),
                         }

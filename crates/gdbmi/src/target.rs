@@ -115,6 +115,24 @@ impl<T: MiTransport> MiTarget<T> {
         ))
     }
 
+    /// The full production decorator stack for an MI connection:
+    /// `RetryTarget<CachedTarget<MiTarget>>`. The cache sits *inside*
+    /// retry so a retried operation re-enters the cache (and a
+    /// transient failure can never strand half-fetched pages), while
+    /// every cache miss that does reach the wire is still retried.
+    /// Call [`duel_target::CachedTarget::invalidate_all`] on the cache
+    /// layer whenever the debuggee resumes.
+    pub fn connect_cached(
+        transport: T,
+        policy: duel_target::RetryPolicy,
+        cache: duel_target::CacheConfig,
+    ) -> TargetResult<duel_target::RetryTarget<duel_target::CachedTarget<MiTarget<T>>>> {
+        Ok(duel_target::RetryTarget::with_policy(
+            duel_target::CachedTarget::with_config(MiTarget::connect(transport)?, cache),
+            policy,
+        ))
+    }
+
     // ----- type-string parsing -------------------------------------------
 
     /// Parses a C type string as rendered by `ptype`-style output
@@ -434,18 +452,13 @@ impl<T: MiTransport> Target for MiTarget<T> {
         if let Some(p) = parse_hex(v) {
             let void = self.types.void();
             let pv = self.types.pointer(void);
-            return Ok(CallValue::from_u64(
-                pv,
-                p,
-                self.abi.pointer_bytes as usize,
-                &self.abi,
-            ));
+            return CallValue::from_u64(pv, p, self.abi.pointer_bytes as usize, &self.abi);
         }
         let n: i64 = v
             .parse()
             .map_err(|_| TargetError::Backend(format!("bad call value `{v}`")))?;
         let long = self.types.prim(Prim::LongLong);
-        Ok(CallValue::from_u64(long, n as u64, 8, &self.abi))
+        CallValue::from_u64(long, n as u64, 8, &self.abi)
     }
 
     fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
@@ -720,6 +733,58 @@ mod tests {
         assert_eq!(t.retries(), 0, "faults must not be retried");
     }
 
+    // ---- cache wiring ---------------------------------------------------
+
+    #[test]
+    fn cached_stack_coalesces_wire_reads() {
+        let mut t = MiTarget::connect_cached(
+            MockGdb::new(scenario::scan_array()),
+            duel_target::RetryPolicy::fast(3),
+            duel_target::CacheConfig::default(),
+        )
+        .unwrap();
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        // 16 adjacent ints share one 64-byte page: one MI round-trip.
+        for i in 0..16u64 {
+            t.get_bytes(x.addr + i * 4, &mut buf).unwrap();
+        }
+        assert_eq!(i32::from_le_bytes(buf), 115);
+        let stats = t.inner().stats();
+        assert_eq!(stats.backend_reads, 1, "{stats:?}");
+        assert_eq!(stats.page_hits, 15);
+    }
+
+    #[test]
+    fn cached_stack_retries_transient_failures_without_poisoning() {
+        let flaky = Flaky {
+            inner: MockGdb::new(scenario::scan_array()),
+            fail_next: 0,
+        };
+        let mut t = MiTarget::connect_cached(
+            flaky,
+            duel_target::RetryPolicy::fast(3),
+            duel_target::CacheConfig::default(),
+        )
+        .unwrap();
+        let x = t.get_variable("x").unwrap();
+        t.inner_mut()
+            .inner_mut()
+            .client_mut()
+            .transport_mut()
+            .fail_next = 2;
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        assert!(t.retries() >= 1);
+        // The page that finally made it across is sound: nearby reads
+        // come from cache and agree with the debuggee.
+        let reads = t.inner().stats().backend_reads;
+        t.get_bytes(x.addr + 8, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 102);
+        assert_eq!(t.inner().stats().backend_reads, reads);
+    }
+
     #[test]
     fn calls_work_and_relay_output() {
         let mut t = connect(scenario::scan_array());
@@ -730,8 +795,8 @@ mod tests {
         let pc = t.types_mut().pointer(ch);
         let int = t.types_mut().prim(Prim::Int);
         let args = [
-            CallValue::from_u64(pc, addr, 8, &Abi::lp64()),
-            CallValue::from_u64(int, 7, 4, &Abi::lp64()),
+            CallValue::from_u64(pc, addr, 8, &Abi::lp64()).unwrap(),
+            CallValue::from_u64(int, 7, 4, &Abi::lp64()).unwrap(),
         ];
         let r = t.call_func("printf", &args).unwrap();
         assert_eq!(r.to_u64(&Abi::lp64()), 4);

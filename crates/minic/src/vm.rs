@@ -524,14 +524,14 @@ impl Vm {
                 } else {
                     v.as_f().to_bits()
                 };
-                CallValue::from_u64(ty, raw, size, abi)
+                CallValue::from_u64(ty, raw, size, abi)?
             }
             TypeKind::Prim(p) => {
                 let size = p.size(abi) as usize;
-                CallValue::from_u64(ty, v.as_i() as u64, size, abi)
+                CallValue::from_u64(ty, v.as_i() as u64, size, abi)?
             }
-            TypeKind::Enum(_) => CallValue::from_u64(ty, v.as_i() as u64, 4, abi),
-            _ => CallValue::from_u64(ty, v.as_i() as u64, abi.pointer_bytes as usize, abi),
+            TypeKind::Enum(_) => CallValue::from_u64(ty, v.as_i() as u64, 4, abi)?,
+            _ => CallValue::from_u64(ty, v.as_i() as u64, abi.pointer_bytes as usize, abi)?,
         })
     }
 

@@ -1,0 +1,827 @@
+//! A caching decorator over the narrow debugger interface.
+//!
+//! Every DUEL memory access — each element of `x[..100]`, each hop of
+//! `head-->next` — crosses [`Target::get_bytes`] as an individual
+//! byte-range, which over a wire protocol like gdb/MI means one full
+//! round-trip per element. [`CachedTarget`] amortizes that cost at the
+//! seam itself (the decorator the paper's layering argues for, not the
+//! evaluator):
+//!
+//! * **Page cache** — `get_bytes` is served from page-granular cached
+//!   reads. A miss fetches the whole aligned page in one backend call,
+//!   so adjacent element reads coalesce; pages are evicted LRU once
+//!   [`CacheConfig::max_pages`] is reached.
+//! * **Lookup memoization** — `get_variable`, `lookup_typedef`,
+//!   `lookup_struct`/`lookup_union`/`lookup_enum`, `has_function`,
+//!   `frame_count` and `frame_info` results (including negative
+//!   answers) are memoized until the next epoch.
+//! * **Correctness** — `put_bytes` writes through and patches any
+//!   cached page in place; `alloc_space` and `call_func` drop the page
+//!   cache (a debuggee call can write anywhere); and
+//!   [`CachedTarget::invalidate_all`] bumps the epoch when the target
+//!   resumes. A failed page fetch (fault *or* transient error) caches
+//!   nothing — the access falls back to an exact uncached read, so a
+//!   flaky backend can never poison a page with partial data.
+//!
+//! Stacking order (see `DESIGN.md`): the cache sits *inside*
+//! [`crate::RetryTarget`] (a retried operation re-enters the cache) and
+//! *outside* [`crate::FaultTarget`] in tests (injected faults hit the
+//! cache the way real backend faults would).
+
+use crate::error::TargetResult;
+use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
+use std::collections::HashMap;
+
+/// Tuning knobs for a [`CachedTarget`].
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Page size in bytes for coalesced reads. Must be a power of two;
+    /// [`CacheConfig::normalized`] rounds anything else up.
+    pub page_size: u64,
+    /// Maximum resident pages before LRU eviction kicks in.
+    pub max_pages: usize,
+    /// Whether caching is active. A disabled cache is a transparent
+    /// pass-through that still counts backend traffic in its stats,
+    /// which is what makes cached/uncached comparisons cheap.
+    pub enabled: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            page_size: 64,
+            max_pages: 1024,
+            enabled: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config with caching switched off (pass-through + counters).
+    pub fn disabled() -> CacheConfig {
+        CacheConfig {
+            enabled: false,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Returns the config with `page_size` rounded up to a power of two
+    /// (minimum 8) and `max_pages` at least 1.
+    pub fn normalized(mut self) -> CacheConfig {
+        self.page_size = self.page_size.max(8).next_power_of_two();
+        self.max_pages = self.max_pages.max(1);
+        self
+    }
+}
+
+/// Counters describing what a [`CachedTarget`] did. All counters are
+/// cumulative since construction or the last
+/// [`CachedTarget::reset_stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Pages served from the cache during `get_bytes`.
+    pub page_hits: u64,
+    /// Pages that had to be fetched (or read around) from the backend.
+    pub page_misses: u64,
+    /// `get_bytes` calls issued to the wrapped backend.
+    pub backend_reads: u64,
+    /// Bytes actually transferred from the backend by those reads.
+    pub wire_bytes: u64,
+    /// Memoized symbol/type/frame lookups answered from the cache.
+    pub lookup_hits: u64,
+    /// Lookups that had to go to the backend.
+    pub lookup_misses: u64,
+    /// Writes forwarded (and patched into cached pages).
+    pub write_throughs: u64,
+    /// Epoch bumps via [`CachedTarget::invalidate_all`].
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over page accesses, in `[0, 1]`; `None` before any
+    /// cached read happened.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.page_hits + self.page_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.page_hits as f64 / total as f64)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Page {
+    bytes: Vec<u8>,
+    stamp: u64,
+}
+
+/// A [`Target`] decorator that batches and memoizes backend traffic.
+///
+/// See the module docs for the caching and invalidation contract.
+#[derive(Debug)]
+pub struct CachedTarget<T: Target> {
+    inner: T,
+    cfg: CacheConfig,
+    pages: HashMap<u64, Page>,
+    tick: u64,
+    epoch: u64,
+    stats: CacheStats,
+    vars: HashMap<String, Option<VarInfo>>,
+    frame_vars: HashMap<(String, usize), Option<VarInfo>>,
+    typedefs: HashMap<String, Option<TypeId>>,
+    structs: HashMap<String, Option<RecordId>>,
+    unions: HashMap<String, Option<RecordId>>,
+    enums: HashMap<String, Option<EnumId>>,
+    functions: HashMap<String, bool>,
+    frames: HashMap<usize, Option<FrameInfo>>,
+    frame_count: Option<usize>,
+}
+
+impl<T: Target> CachedTarget<T> {
+    /// Wraps `inner` with the default config (64-byte pages, 1024-page
+    /// LRU, enabled).
+    pub fn new(inner: T) -> CachedTarget<T> {
+        CachedTarget::with_config(inner, CacheConfig::default())
+    }
+
+    /// Wraps `inner` with an explicit config.
+    pub fn with_config(inner: T, cfg: CacheConfig) -> CachedTarget<T> {
+        CachedTarget {
+            inner,
+            cfg: cfg.normalized(),
+            pages: HashMap::new(),
+            tick: 0,
+            epoch: 0,
+            stats: CacheStats::default(),
+            vars: HashMap::new(),
+            frame_vars: HashMap::new(),
+            typedefs: HashMap::new(),
+            structs: HashMap::new(),
+            unions: HashMap::new(),
+            enums: HashMap::new(),
+            functions: HashMap::new(),
+            frames: HashMap::new(),
+            frame_count: None,
+        }
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped target. Anything that mutates the
+    /// debuggee behind the cache's back (resuming execution, poking
+    /// memory directly) must be followed by
+    /// [`CachedTarget::invalidate_all`].
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets all counters to zero (the cache contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Whether caching is currently active.
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Enables or disables caching. Disabling drops all cached state,
+    /// so stale data from before the toggle can never be served later.
+    pub fn set_enabled(&mut self, on: bool) {
+        if self.cfg.enabled != on {
+            self.cfg.enabled = on;
+            self.invalidate_all();
+        }
+    }
+
+    /// Number of epoch bumps so far (each stop of the target is one
+    /// cache generation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drops every cached page and memoized lookup and bumps the
+    /// epoch. Call this whenever the target resumes (or is mutated via
+    /// [`CachedTarget::inner_mut`]): a stopped debuggee is immutable,
+    /// a running one is not.
+    pub fn invalidate_all(&mut self) {
+        self.pages.clear();
+        self.vars.clear();
+        self.frame_vars.clear();
+        self.typedefs.clear();
+        self.structs.clear();
+        self.unions.clear();
+        self.enums.clear();
+        self.functions.clear();
+        self.frames.clear();
+        self.frame_count = None;
+        self.epoch += 1;
+        self.stats.invalidations += 1;
+    }
+
+    /// Drops cached memory pages only (lookup memos survive: symbols
+    /// and types do not move when the debuggee writes memory).
+    fn drop_pages(&mut self) {
+        self.pages.clear();
+    }
+
+    fn touch(&mut self, base: u64) {
+        self.tick += 1;
+        if let Some(p) = self.pages.get_mut(&base) {
+            p.stamp = self.tick;
+        }
+    }
+
+    fn insert_page(&mut self, base: u64, bytes: Vec<u8>) {
+        if self.pages.len() >= self.cfg.max_pages && !self.pages.contains_key(&base) {
+            // Evict the least-recently-used page. Linear scan is fine:
+            // it only runs at capacity and max_pages bounds it.
+            if let Some(&victim) = self
+                .pages
+                .iter()
+                .min_by_key(|(_, p)| p.stamp)
+                .map(|(b, _)| b)
+            {
+                self.pages.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        self.pages.insert(
+            base,
+            Page {
+                bytes,
+                stamp: self.tick,
+            },
+        );
+    }
+
+    /// Reads `[addr, addr+len)` where the whole range lies inside the
+    /// page based at `base`, going through the cache.
+    fn read_within_page(&mut self, base: u64, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        let off = (addr - base) as usize;
+        if let Some(p) = self.pages.get(&base) {
+            // Partial pages (at the edge of mapped memory) may not
+            // cover the tail of the request; anything they do cover is
+            // a hit.
+            if off + buf.len() <= p.bytes.len() {
+                self.stats.page_hits += 1;
+                self.touch(base);
+                let p = &self.pages[&base];
+                buf.copy_from_slice(&p.bytes[off..off + buf.len()]);
+                return Ok(());
+            }
+            return self.read_exact_uncached(addr, buf);
+        }
+        self.stats.page_misses += 1;
+        let mut page = vec![0u8; self.cfg.page_size as usize];
+        self.stats.backend_reads += 1;
+        match self.inner.get_bytes(base, &mut page) {
+            Ok(()) => {
+                self.stats.wire_bytes += self.cfg.page_size;
+                buf.copy_from_slice(&page[off..off + buf.len()]);
+                self.insert_page(base, page);
+                Ok(())
+            }
+            Err(e) if e.is_transient() => {
+                // A sick backend must never seed the cache: fall back
+                // to an exact, uncached read of just what was asked
+                // for, so a partial or failed fetch cannot poison a
+                // page. (The retry layer above, if any, re-enters.)
+                self.read_exact_uncached(addr, buf)
+            }
+            Err(_) => {
+                // A *fault* means the aligned page straddles unmapped
+                // memory (typical at the edge of an arena or segment).
+                // Binary-search the largest readable prefix once and
+                // cache it as a partial page, so later reads inside
+                // the mapped part still coalesce.
+                let readable = self.probe_prefix(base, &mut page);
+                if readable > 0 {
+                    self.insert_page(base, page[..readable].to_vec());
+                }
+                if off + buf.len() <= readable {
+                    let p = &self.pages[&base];
+                    buf.copy_from_slice(&p.bytes[off..off + buf.len()]);
+                    return Ok(());
+                }
+                // Not covered by the mapped prefix: the exact read
+                // gives the backend the chance to answer (or to report
+                // the honest per-access fault).
+                self.read_exact_uncached(addr, buf)
+            }
+        }
+    }
+
+    /// One uncached pass-through read, with stats accounting.
+    fn read_exact_uncached(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        self.stats.backend_reads += 1;
+        self.inner.get_bytes(addr, buf)?;
+        self.stats.wire_bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Finds the largest `n` such that `[base, base+n)` is readable,
+    /// by bisection, and leaves those bytes in `page[..n]`. Costs
+    /// O(log page_size) backend reads, paid at most once per partial
+    /// page per epoch.
+    fn probe_prefix(&mut self, base: u64, page: &mut [u8]) -> usize {
+        let mut lo = 0usize; // readable
+        let mut hi = page.len(); // known unreadable (full fetch failed)
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            self.stats.backend_reads += 1;
+            if self.inner.get_bytes(base, &mut page[..mid]).is_ok() {
+                self.stats.wire_bytes += mid as u64;
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            return 0;
+        }
+        // A failed probe longer than `lo` may have scribbled over the
+        // prefix before faulting; re-read it cleanly.
+        self.stats.backend_reads += 1;
+        match self.inner.get_bytes(base, &mut page[..lo]) {
+            Ok(()) => {
+                self.stats.wire_bytes += lo as u64;
+                lo
+            }
+            Err(_) => 0,
+        }
+    }
+}
+
+impl<T: Target> Target for CachedTarget<T> {
+    fn abi(&self) -> &Abi {
+        self.inner.abi()
+    }
+
+    fn types(&self) -> &TypeTable {
+        self.inner.types()
+    }
+
+    fn types_mut(&mut self) -> &mut TypeTable {
+        self.inner.types_mut()
+    }
+
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if !self.cfg.enabled {
+            self.stats.backend_reads += 1;
+            self.inner.get_bytes(addr, buf)?;
+            self.stats.wire_bytes += buf.len() as u64;
+            return Ok(());
+        }
+        let ps = self.cfg.page_size;
+        let mut pos = 0usize;
+        let mut cur = addr;
+        while pos < buf.len() {
+            let base = cur & !(ps - 1);
+            let in_page = ((base + ps) - cur) as usize;
+            let take = in_page.min(buf.len() - pos);
+            let end = pos + take;
+            self.read_within_page(base, cur, &mut buf[pos..end])?;
+            pos = end;
+            cur += take as u64;
+        }
+        Ok(())
+    }
+
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+        let r = self.inner.put_bytes(addr, bytes);
+        if !self.cfg.enabled {
+            return r;
+        }
+        let ps = self.cfg.page_size;
+        match r {
+            Ok(()) => {
+                // Write through: patch every cached page the write
+                // overlaps so later reads see the new bytes.
+                self.stats.write_throughs += 1;
+                for (i, b) in bytes.iter().enumerate() {
+                    let a = addr + i as u64;
+                    let base = a & !(ps - 1);
+                    if let Some(p) = self.pages.get_mut(&base) {
+                        let off = (a - base) as usize;
+                        if off < p.bytes.len() {
+                            p.bytes[off] = *b;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The backend may have applied part of the write before
+                // failing; drop the overlapped pages rather than guess.
+                let first = addr & !(ps - 1);
+                let last = addr.saturating_add(bytes.len() as u64) & !(ps - 1);
+                let mut base = first;
+                loop {
+                    self.pages.remove(&base);
+                    if base >= last {
+                        break;
+                    }
+                    base += ps;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+        // Mapping changes; drop pages so stale "unmapped" fallbacks
+        // cannot linger. Symbols and types are unaffected.
+        let r = self.inner.alloc_space(size, align);
+        self.drop_pages();
+        r
+    }
+
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+        // A debuggee function can write anywhere; drop all pages
+        // whether or not the call reports success.
+        let r = self.inner.call_func(name, args);
+        self.drop_pages();
+        r
+    }
+
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+        if !self.cfg.enabled {
+            return self.inner.get_variable(name);
+        }
+        if let Some(v) = self.vars.get(name) {
+            self.stats.lookup_hits += 1;
+            return v.clone();
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.get_variable(name);
+        self.vars.insert(name.to_string(), v.clone());
+        v
+    }
+
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+        if !self.cfg.enabled {
+            return self.inner.get_variable_in_frame(name, frame);
+        }
+        let key = (name.to_string(), frame);
+        if let Some(v) = self.frame_vars.get(&key) {
+            self.stats.lookup_hits += 1;
+            return v.clone();
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.get_variable_in_frame(name, frame);
+        self.frame_vars.insert(key, v.clone());
+        v
+    }
+
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+        if !self.cfg.enabled {
+            return self.inner.lookup_typedef(name);
+        }
+        if let Some(v) = self.typedefs.get(name) {
+            self.stats.lookup_hits += 1;
+            return *v;
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.lookup_typedef(name);
+        self.typedefs.insert(name.to_string(), v);
+        v
+    }
+
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+        if !self.cfg.enabled {
+            return self.inner.lookup_struct(tag);
+        }
+        if let Some(v) = self.structs.get(tag) {
+            self.stats.lookup_hits += 1;
+            return *v;
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.lookup_struct(tag);
+        self.structs.insert(tag.to_string(), v);
+        v
+    }
+
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+        if !self.cfg.enabled {
+            return self.inner.lookup_union(tag);
+        }
+        if let Some(v) = self.unions.get(tag) {
+            self.stats.lookup_hits += 1;
+            return *v;
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.lookup_union(tag);
+        self.unions.insert(tag.to_string(), v);
+        v
+    }
+
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+        if !self.cfg.enabled {
+            return self.inner.lookup_enum(tag);
+        }
+        if let Some(v) = self.enums.get(tag) {
+            self.stats.lookup_hits += 1;
+            return *v;
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.lookup_enum(tag);
+        self.enums.insert(tag.to_string(), v);
+        v
+    }
+
+    fn has_function(&mut self, name: &str) -> bool {
+        if !self.cfg.enabled {
+            return self.inner.has_function(name);
+        }
+        if let Some(v) = self.functions.get(name) {
+            self.stats.lookup_hits += 1;
+            return *v;
+        }
+        self.stats.lookup_misses += 1;
+        let v = self.inner.has_function(name);
+        self.functions.insert(name.to_string(), v);
+        v
+    }
+
+    fn frame_count(&mut self) -> usize {
+        if !self.cfg.enabled {
+            return self.inner.frame_count();
+        }
+        if let Some(n) = self.frame_count {
+            self.stats.lookup_hits += 1;
+            return n;
+        }
+        self.stats.lookup_misses += 1;
+        let n = self.inner.frame_count();
+        self.frame_count = Some(n);
+        n
+    }
+
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+        if !self.cfg.enabled {
+            return self.inner.frame_info(n);
+        }
+        if let Some(f) = self.frames.get(&n) {
+            self.stats.lookup_hits += 1;
+            return f.clone();
+        }
+        self.stats.lookup_misses += 1;
+        let f = self.inner.frame_info(n);
+        self.frames.insert(n, f.clone());
+        f
+    }
+
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+        if self.cfg.enabled && len > 0 {
+            // If resident pages fully cover the range, it was readable
+            // when fetched — answer without a probe. Partial pages
+            // only vouch for the prefix they actually hold.
+            let ps = self.cfg.page_size;
+            let first = addr & !(ps - 1);
+            let last = (addr + len - 1) & !(ps - 1);
+            let mut base = first;
+            let all_cached = loop {
+                let covered_to = base + self.pages.get(&base).map_or(0, |p| p.bytes.len() as u64);
+                let slice_end = (addr + len).min(base + ps);
+                if covered_to < slice_end {
+                    break false;
+                }
+                if base >= last {
+                    break true;
+                }
+                base += ps;
+            };
+            if all_cached {
+                return true;
+            }
+        }
+        self.inner.is_mapped(addr, len)
+    }
+
+    fn take_output(&mut self) -> String {
+        self.inner.take_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    fn counted(cfg: CacheConfig) -> CachedTarget<crate::SimTarget> {
+        CachedTarget::with_config(scenario::scan_array(), cfg)
+    }
+
+    #[test]
+    fn adjacent_reads_coalesce_into_one_page_fetch() {
+        let mut t = counted(CacheConfig {
+            page_size: 64,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        // 16 adjacent ints live in one 64-byte page.
+        for i in 0..16u64 {
+            t.get_bytes(x.addr + i * 4, &mut buf).unwrap();
+        }
+        assert_eq!(t.stats().backend_reads, 1, "{:?}", t.stats());
+        assert_eq!(t.stats().page_hits, 15);
+        assert_eq!(t.stats().wire_bytes, 64);
+    }
+
+    #[test]
+    fn reads_crossing_pages_are_stitched_correctly() {
+        let mut t = counted(CacheConfig {
+            page_size: 8,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        // Misaligned 12-byte read spanning 2-3 pages.
+        let mut cached = [0u8; 12];
+        t.get_bytes(x.addr + 6, &mut cached).unwrap();
+        let mut direct = [0u8; 12];
+        t.inner_mut().get_bytes(x.addr + 6, &mut direct).unwrap();
+        assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn unaligned_tail_falls_back_to_exact_read() {
+        // The last int of x[60] sits near the end of the mapped arena;
+        // an aligned page fetch may fault there while the exact read is
+        // legal. The cache must transparently fall back.
+        let mut t = counted(CacheConfig {
+            page_size: 4096,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 59 * 4, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 100 + 59);
+    }
+
+    #[test]
+    fn write_through_is_visible_and_patches_pages() {
+        let mut t = counted(CacheConfig::default());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        let before = t.stats().backend_reads;
+        t.put_bytes(x.addr + 12, &(-5i32).to_le_bytes()).unwrap();
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), -5);
+        assert_eq!(
+            t.stats().backend_reads,
+            before,
+            "write-through must not refetch the page"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_page() {
+        let mut t = counted(
+            CacheConfig {
+                page_size: 8,
+                max_pages: 2,
+                ..CacheConfig::default()
+            }
+            .normalized(),
+        );
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap(); // page A
+        t.get_bytes(x.addr + 8, &mut buf).unwrap(); // page B
+        t.get_bytes(x.addr, &mut buf).unwrap(); // touch A
+        t.get_bytes(x.addr + 16, &mut buf).unwrap(); // page C evicts B
+        assert_eq!(t.pages.len(), 2);
+        let reads = t.stats().backend_reads;
+        t.get_bytes(x.addr, &mut buf).unwrap(); // A still resident
+        assert_eq!(t.stats().backend_reads, reads);
+        t.get_bytes(x.addr + 8, &mut buf).unwrap(); // B was evicted
+        assert_eq!(t.stats().backend_reads, reads + 1);
+    }
+
+    #[test]
+    fn lookups_are_memoized_including_negatives() {
+        let mut t = counted(CacheConfig::default());
+        assert!(t.get_variable("x").is_some());
+        assert!(t.get_variable("x").is_some());
+        assert!(t.get_variable("nonesuch").is_none());
+        assert!(t.get_variable("nonesuch").is_none());
+        assert!(!t.has_function("nope"));
+        assert!(!t.has_function("nope"));
+        assert_eq!(t.stats().lookup_misses, 3);
+        assert_eq!(t.stats().lookup_hits, 3);
+    }
+
+    #[test]
+    fn invalidate_all_starts_a_new_epoch() {
+        let mut t = counted(CacheConfig::default());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        // Mutate behind the cache's back (a "resume").
+        t.inner_mut()
+            .put_bytes(x.addr, &(1234i32).to_le_bytes())
+            .unwrap();
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 100, "stale by design until epoch");
+        t.invalidate_all();
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 1234);
+        assert_eq!(t.epoch(), 1);
+    }
+
+    #[test]
+    fn call_func_drops_pages() {
+        let mut t = counted(CacheConfig::default());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert!(!t.pages.is_empty());
+        let int = t.types_mut().prim(duel_ctype::Prim::Int);
+        let abi = t.abi().clone();
+        let arg = CallValue::from_u64(int, 3, 4, &abi).unwrap();
+        t.call_func("abs", &[arg]).unwrap();
+        assert!(t.pages.is_empty(), "a call may write anywhere");
+    }
+
+    #[test]
+    fn disabled_cache_is_transparent_but_counts() {
+        let mut t = counted(CacheConfig::disabled());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        for i in 0..4u64 {
+            t.get_bytes(x.addr + i * 4, &mut buf).unwrap();
+        }
+        assert_eq!(t.stats().backend_reads, 4);
+        assert_eq!(t.stats().wire_bytes, 16);
+        assert_eq!(t.stats().page_hits, 0);
+    }
+
+    #[test]
+    fn toggling_off_drops_state() {
+        let mut t = counted(CacheConfig::default());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        t.set_enabled(false);
+        assert!(t.pages.is_empty());
+        // Mutations while disabled must be seen after re-enabling.
+        t.inner_mut()
+            .put_bytes(x.addr, &(77i32).to_le_bytes())
+            .unwrap();
+        t.set_enabled(true);
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 77);
+    }
+
+    #[test]
+    fn transient_error_does_not_poison_the_cache() {
+        use crate::fault::{FaultConfig, FaultTarget};
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(2));
+        let mut t = CachedTarget::new(flaky);
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        // First attempt: page fetch fails, exact fallback fails too.
+        assert!(t.get_bytes(x.addr + 12, &mut buf).is_err());
+        assert!(t.pages.is_empty(), "no page may be cached from a failure");
+        // Backend recovered: the read now succeeds with correct bytes.
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+    }
+
+    #[test]
+    fn is_mapped_can_answer_from_cache() {
+        let mut t = counted(CacheConfig::default());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert!(t.is_mapped(x.addr, 4));
+        assert!(!t.is_mapped(0x10, 4));
+    }
+}

@@ -41,6 +41,13 @@ pub enum TargetError {
         /// Backend-reported reason.
         reason: String,
     },
+    /// A value too wide for the call boundary (a *fault*): scalar
+    /// call marshalling carries at most 8 bytes, and silently
+    /// truncating a wider value would corrupt the argument.
+    UnsupportedWidth {
+        /// Width of the offending value in bytes.
+        bytes: u64,
+    },
     /// The backend itself misbehaved — protocol error, dropped
     /// connection, garbled reply (a *transient failure*, retryable).
     Backend(String),
@@ -72,6 +79,7 @@ impl TargetError {
                 | TargetError::UnknownSymbol(_)
                 | TargetError::UnknownFunction(_)
                 | TargetError::CallFailed { .. }
+                | TargetError::UnsupportedWidth { .. }
         )
     }
 
@@ -96,6 +104,10 @@ impl fmt::Display for TargetError {
             TargetError::CallFailed { func, reason } => {
                 write!(f, "call to {func} failed: {reason}")
             }
+            TargetError::UnsupportedWidth { bytes } => write!(
+                f,
+                "value of {bytes} byte(s) is too wide for the call boundary (max 8)"
+            ),
             TargetError::Backend(msg) => write!(f, "backend error: {msg}"),
             TargetError::Timeout { ms } => write!(f, "target call timed out after {ms} ms"),
             TargetError::Truncated { addr, wanted, got } => write!(
@@ -130,6 +142,7 @@ mod tests {
                 func: "f".into(),
                 reason: "r".into(),
             },
+            TargetError::UnsupportedWidth { bytes: 16 },
             TargetError::Backend("b".into()),
             TargetError::Timeout { ms: 10 },
             TargetError::Truncated {

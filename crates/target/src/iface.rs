@@ -6,7 +6,7 @@
 //! implementing this one trait (the paper's gdb 4.2→4.6 port changed
 //! four lines).
 
-use crate::error::TargetResult;
+use crate::error::{TargetError, TargetResult};
 use duel_ctype::{Abi, Endian, EnumId, RecordId, TypeId, TypeTable};
 
 /// Where a variable lives.
@@ -56,27 +56,40 @@ pub struct CallValue {
 impl CallValue {
     /// Builds a `size`-byte value from the low bytes of `raw`, in the
     /// target's byte order.
-    pub fn from_u64(ty: TypeId, raw: u64, size: usize, abi: &Abi) -> CallValue {
-        let size = size.clamp(1, 8);
+    ///
+    /// Sizes wider than 8 bytes cannot be represented by a `u64` and
+    /// fail with [`TargetError::UnsupportedWidth`] rather than being
+    /// silently truncated (symmetric with [`CallValue::to_u64`], which
+    /// only ever consumes the low 8 bytes of a wider value).
+    pub fn from_u64(ty: TypeId, raw: u64, size: usize, abi: &Abi) -> TargetResult<CallValue> {
+        if size > 8 {
+            return Err(TargetError::UnsupportedWidth { bytes: size as u64 });
+        }
+        let size = size.max(1);
         let bytes = match abi.endian {
             Endian::Little => raw.to_le_bytes()[..size].to_vec(),
             Endian::Big => raw.to_be_bytes()[8 - size..].to_vec(),
         };
-        CallValue { ty, bytes }
+        Ok(CallValue { ty, bytes })
     }
 
-    /// Reassembles the bytes into a zero-extended `u64` (low 8 bytes if
-    /// the value is wider).
+    /// Reassembles the bytes into a zero-extended `u64` (the low 8
+    /// bytes if the value is wider).
     pub fn to_u64(&self, abi: &Abi) -> u64 {
         let mut raw = 0u64;
         match abi.endian {
             Endian::Little => {
+                // Low-order bytes come first.
                 for (i, b) in self.bytes.iter().take(8).enumerate() {
                     raw |= (*b as u64) << (8 * i);
                 }
             }
             Endian::Big => {
-                for b in self.bytes.iter().take(8) {
+                // Low-order bytes come last: for a value wider than 8
+                // bytes the *trailing* 8 are the low 8, so skip the
+                // high-order head instead of truncating the tail.
+                let skip = self.bytes.len().saturating_sub(8);
+                for b in self.bytes.iter().skip(skip) {
                     raw = (raw << 8) | *b as u64;
                 }
             }
@@ -161,11 +174,52 @@ mod tests {
         let int = tt.prim(duel_ctype::Prim::Int);
         let le = Abi::lp64();
         let be = Abi::ilp32_be();
-        let v = CallValue::from_u64(int, 0x1122_3344, 4, &le);
+        let v = CallValue::from_u64(int, 0x1122_3344, 4, &le).unwrap();
         assert_eq!(v.bytes, vec![0x44, 0x33, 0x22, 0x11]);
         assert_eq!(v.to_u64(&le), 0x1122_3344);
-        let v = CallValue::from_u64(int, 0x1122_3344, 4, &be);
+        let v = CallValue::from_u64(int, 0x1122_3344, 4, &be).unwrap();
         assert_eq!(v.bytes, vec![0x11, 0x22, 0x33, 0x44]);
         assert_eq!(v.to_u64(&be), 0x1122_3344);
+    }
+
+    #[test]
+    fn wide_big_endian_values_keep_their_low_bytes() {
+        // Regression: a 16-byte big-endian value's low 8 bytes are the
+        // *trailing* 8; taking the leading 8 returned the high half.
+        let mut tt = TypeTable::new();
+        let int = tt.prim(duel_ctype::Prim::Int);
+        let be = Abi::ilp32_be();
+        let le = Abi::lp64();
+        let mut wide_be = vec![0xAA; 8];
+        wide_be.extend_from_slice(&0x1122_3344_5566_7788u64.to_be_bytes());
+        let v = CallValue {
+            ty: int,
+            bytes: wide_be,
+        };
+        assert_eq!(v.to_u64(&be), 0x1122_3344_5566_7788);
+        let mut wide_le = 0x1122_3344_5566_7788u64.to_le_bytes().to_vec();
+        wide_le.extend_from_slice(&[0xAA; 8]);
+        let v = CallValue {
+            ty: int,
+            bytes: wide_le,
+        };
+        assert_eq!(v.to_u64(&le), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn from_u64_rejects_wide_sizes_instead_of_truncating() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(duel_ctype::Prim::Int);
+        let abi = Abi::lp64();
+        assert_eq!(
+            CallValue::from_u64(int, 1, 16, &abi),
+            Err(TargetError::UnsupportedWidth { bytes: 16 })
+        );
+        // Size 0 still saturates up to one byte: a zero-width scalar
+        // cannot cross the call boundary at all.
+        assert_eq!(
+            CallValue::from_u64(int, 0xFF, 0, &abi).unwrap().bytes.len(),
+            1
+        );
     }
 }

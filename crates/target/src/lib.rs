@@ -21,7 +21,12 @@
 //! * [`RetryTarget`] — bounded retry with exponential backoff and
 //!   per-call deadlines; wraps flaky backends such as a remote MI
 //!   connection.
+//! * [`CachedTarget`] — a per-stop page cache plus lookup memoization
+//!   that coalesces adjacent reads into aligned page fetches, so
+//!   element-at-a-time traversals stop paying one backend round-trip
+//!   per element.
 
+pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod iface;
@@ -30,6 +35,7 @@ pub mod scenario;
 pub mod sim;
 pub mod value_io;
 
+pub use cache::{CacheConfig, CacheStats, CachedTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
 pub use iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};

@@ -357,6 +357,21 @@ pub fn bench_hash(buckets: u64, chain: u64, seed: u64) -> SimTarget {
     t
 }
 
+/// Bench workload: a single `struct list` chain of `n` nodes bound to
+/// the global `head`, with seeded values in `[-100, 100]`.
+pub fn bench_list(n: u64, seed: u64) -> SimTarget {
+    let mut t = SimTarget::new(Abi::lp64());
+    let (_, plty) = define_list_struct(&mut t);
+    let mut state = seed;
+    let vals: Vec<i32> = (0..n)
+        .map(|_| (next_rand(&mut state) % 201) as i32 - 100)
+        .collect();
+    let head = build_int_list(&mut t, &vals);
+    let var = t.core.define_global("head", plty).unwrap();
+    t.core.write_ptr(var, head).unwrap();
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -400,7 +400,7 @@ impl SimCore {
                 let n = text.chars().count() as i64;
                 self.output.push_str(&text);
                 let int = self.types.prim(Prim::Int);
-                Ok(CallValue::from_u64(int, n as u64, 4, &self.abi))
+                CallValue::from_u64(int, n as u64, 4, &self.abi)
             }
             "malloc" => {
                 let size = self.arg_raw(args, 0);
@@ -408,22 +408,17 @@ impl SimCore {
                 let void = self.types.void();
                 let pv = self.types.pointer(void);
                 let psize = self.abi.pointer_bytes as usize;
-                Ok(CallValue::from_u64(pv, addr, psize, &self.abi))
+                CallValue::from_u64(pv, addr, psize, &self.abi)
             }
             "strlen" => {
                 let s = self.mem.read_cstring(self.arg_raw(args, 0), 1 << 20)?;
                 let int = self.types.prim(Prim::Int);
-                Ok(CallValue::from_u64(int, s.len() as u64, 4, &self.abi))
+                CallValue::from_u64(int, s.len() as u64, 4, &self.abi)
             }
             "abs" => {
                 let v = self.arg_int(args, 0);
                 let int = self.types.prim(Prim::Int);
-                Ok(CallValue::from_u64(
-                    int,
-                    v.unsigned_abs() & 0xffff_ffff,
-                    4,
-                    &self.abi,
-                ))
+                CallValue::from_u64(int, v.unsigned_abs() & 0xffff_ffff, 4, &self.abi)
             }
             _ => Err(TargetError::UnknownFunction(name.to_string())),
         }
@@ -581,8 +576,8 @@ mod tests {
         let fmt = t.core.intern_cstring("v=%d\n").unwrap();
         let int = t.core.types.prim(Prim::Int);
         let args = [
-            CallValue::from_u64(int, fmt, 8, &Abi::lp64()),
-            CallValue::from_u64(int, 7, 4, &Abi::lp64()),
+            CallValue::from_u64(int, fmt, 8, &Abi::lp64()).unwrap(),
+            CallValue::from_u64(int, 7, 4, &Abi::lp64()).unwrap(),
         ];
         let r = t.call_func("printf", &args).unwrap();
         assert_eq!(r.to_u64(&Abi::lp64()), 4);
@@ -597,7 +592,7 @@ mod tests {
         let fmt = t.core.intern_cstring("%d|%u|%x|%c|%s|%5d|%-3d|").unwrap();
         let s = t.core.intern_cstring("str").unwrap();
         let int = t.core.types.prim(Prim::Int);
-        let mk = |v: u64, size: usize| CallValue::from_u64(int, v, size, &abi);
+        let mk = |v: u64, size: usize| CallValue::from_u64(int, v, size, &abi).unwrap();
         let args = [
             mk(fmt, 8),
             mk((-7i32) as u32 as u64, 4),
@@ -619,20 +614,20 @@ mod tests {
         let int = t.core.types.prim(Prim::Int);
         // malloc returns fresh mapped space.
         let r = t
-            .call_func("malloc", &[CallValue::from_u64(int, 16, 8, &abi)])
+            .call_func("malloc", &[CallValue::from_u64(int, 16, 8, &abi).unwrap()])
             .unwrap();
         assert!(t.is_mapped(r.to_u64(&abi), 16));
         // strlen
         let s = t.core.intern_cstring("four").unwrap();
         let r = t
-            .call_func("strlen", &[CallValue::from_u64(int, s, 8, &abi)])
+            .call_func("strlen", &[CallValue::from_u64(int, s, 8, &abi).unwrap()])
             .unwrap();
         assert_eq!(r.to_u64(&abi), 4);
         // abs
         let r = t
             .call_func(
                 "abs",
-                &[CallValue::from_u64(int, (-9i32) as u32 as u64, 4, &abi)],
+                &[CallValue::from_u64(int, (-9i32) as u32 as u64, 4, &abi).unwrap()],
             )
             .unwrap();
         assert_eq!(r.to_u64(&abi), 9);

@@ -1,0 +1,202 @@
+//! Cache-correctness integration suite: [`duel::target::CachedTarget`]
+//! must be invisible to evaluation — identical output lines, fewer
+//! backend round-trips — and must stay correct across writes, target
+//! resumes (epoch bumps), and injected faults.
+
+use duel::core::{EvalOptions, Session};
+use duel::target::{
+    scenario, CacheConfig, CachedTarget, FaultConfig, FaultTarget, RetryPolicy, RetryTarget,
+    SimTarget, Target,
+};
+
+fn lines(t: &mut dyn Target, expr: &str) -> Vec<String> {
+    let mut s = Session::with_options(
+        t,
+        EvalOptions {
+            error_values: true,
+            ..EvalOptions::default()
+        },
+    );
+    s.eval_lines(expr)
+        .unwrap_or_else(|e| panic!("`{expr}` failed: {e}"))
+}
+
+// ---- differential: cached output is byte-identical ---------------------
+
+#[test]
+fn cached_and_uncached_agree_across_scenarios() {
+    type Case = (fn() -> SimTarget, &'static [&'static str]);
+    let cases: &[Case] = &[
+        (
+            scenario::scan_array,
+            &["x[..60]", "x[1..4,8,12..50] >? 5 <? 10", "x[3..9]+1"],
+        ),
+        (
+            scenario::linked_lists,
+            &["head-->next->value", "#/(L-->next)", "L-->next[[4]]->value"],
+        ),
+        (
+            scenario::hash_table_basic,
+            &["#/(hash[..1024]-->next)", "hash[..30]-->next->scope"],
+        ),
+        (scenario::binary_tree, &["root-->(left,right)->key"]),
+    ];
+    for (make, exprs) in cases {
+        for expr in *exprs {
+            let mut plain = make();
+            let want = lines(&mut plain, expr);
+            let mut cached = CachedTarget::new(make());
+            let got = lines(&mut cached, expr);
+            assert_eq!(got, want, "`{expr}` differs under caching");
+            assert!(
+                cached.stats().page_hits > 0 || cached.stats().backend_reads == 0,
+                "`{expr}` never hit the cache: {:?}",
+                cached.stats()
+            );
+        }
+    }
+}
+
+#[test]
+fn coalescing_cuts_backend_reads_at_least_5x() {
+    for (make, expr) in [
+        (
+            scenario::bench_array(256, 42),
+            "x[..256] >? 5 <? 10".to_string(),
+        ),
+        (
+            scenario::bench_list(128, 7),
+            "head-->next->value".to_string(),
+        ),
+    ] {
+        let mut uncached = CachedTarget::with_config(make.clone(), CacheConfig::disabled());
+        let want = lines(&mut uncached, &expr);
+        let mut cached = CachedTarget::new(make);
+        let got = lines(&mut cached, &expr);
+        assert_eq!(got, want, "`{expr}`");
+        let (u, c) = (
+            uncached.stats().backend_reads,
+            cached.stats().backend_reads.max(1),
+        );
+        assert!(
+            u >= 5 * c,
+            "`{expr}`: only {u} uncached vs {c} cached reads"
+        );
+    }
+}
+
+// ---- write-through visibility ------------------------------------------
+
+#[test]
+fn duel_assignment_is_visible_through_the_cache() {
+    let mut t = CachedTarget::new(scenario::scan_array());
+    assert_eq!(lines(&mut t, "x[3..3]"), vec!["x[3] = 7"]);
+    assert!(lines(&mut t, "x[3] = 55 ;").is_empty());
+    // Same page, already cached: the write must have been patched in.
+    assert_eq!(lines(&mut t, "x[3..3]"), vec!["x[3] = 55"]);
+    assert_eq!(lines(&mut t, "x[2..5]").len(), 4);
+    // And the backend really holds the new value.
+    let x = t.get_variable("x").unwrap();
+    let mut buf = [0u8; 4];
+    t.inner_mut().get_bytes(x.addr + 12, &mut buf).unwrap();
+    assert_eq!(i32::from_le_bytes(buf), 55);
+}
+
+// ---- epoch invalidation after a simulated resume -----------------------
+
+#[test]
+fn epoch_bump_discards_state_from_the_previous_stop() {
+    let mut t = CachedTarget::new(scenario::scan_array());
+    assert_eq!(lines(&mut t, "x[3..3]"), vec!["x[3] = 7"]);
+    // "Resume" the debuggee: memory changes behind the cache's back.
+    let x = t.inner_mut().get_variable("x").unwrap();
+    t.inner_mut()
+        .put_bytes(x.addr + 12, &(99i32).to_le_bytes())
+        .unwrap();
+    assert_eq!(
+        lines(&mut t, "x[3..3]"),
+        vec!["x[3] = 7"],
+        "within one stop, repeated reads are stable"
+    );
+    t.invalidate_all();
+    assert_eq!(lines(&mut t, "x[3..3]"), vec!["x[3] = 99"]);
+    assert_eq!(t.epoch(), 1);
+    assert_eq!(t.stats().invalidations, 1);
+}
+
+// ---- composition with fault injection and retry ------------------------
+
+#[test]
+fn transient_faults_cannot_poison_pages() {
+    // The first backend operation fails transiently. The cache must
+    // not retain anything from that failed fetch; whatever does get
+    // cached afterwards must agree with the debuggee.
+    let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(1));
+    let mut t = CachedTarget::new(flaky);
+    let x = t.get_variable("x").unwrap();
+    let mut buf = [0u8; 4];
+    // First access: the page fetch eats the injected failure, so the
+    // cache falls back to an exact, uncached read.
+    t.get_bytes(x.addr + 12, &mut buf).unwrap();
+    assert_eq!(i32::from_le_bytes(buf), 7);
+    // Next access fetches and caches the page; contents must be sound.
+    t.get_bytes(x.addr + 16, &mut buf).unwrap();
+    assert_eq!(i32::from_le_bytes(buf), 104);
+    t.get_bytes(x.addr + 12, &mut buf).unwrap();
+    assert_eq!(i32::from_le_bytes(buf), 7);
+}
+
+#[test]
+fn truncating_backend_degrades_to_exact_reads() {
+    // A half-dead stub that refuses reads over 16 bytes: page fetches
+    // (64B) always fail, exact element reads succeed. The cache must
+    // stay transparent.
+    let cfg = FaultConfig {
+        truncate_reads_above: Some(16),
+        ..FaultConfig::default()
+    };
+    let stub = FaultTarget::new(scenario::scan_array(), cfg);
+    let mut t = CachedTarget::new(stub);
+    assert_eq!(
+        lines(&mut t, "x[1..4,8,12..50] >? 5 <? 10"),
+        vec!["x[3] = 7", "x[18] = 9", "x[47] = 6"]
+    );
+}
+
+#[test]
+fn full_stack_retry_over_cache_over_faults() {
+    // The documented production order: Retry(Cache(Fault(backend))).
+    let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(2));
+    let cached = CachedTarget::new(flaky);
+    let mut t = RetryTarget::with_policy(cached, RetryPolicy::fast(5));
+    {
+        let mut s = Session::new(&mut t);
+        assert_eq!(s.eval_lines("x[3..3]").unwrap(), vec!["x[3] = 7"]);
+    }
+    assert!(t.retries() >= 1, "transients absorbed above the cache");
+    // The cache underneath holds only sound pages.
+    let mut buf = [0u8; 4];
+    let x = t.get_variable("x").unwrap();
+    t.get_bytes(x.addr + 18 * 4, &mut buf).unwrap();
+    assert_eq!(i32::from_le_bytes(buf), 9);
+}
+
+#[test]
+fn poisoned_ranges_stay_poisoned_through_the_cache() {
+    // A permanently bad page must keep faulting (per access), while
+    // its neighbours are served -- and cached -- normally.
+    let t = scenario::scan_array();
+    let mut probe = t.clone();
+    let x = probe.get_variable("x").unwrap();
+    let bad = FaultTarget::new(t, FaultConfig::poisoned(x.addr + 12, 4));
+    let mut t = CachedTarget::new(bad);
+    let out = lines(&mut t, "x[2..5]");
+    assert_eq!(out.len(), 4);
+    assert!(out[1].contains("error"), "{out:?}");
+    assert!(
+        out[0].ends_with("102") && out[2].ends_with("104"),
+        "{out:?}"
+    );
+    // Repeat: identical answers from the now-warm cache.
+    assert_eq!(lines(&mut t, "x[2..5]"), out);
+}
