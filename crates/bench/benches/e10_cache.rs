@@ -150,9 +150,12 @@ fn main() {
             identical,
         ));
     }
+    // Standard bench-report schema shared by every BENCH_*.json:
+    // schema_version / name / config / metrics.
     let json = format!(
-        "{{\n  \"bench\": \"e10_cache\",\n  \"latency_us\": {},\n  \"page_size\": {},\n  \
-         \"max_pages\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 1,\n  \"name\": \"e10_cache\",\n  \"config\": {{\n    \
+         \"latency_us\": {},\n    \"page_size\": {},\n    \"max_pages\": {}\n  }},\n  \
+         \"metrics\": {{\n  \"workloads\": [\n{}\n  ]\n  }}\n}}\n",
         LATENCY.as_micros(),
         CacheConfig::default().page_size,
         CacheConfig::default().max_pages,

@@ -13,11 +13,19 @@ use std::fmt::Write as _;
 
 use duel_core::{EvalOptions, EvalStats, Session, SymMode, Value};
 use duel_minic::{Debugger, StopReason};
-use duel_target::{scenario, CacheConfig, CacheStats, CachedTarget, SimTarget, Target};
+use duel_target::{
+    scenario, CacheConfig, CacheStats, CachedTarget, RetryStats, RetryTarget, SimTarget, Target,
+    TraceHandle, TraceTarget,
+};
+
+/// The REPL's decorator tower: tracing outermost (so its counters see
+/// the evaluator's traffic, cache hits included), retry in the middle,
+/// the page cache directly over the backend.
+type Tower<T> = TraceTarget<RetryTarget<CachedTarget<T>>>;
 
 pub(crate) enum Backend {
-    Sim(Box<CachedTarget<SimTarget>>),
-    Minic(Box<CachedTarget<Debugger>>),
+    Sim(Box<Tower<SimTarget>>),
+    Minic(Box<Tower<Debugger>>),
 }
 
 impl Backend {
@@ -28,17 +36,31 @@ impl Backend {
         }
     }
 
+    fn trace(&self) -> TraceHandle {
+        match self {
+            Backend::Sim(t) => t.handle(),
+            Backend::Minic(d) => d.handle(),
+        }
+    }
+
+    fn retry_stats(&self) -> RetryStats {
+        match self {
+            Backend::Sim(t) => t.inner().stats(),
+            Backend::Minic(d) => d.inner().stats(),
+        }
+    }
+
     fn cache_stats(&self) -> &CacheStats {
         match self {
-            Backend::Sim(t) => t.stats(),
-            Backend::Minic(d) => d.stats(),
+            Backend::Sim(t) => t.inner().inner().stats(),
+            Backend::Minic(d) => d.inner().inner().stats(),
         }
     }
 
     fn set_cache(&mut self, on: bool) {
         match self {
-            Backend::Sim(t) => t.set_enabled(on),
-            Backend::Minic(d) => d.set_enabled(on),
+            Backend::Sim(t) => t.inner_mut().inner_mut().set_enabled(on),
+            Backend::Minic(d) => d.inner_mut().inner_mut().set_enabled(on),
         }
     }
 
@@ -49,18 +71,19 @@ impl Backend {
         }
     }
 
+    fn tower<T: Target>(t: T, cache: bool) -> Tower<T> {
+        TraceTarget::with_label(
+            RetryTarget::new(CachedTarget::with_config(t, Backend::cache_config(cache))),
+            "session",
+        )
+    }
+
     fn sim(t: SimTarget, cache: bool) -> Backend {
-        Backend::Sim(Box::new(CachedTarget::with_config(
-            t,
-            Backend::cache_config(cache),
-        )))
+        Backend::Sim(Box::new(Backend::tower(t, cache)))
     }
 
     fn minic(d: Debugger, cache: bool) -> Backend {
-        Backend::Minic(Box::new(CachedTarget::with_config(
-            d,
-            Backend::cache_config(cache),
-        )))
+        Backend::Minic(Box::new(Backend::tower(d, cache)))
     }
 }
 
@@ -74,6 +97,9 @@ pub struct Repl {
     options: EvalOptions,
     last_stats: EvalStats,
     cache_enabled: bool,
+    /// Sticky `.trace on` state, reapplied when `.scenario`/`.load`
+    /// replace the backend (and with it the trace handle).
+    trace_enabled: bool,
 }
 
 const HELP: &str = "\
@@ -91,7 +117,15 @@ DUEL commands:
   .watch EXPR        stop when the DUEL expression's values change
   .frames            show the stopped program's frames
   .ast EXPR          show the AST in the paper's LISP-like notation
-  .stats             counters from the last evaluation + target cache
+  .stats             full tower counters: last evaluation, cache,
+                     retry, target-call trace
+  .trace on|off      record every target call (latency, outcome)
+  .trace [dump [N]]  show per-op latency stats / the last N events
+  .trace clear       reset trace counters and the event buffer
+  .profile EXPR      evaluate EXPR, then show per-node costs (ticks,
+                     wire reads), hottest first
+  .explain EXPR      evaluate EXPR, then show its AST annotated with
+                     per-node costs
   .aliases           list DUEL aliases (`a := e`, declarations)
   .clear             drop all aliases
   .set trace on|off  log every generator resumption (the paper's eval)
@@ -131,7 +165,30 @@ impl Repl {
             options,
             last_stats: EvalStats::default(),
             cache_enabled,
+            trace_enabled: false,
         }
+    }
+
+    /// The target-call trace handle of the current backend tower (the
+    /// `--trace-json` exporter reads it; replaced by `.scenario`/`.load`).
+    pub fn trace_handle(&self) -> TraceHandle {
+        self.backend.trace()
+    }
+
+    /// Turns target-call tracing on or off (the `.trace on|off`
+    /// command; sticky across `.scenario`/`.load`).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_enabled = on;
+        self.backend.trace().set_enabled(on);
+    }
+
+    /// Exports the trace as a JSON document (the `--trace-json FILE`
+    /// flag writes this at exit).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"schema_version\":1,\"name\":\"duel_trace\",\"layers\":[{}]}}",
+            self.backend.trace().to_json("session")
+        )
     }
 
     /// The REPL's default options: like [`EvalOptions::default`], but
@@ -173,6 +230,37 @@ impl Repl {
         self.aliases = session.into_aliases();
     }
 
+    /// Shared body of `.profile` (cost table) and `.explain` (annotated
+    /// AST tree): evaluates under the profiler, prints the values, then
+    /// the per-node costs.
+    fn profile(&mut self, explain: bool, expr: &str, out: &mut String) {
+        let mut session = Session::with_state(
+            self.backend.target_mut(),
+            std::mem::take(&mut self.aliases),
+            self.options.clone(),
+        );
+        match session.profile(expr) {
+            Ok((lines, err, report)) => {
+                for l in duel_core::session::render_lines(&lines) {
+                    let _ = writeln!(out, "{l}");
+                }
+                if let Some(e) = err {
+                    let _ = writeln!(out, "{e}");
+                }
+                if explain {
+                    out.push_str(&report.render_tree());
+                } else {
+                    out.push_str(&report.render_table(12));
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        self.last_stats = session.last_stats();
+        self.aliases = session.into_aliases();
+    }
+
     fn command(&mut self, line: &str, out: &mut String) -> bool {
         let mut parts = line.split_whitespace();
         let cmd = parts.next().unwrap_or("");
@@ -198,6 +286,7 @@ impl Repl {
                 };
                 if let Some(t) = t {
                     self.backend = Backend::sim(t, self.cache_enabled);
+                    self.backend.trace().set_enabled(self.trace_enabled);
                     self.aliases.clear();
                     let _ = writeln!(out, "scenario loaded; aliases cleared");
                 }
@@ -206,6 +295,7 @@ impl Repl {
                 Ok(src) => match Debugger::new(&src) {
                     Ok(d) => {
                         self.backend = Backend::minic(d, self.cache_enabled);
+                        self.backend.trace().set_enabled(self.trace_enabled);
                         self.aliases.clear();
                         let _ = writeln!(out, "compiled `{arg}`; set breakpoints and .run");
                     }
@@ -242,8 +332,12 @@ impl Repl {
             ".stats" => {
                 let _ = writeln!(
                     out,
-                    "values: {}, ticks: {}",
-                    self.last_stats.values, self.last_stats.ticks
+                    "eval: {} values, {} ticks, depth {}, {} expansions, {} yields",
+                    self.last_stats.values,
+                    self.last_stats.ticks,
+                    self.last_stats.max_depth,
+                    self.last_stats.expansions,
+                    self.last_stats.yields
                 );
                 let c = self.backend.cache_stats();
                 let _ = writeln!(
@@ -260,6 +354,98 @@ impl Repl {
                     "lookups: {} memoized, {} fetched; {} invalidations",
                     c.lookup_hits, c.lookup_misses, c.invalidations
                 );
+                let r = self.backend.retry_stats();
+                let _ = writeln!(
+                    out,
+                    "retry: {} operations, {} retries, {} give-ups, {} backoff",
+                    r.operations,
+                    r.retries,
+                    r.give_ups,
+                    duel_target::trace::fmt_ns(r.backoff_ns)
+                );
+                let h = self.backend.trace();
+                let t = h.snapshot();
+                let _ = writeln!(
+                    out,
+                    "trace: {} ({} calls recorded, {} errors, {} events buffered, {} dropped)",
+                    if h.is_enabled() { "on" } else { "off" },
+                    t.total_calls(),
+                    t.total_errors(),
+                    t.events_held,
+                    t.events_dropped
+                );
+            }
+            ".trace" => {
+                let h = self.backend.trace();
+                match arg {
+                    "on" => {
+                        self.set_tracing(true);
+                        let _ = writeln!(out, "tracing on");
+                    }
+                    "off" => {
+                        self.set_tracing(false);
+                        let _ = writeln!(out, "tracing off");
+                    }
+                    "clear" => {
+                        h.clear();
+                        let _ = writeln!(out, "trace cleared");
+                    }
+                    "dump" => {
+                        let n = line
+                            .split_whitespace()
+                            .nth(2)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(20);
+                        let events = h.recent_events(n);
+                        if events.is_empty() {
+                            let _ = writeln!(
+                                out,
+                                "no events recorded{}",
+                                if h.is_enabled() {
+                                    ""
+                                } else {
+                                    " (tracing is off)"
+                                }
+                            );
+                        }
+                        for e in events {
+                            let _ = writeln!(out, "{}", e.render());
+                        }
+                    }
+                    "" => {
+                        let t = h.snapshot();
+                        let _ = writeln!(
+                            out,
+                            "tracing {}; {} calls recorded, {} events buffered",
+                            if h.is_enabled() { "on" } else { "off" },
+                            t.total_calls(),
+                            t.events_held
+                        );
+                        for o in t.ops.iter().filter(|o| o.calls > 0) {
+                            let _ = writeln!(
+                                out,
+                                "  {:<13} {:>8} calls {:>6} errors  mean {:>8}  p99 {:>8}",
+                                o.op.name(),
+                                o.calls,
+                                o.errors,
+                                duel_target::trace::fmt_ns(o.mean_ns()),
+                                duel_target::trace::fmt_ns(o.quantile_ns(0.99))
+                            );
+                        }
+                    }
+                    other => {
+                        let _ =
+                            writeln!(out, "usage: .trace [on|off|dump [N]|clear] (got `{other}`)");
+                    }
+                }
+            }
+            ".profile" | ".explain" => {
+                let expr = line.split_once(' ').map(|x| x.1).unwrap_or("").trim();
+                if expr.is_empty() {
+                    let _ = writeln!(out, "usage: {cmd} EXPR");
+                } else {
+                    self.profile(cmd == ".explain", expr, out);
+                }
             }
             ".aliases" => {
                 let mut names: Vec<&String> = self.aliases.keys().collect();
@@ -325,13 +511,16 @@ impl Repl {
     }
 
     fn debugger_command(&mut self, cmd: &str, arg: &str, out: &mut String) {
-        let cache = match &mut self.backend {
+        let tower = match &mut self.backend {
             Backend::Minic(d) => d,
             Backend::Sim(_) => {
                 let _ = writeln!(out, "no program loaded (use `.load file.c` first)");
                 return;
             }
         };
+        // Peel trace and retry; the cache layer wraps the debugger and
+        // owns invalidation.
+        let cache = tower.inner_mut().inner_mut();
         match cmd {
             ".break" => match arg.parse::<u32>() {
                 Ok(n) => {
@@ -443,18 +632,33 @@ impl Default for Repl {
 }
 
 /// Usage string for the `duel` binary.
-pub const USAGE: &str =
-    "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] [--no-cache] [program.c]";
+pub const USAGE: &str = "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] \
+     [--no-cache] [--trace-json FILE] [program.c]";
+
+/// What [`parse_args`] extracted from the command line.
+#[derive(Debug)]
+pub struct CliArgs {
+    /// Evaluation options assembled from the budget flags.
+    pub options: EvalOptions,
+    /// The mini-C program to `.load` at startup, if given.
+    pub path: Option<String>,
+    /// Whether the target page cache starts enabled (`--no-cache`).
+    pub cache: bool,
+    /// Where to export the target-call trace at exit
+    /// (`--trace-json FILE`; also turns tracing on from the start).
+    pub trace_json: Option<String>,
+}
 
 /// Parses the binary's command line: resource-budget flags, the
 /// `--no-cache` switch (disable the target page cache + lookup
-/// memoization), plus an optional mini-C program path. Accepts both
-/// `--flag N` and `--flag=N` spellings. Returns `(options, path,
-/// cache_enabled)`.
-pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>, bool), String> {
+/// memoization), the `--trace-json FILE` trace export, plus an optional
+/// mini-C program path. Accepts both `--flag N` and `--flag=N`
+/// spellings.
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut options = Repl::default_options();
     let mut path = None;
     let mut cache = true;
+    let mut trace_json = None;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -463,7 +667,7 @@ pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>, bool)
             None => (arg.as_str(), None),
         };
         match name {
-            "--max-steps" | "--max-depth" | "--timeout-ms" => {
+            "--max-steps" | "--max-depth" | "--timeout-ms" | "--trace-json" => {
                 let val = match inline {
                     Some(v) => v,
                     None => {
@@ -473,13 +677,17 @@ pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>, bool)
                             .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))?
                     }
                 };
-                let n: u64 = val
-                    .parse()
-                    .map_err(|_| format!("invalid value `{val}` for {name}\n{USAGE}"))?;
-                match name {
-                    "--max-steps" => options.max_ticks = n,
-                    "--max-depth" => options.max_depth = n,
-                    _ => options.timeout_ms = n,
+                if name == "--trace-json" {
+                    trace_json = Some(val);
+                } else {
+                    let n: u64 = val
+                        .parse()
+                        .map_err(|_| format!("invalid value `{val}` for {name}\n{USAGE}"))?;
+                    match name {
+                        "--max-steps" => options.max_ticks = n,
+                        "--max-depth" => options.max_depth = n,
+                        _ => options.timeout_ms = n,
+                    }
                 }
             }
             "--no-cache" => cache = false,
@@ -490,7 +698,12 @@ pub fn parse_args(args: &[String]) -> Result<(EvalOptions, Option<String>, bool)
         }
         i += 1;
     }
-    Ok((options, path, cache))
+    Ok(CliArgs {
+        options,
+        path,
+        cache,
+        trace_json,
+    })
 }
 
 #[cfg(test)]
@@ -532,7 +745,7 @@ mod tests {
             out.contains("(plus (multiply (name \"a\") (constant 5)) (indirect (name \"b\")))"),
             "{out}"
         );
-        assert!(out.contains("values: 3"), "{out}");
+        assert!(out.contains("eval: 3 values"), "{out}");
     }
 
     #[test]
@@ -588,20 +801,27 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (o, p, cache) = parse_args(&args).unwrap();
-        assert_eq!(o.max_ticks, 1000);
-        assert_eq!(o.timeout_ms, 250);
-        assert!(o.error_values, "the REPL defaults to tolerant errors");
-        assert_eq!(p.as_deref(), Some("prog.c"));
-        assert!(cache, "caching defaults to on");
+        let a = parse_args(&args).unwrap();
+        assert_eq!(a.options.max_ticks, 1000);
+        assert_eq!(a.options.timeout_ms, 250);
+        assert!(
+            a.options.error_values,
+            "the REPL defaults to tolerant errors"
+        );
+        assert_eq!(a.path.as_deref(), Some("prog.c"));
+        assert!(a.cache, "caching defaults to on");
+        assert!(a.trace_json.is_none());
 
-        let (o, p, cache) = parse_args(&[]).unwrap();
-        assert_eq!(o.max_ticks, EvalOptions::default().max_ticks);
-        assert!(p.is_none());
-        assert!(cache);
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.options.max_ticks, EvalOptions::default().max_ticks);
+        assert!(a.path.is_none());
+        assert!(a.cache);
 
-        let (_, _, cache) = parse_args(&["--no-cache".to_string()]).unwrap();
-        assert!(!cache);
+        let a = parse_args(&["--no-cache".to_string()]).unwrap();
+        assert!(!a.cache);
+
+        let a = parse_args(&["--trace-json=out.json".to_string()]).unwrap();
+        assert_eq!(a.trace_json.as_deref(), Some("out.json"));
     }
 
     #[test]
@@ -612,6 +832,99 @@ mod tests {
         assert!(e.contains("invalid value"), "{e}");
         let e = parse_args(&["--bogus".to_string()]).unwrap_err();
         assert!(e.contains("unknown flag"), "{e}");
+        let e = parse_args(&["--trace-json".to_string()]).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn trace_command_records_target_calls() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle("x[..5]", &mut out);
+        out.clear();
+        r.handle(".trace", &mut out);
+        assert!(out.contains("tracing on"), "{out}");
+        assert!(out.contains("get_bytes"), "{out}");
+        out.clear();
+        r.handle(".trace dump 3", &mut out);
+        assert!(out.contains("ok"), "{out}");
+        r.handle(".trace clear", &mut out);
+        out.clear();
+        r.handle(".trace", &mut out);
+        assert!(out.contains("0 calls recorded"), "{out}");
+        // Off again: no recording.
+        r.handle(".trace off", &mut out);
+        r.handle("x[..5]", &mut out);
+        out.clear();
+        r.handle(".trace", &mut out);
+        assert!(out.contains("tracing off"), "{out}");
+        assert!(out.contains("0 calls recorded"), "{out}");
+    }
+
+    #[test]
+    fn tracing_survives_scenario_switch() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle(".scenario scan", &mut out);
+        assert!(r.trace_handle().is_enabled());
+        r.handle("x[..5]", &mut out);
+        out.clear();
+        r.handle(".trace", &mut out);
+        assert!(out.contains("get_bytes"), "{out}");
+    }
+
+    #[test]
+    fn profile_shows_cost_table_and_full_attribution() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".scenario scan", &mut out);
+        out.clear();
+        r.handle(".profile x[..10] >? 5", &mut out);
+        // Values first, then the table, hottest node first.
+        assert!(out.contains("x[3] = 7"), "{out}");
+        assert!(out.contains("self-ticks"), "{out}");
+        assert!(out.contains("(display)"), "{out}");
+        assert!(
+            out.contains("attributed: 100.0% of ticks, 100.0% of reads"),
+            "{out}"
+        );
+        // Profiling must not leave tracing enabled behind.
+        assert!(!r.trace_handle().is_enabled());
+    }
+
+    #[test]
+    fn explain_shows_annotated_tree() {
+        let out = run(&[".explain x[..3]"]);
+        assert!(out.contains("x[..3] (index)"), "{out}");
+        // The index node's children are indented below it.
+        assert!(out.contains("\n  x (name)"), "{out}");
+        assert!(out.contains("..3 (to)"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_all_tower_layers() {
+        let out = run(&["x[..10]", ".stats"]);
+        assert!(out.contains("eval: 10 values"), "{out}");
+        assert!(out.contains("depth "), "{out}");
+        assert!(out.contains("yields"), "{out}");
+        assert!(out.contains("cache: on"), "{out}");
+        assert!(out.contains("retry: "), "{out}");
+        assert!(out.contains("trace: off"), "{out}");
+    }
+
+    #[test]
+    fn trace_json_export_has_schema_header() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.set_tracing(true);
+        r.handle("x[..5]", &mut out);
+        let json = r.trace_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(json.contains("\"name\":\"duel_trace\""), "{json}");
+        assert!(json.contains("\"label\":\"session\""), "{json}");
+        assert!(json.contains("\"op\":\"get_bytes\""), "{json}");
     }
 
     #[test]

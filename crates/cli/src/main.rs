@@ -16,16 +16,19 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let (options, path, cache) = match parse_args(&args) {
+    let parsed = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
-    let mut repl = Repl::with_config(options, cache);
+    let mut repl = Repl::with_config(parsed.options, parsed.cache);
+    if parsed.trace_json.is_some() {
+        repl.set_tracing(true);
+    }
     let mut out = String::new();
-    if let Some(path) = path {
+    if let Some(path) = parsed.path {
         repl.handle(&format!(".load {path}"), &mut out);
         print!("{out}");
         out.clear();
@@ -50,5 +53,12 @@ fn main() {
         if !more {
             break;
         }
+    }
+    if let Some(path) = parsed.trace_json {
+        if let Err(e) = std::fs::write(&path, repl.trace_json()) {
+            eprintln!("cannot write trace to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace written to {path}");
     }
 }

@@ -24,6 +24,8 @@ mod control;
 mod misc;
 mod structure;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::{ast::Expr, error::DuelResult, scope::Ctx, sym::SymMode, value::Value};
 
 /// Evaluation options.
@@ -110,11 +112,21 @@ pub type Gen = Box<dyn GenT>;
 
 /// A wrapper that logs each resumption of its inner generator — one
 /// line per `eval` call, exactly the paper's walkthrough of
-/// `(1..3)+(5,9)`.
+/// `(1..3)+(5,9)`. Also the evaluator's span boundary: when profiling
+/// is on, entry/exit snapshot the tick and wire-read counters so the
+/// deltas can be charged to this node (see [`crate::profile`]).
 struct TraceGen {
+    /// Unique per compiled node; keys the node's profile row.
+    id: usize,
     label: &'static str,
+    /// Clipped symbolic text, e.g. `x[..256]`.
+    text: String,
     inner: Gen,
 }
+
+/// Ids are process-global so nodes compiled mid-evaluation (the `-->`
+/// template, `@` stop conditions) never collide with the main tree.
+static NODE_IDS: AtomicUsize = AtomicUsize::new(0);
 
 impl GenT for TraceGen {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> DuelResult<Option<Value>> {
@@ -130,38 +142,45 @@ impl GenT for TraceGen {
                 sym: self.label.to_string(),
             });
         }
-        if !ctx.opts.trace {
-            let r = self.inner.next(ctx);
-            ctx.trace_depth -= 1;
-            return r;
+        if ctx.trace_depth > ctx.max_depth_seen {
+            ctx.max_depth_seen = ctx.trace_depth;
+        }
+        let profiling = ctx.profile.is_some();
+        if profiling {
+            ctx.profile_enter(self.id);
         }
         let depth = ctx.trace_depth;
         let r = self.inner.next(ctx);
         ctx.trace_depth -= 1;
-        let outcome = match &r {
-            Ok(Some(v)) => {
-                let thr = ctx.opts.compress_threshold;
-                format!("yield {}", v.sym.render(thr))
-            }
-            Ok(None) => "NOVALUE".to_string(),
-            Err(e) => format!("error: {e}"),
-        };
-        ctx.trace.push(format!(
-            "{}eval({}) -> {}",
-            "  ".repeat(depth - 1),
-            self.label,
-            outcome
-        ));
+        let yielded = matches!(r, Ok(Some(_)));
+        if yielded {
+            ctx.yields += 1;
+        }
+        if profiling {
+            ctx.profile_exit(self.id, self.label, &self.text, yielded);
+        }
+        if ctx.opts.trace {
+            let outcome = match &r {
+                Ok(Some(v)) => {
+                    let thr = ctx.opts.compress_threshold;
+                    format!("yield {}", v.sym.render(thr))
+                }
+                Ok(None) => "NOVALUE".to_string(),
+                Err(e) => format!("error: {e}"),
+            };
+            ctx.trace.push(format!(
+                "{}eval({}) -> {}",
+                "  ".repeat(depth - 1),
+                self.label,
+                outcome
+            ));
+        }
         r
     }
 
     fn reset(&mut self) {
         self.inner.reset();
     }
-}
-
-fn trace(label: &'static str, inner: Gen) -> Gen {
-    Box::new(TraceGen { label, inner })
 }
 
 /// The paper's operator name for an expression node.
@@ -203,7 +222,14 @@ fn op_label(e: &Expr) -> &'static str {
 /// Compiles an expression into its generator tree.
 pub fn compile(e: &Expr) -> Gen {
     let label = op_label(e);
-    trace(label, compile_inner(e))
+    let text = crate::profile::clip(&crate::profile::expr_text(e), 48);
+    let inner = compile_inner(e);
+    Box::new(TraceGen {
+        id: NODE_IDS.fetch_add(1, Ordering::Relaxed),
+        label,
+        text,
+        inner,
+    })
 }
 
 fn compile_inner(e: &Expr) -> Gen {

@@ -303,6 +303,7 @@ impl GenT for ExpandGen {
                 self.frontier.pop_back().unwrap()
             };
             self.expanded += 1;
+            ctx.expansions += 1;
             if self.expanded > ctx.opts.max_expand {
                 return Err(DuelError::BudgetExceeded {
                     budget: "expansion".into(),

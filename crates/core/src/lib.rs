@@ -50,6 +50,7 @@ pub mod eval;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod profile;
 pub mod scope;
 pub mod session;
 pub mod sexpr;
@@ -59,6 +60,7 @@ pub mod value;
 
 pub use error::{DuelError, DuelResult};
 pub use eval::EvalOptions;
+pub use profile::{NodeCost, ProfileReport};
 pub use session::{EvalStats, OutputLine, Session};
 pub use sexpr::to_sexpr;
 pub use sym::SymMode;

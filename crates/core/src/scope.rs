@@ -53,6 +53,14 @@ pub struct Ctx<'a> {
     /// Current generator nesting depth (trace indentation and the
     /// `max_depth` guard).
     pub trace_depth: usize,
+    /// Deepest generator nesting reached (reported via `EvalStats`).
+    pub max_depth_seen: usize,
+    /// Generator yields across all nodes, leaf and interior.
+    pub yields: u64,
+    /// Structure-expansion steps performed by `-->`/`-->>`.
+    pub expansions: u64,
+    /// Per-node cost collector; present only while `.profile` runs.
+    pub profile: Option<Box<crate::profile::ProfileCollector>>,
     /// Wall-clock deadline derived from [`EvalOptions::timeout_ms`].
     pub deadline: Option<std::time::Instant>,
 }
@@ -78,7 +86,27 @@ impl<'a> Ctx<'a> {
             ticks: 0,
             trace: Vec::new(),
             trace_depth: 0,
+            max_depth_seen: 0,
+            yields: 0,
+            expansions: 0,
+            profile: None,
             deadline,
+        }
+    }
+
+    /// Opens a profile span for node `id` (no-op without a collector).
+    pub fn profile_enter(&mut self, id: usize) {
+        let ticks = self.ticks;
+        if let Some(p) = self.profile.as_mut() {
+            p.enter(id, ticks);
+        }
+    }
+
+    /// Closes the profile span for node `id`.
+    pub fn profile_exit(&mut self, id: usize, label: &'static str, text: &str, yielded: bool) {
+        let ticks = self.ticks;
+        if let Some(p) = self.profile.as_mut() {
+            p.exit(id, label, text, yielded, ticks);
         }
     }
 

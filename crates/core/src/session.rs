@@ -15,6 +15,7 @@ use crate::{
     error::{DuelError, DuelResult},
     eval::{self, EvalOptions},
     parser, printer,
+    profile::{ProfileCollector, ProfileReport},
     scope::Ctx,
     sym::Sym,
     value::Value,
@@ -50,13 +51,21 @@ impl OutputLine {
 }
 
 /// Counters from the most recent evaluation (instrumentation for the
-/// experiment harness: values produced and leaf-generator activations).
+/// experiment harness and the REPL's `.stats`). Reset by every
+/// evaluation, so each snapshot describes exactly one command.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Top-level values the command produced.
     pub values: u64,
     /// Leaf-generator activations (a machine-independent work measure).
     pub ticks: u64,
+    /// Deepest generator nesting reached.
+    pub max_depth: u64,
+    /// `-->`/`-->>` structure-expansion steps performed.
+    pub expansions: u64,
+    /// Generator yields across all nodes, leaf and interior (always at
+    /// least `values`: every top-level value is also a root yield).
+    pub yields: u64,
 }
 
 /// A DUEL session over a debugger backend: holds the aliases created by
@@ -116,6 +125,31 @@ impl<'t> Session<'t> {
     /// it (the paper's sessions print values until the error, then the
     /// error message).
     pub fn eval_partial(&mut self, src: &str) -> DuelResult<(Vec<OutputLine>, Option<DuelError>)> {
+        let (lines, err, _) = self.eval_inner(src, false)?;
+        Ok((lines, err))
+    }
+
+    /// Evaluates a command under the profiler: like
+    /// [`Session::eval_partial`], plus a [`ProfileReport`] attributing
+    /// ticks and wire reads to each AST node.
+    ///
+    /// When the target tower contains a
+    /// [`duel_target::TraceTarget`], tracing is enabled for the
+    /// duration (and restored afterwards) so wire reads can be diffed
+    /// across node spans; without one, read columns stay zero.
+    pub fn profile(
+        &mut self,
+        src: &str,
+    ) -> DuelResult<(Vec<OutputLine>, Option<DuelError>, ProfileReport)> {
+        let (lines, err, report) = self.eval_inner(src, true)?;
+        Ok((lines, err, report.expect("profiling was requested")))
+    }
+
+    fn eval_inner(
+        &mut self,
+        src: &str,
+        profiling: bool,
+    ) -> DuelResult<(Vec<OutputLine>, Option<DuelError>, Option<ProfileReport>)> {
         let expr = self.parse(src)?;
         // The symbolic value is shown only when it differs from the
         // typed expression: `duel 1 + (double)3/2` prints `2.500`, while
@@ -133,7 +167,23 @@ impl<'t> Session<'t> {
         );
         let mut gen = eval::compile(&expr);
         let thr = self.options.compress_threshold;
+        // When profiling, enable the nearest TraceTarget (if any) for
+        // the duration so node spans can diff its read counter.
+        let trace_handle = if profiling {
+            self.target.trace_handle()
+        } else {
+            None
+        };
+        let trace_was_enabled = trace_handle.as_ref().map(|h| {
+            let was = h.is_enabled();
+            h.set_enabled(true);
+            was
+        });
+        let reads_before = trace_handle.as_ref().map_or(0, |h| h.reads());
         let mut ctx = Ctx::new(&mut *self.target, &mut self.aliases, self.options.clone());
+        if profiling {
+            ctx.profile = Some(Box::new(ProfileCollector::new(trace_handle.clone())));
+        }
         let mut lines = Vec::new();
         let result = eval::drive(&mut ctx, &mut gen, |ctx, v| {
             let out = ctx.target.take_output();
@@ -148,7 +198,14 @@ impl<'t> Session<'t> {
             // `<error: ...>` line for that element and the stream
             // continues — the fault is confined to the sub-expression
             // that hit it.
-            let value = match printer::format_value(ctx.target, &v, thr) {
+            //
+            // Rendering happens after the root generator's span has
+            // closed, so its wire reads are charged to a `(display)`
+            // pseudo-node — keeping read attribution complete.
+            ctx.profile_enter(crate::profile::DISPLAY_NODE);
+            let rendered_value = printer::format_value(ctx.target, &v, thr);
+            ctx.profile_exit(crate::profile::DISPLAY_NODE, "display", "(display)", false);
+            let value = match rendered_value {
                 Ok(s) => s,
                 Err(e) if ctx.opts.error_values && e.is_fault() => {
                     format!("<error: {e}>")
@@ -174,7 +231,11 @@ impl<'t> Session<'t> {
         self.last_stats = EvalStats {
             values: ctx.produced,
             ticks: ctx.ticks,
+            max_depth: ctx.max_depth_seen as u64,
+            expansions: ctx.expansions,
+            yields: ctx.yields,
         };
+        let collector = ctx.profile.take();
         self.last_trace = std::mem::take(&mut ctx.trace);
         // Flush any output produced after the last value (or before an
         // error).
@@ -182,7 +243,14 @@ impl<'t> Session<'t> {
         if !out.is_empty() {
             lines.push(OutputLine::Stdout(out));
         }
-        Ok((lines, result.err()))
+        let report = collector.map(|c| {
+            let total_reads = trace_handle.as_ref().map_or(0, |h| h.reads()) - reads_before;
+            c.finish(self.last_stats, total_reads)
+        });
+        if let (Some(h), Some(was)) = (&trace_handle, trace_was_enabled) {
+            h.set_enabled(was);
+        }
+        Ok((lines, result.err(), report))
     }
 
     /// Evaluates a command and renders every line as the REPL prints it;

@@ -133,6 +133,41 @@ impl<T: MiTransport> MiTarget<T> {
         ))
     }
 
+    /// [`MiTarget::connect_cached`] with a [`duel_target::TraceTarget`]
+    /// at *both* ends of the tower:
+    /// `TraceTarget<RetryTarget<CachedTarget<TraceTarget<MiTarget>>>>`.
+    ///
+    /// The outer `"session"` layer counts what the evaluator asks for;
+    /// the inner `"wire"` layer counts what actually crosses the MI
+    /// transport — so cache hits are the difference between the two
+    /// read counters, and every individual retry attempt shows up as
+    /// its own wire event. `Target::trace_handle` resolves to the
+    /// session layer (the outermost decorator answers first); reach the
+    /// wire handle with `.inner().inner().inner().handle()`.
+    #[allow(clippy::type_complexity)]
+    pub fn connect_traced(
+        transport: T,
+        policy: duel_target::RetryPolicy,
+        cache: duel_target::CacheConfig,
+    ) -> TargetResult<
+        duel_target::TraceTarget<
+            duel_target::RetryTarget<
+                duel_target::CachedTarget<duel_target::TraceTarget<MiTarget<T>>>,
+            >,
+        >,
+    > {
+        Ok(duel_target::TraceTarget::with_label(
+            duel_target::RetryTarget::with_policy(
+                duel_target::CachedTarget::with_config(
+                    duel_target::TraceTarget::with_label(MiTarget::connect(transport)?, "wire"),
+                    cache,
+                ),
+                policy,
+            ),
+            "session",
+        ))
+    }
+
     // ----- type-string parsing -------------------------------------------
 
     /// Parses a C type string as rendered by `ptype`-style output
@@ -783,6 +818,55 @@ mod tests {
         t.get_bytes(x.addr + 8, &mut buf).unwrap();
         assert_eq!(i32::from_le_bytes(buf), 102);
         assert_eq!(t.inner().stats().backend_reads, reads);
+    }
+
+    // ---- trace wiring ---------------------------------------------------
+
+    #[test]
+    fn traced_stack_separates_session_from_wire_traffic() {
+        let flaky = Flaky {
+            inner: MockGdb::new(scenario::scan_array()),
+            fail_next: 0,
+        };
+        let mut t = MiTarget::connect_traced(
+            flaky,
+            duel_target::RetryPolicy::fast(3),
+            duel_target::CacheConfig::default(),
+        )
+        .unwrap();
+        let session = t.handle();
+        let wire = t.inner().inner().inner().handle();
+        session.set_enabled(true);
+        wire.set_enabled(true);
+        // The outermost decorator answers trace_handle() for dyn users.
+        let dyn_handle = duel_target::Target::trace_handle(&t).unwrap();
+        assert!(dyn_handle.is_enabled());
+
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        // 16 adjacent ints share one page: 16 session reads, 1 wire read.
+        for i in 0..16u64 {
+            t.get_bytes(x.addr + i * 4, &mut buf).unwrap();
+        }
+        assert_eq!(session.reads(), 16);
+        assert_eq!(wire.reads(), 1, "cache hits must not reach the wire");
+
+        // A transient burst: one session-level read, but every retry
+        // attempt is its own wire event.
+        t.inner_mut()
+            .inner_mut()
+            .inner_mut()
+            .inner_mut()
+            .client_mut()
+            .transport_mut()
+            .fail_next = 2;
+        t.get_bytes(x.addr + 16 * 4, &mut buf).unwrap();
+        assert_eq!(session.reads(), 17);
+        assert_eq!(
+            wire.reads(),
+            4,
+            "2 failed attempts + 1 success + page fetch"
+        );
     }
 
     #[test]

@@ -625,6 +625,10 @@ impl<T: Target> Target for CachedTarget<T> {
     fn take_output(&mut self) -> String {
         self.inner.take_output()
     }
+
+    fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
+        self.inner.trace_handle()
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,17 @@ pub trait Target {
     /// Drains any `printf`-style output the debuggee produced since the
     /// last call.
     fn take_output(&mut self) -> String;
+
+    /// The nearest [`crate::trace::TraceHandle`] in this target's
+    /// decorator stack, if a [`crate::TraceTarget`] is present.
+    ///
+    /// Plain backends answer `None` (the default); decorators forward
+    /// to their inner target; `TraceTarget` answers with its own
+    /// handle. The evaluator uses this to attribute wire traffic to
+    /// AST nodes while holding only `&mut dyn Target`.
+    fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
+        None
+    }
 }
 
 #[cfg(test)]

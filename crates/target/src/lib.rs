@@ -25,6 +25,9 @@
 //!   that coalesces adjacent reads into aligned page fetches, so
 //!   element-at-a-time traversals stop paying one backend round-trip
 //!   per element.
+//! * [`TraceTarget`] — wire-level observability: per-op counters,
+//!   latency histograms, and a bounded event ring, insertable at any
+//!   level of the tower and free when disabled.
 
 pub mod cache;
 pub mod error;
@@ -33,11 +36,13 @@ pub mod iface;
 pub mod retry;
 pub mod scenario;
 pub mod sim;
+pub mod trace;
 pub mod value_io;
 
 pub use cache::{CacheConfig, CacheStats, CachedTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
 pub use iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
-pub use retry::{RetryPolicy, RetryTarget};
+pub use retry::{RetryPolicy, RetryStats, RetryTarget};
 pub use sim::{SimCore, SimMemory, SimTarget, ARENA_BASE};
+pub use trace::{TraceEvent, TraceHandle, TraceOp, TraceOutcome, TraceStats, TraceTarget};

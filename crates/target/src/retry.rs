@@ -58,12 +58,28 @@ impl RetryPolicy {
     }
 }
 
+/// Counters describing what a [`RetryTarget`] has absorbed. Cumulative
+/// since construction or the last [`RetryTarget::reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retryable operations attempted (memory, alloc, call; lookups
+    /// pass through unretried).
+    pub operations: u64,
+    /// Re-attempts after a transient failure.
+    pub retries: u64,
+    /// Operations abandoned after exhausting retries or the deadline.
+    pub give_ups: u64,
+    /// Total backoff scheduled, nanoseconds (accrued even under a
+    /// non-sleeping test policy, so tests can assert the shape).
+    pub backoff_ns: u64,
+}
+
 /// A [`Target`] decorator that absorbs transient backend failures.
 #[derive(Debug)]
 pub struct RetryTarget<T: Target> {
     inner: T,
     policy: RetryPolicy,
-    retries: u64,
+    stats: RetryStats,
 }
 
 impl<T: Target> RetryTarget<T> {
@@ -77,7 +93,7 @@ impl<T: Target> RetryTarget<T> {
         RetryTarget {
             inner,
             policy,
-            retries: 0,
+            stats: RetryStats::default(),
         }
     }
 
@@ -98,7 +114,17 @@ impl<T: Target> RetryTarget<T> {
 
     /// Total retries performed across all operations so far.
     pub fn retries(&self) -> u64 {
-        self.retries
+        self.stats.retries
+    }
+
+    /// The full counter set (attempts, retries, give-ups, backoff).
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = RetryStats::default();
     }
 
     /// The active policy.
@@ -109,24 +135,33 @@ impl<T: Target> RetryTarget<T> {
     fn run<R>(&mut self, mut op: impl FnMut(&mut T) -> TargetResult<R>) -> TargetResult<R> {
         let start = Instant::now();
         let mut attempt = 0u32;
+        self.stats.operations += 1;
         loop {
             match op(&mut self.inner) {
                 Ok(r) => return Ok(r),
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
                     attempt += 1;
-                    self.retries += 1;
+                    self.stats.retries += 1;
                     if let Some(deadline) = self.policy.deadline {
                         if start.elapsed() >= deadline {
+                            self.stats.give_ups += 1;
                             return Err(TargetError::Timeout {
                                 ms: deadline.as_millis() as u64,
                             });
                         }
                     }
+                    let backoff = self.policy.backoff(attempt);
+                    self.stats.backoff_ns += backoff.as_nanos() as u64;
                     if self.policy.sleep {
-                        std::thread::sleep(self.policy.backoff(attempt));
+                        std::thread::sleep(backoff);
                     }
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if e.is_transient() {
+                        self.stats.give_ups += 1;
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -209,6 +244,10 @@ impl<T: Target> Target for RetryTarget<T> {
     fn take_output(&mut self) -> String {
         self.inner.take_output()
     }
+
+    fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
+        self.inner.trace_handle()
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +306,27 @@ mod tests {
             t.get_bytes(x.addr, &mut buf),
             Err(TargetError::Timeout { ms: 0 })
         );
+    }
+
+    #[test]
+    fn stats_count_attempts_backoff_and_give_ups() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(6));
+        let mut t = RetryTarget::with_policy(flaky, RetryPolicy::fast(3));
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        // Burst of 6 transients, 3 retries allowed: first op gives up
+        // after 3 retries (4 attempts consume 4 of the burst)...
+        assert!(t.get_bytes(x.addr, &mut buf).is_err());
+        // ...second op eats the remaining 2 and succeeds.
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        let s = t.stats();
+        assert_eq!(s.operations, 2);
+        assert_eq!(s.retries, 5);
+        assert_eq!(s.give_ups, 1);
+        // Scheduled backoff: 10+20+40 (gave-up op) + 10+20 ms.
+        assert_eq!(s.backoff_ns, 100_000_000);
+        t.reset_stats();
+        assert_eq!(t.stats(), RetryStats::default());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! PR-3 observability invariants: widened `EvalStats`, the profiler's
+//! attribution guarantees, and their behaviour under fault composition.
+
+use duel_core::{ProfileReport, Session};
+use duel_target::{
+    scenario, CacheConfig, CachedTarget, FaultConfig, FaultTarget, RetryPolicy, RetryTarget,
+    Target, TraceTarget,
+};
+
+// ---------------------------------------------------------------------
+// EvalStats widening
+// ---------------------------------------------------------------------
+
+#[test]
+fn stats_reset_between_evaluations() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.eval("x[..50] >? 5").unwrap();
+    let first = s.last_stats();
+    assert!(first.ticks > 0);
+    assert!(first.max_depth > 0);
+    assert!(first.yields >= first.values);
+    // A trivial follow-up command must not inherit any counter.
+    s.eval("1+1").unwrap();
+    let second = s.last_stats();
+    assert_eq!(second.values, 1);
+    assert!(second.ticks < first.ticks);
+    assert_eq!(second.expansions, 0);
+    assert!(second.yields < first.yields);
+}
+
+#[test]
+fn expansions_count_structure_walks() {
+    let mut t = scenario::hash_table_basic();
+    let mut s = Session::new(&mut t);
+    let lines = s.eval_lines("#/(hash[..1024]-->next)").unwrap();
+    assert_eq!(lines.len(), 1);
+    let stats = s.last_stats();
+    assert!(stats.expansions > 0, "{stats:?}");
+    // Each visited node is one expansion step; the walk visited at
+    // least as many nodes as the reduction counted.
+    let count: u64 = lines[0]
+        .rsplit(' ')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(stats.expansions >= count, "{stats:?} vs count {count}");
+}
+
+#[test]
+fn deeper_nesting_raises_max_depth() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.eval("1+1").unwrap();
+    let shallow = s.last_stats().max_depth;
+    s.eval("1+(2+(3+(4+(5+6))))").unwrap();
+    let deep = s.last_stats().max_depth;
+    assert!(deep > shallow, "{deep} vs {shallow}");
+}
+
+// ---------------------------------------------------------------------
+// ProfileReport attribution
+// ---------------------------------------------------------------------
+
+fn assert_fully_attributed(report: &ProfileReport) {
+    assert_eq!(
+        report.attributed_ticks(),
+        report.total_ticks,
+        "every tick must be charged to exactly one node: {report:?}"
+    );
+    assert_eq!(
+        report.attributed_reads(),
+        report.total_reads,
+        "every wire read must be charged to exactly one node: {report:?}"
+    );
+}
+
+#[test]
+fn profile_attributes_all_ticks_without_a_trace_layer() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    let (lines, err, report) = s.profile("x[..50] >? 5").unwrap();
+    assert!(err.is_none());
+    assert!(!lines.is_empty());
+    assert_fully_attributed(&report);
+    assert_eq!(report.total_ticks, s.last_stats().ticks);
+    // Without a TraceTarget in the tower there is nothing to diff.
+    assert_eq!(report.total_reads, 0);
+    // Rows are keyed by symbolic text with the paper's operator names.
+    assert!(
+        report
+            .nodes
+            .iter()
+            .any(|n| n.text == "x[..50]>?5" && n.label == "ifcmp"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn profile_attributes_reads_through_a_traced_tower() {
+    let mut t = TraceTarget::new(CachedTarget::with_config(
+        scenario::scan_array(),
+        CacheConfig::default(),
+    ));
+    let handle = t.handle();
+    let mut s = Session::new(&mut t);
+    let (_, err, report) = s.profile("x[..50] >? 5").unwrap();
+    assert!(err.is_none());
+    assert!(report.total_reads > 0, "the scan must touch the target");
+    assert_fully_attributed(&report);
+    // The ISSUE's acceptance bar, stated directly: ≥95% of reads are
+    // attributed to nodes (we achieve exactly 100%).
+    assert!(report.attributed_reads() * 100 >= report.total_reads * 95);
+    // Value rendering reads are charged to the (display) pseudo-node.
+    let display = report
+        .nodes
+        .iter()
+        .find(|n| n.label == "display")
+        .expect("display pseudo-node");
+    assert!(display.self_reads > 0, "{display:?}");
+    // Session::profile enables tracing only for its own duration.
+    assert!(!handle.is_enabled());
+}
+
+#[test]
+fn fault_composition_does_not_skew_counters() {
+    // Clean run.
+    let mut clean = TraceTarget::new(scenario::scan_array());
+    let mut s = Session::new(&mut clean);
+    let (clean_lines, err, clean_report) = s.profile("x[..50] >? 5").unwrap();
+    assert!(err.is_none());
+
+    // Same query through a transiently failing backend healed by
+    // retry: identical output, identical tick accounting — transient
+    // faults are absorbed below the evaluator, so they must not leak
+    // into its counters.
+    let flaky = RetryTarget::with_policy(
+        FaultTarget::new(scenario::scan_array(), FaultConfig::transient(3)),
+        RetryPolicy::fast(5),
+    );
+    let mut flaky = TraceTarget::new(flaky);
+    let mut s = Session::new(&mut flaky);
+    let (flaky_lines, err, flaky_report) = s.profile("x[..50] >? 5").unwrap();
+    assert!(err.is_none());
+
+    assert_eq!(clean_lines, flaky_lines);
+    assert_eq!(clean_report.total_ticks, flaky_report.total_ticks);
+    assert_fully_attributed(&flaky_report);
+    // Per-node tick charges line up too (reads may differ: the trace
+    // layer sits above retry here, so it sees the same successful
+    // calls either way, but we only require ticks to be identical).
+    for (c, f) in clean_report.nodes.iter().zip(flaky_report.nodes.iter()) {
+        assert_eq!(c.text, f.text);
+        assert_eq!(c.self_ticks, f.self_ticks, "node {}", c.text);
+        assert_eq!(c.resumptions, f.resumptions, "node {}", c.text);
+    }
+}
+
+#[test]
+fn profile_stays_balanced_across_evaluation_errors() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    s.options.max_values = 5;
+    let (lines, err, report) = s.profile("x[..50]").unwrap();
+    assert!(err.is_some(), "the value limit must trip");
+    assert_eq!(lines.len(), 5);
+    // Even with the evaluation aborted mid-stream, every opened span
+    // closed and the accounting still partitions the tick total.
+    assert_fully_attributed(&report);
+}
+
+#[test]
+fn hottest_orders_by_self_ticks() {
+    let mut t = scenario::scan_array();
+    let mut s = Session::new(&mut t);
+    let (_, _, report) = s.profile("x[..50] >? 5").unwrap();
+    let hot = report.hottest();
+    for pair in hot.windows(2) {
+        assert!(pair[0].self_ticks >= pair[1].self_ticks);
+    }
+    let table = report.render_table(5);
+    assert!(table.contains("attributed: 100.0% of ticks"), "{table}");
+}
+
+// ---------------------------------------------------------------------
+// Tower discovery
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_handle_is_discoverable_through_the_full_tower() {
+    let t = TraceTarget::new(RetryTarget::with_policy(
+        CachedTarget::with_config(scenario::scan_array(), CacheConfig::default()),
+        RetryPolicy::fast(2),
+    ));
+    let outer = t.handle();
+    let via_trait: &dyn Target = &t;
+    let found = via_trait.trace_handle().expect("handle through dyn Target");
+    found.set_enabled(true);
+    assert!(outer.is_enabled(), "both must alias the same counters");
+}
