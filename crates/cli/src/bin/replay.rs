@@ -1,0 +1,164 @@
+//! `duel-replay` — offline capture inspection.
+//!
+//! Postmortem tooling over flight-recorder captures (see `.record` in
+//! the `duel` REPL): summarize a capture, dump its op timeline, and
+//! rank the hottest memory regions, all without a live debuggee.
+//!
+//! ```sh
+//! duel-replay session.jsonl              # summary + per-op stats
+//! duel-replay session.jsonl --timeline   # last 20 events
+//! duel-replay session.jsonl --timeline 100
+//! ```
+
+use duel_target::capture::{Capture, CaptureCall};
+use duel_target::trace::{fmt_ns, TraceEvent, TraceHandle};
+
+const USAGE: &str = "usage: duel-replay CAPTURE.jsonl [--timeline [N]]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let mut path = None;
+    let mut timeline = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeline" => {
+                timeline = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .inspect(|_| i += 1)
+                        .unwrap_or(20),
+                );
+            }
+            a if a.starts_with('-') => {
+                eprintln!("unknown flag `{a}`\n{USAGE}");
+                std::process::exit(2);
+            }
+            a => path = Some(a.to_string()),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let cap = match Capture::load(&path) {
+        Ok(cap) => cap,
+        Err(e) => {
+            eprintln!("cannot load `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(n) = timeline {
+        print_timeline(&cap, n);
+    } else {
+        print_summary(&path, &cap);
+    }
+}
+
+/// Renders one capture event in the `.trace dump` format.
+fn render(ev: &duel_target::capture::CaptureEvent) -> String {
+    TraceEvent {
+        seq: ev.seq,
+        op: ev.call.trace_op(),
+        detail: ev.call.detail(),
+        outcome: ev.reply.outcome(),
+        nanos: ev.ns,
+    }
+    .render()
+}
+
+fn print_timeline(cap: &Capture, n: usize) {
+    let skip = cap.events.len().saturating_sub(n);
+    if skip > 0 {
+        println!("... {skip} earlier event(s) ...");
+    }
+    for ev in cap.events.iter().skip(skip) {
+        println!("{}", render(ev));
+    }
+}
+
+fn print_summary(path: &str, cap: &Capture) {
+    let h = &cap.header;
+    println!("capture: {path}");
+    println!(
+        "  schema v{}, backend `{}`, scenario `{}`",
+        h.schema_version, h.backend, h.scenario
+    );
+    println!(
+        "  abi: {}-bit pointers, {}-endian, {} types in snapshot{}",
+        h.abi.pointer_bytes * 8,
+        match h.abi.endian {
+            duel_ctype::Endian::Little => "little",
+            duel_ctype::Endian::Big => "big",
+        },
+        cap.types().kinds.len(),
+        if cap.footer_types.is_some() {
+            ""
+        } else {
+            " (no footer: capture was not finalized)"
+        }
+    );
+    let total_ns: u64 = cap.events.iter().map(|e| e.ns).sum();
+    println!(
+        "  {} events, {} of recorded backend latency",
+        cap.events.len(),
+        fmt_ns(total_ns)
+    );
+
+    // Feed the capture through the live TraceStats machinery so the
+    // per-op table here and `.trace` in the REPL stay one code path.
+    let handle = TraceHandle::new(cap.events.len().max(1));
+    handle.set_enabled(true);
+    for ev in &cap.events {
+        handle.record_event(
+            ev.call.trace_op(),
+            ev.call.detail(),
+            ev.reply.outcome(),
+            ev.ns,
+        );
+    }
+    let stats = handle.snapshot();
+    println!("\nper-op stats:");
+    for o in stats.ops.iter().filter(|o| o.calls > 0) {
+        println!(
+            "  {:<13} {:>8} calls {:>6} errors  mean {:>8}  p99 {:>8}",
+            o.op.name(),
+            o.calls,
+            o.errors,
+            fmt_ns(o.mean_ns()),
+            fmt_ns(o.quantile_ns(0.99))
+        );
+    }
+
+    // Hot-address table: accesses bucketed by 64-byte line.
+    const BUCKET: u64 = 64;
+    let mut heat: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
+    for ev in &cap.events {
+        let (addr, len) = match &ev.call {
+            CaptureCall::GetBytes { addr, len } => (*addr, *len),
+            CaptureCall::PutBytes { addr, data } => (*addr, data.len() as u64),
+            _ => continue,
+        };
+        let first = addr / BUCKET;
+        let last = addr.saturating_add(len.saturating_sub(1)) / BUCKET;
+        for b in first..=last {
+            let slot = heat.entry(b * BUCKET).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += len.min(BUCKET);
+        }
+    }
+    let mut hot: Vec<(u64, (u64, u64))> = heat.into_iter().collect();
+    hot.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+    if !hot.is_empty() {
+        println!("\nhot addresses (64-byte lines):");
+        for (addr, (touches, bytes)) in hot.iter().take(10) {
+            println!("  0x{addr:<10x} {touches:>6} touches {bytes:>8} bytes");
+        }
+    }
+}

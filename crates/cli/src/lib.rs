@@ -14,18 +14,22 @@ use std::fmt::Write as _;
 use duel_core::{EvalOptions, EvalStats, Session, SymMode, Value};
 use duel_minic::{Debugger, StopReason};
 use duel_target::{
-    scenario, CacheConfig, CacheStats, CachedTarget, RetryStats, RetryTarget, SimTarget, Target,
-    TraceHandle, TraceTarget,
+    scenario, CacheConfig, CacheStats, CachedTarget, RecordTarget, ReplayMode, ReplayTarget,
+    RetryStats, RetryTarget, SimTarget, Target, TraceHandle, TraceTarget,
 };
 
 /// The REPL's decorator tower: tracing outermost (so its counters see
 /// the evaluator's traffic, cache hits included), retry in the middle,
-/// the page cache directly over the backend.
-type Tower<T> = TraceTarget<RetryTarget<CachedTarget<T>>>;
+/// the page cache over the flight recorder, the recorder directly over
+/// the backend. Record sits *innermost* so a capture holds the calls
+/// that actually reached the backend — cache hits never hollow it out —
+/// and it is a pure passthrough until `.record` arms it.
+type Tower<T> = TraceTarget<RetryTarget<CachedTarget<RecordTarget<T>>>>;
 
 pub(crate) enum Backend {
     Sim(Box<Tower<SimTarget>>),
     Minic(Box<Tower<Debugger>>),
+    Replay(Box<Tower<ReplayTarget>>),
 }
 
 impl Backend {
@@ -33,6 +37,7 @@ impl Backend {
         match self {
             Backend::Sim(t) => &mut **t,
             Backend::Minic(d) => &mut **d,
+            Backend::Replay(r) => &mut **r,
         }
     }
 
@@ -40,6 +45,7 @@ impl Backend {
         match self {
             Backend::Sim(t) => t.handle(),
             Backend::Minic(d) => d.handle(),
+            Backend::Replay(r) => r.handle(),
         }
     }
 
@@ -47,6 +53,7 @@ impl Backend {
         match self {
             Backend::Sim(t) => t.inner().stats(),
             Backend::Minic(d) => d.inner().stats(),
+            Backend::Replay(r) => r.inner().stats(),
         }
     }
 
@@ -54,6 +61,7 @@ impl Backend {
         match self {
             Backend::Sim(t) => t.inner().inner().stats(),
             Backend::Minic(d) => d.inner().inner().stats(),
+            Backend::Replay(r) => r.inner().inner().stats(),
         }
     }
 
@@ -61,6 +69,70 @@ impl Backend {
         match self {
             Backend::Sim(t) => t.inner_mut().inner_mut().set_enabled(on),
             Backend::Minic(d) => d.inner_mut().inner_mut().set_enabled(on),
+            Backend::Replay(r) => r.inner_mut().inner_mut().set_enabled(on),
+        }
+    }
+
+    /// The backend label written into capture headers.
+    fn label(&self) -> &'static str {
+        match self {
+            Backend::Sim(_) => "sim",
+            Backend::Minic(_) => "minic",
+            Backend::Replay(_) => "replay",
+        }
+    }
+
+    /// Arms the flight recorder. The page cache is invalidated first so
+    /// the capture starts cold: a capture that begins against a warm
+    /// cache would be missing the reads a cold replay re-issues.
+    fn record_start(&mut self, path: &str, scenario: &str) -> std::io::Result<()> {
+        let label = self.label();
+        fn go<T: Target>(
+            cache: &mut CachedTarget<RecordTarget<T>>,
+            path: &str,
+            label: &str,
+            scenario: &str,
+        ) -> std::io::Result<()> {
+            cache.invalidate_all();
+            cache.inner_mut().start_file(path, label, scenario)
+        }
+        match self {
+            Backend::Sim(t) => go(t.inner_mut().inner_mut(), path, label, scenario),
+            Backend::Minic(d) => go(d.inner_mut().inner_mut(), path, label, scenario),
+            Backend::Replay(r) => go(r.inner_mut().inner_mut(), path, label, scenario),
+        }
+    }
+
+    /// Finalizes the capture (footer + flush); returns events written.
+    fn record_stop(&mut self) -> std::io::Result<u64> {
+        match self {
+            Backend::Sim(t) => t.inner_mut().inner_mut().inner_mut().stop(),
+            Backend::Minic(d) => d.inner_mut().inner_mut().inner_mut().stop(),
+            Backend::Replay(r) => r.inner_mut().inner_mut().inner_mut().stop(),
+        }
+    }
+
+    /// (recording?, events written, sticky sink error).
+    fn record_info(&self) -> (bool, u64, Option<String>) {
+        fn info<T: Target>(r: &RecordTarget<T>) -> (bool, u64, Option<String>) {
+            (
+                r.is_recording(),
+                r.events_recorded(),
+                r.last_error().map(str::to_string),
+            )
+        }
+        match self {
+            Backend::Sim(t) => info(t.inner().inner().inner()),
+            Backend::Minic(d) => info(d.inner().inner().inner()),
+            Backend::Replay(r) => info(r.inner().inner().inner()),
+        }
+    }
+
+    /// The replay target, when this backend is a replay session.
+    fn replay(&self) -> Option<&ReplayTarget> {
+        match self {
+            Backend::Replay(r) => Some(r.inner().inner().inner().inner()),
+            _ => None,
         }
     }
 
@@ -73,7 +145,10 @@ impl Backend {
 
     fn tower<T: Target>(t: T, cache: bool) -> Tower<T> {
         TraceTarget::with_label(
-            RetryTarget::new(CachedTarget::with_config(t, Backend::cache_config(cache))),
+            RetryTarget::new(CachedTarget::with_config(
+                RecordTarget::new(t),
+                Backend::cache_config(cache),
+            )),
             "session",
         )
     }
@@ -84,6 +159,10 @@ impl Backend {
 
     fn minic(d: Debugger, cache: bool) -> Backend {
         Backend::Minic(Box::new(Backend::tower(d, cache)))
+    }
+
+    fn replay_backend(r: ReplayTarget, cache: bool) -> Backend {
+        Backend::Replay(Box::new(Backend::tower(r, cache)))
     }
 }
 
@@ -100,6 +179,9 @@ pub struct Repl {
     /// Sticky `.trace on` state, reapplied when `.scenario`/`.load`
     /// replace the backend (and with it the trace handle).
     trace_enabled: bool,
+    /// Label of the current debuggee (scenario name or program path),
+    /// written into capture headers by `.record`.
+    scenario_label: String,
 }
 
 const HELP: &str = "\
@@ -118,7 +200,14 @@ DUEL commands:
   .frames            show the stopped program's frames
   .ast EXPR          show the AST in the paper's LISP-like notation
   .stats             full tower counters: last evaluation, cache,
-                     retry, target-call trace
+                     retry, target-call trace, flight recorder
+  .record FILE       start capturing every backend call to FILE
+                     (JSONL; finalized by `.record stop` or exit)
+  .record stop       finalize the capture; `.record` alone = status
+  .replay FILE [strict|permissive]
+                     serve the session from a capture instead of a
+                     live backend (strict: exact recorded sequence,
+                     permissive: new expressions over frozen state)
   .trace on|off      record every target call (latency, outcome)
   .trace [dump [N]]  show per-op latency stats / the last N events
   .trace clear       reset trace counters and the event buffer
@@ -166,6 +255,7 @@ impl Repl {
             last_stats: EvalStats::default(),
             cache_enabled,
             trace_enabled: false,
+            scenario_label: "combined".into(),
         }
     }
 
@@ -183,10 +273,19 @@ impl Repl {
     }
 
     /// Exports the trace as a JSON document (the `--trace-json FILE`
-    /// flag writes this at exit).
+    /// flag writes this at exit). The envelope follows the shared
+    /// `schema_version`/`name`/`config`/`metrics` convention used by
+    /// the bench reports and capture files.
     pub fn trace_json(&self) -> String {
         format!(
-            "{{\"schema_version\":1,\"name\":\"duel_trace\",\"layers\":[{}]}}",
+            "{{\"schema_version\":1,\"name\":\"duel_trace\",\
+             \"config\":{{\"backend\":\"{}\",\"scenario\":\"{}\",\"cache\":{}}},\
+             \"metrics\":{{\"layers\":[{}]}}}}",
+            self.backend.label(),
+            self.scenario_label
+                .replace('\\', "\\\\")
+                .replace('"', "\\\""),
+            self.cache_enabled,
             self.backend.trace().to_json("session")
         )
     }
@@ -261,6 +360,21 @@ impl Repl {
         self.aliases = session.into_aliases();
     }
 
+    /// Finalizes an in-flight recording before the backend (and with it
+    /// the armed `RecordTarget`) is replaced, and tells the user.
+    fn note_recording_dropped(&mut self, out: &mut String) {
+        if self.backend.record_info().0 {
+            match self.backend.record_stop() {
+                Ok(n) => {
+                    let _ = writeln!(out, "recording finalized ({n} events): backend replaced");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "recording lost: {e}");
+                }
+            }
+        }
+    }
+
     fn command(&mut self, line: &str, out: &mut String) -> bool {
         let mut parts = line.split_whitespace();
         let cmd = parts.next().unwrap_or("");
@@ -285,18 +399,22 @@ impl Repl {
                     }
                 };
                 if let Some(t) = t {
+                    self.note_recording_dropped(out);
                     self.backend = Backend::sim(t, self.cache_enabled);
                     self.backend.trace().set_enabled(self.trace_enabled);
                     self.aliases.clear();
+                    self.scenario_label = if arg.is_empty() { "combined" } else { arg }.to_string();
                     let _ = writeln!(out, "scenario loaded; aliases cleared");
                 }
             }
             ".load" => match std::fs::read_to_string(arg) {
                 Ok(src) => match Debugger::new(&src) {
                     Ok(d) => {
+                        self.note_recording_dropped(out);
                         self.backend = Backend::minic(d, self.cache_enabled);
                         self.backend.trace().set_enabled(self.trace_enabled);
                         self.aliases.clear();
+                        self.scenario_label = arg.to_string();
                         let _ = writeln!(out, "compiled `{arg}`; set breakpoints and .run");
                     }
                     Err(e) => {
@@ -374,6 +492,34 @@ impl Repl {
                     t.events_held,
                     t.events_dropped
                 );
+                let (rec_on, rec_events, rec_err) = self.backend.record_info();
+                match self.backend.replay() {
+                    Some(r) => {
+                        let _ = writeln!(
+                            out,
+                            "replay: {:?}, {}/{} events consumed{}",
+                            r.mode(),
+                            r.events_consumed(),
+                            r.events_total(),
+                            match r.divergence() {
+                                Some(d) => format!("; DIVERGED at event {}", d.at),
+                                None => String::new(),
+                            }
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "record: {}{}",
+                            if rec_on {
+                                format!("on ({rec_events} events captured)")
+                            } else {
+                                "off".to_string()
+                            },
+                            rec_err.map(|e| format!(" [{e}]")).unwrap_or_default()
+                        );
+                    }
+                }
             }
             ".trace" => {
                 let h = self.backend.trace();
@@ -436,6 +582,93 @@ impl Repl {
                     other => {
                         let _ =
                             writeln!(out, "usage: .trace [on|off|dump [N]|clear] (got `{other}`)");
+                    }
+                }
+            }
+            ".record" => match arg {
+                "" => {
+                    let (on, events, err) = self.backend.record_info();
+                    if let Some(e) = err {
+                        let _ = writeln!(out, "recording stopped: {e}");
+                    } else if on {
+                        let _ = writeln!(out, "recording ({events} events captured)");
+                    } else {
+                        let _ = writeln!(out, "not recording (use `.record FILE`)");
+                    }
+                }
+                "stop" => match self.backend.record_stop() {
+                    Ok(0) => {
+                        let _ = writeln!(out, "not recording");
+                    }
+                    Ok(n) => {
+                        let _ = writeln!(out, "capture finalized ({n} events)");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "cannot finalize capture: {e}");
+                    }
+                },
+                path => {
+                    let scenario = self.scenario_label.clone();
+                    match self.backend.record_start(path, &scenario) {
+                        Ok(()) => {
+                            let _ = writeln!(out, "recording to `{path}`");
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "cannot record to `{path}`: {e}");
+                        }
+                    }
+                }
+            },
+            ".replay" => {
+                if arg.is_empty() {
+                    match self.backend.replay() {
+                        None => {
+                            let _ = writeln!(out, "usage: .replay FILE [strict|permissive]");
+                        }
+                        Some(r) => {
+                            let _ = writeln!(
+                                out,
+                                "replaying `{}` capture of scenario `{}` ({:?}, {}/{} events consumed)",
+                                r.backend_label(),
+                                r.scenario_label(),
+                                r.mode(),
+                                r.events_consumed(),
+                                r.events_total()
+                            );
+                            if let Some(d) = r.divergence() {
+                                let _ = writeln!(out, "{}", d.render());
+                            }
+                        }
+                    }
+                } else {
+                    let mode = match line.split_whitespace().nth(2) {
+                        None | Some("strict") => Some(ReplayMode::Strict),
+                        Some("permissive") => Some(ReplayMode::Permissive),
+                        Some(other) => {
+                            let _ = writeln!(
+                                out,
+                                "unknown replay mode `{other}` (strict or permissive)"
+                            );
+                            None
+                        }
+                    };
+                    if let Some(mode) = mode {
+                        match ReplayTarget::load(arg, mode) {
+                            Ok(r) => {
+                                self.note_recording_dropped(out);
+                                let total = r.events_total();
+                                self.backend = Backend::replay_backend(r, self.cache_enabled);
+                                self.backend.trace().set_enabled(self.trace_enabled);
+                                self.aliases.clear();
+                                let _ = writeln!(
+                                    out,
+                                    "replaying `{arg}` ({total} events, {mode:?}); aliases cleared"
+                                );
+                            }
+                            Err(e) => {
+                                let _ = writeln!(out, "cannot replay `{arg}`: {e}");
+                            }
+                        }
                     }
                 }
             }
@@ -513,18 +746,18 @@ impl Repl {
     fn debugger_command(&mut self, cmd: &str, arg: &str, out: &mut String) {
         let tower = match &mut self.backend {
             Backend::Minic(d) => d,
-            Backend::Sim(_) => {
+            Backend::Sim(_) | Backend::Replay(_) => {
                 let _ = writeln!(out, "no program loaded (use `.load file.c` first)");
                 return;
             }
         };
-        // Peel trace and retry; the cache layer wraps the debugger and
-        // owns invalidation.
+        // Peel trace and retry; the cache layer wraps the recorder
+        // (which wraps the debugger) and owns invalidation.
         let cache = tower.inner_mut().inner_mut();
         match cmd {
             ".break" => match arg.parse::<u32>() {
                 Ok(n) => {
-                    cache.inner_mut().add_breakpoint(n);
+                    cache.inner_mut().inner_mut().add_breakpoint(n);
                     let _ = writeln!(out, "breakpoint at line {n}");
                 }
                 Err(_) => {
@@ -533,11 +766,11 @@ impl Repl {
             },
             ".delete" => {
                 if let Ok(n) = arg.parse::<u32>() {
-                    cache.inner_mut().remove_breakpoint(n);
+                    cache.inner_mut().inner_mut().remove_breakpoint(n);
                 }
             }
             ".breaks" => {
-                let _ = writeln!(out, "{:?}", cache.inner_mut().breakpoints());
+                let _ = writeln!(out, "{:?}", cache.inner_mut().inner_mut().breakpoints());
             }
             ".watch" => {
                 if arg.is_empty() {
@@ -545,12 +778,12 @@ impl Repl {
                         let _ = writeln!(out, "usage: .watch EXPR");
                     };
                 } else {
-                    cache.inner_mut().add_watchpoint(arg);
+                    cache.inner_mut().inner_mut().add_watchpoint(arg);
                     let _ = writeln!(out, "watching `{arg}`");
                 }
             }
             ".run" | ".cont" => {
-                let dbg = cache.inner_mut();
+                let dbg = cache.inner_mut().inner_mut();
                 let r = if cmd == ".run" { dbg.run() } else { dbg.cont() };
                 match r {
                     Ok(StopReason::Breakpoint { line }) => {
@@ -578,7 +811,7 @@ impl Repl {
                 cache.invalidate_all();
             }
             ".step" => {
-                match cache.inner_mut().step_line() {
+                match cache.inner_mut().inner_mut().step_line() {
                     Ok(StopReason::Step { line }) => {
                         let _ = writeln!(out, "line {line}");
                     }
@@ -633,7 +866,7 @@ impl Default for Repl {
 
 /// Usage string for the `duel` binary.
 pub const USAGE: &str = "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] \
-     [--no-cache] [--trace-json FILE] [program.c]";
+     [--no-cache] [--trace-json FILE] [--record FILE] [--replay FILE] [program.c]";
 
 /// What [`parse_args`] extracted from the command line.
 #[derive(Debug)]
@@ -647,6 +880,11 @@ pub struct CliArgs {
     /// Where to export the target-call trace at exit
     /// (`--trace-json FILE`; also turns tracing on from the start).
     pub trace_json: Option<String>,
+    /// Capture file to start recording to immediately (`--record FILE`).
+    pub record: Option<String>,
+    /// Capture file to replay instead of a live backend
+    /// (`--replay FILE`, strict mode).
+    pub replay: Option<String>,
 }
 
 /// Parses the binary's command line: resource-budget flags, the
@@ -659,6 +897,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut path = None;
     let mut cache = true;
     let mut trace_json = None;
+    let mut record = None;
+    let mut replay = None;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -667,7 +907,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             None => (arg.as_str(), None),
         };
         match name {
-            "--max-steps" | "--max-depth" | "--timeout-ms" | "--trace-json" => {
+            "--max-steps" | "--max-depth" | "--timeout-ms" | "--trace-json" | "--record"
+            | "--replay" => {
                 let val = match inline {
                     Some(v) => v,
                     None => {
@@ -679,6 +920,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 };
                 if name == "--trace-json" {
                     trace_json = Some(val);
+                } else if name == "--record" {
+                    record = Some(val);
+                } else if name == "--replay" {
+                    replay = Some(val);
                 } else {
                     let n: u64 = val
                         .parse()
@@ -703,6 +948,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         path,
         cache,
         trace_json,
+        record,
+        replay,
     })
 }
 
@@ -923,6 +1170,13 @@ mod tests {
         let json = r.trace_json();
         assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
         assert!(json.contains("\"name\":\"duel_trace\""), "{json}");
+        // Shared envelope convention: config and metrics blocks, like
+        // bench reports and capture files.
+        assert!(
+            json.contains("\"config\":{\"backend\":\"sim\",\"scenario\":\"combined\""),
+            "{json}"
+        );
+        assert!(json.contains("\"metrics\":{\"layers\":["), "{json}");
         assert!(json.contains("\"label\":\"session\""), "{json}");
         assert!(json.contains("\"op\":\"get_bytes\""), "{json}");
     }
@@ -995,5 +1249,70 @@ mod tests {
         let out = run(&[".set trace on", "(1..2)+(5,9)"]);
         assert!(out.contains("eval(binary) -> yield 1+5"), "{out}");
         assert!(out.contains("eval(alternate) -> NOVALUE"), "{out}");
+    }
+
+    #[test]
+    fn trace_dump_honours_the_count_argument() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle("x[..10]", &mut out);
+        out.clear();
+        r.handle(".trace dump 2", &mut out);
+        assert_eq!(out.lines().count(), 2, "{out}");
+        let full = {
+            let mut full = String::new();
+            r.handle(".trace dump", &mut full);
+            full
+        };
+        assert!(full.lines().count() > 2, "{full}");
+        // `dump N` is exactly the tail of the default dump.
+        assert!(full.ends_with(&out), "{full:?} vs {out:?}");
+    }
+
+    #[test]
+    fn record_then_replay_roundtrips_through_the_repl() {
+        let dir = std::env::temp_dir().join("duel-cli-capture-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("session-{}.jsonl", std::process::id()));
+        let path = path.display().to_string();
+        let queries = ["x[1..4,8,12..50] >? 5 <? 10", "#/(head-->next)"];
+
+        // Record a live session.
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(&format!(".record {path}"), &mut out);
+        assert!(out.contains(&format!("recording to `{path}`")), "{out}");
+        let mut live = String::new();
+        for q in queries {
+            r.handle(q, &mut live);
+        }
+        out.clear();
+        r.handle(".record stop", &mut out);
+        assert!(out.contains("capture finalized"), "{out}");
+
+        // Replay it in a fresh REPL with no simulator state carried
+        // over: output must be byte-identical, capture fully consumed.
+        let mut r = Repl::new();
+        out.clear();
+        r.handle(&format!(".replay {path}"), &mut out);
+        assert!(out.contains("replaying"), "{out}");
+        let mut replayed = String::new();
+        for q in queries {
+            r.handle(q, &mut replayed);
+        }
+        assert_eq!(live, replayed);
+        out.clear();
+        r.handle(".replay", &mut out);
+        assert!(out.contains("capture of scenario `combined`"), "{out}");
+        assert!(!out.contains("divergence"), "{out}");
+        let consumed: Vec<&str> = out
+            .split_whitespace()
+            .find(|w| w.contains('/'))
+            .map(|w| w.split('/').collect())
+            .unwrap_or_default();
+        assert_eq!(consumed.len(), 2, "{out}");
+        assert_eq!(consumed[0], consumed[1], "all events consumed: {out}");
+        std::fs::remove_file(&path).ok();
     }
 }

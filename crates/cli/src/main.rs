@@ -28,14 +28,24 @@ fn main() {
         repl.set_tracing(true);
     }
     let mut out = String::new();
+    if let Some(path) = &parsed.replay {
+        repl.handle(&format!(".replay {path}"), &mut out);
+        print!("{out}");
+        out.clear();
+    }
     if let Some(path) = parsed.path {
         repl.handle(&format!(".load {path}"), &mut out);
         print!("{out}");
         out.clear();
-    } else {
+    } else if parsed.replay.is_none() {
         println!("DUEL — a very high-level debugging language (USENIX '93).");
         println!("Built-in scenario loaded: x, hash, L, head, root, argv, s.");
         println!("Try: x[1..4,8,12..50] >? 5 <? 10   (or .help)\n");
+    }
+    if let Some(path) = &parsed.record {
+        repl.handle(&format!(".record {path}"), &mut out);
+        print!("{out}");
+        out.clear();
     }
     let stdin = std::io::stdin();
     loop {
@@ -53,6 +63,13 @@ fn main() {
         if !more {
             break;
         }
+    }
+    if parsed.record.is_some() {
+        // Finalize explicitly so the footer lands before we report;
+        // dropping the Repl would also finalize, but silently.
+        repl.handle(".record stop", &mut out);
+        print!("{out}");
+        out.clear();
     }
     if let Some(path) = parsed.trace_json {
         if let Err(e) = std::fs::write(&path, repl.trace_json()) {

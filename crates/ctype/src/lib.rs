@@ -48,4 +48,6 @@ pub use convert::{integer_promote, usual_arithmetic, IntRank};
 pub use error::{TypeError, TypeResult};
 pub use layout::{FieldLayout, RecordLayout};
 pub use prim::Prim;
-pub use table::{EnumDef, EnumId, Field, Record, RecordId, TypeId, TypeKind, TypeTable};
+pub use table::{
+    EnumDef, EnumId, Field, Record, RecordId, TableSnapshot, TypeId, TypeKind, TypeTable,
+};

@@ -22,6 +22,45 @@ pub struct RecordId(pub(crate) u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EnumId(pub(crate) u32);
 
+impl TypeId {
+    /// The raw arena index, for serialization (capture files). Only
+    /// meaningful relative to the [`TypeTable`] that produced it.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`TypeId::raw`]. The caller is responsible
+    /// for pairing it with the table (or [`TableSnapshot`]) it came
+    /// from.
+    pub fn from_raw(raw: u32) -> TypeId {
+        TypeId(raw)
+    }
+}
+
+impl RecordId {
+    /// The raw arena index, for serialization.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`RecordId::raw`].
+    pub fn from_raw(raw: u32) -> RecordId {
+        RecordId(raw)
+    }
+}
+
+impl EnumId {
+    /// The raw arena index, for serialization.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`EnumId::raw`].
+    pub fn from_raw(raw: u32) -> EnumId {
+        EnumId(raw)
+    }
+}
+
 /// The shape of a type.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TypeKind {
@@ -396,6 +435,73 @@ impl TypeTable {
     pub fn is_empty(&self) -> bool {
         self.kinds.is_empty()
     }
+
+    /// Takes a deterministic, serializable image of the whole arena.
+    ///
+    /// Name-keyed maps are sorted so the same table always snapshots to
+    /// the same bytes — capture files depend on this for reproducible
+    /// diffs.
+    pub fn snapshot(&self) -> TableSnapshot {
+        fn sorted<V: Copy>(m: &HashMap<String, V>) -> Vec<(String, V)> {
+            let mut v: Vec<(String, V)> = m.iter().map(|(k, &id)| (k.clone(), id)).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        }
+        TableSnapshot {
+            kinds: self.kinds.clone(),
+            records: self.records.clone(),
+            enums: self.enums.clone(),
+            typedefs: sorted(&self.typedefs),
+            struct_tags: sorted(&self.struct_tags),
+            union_tags: sorted(&self.union_tags),
+            enum_tags: sorted(&self.enum_tags),
+        }
+    }
+
+    /// Rebuilds a table from a snapshot, preserving every raw id.
+    ///
+    /// The intern map is reconstructed with first-occurrence-wins so
+    /// kinds that were pushed without interning (anonymous records) do
+    /// not steal the canonical id from an earlier identical entry.
+    pub fn from_snapshot(snap: &TableSnapshot) -> TypeTable {
+        let mut interned = HashMap::new();
+        for (i, kind) in snap.kinds.iter().enumerate() {
+            interned.entry(kind.clone()).or_insert(TypeId(i as u32));
+        }
+        TypeTable {
+            kinds: snap.kinds.clone(),
+            records: snap.records.clone(),
+            enums: snap.enums.clone(),
+            interned,
+            typedefs: snap.typedefs.iter().cloned().collect(),
+            struct_tags: snap.struct_tags.iter().cloned().collect(),
+            union_tags: snap.union_tags.iter().cloned().collect(),
+            enum_tags: snap.enum_tags.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A deterministic, serializable image of a [`TypeTable`].
+///
+/// Raw ids (`TypeId::raw` et al.) index directly into these vectors, so
+/// a capture file that stores the snapshot plus raw ids round-trips
+/// exactly via [`TypeTable::from_snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableSnapshot {
+    /// Every type kind, in arena (id) order.
+    pub kinds: Vec<TypeKind>,
+    /// Every struct/union definition, in arena order.
+    pub records: Vec<Record>,
+    /// Every enum definition, in arena order.
+    pub enums: Vec<EnumDef>,
+    /// Typedef name → type, sorted by name.
+    pub typedefs: Vec<(String, TypeId)>,
+    /// Struct tag → record, sorted by tag.
+    pub struct_tags: Vec<(String, RecordId)>,
+    /// Union tag → record, sorted by tag.
+    pub union_tags: Vec<(String, RecordId)>,
+    /// Enum tag → enum, sorted by tag.
+    pub enum_tags: Vec<(String, EnumId)>,
 }
 
 #[cfg(test)]
@@ -414,6 +520,69 @@ mod tests {
         let a3 = tt.array(int, Some(11));
         assert_eq!(a1, a2);
         assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_ids_and_interning() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let pint = tt.pointer(int);
+        let (rid, sty) = tt.declare_struct("node");
+        let pnode = tt.pointer(sty);
+        tt.define_record(
+            rid,
+            vec![Field::new("value", int), Field::new("next", pnode)],
+        );
+        tt.define_typedef("node_t", sty);
+        let (eid, ety) = tt.define_enum(Some("color"), vec![("RED".into(), 0), ("BLUE".into(), 1)]);
+
+        let snap = tt.snapshot();
+        let mut back = TypeTable::from_snapshot(&snap);
+
+        // Raw ids survive the round trip.
+        assert_eq!(back.len(), tt.len());
+        assert_eq!(back.kind(sty), tt.kind(sty));
+        assert_eq!(back.record(rid), tt.record(rid));
+        assert_eq!(back.enum_def(eid), tt.enum_def(eid));
+        assert_eq!(back.typedef("node_t"), Some(sty));
+        assert_eq!(back.struct_tag("node"), Some(rid));
+        assert_eq!(back.enum_tag("color"), Some(eid));
+        assert_eq!(back.kind(ety), tt.kind(ety));
+
+        // Re-interning is idempotent: asking for existing types does not
+        // grow the restored table or mint new ids.
+        let n = back.len();
+        assert_eq!(back.prim(Prim::Int), int);
+        assert_eq!(back.pointer(int), pint);
+        assert_eq!(back.pointer(sty), pnode);
+        assert_eq!(back.len(), n);
+
+        // Snapshotting the restored table is byte-for-byte stable.
+        assert_eq!(back.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_handles_uninterned_anonymous_records() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        // anonymous_record pushes a kind without interning it.
+        let (arid, aty) = tt.anonymous_record(false);
+        tt.define_record(arid, vec![Field::new("x", int)]);
+        let back = TypeTable::from_snapshot(&tt.snapshot());
+        assert_eq!(back.kind(aty), tt.kind(aty));
+        assert_eq!(back.record(arid), tt.record(arid));
+        assert_eq!(back.snapshot(), tt.snapshot());
+    }
+
+    #[test]
+    fn raw_id_roundtrip() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        assert_eq!(TypeId::from_raw(int.raw()), int);
+        let (rid, _) = tt.declare_struct("s");
+        assert_eq!(RecordId::from_raw(rid.raw()), rid);
+        let (eid, _) = tt.define_enum(None, vec![("A".into(), 0)]);
+        assert_eq!(EnumId::from_raw(eid.raw()), eid);
     }
 
     #[test]

@@ -133,6 +133,43 @@ impl<T: MiTransport> MiTarget<T> {
         ))
     }
 
+    /// [`MiTarget::connect_cached`] with a flight recorder at the
+    /// *innermost* position:
+    /// `RetryTarget<CachedTarget<RecordTarget<MiTarget>>>`.
+    ///
+    /// The recorder sits below the cache so the capture holds exactly
+    /// the traffic that reached the MI wire — cache hits never hollow
+    /// out the capture, and replaying it through an identically
+    /// configured (cold) tower reproduces the same miss sequence. It
+    /// also sits below retry, so every individual attempt (including
+    /// the transient failures retry absorbs) is recorded; a strict
+    /// [`duel_target::ReplayTarget`] re-serves those transients and the
+    /// retry layer above re-drives them deterministically.
+    ///
+    /// This differs from the MI-transport-level `Recorder`/`Replayer`
+    /// in [`crate::replay`]: that pair captures raw MI text lines
+    /// (one debugger dialect), while this captures the typed `Target`
+    /// interface, so the same file replays under any consumer of the
+    /// trait. See DESIGN.md §11 for the reconciliation.
+    #[allow(clippy::type_complexity)]
+    pub fn connect_recorded(
+        transport: T,
+        policy: duel_target::RetryPolicy,
+        cache: duel_target::CacheConfig,
+        sink: Box<dyn std::io::Write + Send>,
+        scenario: &str,
+    ) -> TargetResult<
+        duel_target::RetryTarget<duel_target::CachedTarget<duel_target::RecordTarget<MiTarget<T>>>>,
+    > {
+        let mut rec = duel_target::RecordTarget::new(MiTarget::connect(transport)?);
+        rec.start(sink, "gdb-mi", scenario)
+            .map_err(|e| duel_target::TargetError::Backend(format!("capture sink: {e}")))?;
+        Ok(duel_target::RetryTarget::with_policy(
+            duel_target::CachedTarget::with_config(rec, cache),
+            policy,
+        ))
+    }
+
     /// [`MiTarget::connect_cached`] with a [`duel_target::TraceTarget`]
     /// at *both* ends of the tower:
     /// `TraceTarget<RetryTarget<CachedTarget<TraceTarget<MiTarget>>>>`.

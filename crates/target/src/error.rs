@@ -48,6 +48,18 @@ pub enum TargetError {
         /// Width of the offending value in bytes.
         bytes: u64,
     },
+    /// A replayed session issued a call the capture does not contain at
+    /// this position (a *fault*: the capture is the frozen ground truth
+    /// and retrying the same divergent call cannot help).
+    ReplayDivergence {
+        /// Zero-based position in the capture's event stream.
+        at: u64,
+        /// The call the capture recorded at this position (or
+        /// "end of capture").
+        expected: String,
+        /// The call the session actually issued.
+        got: String,
+    },
     /// The backend itself misbehaved — protocol error, dropped
     /// connection, garbled reply (a *transient failure*, retryable).
     Backend(String),
@@ -80,6 +92,7 @@ impl TargetError {
                 | TargetError::UnknownFunction(_)
                 | TargetError::CallFailed { .. }
                 | TargetError::UnsupportedWidth { .. }
+                | TargetError::ReplayDivergence { .. }
         )
     }
 
@@ -107,6 +120,10 @@ impl fmt::Display for TargetError {
             TargetError::UnsupportedWidth { bytes } => write!(
                 f,
                 "value of {bytes} byte(s) is too wide for the call boundary (max 8)"
+            ),
+            TargetError::ReplayDivergence { at, expected, got } => write!(
+                f,
+                "replay divergence at event {at}: capture has {expected}, session issued {got}"
             ),
             TargetError::Backend(msg) => write!(f, "backend error: {msg}"),
             TargetError::Timeout { ms } => write!(f, "target call timed out after {ms} ms"),
@@ -143,6 +160,11 @@ mod tests {
                 reason: "r".into(),
             },
             TargetError::UnsupportedWidth { bytes: 16 },
+            TargetError::ReplayDivergence {
+                at: 0,
+                expected: "e".into(),
+                got: "g".into(),
+            },
             TargetError::Backend("b".into()),
             TargetError::Timeout { ms: 10 },
             TargetError::Truncated {

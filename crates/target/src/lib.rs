@@ -28,11 +28,20 @@
 //! * [`TraceTarget`] — wire-level observability: per-op counters,
 //!   latency histograms, and a bounded event ring, insertable at any
 //!   level of the tower and free when disabled.
+//! * [`RecordTarget`] / [`ReplayTarget`] — the flight recorder: stream
+//!   every interface call (full arguments and replies) to a versioned
+//!   JSONL capture, then serve an entire session back from the file —
+//!   strictly (byte-identical replay, symbolic divergence reports) or
+//!   permissively (new expressions over the frozen recorded state).
 
 pub mod cache;
+pub mod capture;
 pub mod error;
 pub mod fault;
 pub mod iface;
+pub mod json;
+pub mod record;
+pub mod replay;
 pub mod retry;
 pub mod scenario;
 pub mod sim;
@@ -40,9 +49,12 @@ pub mod trace;
 pub mod value_io;
 
 pub use cache::{CacheConfig, CacheStats, CachedTarget};
+pub use capture::{Capture, CaptureCall, CaptureEvent, CaptureReply, SharedSink};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
 pub use iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
+pub use record::RecordTarget;
+pub use replay::{Divergence, ReplayMode, ReplayTarget};
 pub use retry::{RetryPolicy, RetryStats, RetryTarget};
 pub use sim::{SimCore, SimMemory, SimTarget, ARENA_BASE};
 pub use trace::{TraceEvent, TraceHandle, TraceOp, TraceOutcome, TraceStats, TraceTarget};

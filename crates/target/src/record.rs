@@ -1,0 +1,440 @@
+//! The flight recorder: a [`Target`] decorator that streams every
+//! interface call to a capture file.
+//!
+//! `RecordTarget` is designed to live permanently in a decorator tower
+//! (the CLI keeps one under the cache layer at all times): while no
+//! sink is attached every call forwards with zero bookkeeping, and
+//! [`RecordTarget::start`] arms it mid-session. It sits *innermost* —
+//! below the cache — so the capture holds the calls that actually
+//! reached the backend; cache hits never hollow out a capture.
+//!
+//! Output is streamed through a fixed-size [`BufWriter`] and flushed
+//! every [`FLUSH_EVERY`] events, so memory use is bounded no matter how
+//! long the session runs and at most a handful of events are lost on a
+//! crash. A sink write error stops the recording (and is reported via
+//! [`RecordTarget::last_error`]) rather than failing the session: the
+//! debugger must keep working even when the disk does not.
+
+use std::io::{BufWriter, Write};
+use std::time::Instant;
+
+use crate::capture::{footer_to_json, header_to_json, CaptureCall, CaptureEvent, CaptureReply};
+use crate::error::TargetResult;
+use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::trace::{TraceHandle, TraceOp, TRACE_OPS};
+use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
+
+/// Events between forced flushes of the capture stream.
+pub const FLUSH_EVERY: u64 = 256;
+
+struct Recorder {
+    sink: BufWriter<Box<dyn Write + Send>>,
+    events: u64,
+    op_counts: Vec<(TraceOp, u64)>,
+}
+
+impl Recorder {
+    fn bump(&mut self, op: TraceOp) {
+        if let Some(slot) = self.op_counts.iter_mut().find(|(o, _)| *o == op) {
+            slot.1 += 1;
+        }
+    }
+}
+
+/// A [`Target`] decorator that records every call to a capture sink.
+pub struct RecordTarget<T: Target> {
+    inner: T,
+    recorder: Option<Recorder>,
+    last_error: Option<String>,
+}
+
+impl<T: Target> std::fmt::Debug for RecordTarget<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordTarget")
+            .field("recording", &self.is_recording())
+            .field("events", &self.events_recorded())
+            .finish()
+    }
+}
+
+impl<T: Target> RecordTarget<T> {
+    /// Wraps `inner` with recording off (pure passthrough).
+    pub fn new(inner: T) -> RecordTarget<T> {
+        RecordTarget {
+            inner,
+            recorder: None,
+            last_error: None,
+        }
+    }
+
+    /// Starts recording to `sink`, writing the capture header from the
+    /// inner target's current ABI and type table. Any recording already
+    /// in progress is finalized first.
+    pub fn start(
+        &mut self,
+        sink: Box<dyn Write + Send>,
+        backend: &str,
+        scenario: &str,
+    ) -> std::io::Result<()> {
+        self.stop()?;
+        let mut sink = BufWriter::new(sink);
+        let snap = self.inner.types().snapshot();
+        writeln!(
+            sink,
+            "{}",
+            header_to_json(backend, scenario, self.inner.abi(), &snap)
+        )?;
+        self.recorder = Some(Recorder {
+            sink,
+            events: 0,
+            op_counts: TRACE_OPS.iter().map(|&op| (op, 0)).collect(),
+        });
+        self.last_error = None;
+        Ok(())
+    }
+
+    /// Starts recording to a file at `path`.
+    pub fn start_file(&mut self, path: &str, backend: &str, scenario: &str) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.start(Box::new(f), backend, scenario)
+    }
+
+    /// Finalizes the capture: writes the footer (per-op metrics + the
+    /// authoritative final type snapshot) and flushes. Returns the
+    /// number of events recorded, or 0 if recording was off.
+    pub fn stop(&mut self) -> std::io::Result<u64> {
+        let Some(mut rec) = self.recorder.take() else {
+            return Ok(0);
+        };
+        let snap = self.inner.types().snapshot();
+        writeln!(
+            rec.sink,
+            "{}",
+            footer_to_json(&rec.op_counts, rec.events, &snap)
+        )?;
+        rec.sink.flush()?;
+        Ok(rec.events)
+    }
+
+    /// Whether a sink is currently attached.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Events written to the current recording (0 when off).
+    pub fn events_recorded(&self) -> u64 {
+        self.recorder.as_ref().map_or(0, |r| r.events)
+    }
+
+    /// The sink error that stopped the last recording, if any.
+    pub fn last_error(&self) -> Option<&str> {
+        self.last_error.as_deref()
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped target.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    fn emit(&mut self, call: CaptureCall, reply: CaptureReply, ns: u64) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        rec.bump(call.trace_op());
+        let ev = CaptureEvent {
+            seq: rec.events,
+            call,
+            reply,
+            ns,
+        };
+        let line_ok = writeln!(rec.sink, "{}", ev.to_json_line());
+        rec.events += 1;
+        let flush_ok = if rec.events % FLUSH_EVERY == 0 {
+            rec.sink.flush()
+        } else {
+            Ok(())
+        };
+        if let Err(e) = line_ok.and(flush_ok) {
+            self.last_error = Some(format!("capture sink error, recording stopped: {e}"));
+            self.recorder = None;
+        }
+    }
+
+    fn clock(&self) -> Option<Instant> {
+        if self.recorder.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+}
+
+fn elapsed_ns(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
+fn reply_of<R: Clone>(r: &TargetResult<R>, ok: impl FnOnce(&R) -> CaptureReply) -> CaptureReply {
+    match r {
+        Ok(v) => ok(v),
+        Err(e) => CaptureReply::Err(e.clone()),
+    }
+}
+
+impl<T: Target> Target for RecordTarget<T> {
+    fn abi(&self) -> &Abi {
+        self.inner.abi()
+    }
+
+    fn types(&self) -> &TypeTable {
+        self.inner.types()
+    }
+
+    fn types_mut(&mut self) -> &mut TypeTable {
+        self.inner.types_mut()
+    }
+
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        let t = self.clock();
+        let r = self.inner.get_bytes(addr, buf);
+        if self.recorder.is_some() {
+            let reply = reply_of(&r, |_| CaptureReply::Bytes(buf.to_vec()));
+            self.emit(
+                CaptureCall::GetBytes {
+                    addr,
+                    len: buf.len() as u64,
+                },
+                reply,
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+        let t = self.clock();
+        let r = self.inner.put_bytes(addr, bytes);
+        if self.recorder.is_some() {
+            let reply = reply_of(&r, |_| CaptureReply::Unit);
+            self.emit(
+                CaptureCall::PutBytes {
+                    addr,
+                    data: bytes.to_vec(),
+                },
+                reply,
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+        let t = self.clock();
+        let r = self.inner.alloc_space(size, align);
+        if self.recorder.is_some() {
+            let reply = reply_of(&r, |&a| CaptureReply::Addr(a));
+            self.emit(
+                CaptureCall::AllocSpace { size, align },
+                reply,
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+        let t = self.clock();
+        let r = self.inner.call_func(name, args);
+        if self.recorder.is_some() {
+            let reply = reply_of(&r, |v| CaptureReply::Value(v.clone()));
+            self.emit(
+                CaptureCall::CallFunc {
+                    name: name.to_string(),
+                    args: args.to_vec(),
+                },
+                reply,
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+        let t = self.clock();
+        let r = self.inner.get_variable(name);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::GetVariable {
+                    name: name.to_string(),
+                    frame: None,
+                },
+                CaptureReply::Var(r.clone()),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+        let t = self.clock();
+        let r = self.inner.get_variable_in_frame(name, frame);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::GetVariable {
+                    name: name.to_string(),
+                    frame: Some(frame as u64),
+                },
+                CaptureReply::Var(r.clone()),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+        let t = self.clock();
+        let r = self.inner.lookup_typedef(name);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::LookupType {
+                    ns: "typedef".into(),
+                    name: name.to_string(),
+                },
+                CaptureReply::TypeRef(r.map(TypeId::raw)),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+        let t = self.clock();
+        let r = self.inner.lookup_struct(tag);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::LookupType {
+                    ns: "struct".into(),
+                    name: tag.to_string(),
+                },
+                CaptureReply::TypeRef(r.map(RecordId::raw)),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+        let t = self.clock();
+        let r = self.inner.lookup_union(tag);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::LookupType {
+                    ns: "union".into(),
+                    name: tag.to_string(),
+                },
+                CaptureReply::TypeRef(r.map(RecordId::raw)),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+        let t = self.clock();
+        let r = self.inner.lookup_enum(tag);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::LookupType {
+                    ns: "enum".into(),
+                    name: tag.to_string(),
+                },
+                CaptureReply::TypeRef(r.map(EnumId::raw)),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn has_function(&mut self, name: &str) -> bool {
+        let t = self.clock();
+        let r = self.inner.has_function(name);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::HasFunction {
+                    name: name.to_string(),
+                },
+                CaptureReply::Flag(r),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn frame_count(&mut self) -> usize {
+        let t = self.clock();
+        let r = self.inner.frame_count();
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::FrameCount,
+                CaptureReply::Count(r as u64),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+        let t = self.clock();
+        let r = self.inner.frame_info(n);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::FrameInfo { n: n as u64 },
+                CaptureReply::Frame(r.clone()),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+        let t = self.clock();
+        let r = self.inner.is_mapped(addr, len);
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::IsMapped { addr, len },
+                CaptureReply::Flag(r),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn take_output(&mut self) -> String {
+        let t = self.clock();
+        let r = self.inner.take_output();
+        if self.recorder.is_some() {
+            self.emit(
+                CaptureCall::TakeOutput,
+                CaptureReply::Output(r.clone()),
+                elapsed_ns(t),
+            );
+        }
+        r
+    }
+
+    fn trace_handle(&self) -> Option<TraceHandle> {
+        self.inner.trace_handle()
+    }
+}
+
+impl<T: Target> Drop for RecordTarget<T> {
+    fn drop(&mut self) {
+        // Finalize an in-flight recording so the file has its footer
+        // even when the session exits without `.record stop`.
+        let _ = self.stop();
+    }
+}

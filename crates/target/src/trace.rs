@@ -430,6 +430,15 @@ impl TraceHandle {
         )
     }
 
+    /// Feeds one externally-observed event into the counters,
+    /// histograms, and ring, exactly as a live traced call would.
+    ///
+    /// This is how offline tools (e.g. `duel-replay`) reuse the stats
+    /// machinery over a capture file instead of a live target.
+    pub fn record_event(&self, op: TraceOp, detail: String, outcome: TraceOutcome, nanos: u64) {
+        self.record(op, detail, outcome, nanos);
+    }
+
     fn record(&self, op: TraceOp, detail: String, outcome: TraceOutcome, nanos: u64) {
         let i = op.index();
         self.0.calls[i].fetch_add(1, Ordering::Relaxed);
