@@ -10,24 +10,31 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
-use duel_core::{EvalOptions, EvalStats, Session, SymMode, Value};
+use duel_core::{DuelError, EvalOptions, EvalStats, Session, SymMode, Value};
 use duel_minic::{Debugger, StopReason};
 use duel_target::{
-    scenario, CacheConfig, CacheStats, CachedTarget, RecordTarget, ReplayMode, ReplayTarget,
-    RetryStats, RetryTarget, SimTarget, Target, TraceHandle, TraceTarget,
+    scenario, CacheConfig, CacheStats, CachedTarget, ChaosHandle, ChaosTarget, CircuitState,
+    RecordTarget, ReplayMode, ReplayTarget, ResyncReport, RetryStats, RetryTarget, SimTarget,
+    SupervisedTarget, SupervisorStats, Target, TargetResult, TraceHandle, TraceTarget,
 };
 
 /// The REPL's decorator tower: tracing outermost (so its counters see
-/// the evaluator's traffic, cache hits included), retry in the middle,
-/// the page cache over the flight recorder, the recorder directly over
-/// the backend. Record sits *innermost* so a capture holds the calls
-/// that actually reached the backend — cache hits never hollow it out —
-/// and it is a pure passthrough until `.record` arms it.
-type Tower<T> = TraceTarget<RetryTarget<CachedTarget<RecordTarget<T>>>>;
+/// the evaluator's traffic, cache hits included), the backend
+/// supervisor next (circuit breaker, degraded stale reads, reconnect —
+/// it watches the *retried* failure stream, so one window entry per
+/// operation), retry under it, the page cache over the flight recorder,
+/// the recorder directly over the backend. Record sits *innermost* so a
+/// capture holds the calls that actually reached the backend — cache
+/// hits never hollow it out — and it is a pure passthrough until
+/// `.record` arms it.
+type Tower<T> = TraceTarget<SupervisedTarget<RetryTarget<CachedTarget<RecordTarget<T>>>>>;
 
 pub(crate) enum Backend {
-    Sim(Box<Tower<SimTarget>>),
+    /// Simulated debuggees carry a chaos gate innermost so `.chaos`
+    /// can kill/hang/garble the "wire" under the whole tower.
+    Sim(Box<Tower<ChaosTarget<SimTarget>>>),
     Minic(Box<Tower<Debugger>>),
     Replay(Box<Tower<ReplayTarget>>),
 }
@@ -51,25 +58,110 @@ impl Backend {
 
     fn retry_stats(&self) -> RetryStats {
         match self {
-            Backend::Sim(t) => t.inner().stats(),
-            Backend::Minic(d) => d.inner().stats(),
-            Backend::Replay(r) => r.inner().stats(),
-        }
-    }
-
-    fn cache_stats(&self) -> &CacheStats {
-        match self {
             Backend::Sim(t) => t.inner().inner().stats(),
             Backend::Minic(d) => d.inner().inner().stats(),
             Backend::Replay(r) => r.inner().inner().stats(),
         }
     }
 
+    fn cache_stats(&self) -> &CacheStats {
+        match self {
+            Backend::Sim(t) => t.inner().inner().inner().stats(),
+            Backend::Minic(d) => d.inner().inner().inner().stats(),
+            Backend::Replay(r) => r.inner().inner().inner().stats(),
+        }
+    }
+
     fn set_cache(&mut self, on: bool) {
         match self {
-            Backend::Sim(t) => t.inner_mut().inner_mut().set_enabled(on),
-            Backend::Minic(d) => d.inner_mut().inner_mut().set_enabled(on),
-            Backend::Replay(r) => r.inner_mut().inner_mut().set_enabled(on),
+            Backend::Sim(t) => t.inner_mut().inner_mut().inner_mut().set_enabled(on),
+            Backend::Minic(d) => d.inner_mut().inner_mut().inner_mut().set_enabled(on),
+            Backend::Replay(r) => r.inner_mut().inner_mut().inner_mut().set_enabled(on),
+        }
+    }
+
+    // ----- supervision (the layer under trace) ---------------------------
+
+    fn circuit_state(&self) -> CircuitState {
+        match self {
+            Backend::Sim(t) => t.inner().state(),
+            Backend::Minic(d) => d.inner().state(),
+            Backend::Replay(r) => r.inner().state(),
+        }
+    }
+
+    fn supervise_stats(&self) -> SupervisorStats {
+        match self {
+            Backend::Sim(t) => t.inner().stats(),
+            Backend::Minic(d) => d.inner().stats(),
+            Backend::Replay(r) => r.inner().stats(),
+        }
+    }
+
+    fn degrade_enabled(&self) -> bool {
+        match self {
+            Backend::Sim(t) => t.inner().config().degrade,
+            Backend::Minic(d) => d.inner().config().degrade,
+            Backend::Replay(r) => r.inner().config().degrade,
+        }
+    }
+
+    fn set_degrade(&mut self, on: bool) {
+        match self {
+            Backend::Sim(t) => t.inner_mut().set_degrade(on),
+            Backend::Minic(d) => d.inner_mut().set_degrade(on),
+            Backend::Replay(r) => r.inner_mut().set_degrade(on),
+        }
+    }
+
+    fn health_check(&mut self) -> TargetResult<()> {
+        match self {
+            Backend::Sim(t) => t.inner_mut().health_check(),
+            Backend::Minic(d) => d.inner_mut().health_check(),
+            Backend::Replay(r) => r.inner_mut().health_check(),
+        }
+    }
+
+    fn force_reconnect(&mut self) -> TargetResult<ResyncReport> {
+        match self {
+            Backend::Sim(t) => t.inner_mut().force_reconnect(),
+            Backend::Minic(d) => d.inner_mut().force_reconnect(),
+            Backend::Replay(r) => r.inner_mut().force_reconnect(),
+        }
+    }
+
+    fn last_resync(&self) -> Option<ResyncReport> {
+        match self {
+            Backend::Sim(t) => t.inner().last_resync().cloned(),
+            Backend::Minic(d) => d.inner().last_resync().cloned(),
+            Backend::Replay(r) => r.inner().last_resync().cloned(),
+        }
+    }
+
+    fn last_failure(&self) -> Option<String> {
+        match self {
+            Backend::Sim(t) => t.inner().last_failure().map(str::to_string),
+            Backend::Minic(d) => d.inner().last_failure().map(str::to_string),
+            Backend::Replay(r) => r.inner().last_failure().map(str::to_string),
+        }
+    }
+
+    /// Arms (or clears) the per-command wall-clock deadline on the
+    /// retry layer, so backoff sleeps can never overshoot the eval
+    /// timeout budget by a full backoff ceiling.
+    fn set_op_deadline(&mut self, deadline: Option<Instant>) {
+        match self {
+            Backend::Sim(t) => t.inner_mut().inner_mut().set_op_deadline(deadline),
+            Backend::Minic(d) => d.inner_mut().inner_mut().set_op_deadline(deadline),
+            Backend::Replay(r) => r.inner_mut().inner_mut().set_op_deadline(deadline),
+        }
+    }
+
+    /// The chaos gate of a simulated backend (`.chaos` commands).
+    fn chaos(&self) -> Option<ChaosHandle> {
+        match self {
+            Backend::Sim(t) => Some(t.inner().inner().inner().inner().inner().handle()),
+            _ => None,
         }
     }
 
@@ -97,18 +189,18 @@ impl Backend {
             cache.inner_mut().start_file(path, label, scenario)
         }
         match self {
-            Backend::Sim(t) => go(t.inner_mut().inner_mut(), path, label, scenario),
-            Backend::Minic(d) => go(d.inner_mut().inner_mut(), path, label, scenario),
-            Backend::Replay(r) => go(r.inner_mut().inner_mut(), path, label, scenario),
+            Backend::Sim(t) => go(t.inner_mut().inner_mut().inner_mut(), path, label, scenario),
+            Backend::Minic(d) => go(d.inner_mut().inner_mut().inner_mut(), path, label, scenario),
+            Backend::Replay(r) => go(r.inner_mut().inner_mut().inner_mut(), path, label, scenario),
         }
     }
 
     /// Finalizes the capture (footer + flush); returns events written.
     fn record_stop(&mut self) -> std::io::Result<u64> {
         match self {
-            Backend::Sim(t) => t.inner_mut().inner_mut().inner_mut().stop(),
-            Backend::Minic(d) => d.inner_mut().inner_mut().inner_mut().stop(),
-            Backend::Replay(r) => r.inner_mut().inner_mut().inner_mut().stop(),
+            Backend::Sim(t) => t.inner_mut().inner_mut().inner_mut().inner_mut().stop(),
+            Backend::Minic(d) => d.inner_mut().inner_mut().inner_mut().inner_mut().stop(),
+            Backend::Replay(r) => r.inner_mut().inner_mut().inner_mut().inner_mut().stop(),
         }
     }
 
@@ -122,16 +214,16 @@ impl Backend {
             )
         }
         match self {
-            Backend::Sim(t) => info(t.inner().inner().inner()),
-            Backend::Minic(d) => info(d.inner().inner().inner()),
-            Backend::Replay(r) => info(r.inner().inner().inner()),
+            Backend::Sim(t) => info(t.inner().inner().inner().inner()),
+            Backend::Minic(d) => info(d.inner().inner().inner().inner()),
+            Backend::Replay(r) => info(r.inner().inner().inner().inner()),
         }
     }
 
     /// The replay target, when this backend is a replay session.
     fn replay(&self) -> Option<&ReplayTarget> {
         match self {
-            Backend::Replay(r) => Some(r.inner().inner().inner().inner()),
+            Backend::Replay(r) => Some(r.inner().inner().inner().inner().inner()),
             _ => None,
         }
     }
@@ -145,16 +237,16 @@ impl Backend {
 
     fn tower<T: Target>(t: T, cache: bool) -> Tower<T> {
         TraceTarget::with_label(
-            RetryTarget::new(CachedTarget::with_config(
+            SupervisedTarget::new(RetryTarget::new(CachedTarget::with_config(
                 RecordTarget::new(t),
                 Backend::cache_config(cache),
-            )),
+            ))),
             "session",
         )
     }
 
     fn sim(t: SimTarget, cache: bool) -> Backend {
-        Backend::Sim(Box::new(Backend::tower(t, cache)))
+        Backend::Sim(Box::new(Backend::tower(ChaosTarget::new(t), cache)))
     }
 
     fn minic(d: Debugger, cache: bool) -> Backend {
@@ -179,6 +271,9 @@ pub struct Repl {
     /// Sticky `.trace on` state, reapplied when `.scenario`/`.load`
     /// replace the backend (and with it the trace handle).
     trace_enabled: bool,
+    /// Sticky `.set degrade` state, reapplied when the backend (and
+    /// with it the supervisor) is replaced.
+    degrade_enabled: bool,
     /// Label of the current debuggee (scenario name or program path),
     /// written into capture headers by `.record`.
     scenario_label: String,
@@ -200,7 +295,11 @@ DUEL commands:
   .frames            show the stopped program's frames
   .ast EXPR          show the AST in the paper's LISP-like notation
   .stats             full tower counters: last evaluation, cache,
-                     retry, target-call trace, flight recorder
+                     retry, supervision, target-call trace, recorder
+  .health            probe the backend; circuit and reconnect status
+  .health reconnect  force a reconnect + session resync now
+  .chaos CMD         fault-inject the sim backend: kill hang garble
+                     revive, heal N, campaign SEED EVENTS SPAN
   .record FILE       start capturing every backend call to FILE
                      (JSONL; finalized by `.record stop` or exit)
   .record stop       finalize the capture; `.record` alone = status
@@ -229,6 +328,9 @@ DUEL commands:
                      command at the first fault (default: tolerant)
   .set cache on|off  page-cache + lookup memoization over the debugger
                      wire (default: on; also: --no-cache)
+  .set degrade on|off
+                     while the circuit is open, serve reads from cache
+                     tagged <stale> instead of failing (default: on)
   .quit              exit
 ";
 
@@ -255,6 +357,7 @@ impl Repl {
             last_stats: EvalStats::default(),
             cache_enabled,
             trace_enabled: false,
+            degrade_enabled: true,
             scenario_label: "combined".into(),
         }
     }
@@ -263,6 +366,14 @@ impl Repl {
     /// `--trace-json` exporter reads it; replaced by `.scenario`/`.load`).
     pub fn trace_handle(&self) -> TraceHandle {
         self.backend.trace()
+    }
+
+    /// The chaos gate of the simulated backend (`None` for mini-C and
+    /// replay sessions). Lets test harnesses script fault campaigns
+    /// against the full tower without going through `.chaos` text
+    /// commands.
+    pub fn chaos_handle(&self) -> Option<ChaosHandle> {
+        self.backend.chaos()
     }
 
     /// Turns target-call tracing on or off (the `.trace on|off`
@@ -302,7 +413,20 @@ impl Repl {
         }
     }
 
+    /// The wall-clock deadline for the next command, derived from
+    /// `.set timeout`; armed on the retry layer so backoff sleeps are
+    /// clamped against the same budget the evaluator enforces.
+    fn arm_op_deadline(&mut self) {
+        let deadline = if self.options.timeout_ms > 0 {
+            Some(Instant::now() + Duration::from_millis(self.options.timeout_ms))
+        } else {
+            None
+        };
+        self.backend.set_op_deadline(deadline);
+    }
+
     fn eval(&mut self, line: &str, out: &mut String) {
+        self.arm_op_deadline();
         let session = Session::with_state(
             self.backend.target_mut(),
             std::mem::take(&mut self.aliases),
@@ -327,12 +451,14 @@ impl Repl {
             let _ = writeln!(out, "| {line}");
         }
         self.aliases = session.into_aliases();
+        self.backend.set_op_deadline(None);
     }
 
     /// Shared body of `.profile` (cost table) and `.explain` (annotated
     /// AST tree): evaluates under the profiler, prints the values, then
     /// the per-node costs.
     fn profile(&mut self, explain: bool, expr: &str, out: &mut String) {
+        self.arm_op_deadline();
         let mut session = Session::with_state(
             self.backend.target_mut(),
             std::mem::take(&mut self.aliases),
@@ -358,6 +484,7 @@ impl Repl {
         }
         self.last_stats = session.last_stats();
         self.aliases = session.into_aliases();
+        self.backend.set_op_deadline(None);
     }
 
     /// Finalizes an in-flight recording before the backend (and with it
@@ -402,6 +529,7 @@ impl Repl {
                     self.note_recording_dropped(out);
                     self.backend = Backend::sim(t, self.cache_enabled);
                     self.backend.trace().set_enabled(self.trace_enabled);
+                    self.backend.set_degrade(self.degrade_enabled);
                     self.aliases.clear();
                     self.scenario_label = if arg.is_empty() { "combined" } else { arg }.to_string();
                     let _ = writeln!(out, "scenario loaded; aliases cleared");
@@ -413,6 +541,7 @@ impl Repl {
                         self.note_recording_dropped(out);
                         self.backend = Backend::minic(d, self.cache_enabled);
                         self.backend.trace().set_enabled(self.trace_enabled);
+                        self.backend.set_degrade(self.degrade_enabled);
                         self.aliases.clear();
                         self.scenario_label = arg.to_string();
                         let _ = writeln!(out, "compiled `{arg}`; set breakpoints and .run");
@@ -450,12 +579,17 @@ impl Repl {
             ".stats" => {
                 let _ = writeln!(
                     out,
-                    "eval: {} values, {} ticks, depth {}, {} expansions, {} yields",
+                    "eval: {} values, {} ticks, depth {}, {} expansions, {} yields{}",
                     self.last_stats.values,
                     self.last_stats.ticks,
                     self.last_stats.max_depth,
                     self.last_stats.expansions,
-                    self.last_stats.yields
+                    self.last_stats.yields,
+                    if self.last_stats.stale_values > 0 {
+                        format!(", {} stale", self.last_stats.stale_values)
+                    } else {
+                        String::new()
+                    }
                 );
                 let c = self.backend.cache_stats();
                 let _ = writeln!(
@@ -480,6 +614,24 @@ impl Repl {
                     r.retries,
                     r.give_ups,
                     duel_target::trace::fmt_ns(r.backoff_ns)
+                );
+                let s = self.backend.supervise_stats();
+                let _ = writeln!(
+                    out,
+                    "supervise: circuit {}; {} ops, {} failures, {} trips, {} reconnects, \
+                     {} fast-fails, {} stale reads; degrade {}",
+                    self.backend.circuit_state().name(),
+                    s.operations,
+                    s.failures,
+                    s.trips,
+                    s.reconnects,
+                    s.fast_fails,
+                    s.stale_reads,
+                    if self.backend.degrade_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    }
                 );
                 let h = self.backend.trace();
                 let t = h.snapshot();
@@ -521,6 +673,121 @@ impl Repl {
                     }
                 }
             }
+            ".health" => match arg {
+                "reconnect" => match self.backend.force_reconnect() {
+                    Ok(r) => {
+                        let _ = writeln!(out, "reconnected; {}", r.render());
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "reconnect failed: {e}");
+                    }
+                },
+                "" => {
+                    let probe = self.backend.health_check();
+                    let state = self.backend.circuit_state();
+                    match probe {
+                        Ok(()) => {
+                            let _ = writeln!(out, "backend healthy; circuit {}", state.name());
+                        }
+                        Err(e) => {
+                            let _ = writeln!(
+                                out,
+                                "backend unhealthy: {e}; circuit {}",
+                                self.backend.circuit_state().name()
+                            );
+                        }
+                    }
+                    let s = self.backend.supervise_stats();
+                    let _ = writeln!(
+                        out,
+                        "probes: {} ({} failed); trips: {}; reconnects: {} ({} failed)",
+                        s.probes, s.probe_failures, s.trips, s.reconnects, s.reconnect_failures
+                    );
+                    if let Some(f) = self.backend.last_failure() {
+                        let _ = writeln!(out, "last failure: {f}");
+                    }
+                    if let Some(r) = self.backend.last_resync() {
+                        let _ = writeln!(out, "last {}", r.render());
+                    }
+                }
+                other => {
+                    let _ = writeln!(out, "usage: .health [reconnect] (got `{other}`)");
+                }
+            },
+            ".chaos" => match self.backend.chaos() {
+                None => {
+                    let _ = writeln!(out, "chaos: only the simulated backend has a chaos gate");
+                }
+                Some(h) => match arg {
+                    "" => {
+                        let _ = writeln!(
+                            out,
+                            "chaos: mode {}, {} ops gated, {} faults injected",
+                            h.mode().name(),
+                            h.ops(),
+                            h.injected()
+                        );
+                    }
+                    "kill" => {
+                        h.kill();
+                        let _ = writeln!(out, "chaos: backend killed");
+                    }
+                    "hang" => {
+                        h.hang();
+                        let _ = writeln!(out, "chaos: backend hung");
+                    }
+                    "garble" => {
+                        h.garble();
+                        let _ = writeln!(out, "chaos: backend garbling replies");
+                    }
+                    "revive" => {
+                        h.revive();
+                        let _ = writeln!(out, "chaos: backend revived");
+                    }
+                    "heal" => match line.split_whitespace().nth(2).and_then(|v| v.parse().ok()) {
+                        Some(n) => {
+                            h.heal_after(n);
+                            let _ = writeln!(out, "chaos: healing after {n} more ops");
+                        }
+                        None => {
+                            let _ = writeln!(out, "usage: .chaos heal N");
+                        }
+                    },
+                    "campaign" => {
+                        let mut nums = line
+                            .split_whitespace()
+                            .skip(2)
+                            .map(|v| v.parse::<u64>().ok());
+                        match (
+                            nums.next().flatten(),
+                            nums.next().flatten(),
+                            nums.next().flatten(),
+                        ) {
+                            (Some(seed), Some(events), Some(span)) => {
+                                let script = h.campaign(seed, events as usize, span);
+                                let _ = writeln!(
+                                    out,
+                                    "chaos: campaign of {} events over {span} ops (seed {seed})",
+                                    script.len()
+                                );
+                                for e in script {
+                                    let _ = writeln!(out, "  op {:>6}: {:?}", e.at_op, e.action);
+                                }
+                            }
+                            _ => {
+                                let _ = writeln!(out, "usage: .chaos campaign SEED EVENTS SPAN");
+                            }
+                        }
+                    }
+                    other => {
+                        let _ = writeln!(
+                            out,
+                            "usage: .chaos [kill|hang|garble|revive|heal N|\
+                             campaign SEED EVENTS SPAN] (got `{other}`)"
+                        );
+                    }
+                },
+            },
             ".trace" => {
                 let h = self.backend.trace();
                 match arg {
@@ -659,6 +926,7 @@ impl Repl {
                                 let total = r.events_total();
                                 self.backend = Backend::replay_backend(r, self.cache_enabled);
                                 self.backend.trace().set_enabled(self.trace_enabled);
+                                self.backend.set_degrade(self.degrade_enabled);
                                 self.aliases.clear();
                                 let _ = writeln!(
                                     out,
@@ -731,6 +999,10 @@ impl Repl {
                         self.cache_enabled = val != "off";
                         self.backend.set_cache(self.cache_enabled);
                     }
+                    "degrade" => {
+                        self.degrade_enabled = val != "off";
+                        self.backend.set_degrade(self.degrade_enabled);
+                    }
                     other => {
                         let _ = writeln!(out, "unknown option `{other}`");
                     }
@@ -751,9 +1023,9 @@ impl Repl {
                 return;
             }
         };
-        // Peel trace and retry; the cache layer wraps the recorder
-        // (which wraps the debugger) and owns invalidation.
-        let cache = tower.inner_mut().inner_mut();
+        // Peel trace, supervision, and retry; the cache layer wraps the
+        // recorder (which wraps the debugger) and owns invalidation.
+        let cache = tower.inner_mut().inner_mut().inner_mut();
         match cmd {
             ".break" => match arg.parse::<u32>() {
                 Ok(n) => {
@@ -844,17 +1116,43 @@ impl Repl {
 impl Repl {
     /// Processes one input line, appending output; returns `false` when
     /// the user quits.
+    ///
+    /// The line is processed under panic isolation: a bug anywhere in
+    /// the evaluator or a command handler costs that one command — it
+    /// is reported as an internal error and the session keeps accepting
+    /// input — rather than tearing down the whole debugging session
+    /// (and the debuggee's state with it).
     pub fn handle(&mut self, line: &str, out: &mut String) -> bool {
         let line = line.trim();
         if line.is_empty() {
             return true;
         }
-        if line.starts_with('.') {
-            self.command(line, out)
-        } else {
-            self.eval(line, out);
-            true
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if line.starts_with('.') {
+                self.command(line, out)
+            } else {
+                self.eval(line, out);
+                true
+            }
+        }));
+        match unwound {
+            Ok(keep_going) => keep_going,
+            Err(payload) => {
+                let _ = writeln!(out, "{}", DuelError::Internal(panic_text(payload.as_ref())));
+                true
+            }
         }
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "evaluator panicked".to_string()
     }
 }
 
@@ -1158,6 +1456,8 @@ mod tests {
         assert!(out.contains("yields"), "{out}");
         assert!(out.contains("cache: on"), "{out}");
         assert!(out.contains("retry: "), "{out}");
+        assert!(out.contains("supervise: circuit closed"), "{out}");
+        assert!(out.contains("degrade on"), "{out}");
         assert!(out.contains("trace: off"), "{out}");
     }
 
@@ -1314,5 +1614,141 @@ mod tests {
         assert_eq!(consumed.len(), 2, "{out}");
         assert_eq!(consumed[0], consumed[1], "all events consumed: {out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Kills the chaos gate and drives three consecutive failed health
+    /// probes, which is the deterministic way to trip the breaker
+    /// (`trip_consecutive` = 3 in the default supervisor config).
+    fn kill_and_trip(r: &mut Repl, out: &mut String) {
+        r.handle(".chaos kill", out);
+        assert!(out.contains("chaos: backend killed"), "{out}");
+        for _ in 0..3 {
+            r.handle(".health", out);
+        }
+        assert!(out.contains("backend unhealthy"), "{out}");
+        assert!(out.contains("circuit open"), "{out}");
+    }
+
+    #[test]
+    fn health_reports_a_live_backend() {
+        let out = run(&[".health"]);
+        assert!(out.contains("backend healthy; circuit closed"), "{out}");
+        assert!(out.contains("probes: 1 (0 failed)"), "{out}");
+        assert!(out.contains("trips: 0"), "{out}");
+    }
+
+    #[test]
+    fn open_circuit_serves_cached_reads_stale() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..3]", &mut out); // warm the page cache
+        kill_and_trip(&mut r, &mut out);
+        out.clear();
+        r.handle("x[..3]", &mut out);
+        assert!(out.contains("x[0] = 100 <stale>"), "{out}");
+        assert!(out.contains("x[2] = 102 <stale>"), "{out}");
+        out.clear();
+        r.handle(".stats", &mut out);
+        assert!(out.contains("supervise: circuit open"), "{out}");
+        assert!(out.contains("stale reads"), "{out}");
+        assert!(out.contains("stale\n") || out.contains(" stale"), "{out}");
+    }
+
+    #[test]
+    fn health_reconnect_recovers_after_revive() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..3]", &mut out);
+        let fresh = out.clone();
+        kill_and_trip(&mut r, &mut out);
+        out.clear();
+        r.handle(".chaos revive", &mut out);
+        assert!(out.contains("chaos: backend revived"), "{out}");
+        out.clear();
+        r.handle(".health reconnect", &mut out);
+        assert!(out.contains("reconnected; resync:"), "{out}");
+        // Post-recovery output is byte-identical to the pre-kill run.
+        out.clear();
+        r.handle("x[..3]", &mut out);
+        assert_eq!(out, fresh, "post-resync output must match");
+        assert!(!out.contains("<stale>"), "{out}");
+        out.clear();
+        r.handle(".health", &mut out);
+        assert!(out.contains("backend healthy; circuit closed"), "{out}");
+        assert!(out.contains("reconnects: 1"), "{out}");
+    }
+
+    #[test]
+    fn open_circuit_fails_writes_fast() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..3]", &mut out);
+        kill_and_trip(&mut r, &mut out);
+        out.clear();
+        r.handle("x[0] = 5 ;", &mut out);
+        assert!(out.contains("circuit open"), "{out}");
+    }
+
+    #[test]
+    fn degrade_off_fails_reads_fast() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..3]", &mut out);
+        kill_and_trip(&mut r, &mut out);
+        r.handle(".set degrade off", &mut out);
+        out.clear();
+        r.handle("x[..3]", &mut out);
+        assert!(out.contains("circuit open"), "{out}");
+        assert!(!out.contains("<stale>"), "{out}");
+        // Back on: stale service resumes.
+        r.handle(".set degrade on", &mut out);
+        out.clear();
+        r.handle("x[..3]", &mut out);
+        assert!(out.contains("<stale>"), "{out}");
+    }
+
+    #[test]
+    fn chaos_status_and_campaign_are_deterministic() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".chaos", &mut out);
+        assert!(out.contains("chaos: mode live"), "{out}");
+        out.clear();
+        r.handle(".chaos campaign 42 3 1000", &mut out);
+        assert!(out.contains("chaos: campaign of 3 events"), "{out}");
+        let again = {
+            let mut s = String::new();
+            r.handle(".chaos campaign 42 3 1000", &mut s);
+            s
+        };
+        assert_eq!(out, again, "campaigns are seed-deterministic");
+    }
+
+    #[test]
+    fn chaos_heal_restores_service_after_n_ops() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..3]", &mut out);
+        out.clear();
+        r.handle(".chaos kill", &mut out);
+        r.handle(".chaos heal 1", &mut out);
+        assert!(out.contains("healing after 1 more ops"), "{out}");
+        // The healed gate makes the next health probe succeed again.
+        r.handle(".health", &mut out);
+        out.clear();
+        r.handle(".health", &mut out);
+        assert!(out.contains("backend healthy"), "{out}");
+    }
+
+    #[test]
+    fn degrade_state_survives_scenario_switch() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".set degrade off", &mut out);
+        r.handle(".scenario scan", &mut out);
+        assert!(!r.backend.degrade_enabled(), "degrade must stay off");
+        out.clear();
+        r.handle(".stats", &mut out);
+        assert!(out.contains("degrade off"), "{out}");
     }
 }

@@ -88,6 +88,11 @@ pub enum DuelError {
     },
     /// An error reported by the debugger backend.
     Target(TargetError),
+    /// An internal evaluator failure (a panic caught at the REPL
+    /// boundary). The session survives — state may be suspect, but the
+    /// loop keeps accepting commands instead of tearing down the whole
+    /// debugging session.
+    Internal(String),
 }
 
 impl DuelError {
@@ -151,6 +156,9 @@ impl fmt::Display for DuelError {
                 }
             }
             DuelError::Target(e) => write!(f, "{e}"),
+            DuelError::Internal(msg) => {
+                write!(f, "internal error: {msg} (session state may be suspect)")
+            }
         }
     }
 }

@@ -66,6 +66,11 @@ pub struct EvalStats {
     /// Generator yields across all nodes, leaf and interior (always at
     /// least `values`: every top-level value is also a root yield).
     pub yields: u64,
+    /// Values whose computation included at least one read served from
+    /// cache while the backend circuit was open (tagged `<stale>` in
+    /// the output). Zero unless the tower contains a
+    /// `SupervisedTarget` in degraded mode.
+    pub stale_values: u64,
 }
 
 /// A DUEL session over a debugger backend: holds the aliases created by
@@ -180,6 +185,13 @@ impl<'t> Session<'t> {
             was
         });
         let reads_before = trace_handle.as_ref().map_or(0, |h| h.reads());
+        // A SupervisedTarget in degraded mode serves reads from cache
+        // and bumps its staleness counter; diffing the counter around
+        // each produced value tags exactly the values built on stale
+        // data.
+        let stale_handle = self.target.staleness_handle();
+        let mut stale_seen = stale_handle.as_ref().map_or(0, |h| h.stale_reads());
+        let mut stale_values = 0u64;
         let mut ctx = Ctx::new(&mut *self.target, &mut self.aliases, self.options.clone());
         if profiling {
             ctx.profile = Some(Box::new(ProfileCollector::new(trace_handle.clone())));
@@ -212,6 +224,14 @@ impl<'t> Session<'t> {
                 }
                 Err(e) => return Err(e),
             };
+            let value = match &stale_handle {
+                Some(h) if h.stale_reads() > stale_seen => {
+                    stale_seen = h.stale_reads();
+                    stale_values += 1;
+                    format!("{value} <stale>")
+                }
+                _ => value,
+            };
             let sym = if matches!(v.sym, Sym::None) {
                 None
             } else {
@@ -234,6 +254,7 @@ impl<'t> Session<'t> {
             max_depth: ctx.max_depth_seen as u64,
             expansions: ctx.expansions,
             yields: ctx.yields,
+            stale_values,
         };
         let collector = ctx.profile.take();
         self.last_trace = std::mem::take(&mut ctx.trace);

@@ -16,6 +16,10 @@
 //!   adapter needs (documented stand-ins for `-data-read-memory-bytes`,
 //!   `-data-write-memory-bytes`, symbol/type queries, and expression
 //!   calls);
+//! * [`supervise`] — backend supervision: a hung-turn watchdog
+//!   transport, a respawn-and-resync reconnect strategy, and
+//!   [`supervise::connect_supervised`] assembling the circuit-breaker
+//!   tower over an MI connection;
 //! * [`target`] — [`target::MiTarget`], an implementation of the
 //!   paper's [`duel_target::Target`] interface that speaks MI, fetching
 //!   type definitions lazily and mirroring them into a local
@@ -31,6 +35,7 @@ pub mod command;
 pub mod mock;
 pub mod parser;
 pub mod replay;
+pub mod supervise;
 pub mod syntax;
 pub mod target;
 
@@ -38,6 +43,7 @@ pub use client::{MiClient, MiTransport};
 pub use mock::MockGdb;
 pub use parser::parse_line;
 pub use replay::{Recorder, Replayer};
+pub use supervise::{connect_supervised, MiResync, SupervisedMi, WatchdogTransport};
 pub use syntax::{MiValue, Record, ResultClass};
 pub use target::MiTarget;
 

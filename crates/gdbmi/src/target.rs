@@ -7,10 +7,12 @@
 //! "symbol-table functions", and "accessing the target's address
 //! space" (`-data-read-memory-bytes` / `-data-write-memory-bytes`).
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use duel_ctype::{Abi, Endian, EnumId, Prim, RecordId, TypeId, TypeTable};
-use duel_target::{CallValue, FrameInfo, Target, TargetError, TargetResult, VarInfo, VarKind};
+use duel_target::{
+    CallValue, FrameInfo, ResyncReport, Target, TargetError, TargetResult, VarInfo, VarKind,
+};
 
 use crate::{client::MiClient, command, MiError, MiTransport};
 
@@ -21,9 +23,13 @@ pub struct MiTarget<T: MiTransport> {
     abi: Abi,
     fetched_records: HashSet<String>,
     fetched_enums: HashSet<String>,
+    /// Every symbol name successfully resolved this session — the
+    /// working set [`MiTarget::reattach`] re-resolves after a backend
+    /// respawn.
+    resolved: BTreeSet<String>,
 }
 
-fn to_target_err(e: MiError) -> TargetError {
+pub(crate) fn to_target_err(e: MiError) -> TargetError {
     match e {
         MiError::ErrorRecord(m) if m.contains("illegal memory") => {
             // Surface address-space faults in their native form so DUEL
@@ -66,31 +72,109 @@ impl<T: MiTransport> MiTarget<T> {
     pub fn connect(transport: T) -> TargetResult<MiTarget<T>> {
         let mut client = MiClient::new(transport);
         let r = client.execute(&command::abi()).map_err(to_target_err)?;
-        let get = |k: &str| -> Option<String> {
-            r.get(k).and_then(|v| v.as_str()).map(|s| s.to_string())
-        };
-        let ptr: u64 = get("ptr")
-            .and_then(|s| s.parse().ok())
-            .ok_or(TargetError::Backend("missing ptr size".into()))?;
-        let long: u64 = get("long").and_then(|s| s.parse().ok()).unwrap_or(ptr);
-        let endian = match get("endian").as_deref() {
-            Some("big") => Endian::Big,
-            _ => Endian::Little,
-        };
-        let char_signed = get("char-signed").as_deref() != Some("0");
-        let abi = Abi {
-            pointer_bytes: ptr,
-            long_bytes: long,
-            endian,
-            char_signed,
-            max_align: if ptr == 8 { 16 } else { 8 },
-        };
+        let abi = parse_abi(&r)?;
         Ok(MiTarget {
             client,
             types: TypeTable::new(),
             abi,
             fetched_records: HashSet::new(),
             fetched_enums: HashSet::new(),
+            resolved: BTreeSet::new(),
+        })
+    }
+
+    /// Replaces the transport with a freshly spawned one and resyncs
+    /// session state: re-runs the ABI handshake (refusing a backend
+    /// whose ABI changed — aliases and cached type IDs would be
+    /// meaningless), verifies every previously imported record still
+    /// has the same shape on the new backend, re-resolves every symbol
+    /// the session has seen, and re-counts stack frames.
+    ///
+    /// The local [`TypeTable`] is *kept*: outstanding `TypeId`s (held
+    /// by aliases and generator state above this layer) stay valid, and
+    /// the verification pass reports drift via
+    /// [`ResyncReport::type_table_ok`] instead of silently importing a
+    /// contradictory snapshot.
+    pub fn reattach(&mut self, transport: T) -> TargetResult<ResyncReport> {
+        let mut client = MiClient::new(transport);
+        let r = client.execute(&command::abi()).map_err(to_target_err)?;
+        let abi = parse_abi(&r)?;
+        if abi != self.abi {
+            return Err(TargetError::Backend(
+                "ABI changed across reconnect; session state cannot be resynced".into(),
+            ));
+        }
+        self.client = client;
+        // Type-table snapshot verification: every record imported
+        // before the reconnect must still exist with the same field
+        // list on the new backend (a mismatch means the debuggee was
+        // rebuilt underneath us).
+        let mut type_table_ok = true;
+        let mut mismatch = String::new();
+        let keys: Vec<String> = self.fetched_records.iter().cloned().collect();
+        for key in keys {
+            let is_union = key.starts_with("u:");
+            let tag = key[2..].to_string();
+            let before: Option<Vec<String>> = (if is_union {
+                self.types.union_tag(&tag)
+            } else {
+                self.types.struct_tag(&tag)
+            })
+            .filter(|rid| self.types.record(*rid).complete)
+            .map(|rid| {
+                self.types
+                    .record(rid)
+                    .fields
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect()
+            });
+            let r = self
+                .client
+                .execute(&command::record_info(&tag, is_union))
+                .map_err(to_target_err)?;
+            let after: Option<Vec<String>> = if r.get("found").and_then(|v| v.as_str()) == Some("1")
+            {
+                r.get("fields").map(|fv| {
+                    fv.items()
+                        .iter()
+                        .filter_map(|f| f.get_str("name").map(|s| s.to_string()))
+                        .collect()
+                })
+            } else {
+                None
+            };
+            if before != after {
+                type_table_ok = false;
+                mismatch = format!(
+                    "record `{tag}` {} across reconnect",
+                    if after.is_none() {
+                        "lost"
+                    } else {
+                        "changed shape"
+                    }
+                );
+            }
+        }
+        // Re-resolve the session's symbol working set against the new
+        // backend (which also refreshes their addresses in the MI log).
+        let names: Vec<String> = self.resolved.iter().cloned().collect();
+        let mut symbols = 0;
+        for n in &names {
+            if self.get_variable(n).is_some() {
+                symbols += 1;
+            }
+        }
+        let frames = self.frame_count();
+        Ok(ResyncReport {
+            symbols,
+            frames,
+            type_table_ok,
+            detail: if type_table_ok {
+                "respawned MI process".to_string()
+            } else {
+                mismatch
+            },
         })
     }
 
@@ -417,6 +501,27 @@ impl<T: MiTransport> MiTarget<T> {
     }
 }
 
+fn parse_abi(r: &std::collections::BTreeMap<String, crate::MiValue>) -> TargetResult<Abi> {
+    let get =
+        |k: &str| -> Option<String> { r.get(k).and_then(|v| v.as_str()).map(|s| s.to_string()) };
+    let ptr: u64 = get("ptr")
+        .and_then(|s| s.parse().ok())
+        .ok_or(TargetError::Backend("missing ptr size".into()))?;
+    let long: u64 = get("long").and_then(|s| s.parse().ok()).unwrap_or(ptr);
+    let endian = match get("endian").as_deref() {
+        Some("big") => Endian::Big,
+        _ => Endian::Little,
+    };
+    let char_signed = get("char-signed").as_deref() != Some("0");
+    Ok(Abi {
+        pointer_bytes: ptr,
+        long_bytes: long,
+        endian,
+        char_signed,
+        max_align: if ptr == 8 { 16 } else { 8 },
+    })
+}
+
 fn bad_type(s: &str) -> TargetError {
     TargetError::Backend(format!("cannot parse type string `{s}`"))
 }
@@ -535,9 +640,14 @@ impl<T: MiTransport> Target for MiTarget<T> {
 
     fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
         let r = self.client.execute(&command::symbol_info(name)).ok()?;
-        self.var_from_results(&r, name, VarKind::Global)
+        let v = self
+            .var_from_results(&r, name, VarKind::Global)
             .ok()
-            .flatten()
+            .flatten();
+        if v.is_some() {
+            self.resolved.insert(name.to_string());
+        }
+        v
     }
 
     fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {

@@ -629,6 +629,10 @@ impl<T: Target> Target for CachedTarget<T> {
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         self.inner.trace_handle()
     }
+
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        self.inner.staleness_handle()
+    }
 }
 
 #[cfg(test)]

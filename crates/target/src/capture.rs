@@ -487,6 +487,12 @@ fn target_error_to_json(e: &TargetError) -> String {
             quote(expected),
             quote(got)
         ),
+        TargetError::CircuitOpen { retry_in_ms } => {
+            format!("{{\"kind\":\"circuit_open\",\"retry_in_ms\":{retry_in_ms}}}")
+        }
+        TargetError::BackendDown(msg) => {
+            format!("{{\"kind\":\"backend_down\",\"msg\":{}}}", quote(msg))
+        }
         TargetError::Backend(msg) => format!("{{\"kind\":\"backend\",\"msg\":{}}}", quote(msg)),
         TargetError::Timeout { ms } => format!("{{\"kind\":\"timeout\",\"ms\":{ms}}}"),
         TargetError::Truncated { addr, wanted, got } => {
@@ -525,6 +531,10 @@ fn target_error_from_json(j: &Json) -> Result<TargetError, String> {
             expected: s("expected")?,
             got: s("got")?,
         },
+        "circuit_open" => TargetError::CircuitOpen {
+            retry_in_ms: u("retry_in_ms")?,
+        },
+        "backend_down" => TargetError::BackendDown(s("msg")?),
         "backend" => TargetError::Backend(s("msg")?),
         "timeout" => TargetError::Timeout { ms: u("ms")? },
         "truncated" => TargetError::Truncated {

@@ -1,0 +1,478 @@
+//! [`ChaosTarget`] — a scriptable failure-injection gate for chaos
+//! testing the supervision stack.
+//!
+//! [`crate::FaultTarget`] injects *counted* failures for retry tests;
+//! this module injects *modal* ones: the backend is Live, Dead (every
+//! wire operation fails like a killed process), Hung (every operation
+//! times out, modeling a stuck MI turn the watchdog had to kill), or
+//! Garbling (every reply comes back as seeded gibberish). Modes are
+//! switched either imperatively through a cloneable [`ChaosHandle`]
+//! (the reconnect strategy of a supervised tower can `revive()` it,
+//! playing the role of a process respawn) or declaratively through a
+//! *script* of [`ChaosEvent`]s keyed by operation count — including
+//! fully seeded random campaigns via [`ChaosHandle::campaign`], so a
+//! failing chaos run reproduces from its seed alone.
+//!
+//! Only the four wire operations (`get_bytes`, `put_bytes`,
+//! `alloc_space`, `call_func`) pass through the gate; symbol and type
+//! lookups model debugger-side tables and stay transparent, mirroring
+//! how the retry layer treats `Option`-returning operations.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::error::{TargetError, TargetResult};
+use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
+
+/// The gate's current behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Forward everything untouched.
+    Live,
+    /// Every wire operation fails like a killed backend process.
+    Dead,
+    /// Every wire operation times out (a hung MI turn, already killed
+    /// by the deadline watchdog).
+    Hung,
+    /// Every wire operation fails with a seeded garbled-reply error.
+    Garbling,
+}
+
+impl ChaosMode {
+    /// Lower-case label for logs and `.stats` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosMode::Live => "live",
+            ChaosMode::Dead => "dead",
+            ChaosMode::Hung => "hung",
+            ChaosMode::Garbling => "garbling",
+        }
+    }
+}
+
+/// A mode switch in a scripted campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Switch to [`ChaosMode::Dead`].
+    Kill,
+    /// Switch to [`ChaosMode::Hung`].
+    Hang,
+    /// Switch to [`ChaosMode::Garbling`].
+    Garble,
+    /// Switch back to [`ChaosMode::Live`].
+    Revive,
+}
+
+/// One scripted event: after `at_op` wire operations have passed the
+/// gate, perform `action`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Operation count (1-based) at which the action fires; events with
+    /// `at_op <= ops` fire in script order.
+    pub at_op: u64,
+    /// The mode switch to perform.
+    pub action: ChaosAction,
+}
+
+/// splitmix64 — the workspace's standard tiny deterministic generator
+/// (same recurrence the vendored proptest shim uses).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    mode: ChaosMode,
+    /// Auto-revive after this many more gated operations.
+    heal_in: Option<u64>,
+    /// Pending scripted events, sorted by `at_op`.
+    script: VecDeque<ChaosEvent>,
+    /// Wire operations that have passed the gate.
+    ops: u64,
+    /// Failures injected so far.
+    injected: u64,
+    rng: u64,
+}
+
+impl ChaosState {
+    fn apply(&mut self, action: ChaosAction) {
+        self.mode = match action {
+            ChaosAction::Kill => ChaosMode::Dead,
+            ChaosAction::Hang => ChaosMode::Hung,
+            ChaosAction::Garble => ChaosMode::Garbling,
+            ChaosAction::Revive => ChaosMode::Live,
+        };
+        if action == ChaosAction::Revive {
+            self.heal_in = None;
+        }
+    }
+}
+
+/// A cloneable remote control for a [`ChaosTarget`]. Tests (and the
+/// supervised tower's reconnect strategy) hold one while the target
+/// itself is buried inside a decorator stack.
+#[derive(Clone, Debug)]
+pub struct ChaosHandle(Arc<Mutex<ChaosState>>);
+
+impl ChaosHandle {
+    fn new(seed: u64) -> ChaosHandle {
+        ChaosHandle(Arc::new(Mutex::new(ChaosState {
+            mode: ChaosMode::Live,
+            heal_in: None,
+            script: VecDeque::new(),
+            ops: 0,
+            injected: 0,
+            rng: seed,
+        })))
+    }
+
+    /// Kills the backend: every wire operation now fails.
+    pub fn kill(&self) {
+        self.0.lock().unwrap().apply(ChaosAction::Kill);
+    }
+
+    /// Hangs the backend: every wire operation now times out.
+    pub fn hang(&self) {
+        self.0.lock().unwrap().apply(ChaosAction::Hang);
+    }
+
+    /// Garbles the backend: every reply is a seeded protocol error.
+    pub fn garble(&self) {
+        self.0.lock().unwrap().apply(ChaosAction::Garble);
+    }
+
+    /// Revives the backend (what a successful respawn does).
+    pub fn revive(&self) {
+        self.0.lock().unwrap().apply(ChaosAction::Revive);
+    }
+
+    /// Auto-revives after `n` more gated operations (models a backend
+    /// that comes back on its own, for mean-time-to-recovery runs).
+    pub fn heal_after(&self, n: u64) {
+        self.0.lock().unwrap().heal_in = Some(n);
+    }
+
+    /// Installs a scripted campaign (replacing any pending script).
+    /// Events fire as the gate's operation count reaches each `at_op`.
+    pub fn load_script(&self, mut events: Vec<ChaosEvent>) {
+        events.sort_by_key(|e| e.at_op);
+        self.0.lock().unwrap().script = events.into();
+    }
+
+    /// Generates and installs a seeded random campaign: `events` mode
+    /// switches spread over the next `span` operations. The same seed
+    /// always produces the same script — a failing run reproduces from
+    /// its seed alone. Returns the generated script for logging.
+    pub fn campaign(&self, seed: u64, events: usize, span: u64) -> Vec<ChaosEvent> {
+        let mut s = seed;
+        let mut script: Vec<ChaosEvent> = (0..events)
+            .map(|_| {
+                let at_op = 1 + splitmix64(&mut s) % span.max(1);
+                let action = match splitmix64(&mut s) % 4 {
+                    0 => ChaosAction::Kill,
+                    1 => ChaosAction::Hang,
+                    2 => ChaosAction::Garble,
+                    _ => ChaosAction::Revive,
+                };
+                ChaosEvent { at_op, action }
+            })
+            .collect();
+        script.sort_by_key(|e| e.at_op);
+        self.load_script(script.clone());
+        script
+    }
+
+    /// The gate's current mode.
+    pub fn mode(&self) -> ChaosMode {
+        self.0.lock().unwrap().mode
+    }
+
+    /// Wire operations that have passed the gate so far.
+    pub fn ops(&self) -> u64 {
+        self.0.lock().unwrap().ops
+    }
+
+    /// Failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.0.lock().unwrap().injected
+    }
+}
+
+/// A [`Target`] decorator that injects modal, scriptable failures into
+/// the four wire operations. See the module docs.
+#[derive(Debug)]
+pub struct ChaosTarget<T: Target> {
+    inner: T,
+    handle: ChaosHandle,
+}
+
+impl<T: Target> ChaosTarget<T> {
+    /// Wraps `inner` with a live gate (seed 0).
+    pub fn new(inner: T) -> ChaosTarget<T> {
+        ChaosTarget::with_seed(inner, 0)
+    }
+
+    /// Wraps `inner` with a live gate whose garbled replies draw from
+    /// `seed`.
+    pub fn with_seed(inner: T, seed: u64) -> ChaosTarget<T> {
+        ChaosTarget {
+            inner,
+            handle: ChaosHandle::new(seed),
+        }
+    }
+
+    /// A remote control for this gate.
+    pub fn handle(&self) -> ChaosHandle {
+        self.handle.clone()
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped target.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Advances the gate by one operation and returns the failure to
+    /// inject, if any.
+    fn gate(&mut self) -> TargetResult<()> {
+        let mut st = self.handle.0.lock().unwrap();
+        st.ops += 1;
+        let now = st.ops;
+        while let Some(ev) = st.script.front().copied() {
+            if ev.at_op > now {
+                break;
+            }
+            st.script.pop_front();
+            st.apply(ev.action);
+        }
+        if let Some(left) = st.heal_in {
+            if left == 0 {
+                st.mode = ChaosMode::Live;
+                st.heal_in = None;
+            } else {
+                st.heal_in = Some(left - 1);
+            }
+        }
+        match st.mode {
+            ChaosMode::Live => Ok(()),
+            ChaosMode::Dead => {
+                st.injected += 1;
+                Err(TargetError::Backend("chaos: backend killed".to_string()))
+            }
+            ChaosMode::Hung => {
+                st.injected += 1;
+                // The deadline watchdog has already killed the turn by
+                // the time the caller sees anything — model that.
+                Err(TargetError::Timeout { ms: 1000 })
+            }
+            ChaosMode::Garbling => {
+                st.injected += 1;
+                let noise = splitmix64(&mut st.rng);
+                Err(TargetError::Backend(format!(
+                    "chaos: garbled reply 0x{noise:016x}"
+                )))
+            }
+        }
+    }
+}
+
+impl<T: Target> Target for ChaosTarget<T> {
+    fn abi(&self) -> &Abi {
+        self.inner.abi()
+    }
+
+    fn types(&self) -> &TypeTable {
+        self.inner.types()
+    }
+
+    fn types_mut(&mut self) -> &mut TypeTable {
+        self.inner.types_mut()
+    }
+
+    fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        self.gate()?;
+        self.inner.get_bytes(addr, buf)
+    }
+
+    fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+        self.gate()?;
+        self.inner.put_bytes(addr, bytes)
+    }
+
+    fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+        self.gate()?;
+        self.inner.alloc_space(size, align)
+    }
+
+    fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+        self.gate()?;
+        self.inner.call_func(name, args)
+    }
+
+    fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+        self.inner.get_variable(name)
+    }
+
+    fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+        self.inner.get_variable_in_frame(name, frame)
+    }
+
+    fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+        self.inner.lookup_typedef(name)
+    }
+
+    fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+        self.inner.lookup_struct(tag)
+    }
+
+    fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+        self.inner.lookup_union(tag)
+    }
+
+    fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+        self.inner.lookup_enum(tag)
+    }
+
+    fn has_function(&mut self, name: &str) -> bool {
+        self.inner.has_function(name)
+    }
+
+    fn frame_count(&mut self) -> usize {
+        self.inner.frame_count()
+    }
+
+    fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+        self.inner.frame_info(n)
+    }
+
+    fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+        self.inner.is_mapped(addr, len)
+    }
+
+    fn take_output(&mut self) -> String {
+        self.inner.take_output()
+    }
+
+    fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
+        self.inner.trace_handle()
+    }
+
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        self.inner.staleness_handle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn live_gate_is_transparent() {
+        let mut t = ChaosTarget::new(scenario::scan_array());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        assert_eq!(t.handle().injected(), 0);
+        assert_eq!(t.handle().ops(), 1);
+    }
+
+    #[test]
+    fn kill_hang_garble_inject_the_right_errors() {
+        let mut t = ChaosTarget::new(scenario::scan_array());
+        let h = t.handle();
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        h.kill();
+        assert!(matches!(
+            t.get_bytes(x.addr, &mut buf),
+            Err(TargetError::Backend(m)) if m.contains("killed")
+        ));
+        h.hang();
+        assert!(matches!(
+            t.get_bytes(x.addr, &mut buf),
+            Err(TargetError::Timeout { .. })
+        ));
+        h.garble();
+        let e1 = t.get_bytes(x.addr, &mut buf).unwrap_err();
+        let e2 = t.get_bytes(x.addr, &mut buf).unwrap_err();
+        assert!(e1.to_string().contains("garbled reply"), "{e1}");
+        assert_ne!(e1, e2, "garbled replies draw fresh noise");
+        assert!(e1.is_transient() && e2.is_transient());
+        h.revive();
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert_eq!(h.injected(), 4);
+    }
+
+    #[test]
+    fn heal_after_revives_on_schedule() {
+        let mut t = ChaosTarget::new(scenario::scan_array());
+        let h = t.handle();
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        h.kill();
+        h.heal_after(2);
+        assert!(t.get_bytes(x.addr, &mut buf).is_err());
+        assert!(t.get_bytes(x.addr, &mut buf).is_err());
+        assert!(t.get_bytes(x.addr, &mut buf).is_ok(), "healed after 2 ops");
+        assert_eq!(h.mode(), ChaosMode::Live);
+    }
+
+    #[test]
+    fn scripted_campaign_fires_in_order() {
+        let mut t = ChaosTarget::new(scenario::scan_array());
+        let h = t.handle();
+        h.load_script(vec![
+            ChaosEvent {
+                at_op: 4,
+                action: ChaosAction::Revive,
+            },
+            ChaosEvent {
+                at_op: 2,
+                action: ChaosAction::Kill,
+            },
+        ]);
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        assert!(t.get_bytes(x.addr, &mut buf).is_ok()); // op 1
+        assert!(t.get_bytes(x.addr, &mut buf).is_err()); // op 2: kill
+        assert!(t.get_bytes(x.addr, &mut buf).is_err()); // op 3
+        assert!(t.get_bytes(x.addr, &mut buf).is_ok()); // op 4: revive
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_in_the_seed() {
+        let a = ChaosHandle::new(0).campaign(42, 8, 100);
+        let b = ChaosHandle::new(9).campaign(42, 8, 100);
+        assert_eq!(a, b, "same seed, same script");
+        let c = ChaosHandle::new(0).campaign(43, 8, 100);
+        assert_ne!(a, c, "different seed, different script");
+        assert!(a.windows(2).all(|w| w[0].at_op <= w[1].at_op));
+    }
+
+    #[test]
+    fn only_wire_operations_are_gated() {
+        let mut t = ChaosTarget::new(scenario::scan_array());
+        let h = t.handle();
+        h.kill();
+        // Symbol/type lookups model debugger-side tables: still fine.
+        assert!(t.get_variable("x").is_some());
+        assert!(t.frame_count() == 0 || t.frame_info(0).is_some());
+        assert_eq!(h.ops(), 0);
+    }
+}

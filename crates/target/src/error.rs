@@ -12,6 +12,14 @@
 //!   backend hiccupped (dropped connection, timeout, short read). These
 //!   are worth retrying; [`crate::RetryTarget`] does exactly that with
 //!   bounded exponential backoff.
+//!
+//! Two variants straddle the boundary deliberately:
+//! [`TargetError::CircuitOpen`] and [`TargetError::BackendDown`] are
+//! raised by [`crate::SupervisedTarget`] *after* the transient budget
+//! below it is spent, so they classify as faults — the retry layer must
+//! pass them through untouched and evaluation renders them as
+//! per-subexpression `<error: ...>` values while the breaker owns
+//! recovery.
 
 use std::error::Error;
 use std::fmt;
@@ -60,6 +68,23 @@ pub enum TargetError {
         /// The call the session actually issued.
         got: String,
     },
+    /// The supervision layer's circuit breaker is open: the backend has
+    /// been failing persistently and new operations are rejected
+    /// immediately instead of waiting out another doomed round-trip (a
+    /// *fault* at the session level: retrying through an open breaker
+    /// cannot help — the breaker itself owns recovery, and evaluation
+    /// should render the sub-expression as a symbolic error and keep
+    /// the stream going).
+    CircuitOpen {
+        /// Milliseconds until the breaker next allows a half-open
+        /// reconnect probe (0 = a probe is already due).
+        retry_in_ms: u64,
+    },
+    /// The backend process is gone and could not be re-established —
+    /// reconnect/respawn itself failed (a *fault*: the supervisor has
+    /// already retried at every level below; surfacing one more
+    /// transient would just loop).
+    BackendDown(String),
     /// The backend itself misbehaved — protocol error, dropped
     /// connection, garbled reply (a *transient failure*, retryable).
     Backend(String),
@@ -93,6 +118,8 @@ impl TargetError {
                 | TargetError::CallFailed { .. }
                 | TargetError::UnsupportedWidth { .. }
                 | TargetError::ReplayDivergence { .. }
+                | TargetError::CircuitOpen { .. }
+                | TargetError::BackendDown(_)
         )
     }
 
@@ -125,6 +152,17 @@ impl fmt::Display for TargetError {
                 f,
                 "replay divergence at event {at}: capture has {expected}, session issued {got}"
             ),
+            TargetError::CircuitOpen { retry_in_ms } => {
+                if *retry_in_ms == 0 {
+                    write!(f, "backend circuit open: reconnect probe due")
+                } else {
+                    write!(
+                        f,
+                        "backend circuit open: reconnect probe in {retry_in_ms} ms"
+                    )
+                }
+            }
+            TargetError::BackendDown(msg) => write!(f, "backend down: {msg}"),
             TargetError::Backend(msg) => write!(f, "backend error: {msg}"),
             TargetError::Timeout { ms } => write!(f, "target call timed out after {ms} ms"),
             TargetError::Truncated { addr, wanted, got } => write!(
@@ -165,6 +203,8 @@ mod tests {
                 expected: "e".into(),
                 got: "g".into(),
             },
+            TargetError::CircuitOpen { retry_in_ms: 50 },
+            TargetError::BackendDown("spawn failed".into()),
             TargetError::Backend("b".into()),
             TargetError::Timeout { ms: 10 },
             TargetError::Truncated {

@@ -245,6 +245,10 @@ impl<T: Target> Target for FaultTarget<T> {
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         self.inner.trace_handle()
     }
+
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        self.inner.staleness_handle()
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,18 @@ pub trait Target {
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         None
     }
+
+    /// A handle onto the staleness state of the decorator stack, if a
+    /// [`crate::SupervisedTarget`] is present.
+    ///
+    /// Plain backends answer `None` (the default); decorators forward
+    /// to their inner target; `SupervisedTarget` answers with its own
+    /// handle. The evaluator diffs the handle's stale-read counter
+    /// around each produced value to decide whether to tag it
+    /// `<stale>`, while holding only `&mut dyn Target`.
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        None
+    }
 }
 
 #[cfg(test)]

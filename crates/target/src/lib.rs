@@ -33,9 +33,16 @@
 //!   JSONL capture, then serve an entire session back from the file —
 //!   strictly (byte-identical replay, symbolic divergence reports) or
 //!   permissively (new expressions over the frozen recorded state).
+//! * [`SupervisedTarget`] — backend supervision: health probes, a
+//!   three-state circuit breaker, pluggable reconnection with session
+//!   resync, and degraded stale-read mode while the backend is down.
+//! * [`ChaosTarget`] — a scriptable failure-injection gate (kill /
+//!   hang / garble campaigns with a deterministic seed) for chaos
+//!   testing the supervision stack.
 
 pub mod cache;
 pub mod capture;
+pub mod chaos;
 pub mod error;
 pub mod fault;
 pub mod iface;
@@ -45,11 +52,13 @@ pub mod replay;
 pub mod retry;
 pub mod scenario;
 pub mod sim;
+pub mod supervise;
 pub mod trace;
 pub mod value_io;
 
 pub use cache::{CacheConfig, CacheStats, CachedTarget};
 pub use capture::{Capture, CaptureCall, CaptureEvent, CaptureReply, SharedSink};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosHandle, ChaosMode, ChaosTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
 pub use iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
@@ -57,4 +66,8 @@ pub use record::RecordTarget;
 pub use replay::{Divergence, ReplayMode, ReplayTarget};
 pub use retry::{RetryPolicy, RetryStats, RetryTarget};
 pub use sim::{SimCore, SimMemory, SimTarget, ARENA_BASE};
+pub use supervise::{
+    probe_read, CircuitState, ProbeReconnect, Reconnect, ResyncReport, StalenessHandle,
+    SupervisedTarget, SupervisorConfig, SupervisorStats, DEFAULT_PROBE_ADDR,
+};
 pub use trace::{TraceEvent, TraceHandle, TraceOp, TraceOutcome, TraceStats, TraceTarget};

@@ -429,6 +429,10 @@ impl<T: Target> Target for RecordTarget<T> {
     fn trace_handle(&self) -> Option<TraceHandle> {
         self.inner.trace_handle()
     }
+
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        self.inner.staleness_handle()
+    }
 }
 
 impl<T: Target> Drop for RecordTarget<T> {

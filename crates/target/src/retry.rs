@@ -6,6 +6,19 @@
 //! returned immediately. Each call carries an optional wall-clock
 //! deadline, after which the operation fails with
 //! [`TargetError::Timeout`] instead of retrying forever.
+//!
+//! Backoff is *jittered*: each delay is scaled by a deterministic
+//! factor in `1 ± jitter` derived from ([`RetryPolicy::seed`], retry
+//! number), so stacked retry layers (session retry over an MI client's
+//! own reconnect loop) don't sleep in lockstep and hammer a recovering
+//! backend in synchronized waves — while a given policy still backs
+//! off identically across runs, keeping tests reproducible.
+//!
+//! Besides the per-policy deadline, an *operation deadline* can be set
+//! per evaluation ([`RetryTarget::set_op_deadline`]): the evaluator
+//! passes its own `timeout_ms` budget down so a retrying op can't
+//! overshoot the eval budget by a full backoff ceiling — sleeps are
+//! clamped against whichever deadline is nearer.
 
 use crate::error::{TargetError, TargetResult};
 use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
@@ -26,6 +39,12 @@ pub struct RetryPolicy {
     /// Whether to actually sleep between attempts (tests disable this
     /// to stay fast while still observing the retry count).
     pub sleep: bool,
+    /// Jitter amplitude: each backoff is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter]` (0.0 = pure doubling).
+    pub jitter: f64,
+    /// Seed for the jitter factors; a fixed seed makes every backoff
+    /// sequence reproducible.
+    pub seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -36,6 +55,8 @@ impl Default for RetryPolicy {
             max_delay: Duration::from_millis(500),
             deadline: Some(Duration::from_secs(5)),
             sleep: true,
+            jitter: 0.25,
+            seed: 0xd0e1_5eed,
         }
     }
 }
@@ -50,11 +71,25 @@ impl RetryPolicy {
         }
     }
 
-    /// The backoff before retry number `n` (1-based), doubled each
-    /// time and capped at [`RetryPolicy::max_delay`].
+    /// The backoff before retry number `n` (1-based): doubled each
+    /// time, capped at [`RetryPolicy::max_delay`], then scaled by a
+    /// deterministic jitter factor in `1 ± jitter` drawn from
+    /// ([`RetryPolicy::seed`], `n`). The cap still bounds the result.
     pub fn backoff(&self, n: u32) -> Duration {
         let factor = 1u32 << n.saturating_sub(1).min(16);
-        (self.base_delay * factor).min(self.max_delay)
+        let capped = (self.base_delay * factor).min(self.max_delay);
+        if self.jitter <= 0.0 {
+            return capped;
+        }
+        // splitmix64 of (seed, n): a stateless draw, so backoff(n) is a
+        // pure function of the policy.
+        let mut z = self.seed ^ (u64::from(n)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let scale = (1.0 + self.jitter * (2.0 * unit - 1.0)).max(0.0);
+        capped.mul_f64(scale).min(self.max_delay)
     }
 }
 
@@ -80,6 +115,9 @@ pub struct RetryTarget<T: Target> {
     inner: T,
     policy: RetryPolicy,
     stats: RetryStats,
+    /// Wall-clock instant past which no operation may retry or sleep —
+    /// the evaluator's `timeout_ms` budget, pushed down per evaluation.
+    op_deadline: Option<Instant>,
 }
 
 impl<T: Target> RetryTarget<T> {
@@ -94,6 +132,7 @@ impl<T: Target> RetryTarget<T> {
             inner,
             policy,
             stats: RetryStats::default(),
+            op_deadline: None,
         }
     }
 
@@ -132,8 +171,31 @@ impl<T: Target> RetryTarget<T> {
         &self.policy
     }
 
+    /// Sets (or clears) the operation deadline: the wall-clock instant
+    /// past which retrying ops fail with [`TargetError::Timeout`]
+    /// instead of sleeping on. The evaluator pushes its `timeout_ms`
+    /// budget down here, so a retrying op can't overshoot the eval
+    /// budget by a full backoff ceiling.
+    pub fn set_op_deadline(&mut self, deadline: Option<Instant>) {
+        self.op_deadline = deadline;
+    }
+
+    /// The currently installed operation deadline, if any.
+    pub fn op_deadline(&self) -> Option<Instant> {
+        self.op_deadline
+    }
+
     fn run<R>(&mut self, mut op: impl FnMut(&mut T) -> TargetResult<R>) -> TargetResult<R> {
         let start = Instant::now();
+        // The effective budget for this operation: the policy's
+        // per-operation allowance clamped by however much of the eval
+        // budget is left.
+        let budget = match (self.policy.deadline, self.op_deadline) {
+            (Some(p), Some(od)) => Some(p.min(od.saturating_duration_since(start))),
+            (Some(p), None) => Some(p),
+            (None, Some(od)) => Some(od.saturating_duration_since(start)),
+            (None, None) => None,
+        };
         let mut attempt = 0u32;
         self.stats.operations += 1;
         loop {
@@ -142,15 +204,18 @@ impl<T: Target> RetryTarget<T> {
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
                     attempt += 1;
                     self.stats.retries += 1;
-                    if let Some(deadline) = self.policy.deadline {
-                        if start.elapsed() >= deadline {
+                    let mut backoff = self.policy.backoff(attempt);
+                    if let Some(budget) = budget {
+                        let elapsed = start.elapsed();
+                        if elapsed >= budget {
                             self.stats.give_ups += 1;
                             return Err(TargetError::Timeout {
-                                ms: deadline.as_millis() as u64,
+                                ms: budget.as_millis() as u64,
                             });
                         }
+                        // Never sleep past the deadline.
+                        backoff = backoff.min(budget - elapsed);
                     }
-                    let backoff = self.policy.backoff(attempt);
                     self.stats.backoff_ns += backoff.as_nanos() as u64;
                     if self.policy.sleep {
                         std::thread::sleep(backoff);
@@ -248,6 +313,10 @@ impl<T: Target> Target for RetryTarget<T> {
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         self.inner.trace_handle()
     }
+
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        self.inner.staleness_handle()
+    }
 }
 
 #[cfg(test)]
@@ -323,8 +392,14 @@ mod tests {
         assert_eq!(s.operations, 2);
         assert_eq!(s.retries, 5);
         assert_eq!(s.give_ups, 1);
-        // Scheduled backoff: 10+20+40 (gave-up op) + 10+20 ms.
-        assert_eq!(s.backoff_ns, 100_000_000);
+        // Scheduled backoff: jittered 10+20+40 (gave-up op) + 10+20 ms
+        // — exact because the jitter is a pure function of the policy.
+        let p = t.policy();
+        let want: u64 = [1, 2, 3, 1, 2]
+            .iter()
+            .map(|n| p.backoff(*n).as_nanos() as u64)
+            .sum();
+        assert_eq!(s.backoff_ns, want);
         t.reset_stats();
         assert_eq!(t.stats(), RetryStats::default());
     }
@@ -334,11 +409,89 @@ mod tests {
         let p = RetryPolicy {
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(35),
+            jitter: 0.0, // pure doubling
             ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(1), Duration::from_millis(10));
         assert_eq!(p.backoff(2), Duration::from_millis(20));
         assert_eq!(p.backoff(3), Duration::from_millis(35));
         assert_eq!(p.backoff(10), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_seed_dependent() {
+        let p = RetryPolicy::default(); // jitter 0.25
+        let q = RetryPolicy {
+            seed: p.seed + 1,
+            ..RetryPolicy::default()
+        };
+        let mut some_differ = false;
+        for n in 1..=10u32 {
+            let d = p.backoff(n);
+            assert_eq!(d, p.backoff(n), "backoff must be a pure function");
+            // Bounds: within ±25% of the doubled-capped base, and the
+            // ceiling still holds.
+            let base = (p.base_delay * (1 << (n - 1).min(16))).min(p.max_delay);
+            assert!(
+                d >= base.mul_f64(0.75),
+                "retry {n}: {d:?} < 75% of {base:?}"
+            );
+            assert!(
+                d <= base.mul_f64(1.25),
+                "retry {n}: {d:?} > 125% of {base:?}"
+            );
+            assert!(d <= p.max_delay);
+            some_differ |= q.backoff(n) != d;
+        }
+        assert!(some_differ, "different seeds must de-synchronize backoff");
+    }
+
+    #[test]
+    fn op_deadline_converts_retry_storm_to_timeout() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(100));
+        let mut t = RetryTarget::with_policy(
+            flaky,
+            RetryPolicy {
+                max_retries: 100,
+                deadline: None, // only the eval budget applies
+                sleep: false,
+                ..RetryPolicy::default()
+            },
+        );
+        t.set_op_deadline(Some(Instant::now()));
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        let err = t.get_bytes(x.addr, &mut buf).unwrap_err();
+        assert!(matches!(err, TargetError::Timeout { .. }), "{err}");
+        assert_eq!(t.stats().give_ups, 1);
+        // Clearing the deadline restores normal retrying.
+        t.set_op_deadline(None);
+        t.get_bytes(x.addr, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn op_deadline_clamps_scheduled_sleep() {
+        // 50ms of eval budget left, 500ms backoff ceiling: the single
+        // scheduled backoff must be clamped to at most the budget.
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(1));
+        let mut t = RetryTarget::with_policy(
+            flaky,
+            RetryPolicy {
+                base_delay: Duration::from_millis(400),
+                max_delay: Duration::from_millis(500),
+                sleep: false,
+                ..RetryPolicy::default()
+            },
+        );
+        t.set_op_deadline(Some(Instant::now() + Duration::from_millis(50)));
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert_eq!(t.retries(), 1);
+        assert!(
+            t.stats().backoff_ns <= 50_000_000,
+            "sleep must be clamped to the remaining eval budget, got {} ns",
+            t.stats().backoff_ns
+        );
     }
 }

@@ -73,10 +73,13 @@ impl SimMemory {
         }
         let mut out = Vec::new();
         for i in 0..max as u64 {
-            if !self.contains(addr + i, 1) {
+            // checked: a string straddling the top of the address space
+            // must stop at the edge, not overflow.
+            let Some(a) = addr.checked_add(i) else { break };
+            if !self.contains(a, 1) {
                 break;
             }
-            let b = self.bytes[(addr + i - ARENA_BASE) as usize];
+            let b = self.bytes[(a - ARENA_BASE) as usize];
             if b == 0 {
                 break;
             }
@@ -126,7 +129,12 @@ impl SimCore {
     pub fn alloc(&mut self, size: u64, align: u64) -> TargetResult<u64> {
         let align = align.max(1);
         let end = ARENA_BASE + self.mem.bytes.len() as u64;
-        let addr = end.div_ceil(align) * align;
+        // checked: a hostile alignment (e.g. u64::MAX from a debuggee
+        // call) must fault, not overflow the rounding multiply.
+        let addr = end
+            .div_ceil(align)
+            .checked_mul(align)
+            .ok_or_else(|| TargetError::Backend("allocation alignment overflows".to_string()))?;
         let new_end = addr.checked_add(size).ok_or(TargetError::Backend(
             "allocation overflows the address space".to_string(),
         ))?;
@@ -152,15 +160,14 @@ impl SimCore {
     }
 
     /// Defines a global as a raw `size`-byte buffer (typed `char[size]`),
-    /// returning its address. Panics only if the arena cap is hit.
-    pub fn define_global_bytes(&mut self, name: &str, size: u64) -> u64 {
+    /// returning its address. Fails with a [`TargetError`] if the arena
+    /// cap is hit (a hostile size must fault, not panic).
+    pub fn define_global_bytes(&mut self, name: &str, size: u64) -> TargetResult<u64> {
         let ch = self.types.prim(Prim::Char);
         let ty = self.types.array(ch, Some(size));
-        let addr = self
-            .alloc(size.max(1), 16)
-            .expect("arena exhausted defining raw global");
+        let addr = self.alloc(size.max(1), 16)?;
         self.globals.insert(name.to_string(), (addr, ty));
-        addr
+        Ok(addr)
     }
 
     /// Defines a zero-initialized local in the innermost frame.
@@ -638,6 +645,23 @@ mod tests {
         );
         assert!(t.has_function("printf"));
         assert!(!t.has_function("nope"));
+    }
+
+    #[test]
+    fn hostile_sizes_and_alignments_fault_instead_of_panicking() {
+        let mut t = SimTarget::new(Abi::lp64());
+        // Alignment rounding must not overflow.
+        assert!(t.core.alloc(8, u64::MAX).is_err());
+        // Oversized allocations hit the cap or the address space.
+        assert!(t.core.alloc(u64::MAX, 16).is_err());
+        assert!(t.core.define_global_bytes("big", u64::MAX).is_err());
+        assert!(t.core.malloc(u64::MAX).is_err());
+        // Strings at the top of the address space stop cleanly.
+        assert!(t.core.mem.read_cstring(u64::MAX, 16).is_err());
+        // The debuggee still works afterwards.
+        let a = t.core.define_global_bytes("ok", 8).unwrap();
+        t.core.write_int(a, 5).unwrap();
+        assert_eq!(t.core.read_int(a).unwrap(), 5);
     }
 
     #[test]

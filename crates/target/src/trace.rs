@@ -709,6 +709,10 @@ impl<T: Target> Target for TraceTarget<T> {
     fn trace_handle(&self) -> Option<TraceHandle> {
         Some(self.handle.clone())
     }
+
+    fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        self.inner.staleness_handle()
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@
 //! * [`core`] — the DUEL language itself: lexer, parser, resumable
 //!   generator evaluator, symbolic display.
 //! * [`gdbmi`] — a gdb/MI protocol client and a `Target` adapter over it.
+//! * [`cli`] — the interactive REPL: the full decorator tower
+//!   (trace/supervise/retry/cache/record), dot-commands, and the chaos
+//!   gate used by the robustness tests.
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 //! assert_eq!(keys.len(), 5);
 //! ```
 
+pub use duel_cli as cli;
 pub use duel_core as core;
 pub use duel_ctype as ctype;
 pub use duel_gdbmi as gdbmi;

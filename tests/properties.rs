@@ -221,7 +221,7 @@ proptest! {
     #[test]
     fn eval_never_panics_on_garbage(src in "[ -~]{0,40}") {
         let mut t = SimTarget::new(Abi::lp64());
-        t.core.define_global_bytes("x", 64);
+        t.core.define_global_bytes("x", 64).unwrap();
         let mut s = Session::new(&mut t);
         s.options.max_values = 1000;
         s.options.max_ticks = 100_000;
