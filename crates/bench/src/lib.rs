@@ -6,7 +6,7 @@
 //! The experiment ↔ paper-claim mapping lives in `DESIGN.md` §5; the
 //! measured results are recorded in `EXPERIMENTS.md`.
 
-use duel_core::{DuelError, EvalOptions, Session};
+use duel_core::{DuelError, EvalOptions, EvalStats, Session};
 use duel_target::Target;
 
 /// Evaluates `expr` against `target`, returning how many values it
@@ -30,6 +30,18 @@ pub fn try_eval_lines(
 ) -> Result<Vec<String>, DuelError> {
     let mut s = Session::with_options(target, options.clone());
     s.eval_lines(expr)
+}
+
+/// Like [`try_eval_lines`], but also returns the evaluation counters
+/// (the E14 prefetch bench reads planner activity out of them).
+pub fn try_eval_lines_with_stats(
+    target: &mut dyn Target,
+    expr: &str,
+    options: &EvalOptions,
+) -> Result<(Vec<String>, EvalStats), DuelError> {
+    let mut s = Session::with_options(target, options.clone());
+    let lines = s.eval_lines(expr)?;
+    Ok((lines, s.last_stats()))
 }
 
 /// Panicking wrapper over [`try_eval_count`] for bench *setup*, where

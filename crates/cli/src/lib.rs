@@ -331,6 +331,10 @@ DUEL commands:
   .set degrade on|off
                      while the circuit is open, serve reads from cache
                      tagged <stale> instead of failing (default: on)
+  .set prefetch on|off
+                     generator-aware prefetch: warm the cache with one
+                     vectored read before contiguous scans (`x[a..b]`)
+                     and structure walks (default: off)
   .quit              exit
 ";
 
@@ -605,6 +609,14 @@ impl Repl {
                     out,
                     "lookups: {} memoized, {} fetched; {} invalidations",
                     c.lookup_hits, c.lookup_misses, c.invalidations
+                );
+                let _ = writeln!(
+                    out,
+                    "prefetch: {} ({} warm-ups, {} ranges warmed; {} vectored turns on the wire)",
+                    if self.options.prefetch { "on" } else { "off" },
+                    self.last_stats.prefetch_calls,
+                    self.last_stats.prefetch_ranges,
+                    self.backend.trace().calls(duel_target::TraceOp::MultiRead)
                 );
                 let r = self.backend.retry_stats();
                 let _ = writeln!(
@@ -1002,6 +1014,9 @@ impl Repl {
                     "degrade" => {
                         self.degrade_enabled = val != "off";
                         self.backend.set_degrade(self.degrade_enabled);
+                    }
+                    "prefetch" => {
+                        self.options.prefetch = val == "on";
                     }
                     other => {
                         let _ = writeln!(out, "unknown option `{other}`");

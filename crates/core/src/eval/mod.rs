@@ -72,6 +72,14 @@ pub struct EvalOptions {
     /// the session's trace buffer — the Semantics section's evaluation
     /// walkthroughs, made observable.
     pub trace: bool,
+    /// Generator-aware prefetch: when a generator is about to expand a
+    /// compile-time-known contiguous range (`x[a..b]`, `x[..n]`) or
+    /// walk freshly discovered structure nodes, warm the cache with one
+    /// vectored read first, so the element-by-element scan that follows
+    /// is served locally instead of one wire turn per element. Purely
+    /// advisory (values and errors are identical either way); off by
+    /// default so read-count-sensitive experiments are undisturbed.
+    pub prefetch: bool,
 }
 
 impl Default for EvalOptions {
@@ -87,6 +95,7 @@ impl Default for EvalOptions {
             timeout_ms: 0,
             error_values: false,
             trace: false,
+            prefetch: false,
         }
     }
 }
@@ -257,7 +266,7 @@ fn compile_inner(e: &Expr) -> Gen {
         Cond(c, a, b) => control::if_gen(compile(c), compile(a), Some(compile(b))),
         Assign(op, l, r) => misc::assign(*op, compile(l), compile(r)),
         Filter(op, a, b) => basic::filter(*op, compile(a), compile(b)),
-        Index(a, b) => structure::index(compile(a), compile(b)),
+        Index(a, b) => structure::index(compile(a), compile(b), range_hint(b)),
         Select(a, b) => structure::select(compile(a), compile(b)),
         With(link, a, b) => structure::with(*link, compile(a), compile(b)),
         Dfs(a, b) => structure::expand(compile(a), b.as_ref(), false),
@@ -306,6 +315,37 @@ fn compile_inner(e: &Expr) -> Gen {
         IndexAlias(a, name) => structure::index_alias(compile(a), name.clone()),
         Until(a, stop) => structure::until(compile(a), stop),
         Braced(a) => misc::braced(compile(a)),
+    }
+}
+
+/// Constant-folds an integer literal (allowing `-`/`+` prefixes), the
+/// same closure the `@` stop operand uses.
+fn const_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Char(c) => Some(*c as i64),
+        Expr::Unary(crate::ast::UnOp::Neg, inner) => const_int(inner).map(|v| -v),
+        Expr::Unary(crate::ast::UnOp::Pos, inner) => const_int(inner),
+        _ => None,
+    }
+}
+
+/// The prefetch planner's compile-time analysis: does this index
+/// expression enumerate a known contiguous inclusive range? `x[a..b]`
+/// yields `a..=b`; the prefix form `x[..n]` yields `0..=n-1`. Anything
+/// data-dependent (filters, `a..`, computed bounds) gets no hint — the
+/// demand path handles it exactly as before.
+fn range_hint(e: &Expr) -> Option<(i64, i64)> {
+    match e {
+        Expr::To(a, b) => {
+            let (lo, hi) = (const_int(a)?, const_int(b)?);
+            (lo <= hi).then_some((lo, hi))
+        }
+        Expr::ToPrefix(n) => {
+            let n = const_int(n)?;
+            (n > 0).then_some((0, n - 1))
+        }
+        _ => None,
     }
 }
 

@@ -18,10 +18,58 @@ use super::{basic::int_of, compile, first_value, Gen, GenT};
 
 /// `e1[e2]` — ordinary C indexing lifted over generators (both the base
 /// and the index may generate).
+///
+/// When the index expression is a compile-time contiguous range
+/// (`x[a..b]`, `x[..n]` — see `range_hint` in the parent module) and
+/// [`crate::EvalOptions::prefetch`] is on, each fresh base value first
+/// warms the cache with one vectored read over the whole span, so the
+/// element-by-element scan below is served locally — the paper's "one
+/// access per element" cost model collapsed to one wire turn.
 struct IndexGen {
     base: Gen,
     idx: Gen,
     cur: Option<Value>,
+    /// Inclusive index range the idx generator is known to enumerate.
+    hint: Option<(i64, i64)>,
+    /// Base address already warmed (one hint per base value).
+    warmed: Option<u64>,
+}
+
+impl IndexGen {
+    /// Issues the planner's warm-up for base value `b`, if it applies.
+    /// Advisory by construction: any shape we cannot cheaply resolve
+    /// (no address, unsized elements) is skipped, and read errors are
+    /// left for the demand path to surface.
+    fn warm(&mut self, ctx: &mut Ctx<'_>, b: &Value) {
+        let (lo, hi) = match self.hint {
+            Some(h) if ctx.opts.prefetch => h,
+            _ => return,
+        };
+        let (elem, base_addr) = match apply::classify(ctx.target, b.ty) {
+            Class::Array { elem, .. } => match b.lval_addr() {
+                Some(a) => (elem, a),
+                None => return,
+            },
+            Class::Ptr { pointee } => match apply::load(ctx.target, b) {
+                Ok(Scalar::Ptr(p)) if p != 0 => (pointee, p),
+                Ok(Scalar::Int(p)) if p != 0 => (pointee, p as u64),
+                _ => return,
+            },
+            _ => return,
+        };
+        if self.warmed == Some(base_addr) {
+            return;
+        }
+        self.warmed = Some(base_addr);
+        let esize = match ctx.target.types().size_of(elem, ctx.target.abi()) {
+            Ok(s) if s > 0 => s as i64,
+            _ => return,
+        };
+        let start = (base_addr as i64 + lo * esize) as u64;
+        let len = ((hi - lo + 1) * esize) as u64;
+        ctx.prefetch_calls += 1;
+        ctx.prefetch_ranges += apply::prefetch(ctx.target, &[(start, len)]) as u64;
+    }
 }
 
 impl GenT for IndexGen {
@@ -29,7 +77,10 @@ impl GenT for IndexGen {
         loop {
             if self.cur.is_none() {
                 match self.base.next(ctx)? {
-                    Some(b) => self.cur = Some(b),
+                    Some(b) => {
+                        self.warm(ctx, &b);
+                        self.cur = Some(b);
+                    }
                     None => return Ok(None),
                 }
             }
@@ -48,15 +99,18 @@ impl GenT for IndexGen {
         self.base.reset();
         self.idx.reset();
         self.cur = None;
+        self.warmed = None;
     }
 }
 
 /// `e1[e2]`.
-pub fn index(base: Gen, idx: Gen) -> Gen {
+pub fn index(base: Gen, idx: Gen, hint: Option<(i64, i64)>) -> Gen {
     Box::new(IndexGen {
         base,
         idx,
         cur: None,
+        hint,
+        warmed: None,
     })
 }
 
@@ -330,6 +384,31 @@ impl GenT for ExpandGen {
             })();
             ctx.with_stack.pop();
             res?;
+            // Planner hook: the children are homogeneous nodes about to
+            // have their fields read one by one — warm them all in one
+            // vectored turn. Advisory; a node that fails to warm is
+            // fetched on demand as before.
+            if ctx.opts.prefetch && !children.is_empty() {
+                let ranges: Vec<(u64, u64)> = children
+                    .iter()
+                    .filter_map(|c| {
+                        let addr = match c.place {
+                            crate::value::Place::RVal(Scalar::Ptr(p)) if p != 0 => p,
+                            _ => return None,
+                        };
+                        let pointee = match apply::classify(ctx.target, c.ty) {
+                            Class::Ptr { pointee } => pointee,
+                            _ => return None,
+                        };
+                        let size = ctx.target.types().size_of(pointee, ctx.target.abi()).ok()?;
+                        (size > 0).then_some((addr, size))
+                    })
+                    .collect();
+                if !ranges.is_empty() {
+                    ctx.prefetch_calls += 1;
+                    ctx.prefetch_ranges += apply::prefetch(ctx.target, &ranges) as u64;
+                }
+            }
             if self.bfs {
                 // Queue in natural order.
                 for c in children {

@@ -59,6 +59,11 @@ pub struct Ctx<'a> {
     pub yields: u64,
     /// Structure-expansion steps performed by `-->`/`-->>`.
     pub expansions: u64,
+    /// Vectored cache warm-ups issued by the prefetch planner.
+    pub prefetch_calls: u64,
+    /// Ranges those warm-ups read cleanly (a faulted or flaky range is
+    /// simply left cold for the demand path).
+    pub prefetch_ranges: u64,
     /// Per-node cost collector; present only while `.profile` runs.
     pub profile: Option<Box<crate::profile::ProfileCollector>>,
     /// Wall-clock deadline derived from [`EvalOptions::timeout_ms`].
@@ -89,6 +94,8 @@ impl<'a> Ctx<'a> {
             max_depth_seen: 0,
             yields: 0,
             expansions: 0,
+            prefetch_calls: 0,
+            prefetch_ranges: 0,
             profile: None,
             deadline,
         }

@@ -71,6 +71,11 @@ pub struct EvalStats {
     /// the output). Zero unless the tower contains a
     /// `SupervisedTarget` in degraded mode.
     pub stale_values: u64,
+    /// Vectored cache warm-ups the prefetch planner issued (zero unless
+    /// [`EvalOptions::prefetch`] is on).
+    pub prefetch_calls: u64,
+    /// Ranges those warm-ups read cleanly.
+    pub prefetch_ranges: u64,
 }
 
 /// A DUEL session over a debugger backend: holds the aliases created by
@@ -255,6 +260,8 @@ impl<'t> Session<'t> {
             expansions: ctx.expansions,
             yields: ctx.yields,
             stale_values,
+            prefetch_calls: ctx.prefetch_calls,
+            prefetch_ranges: ctx.prefetch_ranges,
         };
         let collector = ctx.profile.take();
         self.last_trace = std::mem::take(&mut ctx.trace);
@@ -405,6 +412,40 @@ mod tests {
         assert_eq!(s.eval_lines("x[0]").unwrap(), vec!["5"]);
         // With a generator index, the symbolic differs and is shown.
         assert_eq!(s.eval_lines("x[0..0]").unwrap(), vec!["x[0] = 5"]);
+    }
+
+    #[test]
+    fn prefetch_planner_warms_contiguous_scans_in_one_turn() {
+        use duel_target::{CacheConfig, CachedTarget, TraceTarget};
+        // Wire-level trace *inside* the cache: every recorded call is a
+        // real backend turn.
+        let run = |prefetch: bool| {
+            let wire = TraceTarget::with_label(scenario::scan_array(), "wire");
+            let handle = wire.handle();
+            handle.set_enabled(true);
+            let mut t = CachedTarget::with_config(
+                wire,
+                CacheConfig {
+                    page_size: 16,
+                    ..CacheConfig::default()
+                },
+            );
+            let mut s = Session::new(&mut t);
+            s.options.prefetch = prefetch;
+            let lines = s.eval_lines("x[..60]").unwrap();
+            let stats = s.last_stats();
+            (lines, stats, handle.wire_turns())
+        };
+        let (base_lines, base_stats, base_turns) = run(false);
+        let (pf_lines, pf_stats, pf_turns) = run(true);
+        // Identical output, fewer wire turns: 240 bytes / 16-byte pages
+        // is 15 demand fetches versus one vectored warm-up.
+        assert_eq!(base_lines, pf_lines);
+        assert_eq!(base_stats.prefetch_calls, 0);
+        assert_eq!(pf_stats.prefetch_calls, 1);
+        assert_eq!(pf_stats.prefetch_ranges, 1);
+        assert_eq!(base_turns, 15);
+        assert_eq!(pf_turns, 1);
     }
 
     #[test]

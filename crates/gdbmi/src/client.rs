@@ -18,6 +18,10 @@ pub trait MiTransport {
     fn recv_line(&mut self) -> Result<String, MiError>;
 }
 
+/// Per-command outcome within a pipelined [`MiClient::execute_batch`]
+/// turn: the command's result record, or its own `^error`.
+pub type BatchReply = Result<BTreeMap<String, MiValue>, MiError>;
+
 /// An MI client: correlates commands with result records by token and
 /// collects stream/async output.
 pub struct MiClient<T: MiTransport> {
@@ -90,6 +94,71 @@ impl<T: MiTransport> MiClient<T> {
                 }
             }
         }
+    }
+
+    /// Executes several MI commands in one pipelined turn: all command
+    /// lines are sent up front, then output is drained until every
+    /// command's prompt has arrived, correlating result records back to
+    /// their commands by token. Per-command `^error` records land in
+    /// that command's slot; only a transport failure aborts the batch.
+    pub fn execute_batch(&mut self, cmds: &[String]) -> Result<Vec<BatchReply>, MiError> {
+        let first = self.next_token;
+        self.next_token += cmds.len() as u64;
+        for (i, cmd) in cmds.iter().enumerate() {
+            self.transport
+                .send_line(&format!("{}{cmd}", first + i as u64))?;
+        }
+        let mut slots: Vec<Option<(ResultClass, BTreeMap<String, MiValue>)>> =
+            cmds.iter().map(|_| None).collect();
+        let mut prompts = 0;
+        while prompts < cmds.len() {
+            let line = self.transport.recv_line()?;
+            match parse_line(&line)? {
+                Record::Prompt => prompts += 1,
+                Record::Result {
+                    token,
+                    class,
+                    results,
+                } => match token {
+                    Some(t) if (first..first + cmds.len() as u64).contains(&t) => {
+                        slots[(t - first) as usize] = Some((class, results));
+                    }
+                    Some(_) => {}
+                    // An untokened result belongs to the oldest command
+                    // still awaiting its answer (MI replies in order).
+                    None => {
+                        if let Some(slot) = slots.iter_mut().find(|s| s.is_none()) {
+                            *slot = Some((class, results));
+                        }
+                    }
+                },
+                Record::Stream { kind: '~', text } => {
+                    self.console.push_str(&text);
+                }
+                Record::Stream { kind: '@', text } => {
+                    self.target_out.push_str(&text);
+                }
+                Record::Stream { .. } => {}
+                r @ Record::Async { .. } => {
+                    self.async_events.push(r);
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some((ResultClass::Error, results)) => {
+                    let msg = results
+                        .get("msg")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("unknown error")
+                        .to_string();
+                    Err(MiError::ErrorRecord(msg))
+                }
+                Some((_, results)) => Ok(results),
+                None => Err(MiError::Disconnected),
+            })
+            .collect())
     }
 
     /// Takes the accumulated target output.
@@ -172,6 +241,36 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_pipelines_sends_then_correlates_by_token() {
+        let script = Script {
+            sent: Vec::new(),
+            responses: vec![vec![
+                "1^done,value=\"a\"".to_string(),
+                "(gdb)".to_string(),
+                "2^error,msg=\"Cannot access memory\"".to_string(),
+                "(gdb)".to_string(),
+                "3^done,value=\"c\"".to_string(),
+                "(gdb)".to_string(),
+            ]],
+        };
+        let mut c = MiClient::new(script);
+        let rs = c
+            .execute_batch(&["-cmd-a".into(), "-cmd-b".into(), "-cmd-c".into()])
+            .unwrap();
+        // All three lines went out before any reply was read.
+        assert_eq!(c.transport().sent, vec!["1-cmd-a", "2-cmd-b", "3-cmd-c"]);
+        assert_eq!(
+            rs[0].as_ref().unwrap().get("value").unwrap().as_str(),
+            Some("a")
+        );
+        assert!(matches!(&rs[1], Err(MiError::ErrorRecord(m)) if m.contains("Cannot access")));
+        assert_eq!(
+            rs[2].as_ref().unwrap().get("value").unwrap().as_str(),
+            Some("c")
+        );
     }
 
     #[test]

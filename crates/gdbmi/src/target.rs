@@ -11,7 +11,8 @@ use std::collections::{BTreeSet, HashSet};
 
 use duel_ctype::{Abi, Endian, EnumId, Prim, RecordId, TypeId, TypeTable};
 use duel_target::{
-    CallValue, FrameInfo, ResyncReport, Target, TargetError, TargetResult, VarInfo, VarKind,
+    CallValue, FrameInfo, ReadRange, ResyncReport, Target, TargetError, TargetResult, VarInfo,
+    VarKind,
 };
 
 use crate::{client::MiClient, command, MiError, MiTransport};
@@ -531,6 +532,31 @@ fn parse_hex(s: &str) -> Option<u64> {
     u64::from_str_radix(h, 16).ok()
 }
 
+/// Decodes one `-data-read-memory-bytes` result into `buf`.
+fn decode_read_reply(
+    r: &std::collections::BTreeMap<String, crate::syntax::MiValue>,
+    buf: &mut [u8],
+) -> TargetResult<()> {
+    let mem = r
+        .get("memory")
+        .ok_or(TargetError::Backend("missing memory".into()))?;
+    let first = mem
+        .items()
+        .first()
+        .ok_or(TargetError::Backend("empty memory list".into()))?;
+    let hex = first
+        .get_str("contents")
+        .ok_or(TargetError::Backend("missing contents".into()))?;
+    if hex.len() != buf.len() * 2 {
+        return Err(TargetError::Backend("short read".into()));
+    }
+    for (i, chunk) in buf.iter_mut().enumerate() {
+        *chunk = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
+            .map_err(|_| TargetError::Backend("bad hex".into()))?;
+    }
+    Ok(())
+}
+
 impl<T: MiTransport> Target for MiTarget<T> {
     fn abi(&self) -> &Abi {
         &self.abi
@@ -549,24 +575,32 @@ impl<T: MiTransport> Target for MiTarget<T> {
             .client
             .execute(&command::read_memory_bytes(addr, buf.len() as u64))
             .map_err(to_target_err)?;
-        let mem = r
-            .get("memory")
-            .ok_or(TargetError::Backend("missing memory".into()))?;
-        let first = mem
-            .items()
-            .first()
-            .ok_or(TargetError::Backend("empty memory list".into()))?;
-        let hex = first
-            .get_str("contents")
-            .ok_or(TargetError::Backend("missing contents".into()))?;
-        if hex.len() != buf.len() * 2 {
-            return Err(TargetError::Backend("short read".into()));
-        }
-        for (i, chunk) in buf.iter_mut().enumerate() {
-            *chunk = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16)
-                .map_err(|_| TargetError::Backend("bad hex".into()))?;
-        }
-        Ok(())
+        decode_read_reply(&r, buf)
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        // One pipelined MI turn: every `-data-read-memory-bytes` goes
+        // out before any reply is read, so N ranges cost one wire
+        // round-trip instead of N.
+        let cmds: Vec<String> = ranges
+            .iter()
+            .map(|r| command::read_memory_bytes(r.addr, r.buf.len() as u64))
+            .collect();
+        let replies = match self.client.execute_batch(&cmds) {
+            Ok(rs) => rs,
+            Err(e) => {
+                let e = to_target_err(e);
+                return ranges.iter().map(|_| Err(e.clone())).collect();
+            }
+        };
+        ranges
+            .iter_mut()
+            .zip(replies)
+            .map(|(r, reply)| match reply {
+                Ok(res) => decode_read_reply(&res, r.buf),
+                Err(e) => Err(to_target_err(e)),
+            })
+            .collect()
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
@@ -767,6 +801,29 @@ mod tests {
         t.put_bytes(x.addr + 12, &(-5i32).to_le_bytes()).unwrap();
         t.get_bytes(x.addr + 12, &mut buf).unwrap();
         assert_eq!(i32::from_le_bytes(buf), -5);
+    }
+
+    #[test]
+    fn vectored_read_is_one_pipelined_turn_with_per_range_errors() {
+        let mut t = connect(scenario::scan_array());
+        let x = t.get_variable("x").unwrap();
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let mut bad = [0u8; 4];
+        let mut ranges = [
+            ReadRange::new(x.addr + 12, &mut a),
+            ReadRange::new(0x10, &mut bad), // outside the arena
+            ReadRange::new(x.addr + 72, &mut b),
+        ];
+        let rs = t.get_bytes_multi(&mut ranges);
+        assert_eq!(rs[0], Ok(()));
+        assert!(
+            matches!(rs[1], Err(TargetError::IllegalMemory { .. })),
+            "{rs:?}"
+        );
+        assert_eq!(rs[2], Ok(()));
+        assert_eq!(i32::from_le_bytes(a), 7);
+        assert_eq!(i32::from_le_bytes(b), 9);
     }
 
     #[test]

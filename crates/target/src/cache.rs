@@ -29,7 +29,7 @@
 //! cache the way real backend faults would).
 
 use crate::error::TargetResult;
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 use std::collections::HashMap;
 
@@ -45,6 +45,12 @@ pub struct CacheConfig {
     /// pass-through that still counts backend traffic in its stats,
     /// which is what makes cached/uncached comparisons cheap.
     pub enabled: bool,
+    /// Sequential readahead for vectored reads: when a
+    /// [`Target::get_bytes_multi`] miss-coalesced fetch runs, this many
+    /// extra pages following each requested page are fetched in the
+    /// same wire turn. 0 (the default) disables readahead, which keeps
+    /// the vectored path byte-for-byte equivalent to the scalar one.
+    pub prefetch_pages: usize,
 }
 
 impl Default for CacheConfig {
@@ -53,6 +59,7 @@ impl Default for CacheConfig {
             page_size: 64,
             max_pages: 1024,
             enabled: true,
+            prefetch_pages: 0,
         }
     }
 }
@@ -96,6 +103,15 @@ pub struct CacheStats {
     pub write_throughs: u64,
     /// Epoch bumps via [`CachedTarget::invalidate_all`].
     pub invalidations: u64,
+    /// Vectored reads ([`Target::get_bytes_multi`]) served.
+    pub multi_reads: u64,
+    /// Total ranges across those vectored reads.
+    pub multi_ranges: u64,
+    /// Missing pages fetched by a coalesced vectored backend call.
+    pub pages_prefetched: u64,
+    /// Extra sequential pages pulled in by
+    /// [`CacheConfig::prefetch_pages`] readahead.
+    pub readahead_pages: u64,
 }
 
 impl CacheStats {
@@ -193,6 +209,19 @@ impl<T: Target> CachedTarget<T> {
     /// Resets all counters to zero (the cache contents stay).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// The resident pages, sorted by base address, with their cached
+    /// bytes. Used by differential tests to assert the vectored and
+    /// scalar read paths leave the cache in the identical state.
+    pub fn resident_pages(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .pages
+            .iter()
+            .map(|(&base, p)| (base, p.bytes.clone()))
+            .collect();
+        out.sort_by_key(|(base, _)| *base);
+        out
     }
 
     /// The active config.
@@ -314,8 +343,13 @@ impl<T: Target> CachedTarget<T> {
                 // memory (typical at the edge of an arena or segment).
                 // Binary-search the largest readable prefix once and
                 // cache it as a partial page, so later reads inside
-                // the mapped part still coalesce.
-                let readable = self.probe_prefix(base, &mut page);
+                // the mapped part still coalesce. A transient error
+                // mid-probe caches nothing (the prefix it found is
+                // suspect) and falls through to the exact read.
+                let readable = match self.probe_prefix(base, &mut page) {
+                    Ok(n) => n,
+                    Err(_) => return self.read_exact_uncached(addr, buf),
+                };
                 if readable > 0 {
                     self.insert_page(base, page[..readable].to_vec());
                 }
@@ -344,21 +378,29 @@ impl<T: Target> CachedTarget<T> {
     /// by bisection, and leaves those bytes in `page[..n]`. Costs
     /// O(log page_size) backend reads, paid at most once per partial
     /// page per epoch.
-    fn probe_prefix(&mut self, base: u64, page: &mut [u8]) -> usize {
+    ///
+    /// Only *faults* narrow the bisection: a fault is the arena's
+    /// honest edge. A *transient* error mid-probe aborts the whole
+    /// probe instead — treating a wire flake as "unreadable" would
+    /// cache a permanently shrunk prefix for the rest of the epoch.
+    /// The caller caches nothing on `Err` so a retry re-drives cleanly.
+    fn probe_prefix(&mut self, base: u64, page: &mut [u8]) -> TargetResult<usize> {
         let mut lo = 0usize; // readable
         let mut hi = page.len(); // known unreadable (full fetch failed)
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             self.stats.backend_reads += 1;
-            if self.inner.get_bytes(base, &mut page[..mid]).is_ok() {
-                self.stats.wire_bytes += mid as u64;
-                lo = mid;
-            } else {
-                hi = mid;
+            match self.inner.get_bytes(base, &mut page[..mid]) {
+                Ok(()) => {
+                    self.stats.wire_bytes += mid as u64;
+                    lo = mid;
+                }
+                Err(e) if e.is_transient() => return Err(e),
+                Err(_) => hi = mid,
             }
         }
         if lo == 0 {
-            return 0;
+            return Ok(0);
         }
         // A failed probe longer than `lo` may have scribbled over the
         // prefix before faulting; re-read it cleanly.
@@ -366,9 +408,10 @@ impl<T: Target> CachedTarget<T> {
         match self.inner.get_bytes(base, &mut page[..lo]) {
             Ok(()) => {
                 self.stats.wire_bytes += lo as u64;
-                lo
+                Ok(lo)
             }
-            Err(_) => 0,
+            Err(e) if e.is_transient() => Err(e),
+            Err(_) => Ok(0),
         }
     }
 }
@@ -409,6 +452,99 @@ impl<T: Target> Target for CachedTarget<T> {
             cur += take as u64;
         }
         Ok(())
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        self.stats.multi_reads += 1;
+        self.stats.multi_ranges += ranges.len() as u64;
+        if !self.cfg.enabled {
+            // Transparent pass-through: still one inner vectored turn.
+            self.stats.backend_reads += 1;
+            let results = self.inner.get_bytes_multi(ranges);
+            for (r, res) in ranges.iter().zip(&results) {
+                if res.is_ok() {
+                    self.stats.wire_bytes += r.buf.len() as u64;
+                }
+            }
+            return results;
+        }
+        let ps = self.cfg.page_size;
+        // Miss coalescing: collect every non-resident page any range
+        // needs, then the sequential readahead tail, and fetch them
+        // all in ONE inner vectored call.
+        let mut planned = std::collections::HashSet::new();
+        let mut missing: Vec<u64> = Vec::new();
+        let pages_of = |addr: u64, len: usize| -> (u64, u64) {
+            let first = addr & !(ps - 1);
+            let last = (addr + len as u64 - 1) & !(ps - 1);
+            (first, last)
+        };
+        for r in ranges.iter() {
+            if r.buf.is_empty() {
+                continue;
+            }
+            let (first, last) = pages_of(r.addr, r.buf.len());
+            let mut base = first;
+            loop {
+                if !self.pages.contains_key(&base) && planned.insert(base) {
+                    missing.push(base);
+                }
+                if base >= last {
+                    break;
+                }
+                base += ps;
+            }
+        }
+        let mut readahead: Vec<u64> = Vec::new();
+        if self.cfg.prefetch_pages > 0 {
+            for r in ranges.iter() {
+                if r.buf.is_empty() {
+                    continue;
+                }
+                let (_, last) = pages_of(r.addr, r.buf.len());
+                for k in 1..=self.cfg.prefetch_pages as u64 {
+                    let base = last.saturating_add(k * ps);
+                    if !self.pages.contains_key(&base) && planned.insert(base) {
+                        readahead.push(base);
+                    }
+                }
+            }
+        }
+        let n_missing = missing.len();
+        let fetch: Vec<u64> = missing.into_iter().chain(readahead).collect();
+        if !fetch.is_empty() {
+            self.stats.backend_reads += 1; // one coalesced wire turn
+            let mut bufs: Vec<Vec<u8>> = fetch.iter().map(|_| vec![0u8; ps as usize]).collect();
+            let mut reqs: Vec<ReadRange<'_>> = bufs
+                .iter_mut()
+                .zip(&fetch)
+                .map(|(b, &base)| ReadRange::new(base, b))
+                .collect();
+            let results = self.inner.get_bytes_multi(&mut reqs);
+            drop(reqs);
+            for (i, (&base, res)) in fetch.iter().zip(results).enumerate() {
+                if res.is_ok() {
+                    self.stats.wire_bytes += ps;
+                    self.insert_page(base, std::mem::take(&mut bufs[i]));
+                    if i < n_missing {
+                        self.stats.pages_prefetched += 1;
+                    } else {
+                        self.stats.readahead_pages += 1;
+                    }
+                }
+                // A failed page stays missing: the per-range serve
+                // below re-drives it the scalar way (exact fallback
+                // for transients, prefix probe for faults), so one
+                // flaky page never fails the batch.
+            }
+        }
+        // Serve every range through the normal scalar path over the
+        // warmed cache — identical results and identical cache state
+        // to a scalar loop, minus the per-page wire turns.
+        ranges
+            .iter_mut()
+            .map(|r| self.get_bytes(r.addr, r.buf))
+            .collect()
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
@@ -831,5 +967,172 @@ mod tests {
         t.get_bytes(x.addr, &mut buf).unwrap();
         assert!(t.is_mapped(x.addr, 4));
         assert!(!t.is_mapped(0x10, 4));
+    }
+
+    #[test]
+    fn cold_vectored_read_coalesces_to_one_backend_turn() {
+        let mut t = counted(CacheConfig {
+            page_size: 64,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let mut c = [0u8; 4];
+        let mut ranges = [
+            ReadRange::new(x.addr, &mut a),       // page 0
+            ReadRange::new(x.addr + 72, &mut b),  // page 1
+            ReadRange::new(x.addr + 188, &mut c), // page 2
+        ];
+        let rs = t.get_bytes_multi(&mut ranges);
+        assert!(rs.iter().all(|r| r.is_ok()), "{rs:?}");
+        assert_eq!(i32::from_le_bytes(a), 100);
+        assert_eq!(i32::from_le_bytes(b), 9); // x[18] = 9
+        assert_eq!(i32::from_le_bytes(c), 6); // x[47] = 6 (planted)
+        let s = t.stats();
+        assert_eq!(s.backend_reads, 1, "3 page misses, 1 wire turn: {s:?}");
+        assert_eq!(s.multi_reads, 1);
+        assert_eq!(s.multi_ranges, 3);
+        assert_eq!(s.pages_prefetched, 3);
+        // The warmed cache serves follow-up scalar reads for free.
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 4, &mut buf).unwrap();
+        assert_eq!(t.stats().backend_reads, 1);
+    }
+
+    #[test]
+    fn readahead_pulls_sequential_pages_in_the_same_turn() {
+        let mut t = counted(CacheConfig {
+            page_size: 64,
+            prefetch_pages: 1,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        let mut a = [0u8; 4];
+        let mut ranges = [ReadRange::new(x.addr, &mut a)];
+        let rs = t.get_bytes_multi(&mut ranges);
+        assert_eq!(rs, vec![Ok(())]);
+        let s = t.stats();
+        assert_eq!(s.backend_reads, 1);
+        assert_eq!(s.pages_prefetched, 1);
+        assert_eq!(s.readahead_pages, 1);
+        // The next sequential page is already resident.
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 64, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 116); // x[16]
+        assert_eq!(t.stats().backend_reads, 1);
+    }
+
+    /// Delegates to a [`crate::SimTarget`] but injects exactly one
+    /// transient backend error on the `flake_at`-th `get_bytes` call
+    /// (1-based) — the minimal harness for a wire flake that lands in
+    /// the middle of a prefix probe.
+    struct FlakyProbe {
+        inner: crate::SimTarget,
+        ops: u64,
+        flake_at: u64,
+    }
+
+    impl Target for FlakyProbe {
+        fn abi(&self) -> &Abi {
+            self.inner.abi()
+        }
+        fn types(&self) -> &TypeTable {
+            self.inner.types()
+        }
+        fn types_mut(&mut self) -> &mut TypeTable {
+            self.inner.types_mut()
+        }
+        fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+            self.ops += 1;
+            if self.ops == self.flake_at {
+                return Err(crate::TargetError::Backend("wire flake".into()));
+            }
+            self.inner.get_bytes(addr, buf)
+        }
+        fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
+            self.inner.put_bytes(addr, bytes)
+        }
+        fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
+            self.inner.alloc_space(size, align)
+        }
+        fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
+            self.inner.call_func(name, args)
+        }
+        fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
+            self.inner.get_variable(name)
+        }
+        fn get_variable_in_frame(&mut self, name: &str, frame: usize) -> Option<VarInfo> {
+            self.inner.get_variable_in_frame(name, frame)
+        }
+        fn lookup_typedef(&mut self, name: &str) -> Option<TypeId> {
+            self.inner.lookup_typedef(name)
+        }
+        fn lookup_struct(&mut self, tag: &str) -> Option<RecordId> {
+            self.inner.lookup_struct(tag)
+        }
+        fn lookup_union(&mut self, tag: &str) -> Option<RecordId> {
+            self.inner.lookup_union(tag)
+        }
+        fn lookup_enum(&mut self, tag: &str) -> Option<EnumId> {
+            self.inner.lookup_enum(tag)
+        }
+        fn has_function(&mut self, name: &str) -> bool {
+            self.inner.has_function(name)
+        }
+        fn frame_count(&mut self) -> usize {
+            self.inner.frame_count()
+        }
+        fn frame_info(&mut self, n: usize) -> Option<FrameInfo> {
+            self.inner.frame_info(n)
+        }
+        fn is_mapped(&mut self, addr: u64, len: u64) -> bool {
+            self.inner.is_mapped(addr, len)
+        }
+        fn take_output(&mut self) -> String {
+            self.inner.take_output()
+        }
+    }
+
+    #[test]
+    fn probe_flake_does_not_shrink_the_cached_prefix_for_the_epoch() {
+        // scan_array's arena is 240 bytes at 0x1000: a 4096-byte page
+        // fetch faults, so the cache bisects for the readable prefix.
+        // Call 1 is the page fetch; call 2 is the first bisection step —
+        // flake exactly there.
+        let flaky = FlakyProbe {
+            inner: scenario::scan_array(),
+            ops: 0,
+            flake_at: 2,
+        };
+        let mut t = CachedTarget::with_config(
+            flaky,
+            CacheConfig {
+                page_size: 4096,
+                ..CacheConfig::default()
+            },
+        );
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        // The flaked probe aborts; the exact fallback still answers,
+        // and nothing suspect is cached.
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 7);
+        assert!(
+            t.resident_pages().is_empty(),
+            "an aborted probe must cache nothing"
+        );
+        // The next read re-drives the probe cleanly and caches the full
+        // 240-byte readable prefix — not a flake-shrunk one.
+        t.get_bytes(x.addr + 16, &mut buf).unwrap();
+        let pages = t.resident_pages();
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].0, x.addr & !4095);
+        assert_eq!(pages[0].1.len(), 240, "full readable prefix cached");
+        // Everything inside the arena is now served without the wire.
+        let reads = t.stats().backend_reads;
+        t.get_bytes(x.addr + 188, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 6);
+        assert_eq!(t.stats().backend_reads, reads);
     }
 }

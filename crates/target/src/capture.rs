@@ -35,8 +35,13 @@ use duel_ctype::{
     Abi, Endian, EnumDef, EnumId, Field, Prim, Record, RecordId, TableSnapshot, TypeId, TypeKind,
 };
 
-/// Version of the capture schema this build writes and reads.
-pub const CAPTURE_SCHEMA_VERSION: u64 = 1;
+/// Version of the capture schema this build writes. Version 2 added the
+/// `multi_read` vectored-read event; files written by older builds
+/// (back to [`CAPTURE_MIN_SCHEMA_VERSION`]) still parse.
+pub const CAPTURE_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version this build still reads.
+pub const CAPTURE_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The `name` field of every capture header.
 pub const CAPTURE_NAME: &str = "duel_capture";
@@ -133,6 +138,12 @@ pub enum CaptureCall {
     /// `take_output()` — recorded because session transcripts embed
     /// debuggee output, so byte-identical replay needs it.
     TakeOutput,
+    /// `get_bytes_multi(ranges)` — one vectored read; each entry is
+    /// `(addr, len)`. Schema version 2+.
+    MultiRead {
+        /// The requested `(addr, len)` ranges, in call order.
+        ranges: Vec<(u64, u64)>,
+    },
 }
 
 impl CaptureCall {
@@ -150,6 +161,7 @@ impl CaptureCall {
             CaptureCall::FrameInfo { .. } => "frame_info",
             CaptureCall::IsMapped { .. } => "is_mapped",
             CaptureCall::TakeOutput => "take_output",
+            CaptureCall::MultiRead { .. } => "multi_read",
         }
     }
 
@@ -168,6 +180,7 @@ impl CaptureCall {
             // take_output has no wire op of its own; it rides with
             // frames for stats purposes (cheap, frequent).
             CaptureCall::TakeOutput => TraceOp::Frames,
+            CaptureCall::MultiRead { .. } => TraceOp::MultiRead,
         }
     }
 
@@ -189,6 +202,10 @@ impl CaptureCall {
             CaptureCall::FrameInfo { n } => format!("frame {n}"),
             CaptureCall::IsMapped { addr, len } => format!("0x{addr:x}+{len}"),
             CaptureCall::TakeOutput => "output".into(),
+            CaptureCall::MultiRead { ranges } => {
+                let total: u64 = ranges.iter().map(|&(_, len)| len).sum();
+                format!("{} ranges, {total}b", ranges.len())
+            }
         }
     }
 
@@ -227,6 +244,13 @@ impl CaptureCall {
             }
             CaptureCall::FrameCount | CaptureCall::TakeOutput => format!("{{\"op\":\"{op}\"}}"),
             CaptureCall::FrameInfo { n } => format!("{{\"op\":\"{op}\",\"n\":{n}}}"),
+            CaptureCall::MultiRead { ranges } => {
+                let rs: Vec<String> = ranges
+                    .iter()
+                    .map(|(addr, len)| format!("[{addr},{len}]"))
+                    .collect();
+                format!("{{\"op\":\"{op}\",\"ranges\":[{}]}}", rs.join(","))
+            }
         }
     }
 
@@ -288,6 +312,21 @@ impl CaptureCall {
                 len: u("len")?,
             },
             "take_output" => CaptureCall::TakeOutput,
+            "multi_read" => CaptureCall::MultiRead {
+                ranges: j
+                    .get("ranges")
+                    .and_then(Json::items)
+                    .ok_or("multi_read missing ranges")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.items().ok_or("multi_read range pair")?;
+                        Ok((
+                            pair.first().and_then(Json::as_u64).ok_or("range addr")?,
+                            pair.get(1).and_then(Json::as_u64).ok_or("range len")?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
             other => return Err(format!("unknown op {other:?}")),
         })
     }
@@ -318,6 +357,9 @@ pub enum CaptureReply {
     Output(String),
     /// Any `TargetResult` op that failed.
     Err(TargetError),
+    /// `get_bytes_multi` answer: one result per requested range, in
+    /// call order. Schema version 2+.
+    Multi(Vec<Result<Vec<u8>, TargetError>>),
 }
 
 impl CaptureReply {
@@ -326,6 +368,18 @@ impl CaptureReply {
         match self {
             CaptureReply::Err(e) if e.is_transient() => TraceOutcome::Transient,
             CaptureReply::Err(_) => TraceOutcome::Fault,
+            CaptureReply::Multi(rs) => {
+                if rs
+                    .iter()
+                    .any(|r| r.as_ref().err().is_some_and(|e| e.is_transient()))
+                {
+                    TraceOutcome::Transient
+                } else if rs.iter().any(|r| r.is_err()) {
+                    TraceOutcome::Fault
+                } else {
+                    TraceOutcome::Ok
+                }
+            }
             CaptureReply::Var(None) | CaptureReply::TypeRef(None) | CaptureReply::Frame(None) => {
                 TraceOutcome::NotFound
             }
@@ -366,10 +420,37 @@ impl CaptureReply {
             ),
             CaptureReply::Output(s) => format!("{{\"output\":{}}}", quote(s)),
             CaptureReply::Err(e) => format!("{{\"err\":{}}}", target_error_to_json(e)),
+            CaptureReply::Multi(rs) => {
+                let parts: Vec<String> = rs
+                    .iter()
+                    .map(|r| match r {
+                        Ok(b) => format!("{{\"bytes\":\"{}\"}}", hex_encode(b)),
+                        Err(e) => format!("{{\"err\":{}}}", target_error_to_json(e)),
+                    })
+                    .collect();
+                format!("{{\"multi\":[{}]}}", parts.join(","))
+            }
         }
     }
 
     fn from_json(j: &Json) -> Result<CaptureReply, String> {
+        if let Some(v) = j.get("multi") {
+            return Ok(CaptureReply::Multi(
+                v.items()
+                    .ok_or("multi not an array")?
+                    .iter()
+                    .map(|item| {
+                        if let Some(b) = item.get("bytes") {
+                            Ok(Ok(hex_decode(b.as_str().ok_or("multi bytes")?)?))
+                        } else if let Some(e) = item.get("err") {
+                            Ok(Err(target_error_from_json(e)?))
+                        } else {
+                            Err("unrecognized multi entry".to_string())
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ));
+        }
         if let Some(v) = j.get("bytes") {
             return Ok(CaptureReply::Bytes(hex_decode(
                 v.as_str().ok_or("bytes not a string")?,
@@ -913,9 +994,10 @@ fn header_from_json(j: &Json) -> Result<CaptureHeader, String> {
         .get("schema_version")
         .and_then(Json::as_u64)
         .ok_or("header missing schema_version")?;
-    if schema_version != CAPTURE_SCHEMA_VERSION {
+    if !(CAPTURE_MIN_SCHEMA_VERSION..=CAPTURE_SCHEMA_VERSION).contains(&schema_version) {
         return Err(format!(
-            "unsupported capture schema_version {schema_version} (this build reads {CAPTURE_SCHEMA_VERSION})"
+            "unsupported capture schema_version {schema_version} (this build reads \
+             {CAPTURE_MIN_SCHEMA_VERSION}..={CAPTURE_SCHEMA_VERSION})"
         ));
     }
     if j.get("name").and_then(Json::as_str) != Some(CAPTURE_NAME) {
@@ -1137,6 +1219,18 @@ mod tests {
                 reply: CaptureReply::Err(TargetError::IllegalMemory { addr: 0x10, len: 4 }),
                 ns: 40,
             },
+            CaptureEvent {
+                seq: 5,
+                call: CaptureCall::MultiRead {
+                    ranges: vec![(0x1000, 4), (0x1010, 8), (0x10, 4)],
+                },
+                reply: CaptureReply::Multi(vec![
+                    Ok(vec![1, 2, 3, 4]),
+                    Ok(vec![9, 9, 9, 9, 9, 9, 9, 9]),
+                    Err(TargetError::IllegalMemory { addr: 0x10, len: 4 }),
+                ]),
+                ns: 60,
+            },
         ]
     }
 
@@ -1206,6 +1300,20 @@ mod tests {
         assert!(err.contains("schema_version"), "{err}");
         let text = r#"{"schema_version":1,"name":"other","config":{},"types":{}}"#;
         assert!(Capture::parse(text).is_err());
+    }
+
+    #[test]
+    fn older_schema_versions_still_parse() {
+        // A v1 capture (pre-multi_read) written by an older build.
+        let tt = TypeTable::new();
+        let snap = tt.snapshot();
+        let text = header_to_json("sim", "s", &Abi::lp64(), &snap).replacen(
+            "\"schema_version\":2",
+            "\"schema_version\":1",
+            1,
+        ) + "\n";
+        let cap = Capture::parse(&text).unwrap();
+        assert_eq!(cap.header.schema_version, 1);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use crate::error::{TargetError, TargetResult};
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 
 /// The gate's current behaviour.
@@ -306,6 +306,30 @@ impl<T: Target> Target for ChaosTarget<T> {
     fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
         self.gate()?;
         self.inner.get_bytes(addr, buf)
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        // Every range passes the gate on its own (script `at_op`
+        // counters keep their wire-op granularity); the survivors go
+        // down in one inner vectored call, so a chaos hit on one range
+        // never fails the rest of the batch.
+        let mut results: Vec<Option<TargetResult<()>>> =
+            ranges.iter().map(|_| self.gate().err().map(Err)).collect();
+        let mut fwd = Vec::new();
+        let mut fwd_idx = Vec::new();
+        for (i, r) in ranges.iter_mut().enumerate() {
+            if results[i].is_none() {
+                fwd_idx.push(i);
+                fwd.push(ReadRange::new(r.addr, &mut *r.buf));
+            }
+        }
+        for (i, res) in fwd_idx
+            .into_iter()
+            .zip(self.inner.get_bytes_multi(&mut fwd))
+        {
+            results[i] = Some(res);
+        }
+        results.into_iter().map(Option::unwrap).collect()
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {

@@ -8,7 +8,7 @@
 //! are fully reproducible.
 
 use crate::error::{TargetError, TargetResult};
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 use std::time::Duration;
 
@@ -174,6 +174,59 @@ impl<T: Target> Target for FaultTarget<T> {
         self.inner.get_bytes(addr, buf)
     }
 
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        // One wire turn: latency is paid once per batch, but every
+        // range still counts as an operation and gets its own injected
+        // transient / poison / truncation decision, so one flaky range
+        // cannot fail the whole batch.
+        if !self.cfg.latency.is_zero() {
+            std::thread::sleep(self.cfg.latency);
+        }
+        let mut results: Vec<Option<TargetResult<()>>> = Vec::with_capacity(ranges.len());
+        for r in ranges.iter() {
+            self.ops += 1;
+            let injected = if self.remaining_transients > 0 {
+                self.remaining_transients -= 1;
+                self.injected += 1;
+                Some(Err(self.cfg.error.clone()))
+            } else if self.cfg.fail_every > 0 && self.ops.is_multiple_of(self.cfg.fail_every) {
+                self.injected += 1;
+                Some(Err(self.cfg.error.clone()))
+            } else if self.poisoned_at(r.addr, r.buf.len() as u64) {
+                Some(Err(TargetError::IllegalMemory {
+                    addr: r.addr,
+                    len: r.buf.len() as u64,
+                }))
+            } else {
+                match self.cfg.truncate_reads_above {
+                    Some(cap) if r.buf.len() > cap => Some(Err(TargetError::Truncated {
+                        addr: r.addr,
+                        wanted: r.buf.len() as u64,
+                        got: cap as u64,
+                    })),
+                    _ => None,
+                }
+            };
+            results.push(injected);
+        }
+        // Forward the surviving ranges in one inner vectored call.
+        let mut fwd = Vec::new();
+        let mut fwd_idx = Vec::new();
+        for (i, r) in ranges.iter_mut().enumerate() {
+            if results[i].is_none() {
+                fwd_idx.push(i);
+                fwd.push(ReadRange::new(r.addr, &mut *r.buf));
+            }
+        }
+        for (i, res) in fwd_idx
+            .into_iter()
+            .zip(self.inner.get_bytes_multi(&mut fwd))
+        {
+            results[i] = Some(res);
+        }
+        results.into_iter().map(Option::unwrap).collect()
+    }
+
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
         self.gate()?;
         if self.poisoned_at(addr, bytes.len() as u64) {
@@ -309,5 +362,30 @@ mod tests {
         );
         let mut small = [0u8; 2];
         assert!(t.get_bytes(x.addr, &mut small).is_ok());
+    }
+
+    #[test]
+    fn one_flaky_range_does_not_fail_the_batch() {
+        // A single transient left in the burst budget hits only the
+        // first range of the vectored call; the rest still go through.
+        let mut t = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(1));
+        let x = t.get_variable("x").unwrap();
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let mut c = [0u8; 4];
+        let mut ranges = [
+            ReadRange::new(x.addr, &mut a),
+            ReadRange::new(x.addr + 72, &mut b),
+            ReadRange::new(x.addr + 12, &mut c),
+        ];
+        let rs = t.get_bytes_multi(&mut ranges);
+        assert!(rs[0].as_ref().is_err_and(|e| e.is_transient()), "{rs:?}");
+        assert_eq!(rs[1], Ok(()));
+        assert_eq!(rs[2], Ok(()));
+        assert_eq!(i32::from_le_bytes(b), 9); // x[18]
+        assert_eq!(i32::from_le_bytes(c), 7); // x[3]
+        assert_eq!(t.injected(), 1);
+        // Each range counts as one faultable operation.
+        assert_eq!(t.operations(), 3);
     }
 }

@@ -98,6 +98,36 @@ impl CallValue {
     }
 }
 
+/// One range of a vectored read: `buf.len()` bytes starting at `addr`.
+///
+/// A slice of these is what [`Target::get_bytes_multi`] fills in one
+/// wire turn. The destination buffer doubles as the length request,
+/// exactly like [`Target::get_bytes`].
+#[derive(Debug)]
+pub struct ReadRange<'a> {
+    /// Start address of the range.
+    pub addr: u64,
+    /// Destination buffer; its length is the number of bytes to read.
+    pub buf: &'a mut [u8],
+}
+
+impl<'a> ReadRange<'a> {
+    /// Builds a range reading `buf.len()` bytes at `addr`.
+    pub fn new(addr: u64, buf: &'a mut [u8]) -> ReadRange<'a> {
+        ReadRange { addr, buf }
+    }
+
+    /// Length of the range in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the range is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
 /// The debugger-target interface.
 ///
 /// Memory access and function calls return [`TargetResult`] so that
@@ -117,6 +147,21 @@ pub trait Target {
 
     /// Reads `buf.len()` bytes of debuggee memory starting at `addr`.
     fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()>;
+
+    /// Reads several ranges in one wire turn, returning one result per
+    /// range (same order). A failed range must not fail the batch:
+    /// every range gets its own [`TargetResult`], exactly as if it had
+    /// been read alone.
+    ///
+    /// The default is a correct scalar loop; backends and decorators
+    /// override it to batch (one arena pass, one pipelined MI turn,
+    /// coalesced cache-miss fetches, …).
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        ranges
+            .iter_mut()
+            .map(|r| self.get_bytes(r.addr, r.buf))
+            .collect()
+    }
 
     /// Writes `bytes` into debuggee memory starting at `addr`.
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()>;

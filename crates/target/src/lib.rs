@@ -57,11 +57,13 @@ pub mod trace;
 pub mod value_io;
 
 pub use cache::{CacheConfig, CacheStats, CachedTarget};
-pub use capture::{Capture, CaptureCall, CaptureEvent, CaptureReply, SharedSink};
+pub use capture::{
+    Capture, CaptureCall, CaptureEvent, CaptureReply, SharedSink, CAPTURE_SCHEMA_VERSION,
+};
 pub use chaos::{ChaosAction, ChaosEvent, ChaosHandle, ChaosMode, ChaosTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
-pub use iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
+pub use iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo, VarKind};
 pub use record::RecordTarget;
 pub use replay::{Divergence, ReplayMode, ReplayTarget};
 pub use retry::{RetryPolicy, RetryStats, RetryTarget};

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use crate::capture::{footer_to_json, header_to_json, CaptureCall, CaptureEvent, CaptureReply};
 use crate::error::TargetResult;
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use crate::trace::{TraceHandle, TraceOp, TRACE_OPS};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 
@@ -213,6 +213,31 @@ impl<T: Target> Target for RecordTarget<T> {
             );
         }
         r
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        let t = self.clock();
+        let results = self.inner.get_bytes_multi(ranges);
+        if self.recorder.is_some() {
+            let call = CaptureCall::MultiRead {
+                ranges: ranges
+                    .iter()
+                    .map(|r| (r.addr, r.buf.len() as u64))
+                    .collect(),
+            };
+            let reply = CaptureReply::Multi(
+                ranges
+                    .iter()
+                    .zip(&results)
+                    .map(|(r, res)| match res {
+                        Ok(()) => Ok(r.buf.to_vec()),
+                        Err(e) => Err(e.clone()),
+                    })
+                    .collect(),
+            );
+            self.emit(call, reply, elapsed_ns(t));
+        }
+        results
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {

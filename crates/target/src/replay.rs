@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::capture::{Capture, CaptureCall, CaptureEvent, CaptureReply};
 use crate::error::{TargetError, TargetResult};
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo, VarKind};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 
 /// How a [`ReplayTarget`] answers calls.
@@ -156,6 +156,16 @@ impl Image {
                 }
                 (CaptureCall::IsMapped { addr, len }, CaptureReply::Flag(b)) => {
                     img.mapped_probes.insert((*addr, *len), *b);
+                }
+                (CaptureCall::MultiRead { ranges }, CaptureReply::Multi(rs)) => {
+                    for ((addr, _), res) in ranges.iter().zip(rs) {
+                        if let Ok(bytes) = res {
+                            touch(*addr, bytes.len() as u64);
+                            for (i, b) in bytes.iter().enumerate() {
+                                img.memory.insert(addr + i as u64, *b);
+                            }
+                        }
+                    }
                 }
                 _ => {}
             }
@@ -351,6 +361,52 @@ impl Target for ReplayTarget {
                 Ok(())
             }
             ReplayMode::Permissive => self.image.as_ref().unwrap().read(addr, buf),
+        }
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        match self.mode {
+            ReplayMode::Strict => {
+                let call = CaptureCall::MultiRead {
+                    ranges: ranges
+                        .iter()
+                        .map(|r| (r.addr, r.buf.len() as u64))
+                        .collect(),
+                };
+                let replies = match self.advance(call) {
+                    Err(d) => {
+                        let e = d.to_error();
+                        return ranges.iter().map(|_| Err(e.clone())).collect();
+                    }
+                    Ok(CaptureReply::Multi(rs)) if rs.len() == ranges.len() => rs,
+                    Ok(_) => {
+                        let e = TargetError::Backend(
+                            "capture reply shape does not match its call".into(),
+                        );
+                        return ranges.iter().map(|_| Err(e.clone())).collect();
+                    }
+                };
+                ranges
+                    .iter_mut()
+                    .zip(replies)
+                    .map(|(r, reply)| match reply {
+                        Ok(bytes) if bytes.len() == r.buf.len() => {
+                            r.buf.copy_from_slice(&bytes);
+                            Ok(())
+                        }
+                        Ok(bytes) => Err(TargetError::Truncated {
+                            addr: r.addr,
+                            wanted: r.buf.len() as u64,
+                            got: bytes.len() as u64,
+                        }),
+                        Err(e) => Err(e),
+                    })
+                    .collect()
+            }
+            ReplayMode::Permissive => {
+                let img = self.image.as_ref().unwrap();
+                ranges.iter_mut().map(|r| img.read(r.addr, r.buf)).collect()
+            }
         }
     }
 

@@ -21,7 +21,7 @@
 //! clamped against whichever deadline is nearer.
 
 use crate::error::{TargetError, TargetResult};
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 use std::time::{Duration, Instant};
 
@@ -247,6 +247,73 @@ impl<T: Target> Target for RetryTarget<T> {
 
     fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
         self.run(|t| t.get_bytes(addr, buf))
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        // Batched re-drive: each attempt is ONE inner vectored call
+        // covering only the ranges that are still transient, with the
+        // usual backoff/deadline between attempts. Retrying ranges one
+        // by one would dissolve the batch back into scalar wire turns.
+        let start = Instant::now();
+        let budget = match (self.policy.deadline, self.op_deadline) {
+            (Some(p), Some(od)) => Some(p.min(od.saturating_duration_since(start))),
+            (Some(p), None) => Some(p),
+            (None, Some(od)) => Some(od.saturating_duration_since(start)),
+            (None, None) => None,
+        };
+        self.stats.operations += 1;
+        let n = ranges.len();
+        let mut results: Vec<Option<TargetResult<()>>> = (0..n).map(|_| None).collect();
+        let mut pending = vec![true; n];
+        let mut attempt = 0u32;
+        loop {
+            let mut fwd = Vec::new();
+            let mut idx = Vec::new();
+            for (i, r) in ranges.iter_mut().enumerate() {
+                if pending[i] {
+                    idx.push(i);
+                    fwd.push(ReadRange::new(r.addr, &mut *r.buf));
+                }
+            }
+            let mut transient = Vec::new();
+            for (i, res) in idx.into_iter().zip(self.inner.get_bytes_multi(&mut fwd)) {
+                let is_transient = res.as_ref().err().is_some_and(|e| e.is_transient());
+                results[i] = Some(res);
+                if is_transient {
+                    transient.push(i);
+                } else {
+                    pending[i] = false;
+                }
+            }
+            if transient.is_empty() {
+                break;
+            }
+            if attempt >= self.policy.max_retries {
+                self.stats.give_ups += 1;
+                break;
+            }
+            attempt += 1;
+            self.stats.retries += 1;
+            let mut backoff = self.policy.backoff(attempt);
+            if let Some(budget) = budget {
+                let elapsed = start.elapsed();
+                if elapsed >= budget {
+                    self.stats.give_ups += 1;
+                    for i in transient {
+                        results[i] = Some(Err(TargetError::Timeout {
+                            ms: budget.as_millis() as u64,
+                        }));
+                    }
+                    break;
+                }
+                backoff = backoff.min(budget - elapsed);
+            }
+            self.stats.backoff_ns += backoff.as_nanos() as u64;
+            if self.policy.sleep {
+                std::thread::sleep(backoff);
+            }
+        }
+        results.into_iter().map(Option::unwrap).collect()
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
@@ -493,5 +560,27 @@ mod tests {
             "sleep must be clamped to the remaining eval budget, got {} ns",
             t.stats().backoff_ns
         );
+    }
+
+    #[test]
+    fn vectored_retry_redrives_only_the_flaky_ranges() {
+        // Burst budget of 1: exactly one range of the first vectored
+        // attempt flakes; the retry re-drives only that range.
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(1));
+        let mut t = RetryTarget::with_policy(flaky, RetryPolicy::fast(3));
+        let x = t.get_variable("x").unwrap();
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let mut ranges = [
+            ReadRange::new(x.addr, &mut a),
+            ReadRange::new(x.addr + 72, &mut b),
+        ];
+        let rs = t.get_bytes_multi(&mut ranges);
+        assert_eq!(rs, vec![Ok(()), Ok(())]);
+        assert_eq!(i32::from_le_bytes(a), 100);
+        assert_eq!(i32::from_le_bytes(b), 9);
+        assert_eq!(t.retries(), 1);
+        // First attempt: 2 faultable ops; re-drive: only the flaked one.
+        assert_eq!(t.inner_mut().operations(), 3);
     }
 }

@@ -8,7 +8,7 @@
 //! and fault exactly like they would on a real target.
 
 use crate::error::{TargetError, TargetResult};
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo, VarKind};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo, VarKind};
 use crate::value_io;
 use duel_ctype::{Abi, Endian, EnumId, Prim, RecordId, TypeId, TypeTable};
 use std::collections::HashMap;
@@ -467,6 +467,15 @@ impl Target for SimTarget {
 
     fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
         self.core.mem.read(addr, buf)
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        // Native vectored read: one pass over the arena, no per-range
+        // call overhead — a simulated single wire turn.
+        ranges
+            .iter_mut()
+            .map(|r| self.core.mem.read(r.addr, r.buf))
+            .collect()
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {

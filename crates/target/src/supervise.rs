@@ -39,7 +39,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{TargetError, TargetResult};
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 
 /// The circuit breaker's state.
@@ -646,6 +646,33 @@ impl<T: Target> SupervisedTarget<T> {
             Err(e) => Err(e),
         }
     }
+
+    /// The open-circuit path for a vectored read: each range is judged
+    /// on its own — cache-served ranges come back stale, ranges that
+    /// needed the dead wire become [`TargetError::CircuitOpen`].
+    fn degraded_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        if !self.cfg.degrade {
+            self.stats.fast_fails += 1;
+            let e = self.circuit_open_error();
+            return ranges.iter().map(|_| Err(e.clone())).collect();
+        }
+        let results = self.inner.get_bytes_multi(ranges);
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(()) => {
+                    self.staleness.mark_stale();
+                    Ok(())
+                }
+                Err(e) if e.is_transient() => {
+                    self.stats.fast_fails += 1;
+                    self.last_failure = Some(e.to_string());
+                    Err(self.circuit_open_error())
+                }
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
 }
 
 impl<T: Target> Target for SupervisedTarget<T> {
@@ -663,6 +690,52 @@ impl<T: Target> Target for SupervisedTarget<T> {
 
     fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
         self.run(OpClass::Read, |t| t.get_bytes(addr, buf))
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        // One batch = one supervised operation: the breaker sees a
+        // failure if any range came back transient, a success otherwise
+        // (faults are the debuggee's honest answer, as in `run`).
+        self.stats.operations += 1;
+        match self.state {
+            CircuitState::Closed => {}
+            CircuitState::Open | CircuitState::HalfOpen => {
+                if self.cooldown_elapsed() {
+                    if self.try_recover().is_err() {
+                        return self.degraded_multi(ranges);
+                    }
+                    // Recovered: fall through to the closed path.
+                } else {
+                    return self.degraded_multi(ranges);
+                }
+            }
+        }
+        let results = self.inner.get_bytes_multi(ranges);
+        let first_transient = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .find(|e| e.is_transient());
+        match first_transient {
+            Some(e) => {
+                self.last_failure = Some(e.to_string());
+                self.record_failure();
+            }
+            None => self.record_success(),
+        }
+        if self.state == CircuitState::Closed
+            && self.cfg.probe_every > 0
+            && self.stats.operations.is_multiple_of(self.cfg.probe_every)
+        {
+            self.stats.probes += 1;
+            if let Err(e) = self.strategy.probe(&mut self.inner) {
+                self.stats.probe_failures += 1;
+                self.last_failure = Some(e.to_string());
+                self.record_failure();
+            } else {
+                self.record_success();
+            }
+        }
+        results
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {

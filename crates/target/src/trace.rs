@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::error::TargetResult;
-use crate::iface::{CallValue, FrameInfo, Target, VarInfo};
+use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 
 /// The kind of a traced [`Target`] operation.
@@ -55,10 +55,13 @@ pub enum TraceOp {
     Frames,
     /// `is_mapped` — address-space probe.
     IsMapped,
+    /// `get_bytes_multi` — a vectored memory read (one wire turn
+    /// carrying many ranges).
+    MultiRead,
 }
 
 /// Every op kind, in display order.
-pub const TRACE_OPS: [TraceOp; 9] = [
+pub const TRACE_OPS: [TraceOp; 10] = [
     TraceOp::GetBytes,
     TraceOp::PutBytes,
     TraceOp::AllocSpace,
@@ -68,6 +71,7 @@ pub const TRACE_OPS: [TraceOp; 9] = [
     TraceOp::HasFunction,
     TraceOp::Frames,
     TraceOp::IsMapped,
+    TraceOp::MultiRead,
 ];
 
 impl TraceOp {
@@ -82,6 +86,7 @@ impl TraceOp {
             TraceOp::HasFunction => 6,
             TraceOp::Frames => 7,
             TraceOp::IsMapped => 8,
+            TraceOp::MultiRead => 9,
         }
     }
 
@@ -97,6 +102,7 @@ impl TraceOp {
             TraceOp::HasFunction => "has_function",
             TraceOp::Frames => "frames",
             TraceOp::IsMapped => "is_mapped",
+            TraceOp::MultiRead => "multi_read",
         }
     }
 }
@@ -105,6 +111,9 @@ const OP_COUNT: usize = TRACE_OPS.len();
 /// log₂ latency buckets: bucket `i` holds calls with latency in
 /// `[2^i, 2^(i+1))` ns (bucket 0 also holds sub-nanosecond readings).
 pub const HIST_BUCKETS: usize = 40;
+/// log₂ ranges-per-call buckets for vectored reads: bucket `i` holds
+/// `get_bytes_multi` calls carrying `[2^i, 2^(i+1))` ranges.
+pub const RANGE_BUCKETS: usize = 16;
 
 /// How a traced operation ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,6 +211,10 @@ struct TraceShared {
     nanos: Vec<AtomicU64>,
     /// `hist[op * HIST_BUCKETS + bucket]` — log₂ latency histograms.
     hist: Vec<AtomicU64>,
+    /// Total ranges carried by `get_bytes_multi` calls.
+    multi_ranges: AtomicU64,
+    /// log₂ ranges-per-call histogram for vectored reads.
+    multi_hist: Vec<AtomicU64>,
     ring: Mutex<Ring>,
 }
 
@@ -254,6 +267,11 @@ pub struct TraceStats {
     pub events_held: usize,
     /// Events pushed out of the ring by newer ones.
     pub events_dropped: u64,
+    /// Total ranges carried by vectored reads (`multi_read` calls).
+    pub multi_ranges: u64,
+    /// log₂ ranges-per-call histogram for vectored reads (see
+    /// [`RANGE_BUCKETS`]).
+    pub multi_ranges_hist: Vec<u64>,
 }
 
 impl TraceStats {
@@ -301,6 +319,8 @@ impl TraceHandle {
             errors: zeros(OP_COUNT),
             nanos: zeros(OP_COUNT),
             hist: zeros(OP_COUNT * HIST_BUCKETS),
+            multi_ranges: AtomicU64::new(0),
+            multi_hist: zeros(RANGE_BUCKETS),
             ring: Mutex::new(Ring {
                 events: VecDeque::new(),
                 capacity: capacity.max(1),
@@ -329,9 +349,11 @@ impl TraceHandle {
             .chain(&self.0.errors)
             .chain(&self.0.nanos)
             .chain(&self.0.hist)
+            .chain(&self.0.multi_hist)
         {
             c.store(0, Ordering::Relaxed);
         }
+        self.0.multi_ranges.store(0, Ordering::Relaxed);
         self.0.seq.store(0, Ordering::Relaxed);
         let mut ring = self.0.ring.lock().unwrap();
         ring.events.clear();
@@ -371,6 +393,10 @@ impl TraceHandle {
             ops,
             events_held: ring.events.len(),
             events_dropped: ring.dropped,
+            multi_ranges: self.0.multi_ranges.load(Ordering::Relaxed),
+            multi_ranges_hist: (0..RANGE_BUCKETS)
+                .map(|b| self.0.multi_hist[b].load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -437,6 +463,25 @@ impl TraceHandle {
     /// machinery over a capture file instead of a live target.
     pub fn record_event(&self, op: TraceOp, detail: String, outcome: TraceOutcome, nanos: u64) {
         self.record(op, detail, outcome, nanos);
+    }
+
+    /// Records one vectored read of `nranges` ranges: the normal
+    /// [`TraceOp::MultiRead`] counters plus the ranges-per-call
+    /// histogram.
+    pub fn record_multi(&self, nranges: usize, detail: String, outcome: TraceOutcome, nanos: u64) {
+        let bucket = (usize::BITS - 1 - nranges.max(1).leading_zeros()) as usize;
+        self.0.multi_hist[bucket.min(RANGE_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.0
+            .multi_ranges
+            .fetch_add(nranges as u64, Ordering::Relaxed);
+        self.record(TraceOp::MultiRead, detail, outcome, nanos);
+    }
+
+    /// Wire turns recorded so far: scalar reads plus vectored reads
+    /// (each vectored call is one turn no matter how many ranges it
+    /// carries). This is the quantity the prefetch planner optimizes.
+    pub fn wire_turns(&self) -> u64 {
+        self.calls(TraceOp::GetBytes) + self.calls(TraceOp::MultiRead)
     }
 
     fn record(&self, op: TraceOp, detail: String, outcome: TraceOutcome, nanos: u64) {
@@ -569,6 +614,30 @@ impl<T: Target> Target for TraceTarget<T> {
             TraceOutcome::of_result,
             |t| t.get_bytes(addr, buf),
         )
+    }
+
+    fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
+        if !self.handle.0.enabled.load(Ordering::Relaxed) {
+            return self.inner.get_bytes_multi(ranges);
+        }
+        let n = ranges.len();
+        let total: usize = ranges.iter().map(|r| r.buf.len()).sum();
+        let start = Instant::now();
+        let results = self.inner.get_bytes_multi(ranges);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let any_transient = results
+            .iter()
+            .any(|r| r.as_ref().err().is_some_and(|e| e.is_transient()));
+        let outcome = if any_transient {
+            TraceOutcome::Transient
+        } else if results.iter().any(|r| r.is_err()) {
+            TraceOutcome::Fault
+        } else {
+            TraceOutcome::Ok
+        };
+        self.handle
+            .record_multi(n, format!("{n} ranges, {total}b"), outcome, nanos);
+        results
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {

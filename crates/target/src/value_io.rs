@@ -10,8 +10,12 @@ use crate::iface::Target;
 use duel_ctype::Endian;
 
 /// Sign-extends the low `size` bytes of `raw` into an `i64`.
-/// `size >= 8` is interpreted as a full-width value.
+/// `size >= 8` is interpreted as a full-width value; `size == 0` has no
+/// value bits at all and yields 0 (a 64-bit shift would overflow).
 pub fn sign_extend(raw: u64, size: usize) -> i64 {
+    if size == 0 {
+        return 0;
+    }
     if size >= 8 {
         return raw as i64;
     }
@@ -20,19 +24,27 @@ pub fn sign_extend(raw: u64, size: usize) -> i64 {
 }
 
 /// Reads a `size`-byte unsigned integer at `addr`.
+///
+/// Scalars wider than 8 bytes cannot fit a `u64` and fail with
+/// [`TargetError::UnsupportedWidth`] instead of being silently
+/// truncated (on big-endian targets the old truncation even kept the
+/// *high*-order bytes — the same bug [`crate::CallValue::to_u64`] had).
 pub fn read_uint(t: &mut (impl Target + ?Sized), addr: u64, size: usize) -> TargetResult<u64> {
+    if size > 8 {
+        return Err(TargetError::UnsupportedWidth { bytes: size as u64 });
+    }
     let endian = t.abi().endian;
     let mut buf = vec![0u8; size];
     t.get_bytes(addr, &mut buf)?;
     let mut raw = 0u64;
     match endian {
         Endian::Little => {
-            for (i, b) in buf.iter().take(8).enumerate() {
+            for (i, b) in buf.iter().enumerate() {
                 raw |= (*b as u64) << (8 * i);
             }
         }
         Endian::Big => {
-            for b in buf.iter().take(8) {
+            for b in buf.iter() {
                 raw = (raw << 8) | *b as u64;
             }
         }
@@ -64,14 +76,20 @@ pub fn read_ptr(t: &mut (impl Target + ?Sized), addr: u64) -> TargetResult<u64> 
 }
 
 /// Writes the low `size` bytes of `v` at `addr` in target byte order.
+///
+/// Like [`read_uint`], sizes wider than 8 bytes are rejected with
+/// [`TargetError::UnsupportedWidth`] rather than silently clamped —
+/// a clamp would leave the high bytes of the destination unwritten.
 pub fn write_uint(
     t: &mut (impl Target + ?Sized),
     addr: u64,
     v: u64,
     size: usize,
 ) -> TargetResult<()> {
+    if size > 8 {
+        return Err(TargetError::UnsupportedWidth { bytes: size as u64 });
+    }
     let endian = t.abi().endian;
-    let size = size.min(8);
     let bytes = match endian {
         Endian::Little => v.to_le_bytes()[..size].to_vec(),
         Endian::Big => v.to_be_bytes()[8 - size..].to_vec(),
@@ -159,6 +177,32 @@ mod tests {
         assert_eq!(sign_extend(0xffff_fff9, 4), -7);
         assert_eq!(sign_extend(u64::MAX, 8), -1);
         assert_eq!(sign_extend(5, 8), 5);
+    }
+
+    #[test]
+    fn sign_extend_zero_width_is_zero() {
+        // Regression: size 0 used to compute `raw << 64`, overflowing.
+        assert_eq!(sign_extend(0, 0), 0);
+        assert_eq!(sign_extend(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn wide_scalars_are_rejected_not_truncated() {
+        use crate::scenario;
+        let mut t = scenario::scan_array();
+        let x = t.get_variable("x").unwrap();
+        assert_eq!(
+            read_uint(&mut t, x.addr, 16),
+            Err(TargetError::UnsupportedWidth { bytes: 16 })
+        );
+        assert_eq!(
+            write_uint(&mut t, x.addr, 1, 16),
+            Err(TargetError::UnsupportedWidth { bytes: 16 })
+        );
+        // 8 bytes is the widest supported scalar and still works.
+        assert!(read_uint(&mut t, x.addr, 8).is_ok());
+        assert!(write_uint(&mut t, x.addr, 0x0102_0304_0506_0708, 8).is_ok());
+        assert_eq!(read_uint(&mut t, x.addr, 8).unwrap(), 0x0102_0304_0506_0708);
     }
 
     #[test]

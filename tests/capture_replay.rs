@@ -85,10 +85,73 @@ fn strict_replay_of_a_combined_session_is_byte_identical() {
 }
 
 #[test]
+fn strict_replay_of_a_vectored_prefetch_session_is_byte_identical() {
+    // With the planner on, the contiguous scans below are warmed by a
+    // single vectored call; the cache coalesces it into one inner
+    // `get_bytes_multi`, which the recorder captures as a `multi_read`
+    // event. Strict replay behind an identically configured cold cache
+    // with the same options must re-issue the exact same sequence.
+    let exprs = ["x[..60]", "x[3..18] >? 5"];
+    let opts = duel::core::EvalOptions {
+        prefetch: true,
+        ..duel::core::EvalOptions::default()
+    };
+    let cfg = CacheConfig {
+        page_size: 16,
+        ..CacheConfig::default()
+    };
+
+    let sink = SharedSink::default();
+    let mut rec = RecordTarget::new(scenario::scan_array());
+    rec.start(Box::new(sink.clone()), "sim", "vectored")
+        .unwrap();
+    let mut t = CachedTarget::with_config(rec, cfg.clone());
+    let mut live = Vec::new();
+    {
+        let mut s = Session::with_options(&mut t, opts.clone());
+        for e in &exprs {
+            live.push(s.eval_lines(e).unwrap());
+        }
+    }
+    t.inner_mut().stop().unwrap();
+    let text = sink.contents();
+
+    let cap = Capture::parse(&text).unwrap();
+    assert!(
+        cap.events
+            .iter()
+            .any(|ev| matches!(ev.call, duel::target::CaptureCall::MultiRead { .. })),
+        "the capture must contain the planner's vectored read"
+    );
+
+    let mut rt =
+        CachedTarget::with_config(ReplayTarget::from_capture(cap, ReplayMode::Strict), cfg);
+    let mut replayed = Vec::new();
+    {
+        let mut s = Session::with_options(&mut rt, opts);
+        for e in &exprs {
+            replayed.push(s.eval_lines(e).unwrap());
+        }
+    }
+    let r = rt.inner();
+    assert_eq!(live, replayed, "replayed output must be byte-identical");
+    assert!(
+        r.divergence().is_none(),
+        "vectored session must replay with zero divergence: {:?}",
+        r.divergence().map(|d| d.render())
+    );
+    assert_eq!(r.events_consumed(), r.events_total());
+}
+
+#[test]
 fn capture_has_versioned_header_and_footer() {
     let (_, text) = record_session(scenario::scan_array(), "scan", &["x[..10]"]);
     let cap = Capture::parse(&text).unwrap();
-    assert_eq!(cap.header.schema_version, 1);
+    assert_eq!(
+        cap.header.schema_version,
+        duel::target::CAPTURE_SCHEMA_VERSION,
+        "fresh captures are written at the current schema"
+    );
     assert_eq!(cap.header.backend, "sim");
     assert_eq!(cap.header.scenario, "scan");
     assert!(

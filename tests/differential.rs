@@ -166,4 +166,56 @@ proptest! {
             .collect();
         prop_assert_eq!(got, want, "expression `{}`", src);
     }
+
+    /// Vectored and scalar read paths are observationally identical:
+    /// same buffers, same per-range results, same resident cache pages
+    /// — on arbitrary range sets mixing in-arena, edge-straddling, and
+    /// wholly unmapped spans.
+    #[test]
+    fn vectored_reads_match_scalar_reads(
+        ranges in prop::collection::vec((0u64..400, 1u64..48), 1..12),
+        page_exp in 4u32..9,
+    ) {
+        use duel::target::{CacheConfig, CachedTarget, ReadRange, Target};
+        let page_size = 1u64 << page_exp;
+        // scan_array: 240 readable bytes at the arena base; offsets up
+        // to 400 reach past the edge.
+        let mk = || {
+            CachedTarget::with_config(
+                scenario::scan_array(),
+                CacheConfig { page_size, ..CacheConfig::default() },
+            )
+        };
+        let mut scalar_t = mk();
+        let mut vector_t = mk();
+        let base = scalar_t.get_variable("x").unwrap().addr;
+        vector_t.get_variable("x").unwrap();
+
+        let mut scalar_bufs: Vec<Vec<u8>> =
+            ranges.iter().map(|&(_, len)| vec![0u8; len as usize]).collect();
+        let scalar_results: Vec<_> = ranges
+            .iter()
+            .zip(scalar_bufs.iter_mut())
+            .map(|(&(off, _), buf)| scalar_t.get_bytes(base + off, buf))
+            .collect();
+
+        let mut vector_bufs: Vec<Vec<u8>> =
+            ranges.iter().map(|&(_, len)| vec![0u8; len as usize]).collect();
+        let mut reads: Vec<ReadRange<'_>> = ranges
+            .iter()
+            .zip(vector_bufs.iter_mut())
+            .map(|(&(off, _), buf)| ReadRange::new(base + off, buf))
+            .collect();
+        let vector_results = vector_t.get_bytes_multi(&mut reads);
+
+        prop_assert_eq!(&scalar_results, &vector_results);
+        // Failed scalar reads may leave partial bytes behind; only
+        // compare buffers whose reads succeeded.
+        for (i, r) in scalar_results.iter().enumerate() {
+            if r.is_ok() {
+                prop_assert_eq!(&scalar_bufs[i], &vector_bufs[i], "range {}", i);
+            }
+        }
+        prop_assert_eq!(scalar_t.resident_pages(), vector_t.resident_pages());
+    }
 }

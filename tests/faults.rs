@@ -218,3 +218,97 @@ fn expansion_budget_terminates_a_circular_list_without_cycle_check() {
     }
     assert!(err.to_string().contains("expansion budget of 50"), "{err}");
 }
+
+// ---- wide-scalar and probe-flake regressions ---------------------------
+
+#[test]
+fn wide_scalars_are_rejected_on_big_endian_not_truncated() {
+    use duel::ctype::Abi;
+    use duel::target::{value_io, SimTarget, TargetError};
+    // Regression: `read_uint` with size > 8 used to keep only the first
+    // 8 bytes it iterated — on big-endian targets those are the
+    // *high-order* bytes, so a 16-byte scalar quietly collapsed to its
+    // top half. Both directions must refuse the width instead.
+    let mut t = SimTarget::new(Abi::ilp32_be());
+    let addr = t.core.alloc(16, 16).unwrap();
+    t.core
+        .mem
+        .write(addr, &[0xAB; 16])
+        .expect("seed the wide slot");
+    assert_eq!(
+        value_io::read_uint(&mut t, addr, 16),
+        Err(TargetError::UnsupportedWidth { bytes: 16 })
+    );
+    assert_eq!(
+        value_io::write_uint(&mut t, addr, 0x1234, 16),
+        Err(TargetError::UnsupportedWidth { bytes: 16 })
+    );
+    // A refused write leaves the destination untouched.
+    let mut buf = [0u8; 16];
+    t.core.mem.read(addr, &mut buf).unwrap();
+    assert_eq!(buf, [0xAB; 16]);
+    // In-range widths still work, in big-endian byte order.
+    value_io::write_uint(&mut t, addr, 0x0102_0304, 4).unwrap();
+    assert_eq!(value_io::read_uint(&mut t, addr, 4), Ok(0x0102_0304));
+}
+
+#[test]
+fn zero_width_sign_extend_is_zero_not_overflow() {
+    use duel::target::value_io;
+    // Regression: `sign_extend(raw, 0)` computed `raw << 64`.
+    assert_eq!(value_io::sign_extend(u64::MAX, 0), 0);
+    assert_eq!(value_io::sign_extend(0xFF, 1), -1);
+}
+
+#[test]
+fn probe_flakes_never_poison_the_cached_prefix() {
+    use duel::target::{CacheConfig, CachedTarget};
+    // scan_array's arena is 240 bytes; with 4096-byte pages every page
+    // fetch faults at the arena edge and the cache bisects (~13 wire
+    // ops) for the readable prefix. `fail_every: 7` guarantees every
+    // single bisection is interrupted by a transient. The old code
+    // conflated that transient with the fault class, so each flake
+    // *shrank* the cached prefix and the shrunk page was served for the
+    // rest of the epoch; the fixed code aborts the probe, caches
+    // nothing, and serves the access through the exact-read fallback
+    // (re-driven by RetryTarget when the fallback itself flakes) — so
+    // every value stays correct and the cache holds no damaged page.
+    // Recovery once the flakes stop (the full 240-byte prefix being
+    // cached by a clean re-probe) is pinned down by the unit test in
+    // `crates/target/src/cache.rs`.
+    let flaky = FaultTarget::new(
+        scenario::scan_array(),
+        FaultConfig {
+            fail_every: 7,
+            ..FaultConfig::default()
+        },
+    );
+    let cached = CachedTarget::with_config(
+        flaky,
+        CacheConfig {
+            page_size: 4096,
+            ..CacheConfig::default()
+        },
+    );
+    let mut t = RetryTarget::with_policy(cached, RetryPolicy::fast(5));
+    let mut s = Session::new(&mut t);
+    assert_eq!(
+        s.eval_lines("x[1..4,8,12..50] >? 5 <? 10").unwrap(),
+        vec!["x[3] = 7", "x[18] = 9", "x[47] = 6"]
+    );
+    for _ in 0..5 {
+        assert_eq!(s.eval_lines("x[..60]").unwrap().len(), 60);
+    }
+    let cache = t.inner_mut();
+    assert!(
+        cache.inner_mut().injected() > 0,
+        "the flakes must actually have fired"
+    );
+    for (base, bytes) in cache.resident_pages() {
+        assert_eq!(
+            bytes.len(),
+            240,
+            "page {base:#x}: a flaked probe must never cache a shrunk prefix"
+        );
+    }
+}
