@@ -8,12 +8,14 @@
 //! duel-replay session.jsonl              # summary + per-op stats
 //! duel-replay session.jsonl --timeline   # last 20 events
 //! duel-replay session.jsonl --timeline 100
+//! duel-replay session.jsonl --perfetto out.json  # Chrome trace JSON
 //! ```
 
 use duel_target::capture::{Capture, CaptureCall};
 use duel_target::trace::{fmt_ns, TraceEvent, TraceHandle};
+use duel_target::{chrome_trace_json, SpanContext, SpanKind};
 
-const USAGE: &str = "usage: duel-replay CAPTURE.jsonl [--timeline [N]]";
+const USAGE: &str = "usage: duel-replay CAPTURE.jsonl [--timeline [N]] [--perfetto FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +25,7 @@ fn main() {
     }
     let mut path = None;
     let mut timeline = None;
+    let mut perfetto = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,6 +36,16 @@ fn main() {
                         .inspect(|_| i += 1)
                         .unwrap_or(20),
                 );
+            }
+            "--perfetto" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => perfetto = Some(f.to_string()),
+                    None => {
+                        eprintln!("--perfetto needs a FILE\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
             }
             a if a.starts_with('-') => {
                 eprintln!("unknown flag `{a}`\n{USAGE}");
@@ -54,10 +67,66 @@ fn main() {
         }
     };
 
-    if let Some(n) = timeline {
+    if let Some(out) = perfetto {
+        export_perfetto(&out, &cap);
+    } else if let Some(n) = timeline {
         print_timeline(&cap, n);
     } else {
         print_summary(&path, &cap);
+    }
+}
+
+/// Converts a capture to Chrome trace-event JSON (loadable in
+/// ui.perfetto.dev). Captures hold per-call latencies, not wall-clock
+/// timestamps, so events are laid end to end on a synthetic timeline;
+/// one `capture` root span covers the whole recording and every wire
+/// event is attributed to it, keeping the ancestor-chain invariant the
+/// live exporter guarantees.
+fn export_perfetto(out: &str, cap: &Capture) {
+    let spans = SpanContext::new(cap.events.len().max(1));
+    spans.set_enabled(true);
+    let trace = spans.begin_trace();
+    let total_ns: u64 = cap.events.iter().map(|e| e.ns).sum();
+    let h = &cap.header;
+    let root = spans.record_closed(
+        SpanKind::Root,
+        "capture",
+        || format!("{} / {}", h.backend, h.scenario),
+        0,
+        total_ns,
+    );
+    let mut ts = 0u64;
+    let events: Vec<TraceEvent> = cap
+        .events
+        .iter()
+        .map(|ev| {
+            let e = TraceEvent {
+                seq: ev.seq,
+                op: ev.call.trace_op(),
+                detail: ev.call.detail(),
+                outcome: ev.reply.outcome(),
+                nanos: ev.ns,
+                ts_ns: ts,
+                trace,
+                span: root,
+            };
+            ts += ev.ns;
+            e
+        })
+        .collect();
+    let json = chrome_trace_json(&spans.snapshot(), &events);
+    match std::fs::write(out, &json) {
+        Ok(()) => {
+            println!(
+                "perfetto trace written to {out} ({} events, {} of recorded latency)",
+                events.len(),
+                fmt_ns(total_ns)
+            );
+        }
+        Err(e) => {
+            eprintln!("cannot write `{out}`: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -69,6 +138,9 @@ fn render(ev: &duel_target::capture::CaptureEvent) -> String {
         detail: ev.call.detail(),
         outcome: ev.reply.outcome(),
         nanos: ev.ns,
+        ts_ns: 0,
+        trace: 0,
+        span: 0,
     }
     .render()
 }

@@ -15,9 +15,10 @@ use std::time::{Duration, Instant};
 use duel_core::{DuelError, EvalOptions, EvalStats, Session, SymMode, Value};
 use duel_minic::{Debugger, StopReason};
 use duel_target::{
-    scenario, CacheConfig, CacheStats, CachedTarget, ChaosHandle, ChaosTarget, CircuitState,
-    RecordTarget, ReplayMode, ReplayTarget, ResyncReport, RetryStats, RetryTarget, SimTarget,
-    SupervisedTarget, SupervisorStats, Target, TargetResult, TraceHandle, TraceTarget,
+    chrome_trace_json, folded_stacks, scenario, CacheConfig, CacheStats, CachedTarget, ChaosHandle,
+    ChaosTarget, CircuitState, FlameWeight, MetricsRegistry, RecordTarget, ReplayMode,
+    ReplayTarget, ResyncReport, RetryStats, RetryTarget, SimTarget, SpanContext, SupervisedTarget,
+    SupervisorStats, Target, TargetResult, TraceHandle, TraceTarget,
 };
 
 /// The REPL's decorator tower: tracing outermost (so its counters see
@@ -53,6 +54,16 @@ impl Backend {
             Backend::Sim(t) => t.handle(),
             Backend::Minic(d) => d.handle(),
             Backend::Replay(r) => r.handle(),
+        }
+    }
+
+    /// The causal span context of the tower's trace layer (replaced
+    /// together with the backend by `.scenario`/`.load`/`.replay`).
+    fn spans(&self) -> SpanContext {
+        match self {
+            Backend::Sim(t) => t.spans(),
+            Backend::Minic(d) => d.spans(),
+            Backend::Replay(r) => r.spans(),
         }
     }
 
@@ -274,6 +285,20 @@ pub struct Repl {
     /// Sticky `.set degrade` state, reapplied when the backend (and
     /// with it the supervisor) is replaced.
     degrade_enabled: bool,
+    /// Sticky `.trace spans on|off` state, reapplied on backend swaps.
+    spans_enabled: bool,
+    /// Sticky `.set trace_buf N` ring capacity (trace events and span
+    /// records), reapplied on backend swaps. `None` = library default.
+    trace_buf: Option<usize>,
+    /// Session-lifetime metrics registry: survives `.scenario`/`.load`/
+    /// `.replay` (unlike the per-tower trace handle), fed with
+    /// watermark deltas after every evaluated command, reset only by
+    /// `.trace clear`.
+    metrics: MetricsRegistry,
+    /// Per-op (calls, errors, total_ns) totals at the previous
+    /// watermark, so `feed_metrics` charges only this command's wire
+    /// traffic. Cleared on backend swaps (the new handle starts at 0).
+    wire_seen: HashMap<&'static str, (u64, u64, u64)>,
     /// Label of the current debuggee (scenario name or program path),
     /// written into capture headers by `.record`.
     scenario_label: String,
@@ -296,6 +321,8 @@ DUEL commands:
   .ast EXPR          show the AST in the paper's LISP-like notation
   .stats             full tower counters: last evaluation, cache,
                      retry, supervision, target-call trace, recorder
+  .stats json        the same counters plus live metrics as one
+                     machine-readable JSON document
   .health            probe the backend; circuit and reconnect status
   .health reconnect  force a reconnect + session resync now
   .chaos CMD         fault-inject the sim backend: kill hang garble
@@ -308,8 +335,19 @@ DUEL commands:
                      live backend (strict: exact recorded sequence,
                      permissive: new expressions over frozen state)
   .trace on|off      record every target call (latency, outcome)
+  .trace spans on|off
+                     causal span tracing: attribute every wire event
+                     to the evaluator node that caused it
   .trace [dump [N]]  show per-op latency stats / the last N events
-  .trace clear       reset trace counters and the event buffer
+  .trace clear       reset trace counters, latency histograms, the
+                     event buffer, the span ring, and live metrics
+  .trace export FILE write a Chrome trace-event JSON of the span tree
+                     and wire events (load in ui.perfetto.dev)
+  .trace flame FILE [ns|reads]
+                     write folded stacks weighted by wire latency or
+                     backend reads (flamegraph.pl / speedscope input)
+  .top               live view: hottest AST nodes (by exclusive span
+                     time), wire ops, and busiest metric counters
   .profile EXPR      evaluate EXPR, then show per-node costs (ticks,
                      wire reads), hottest first
   .explain EXPR      evaluate EXPR, then show its AST annotated with
@@ -335,6 +373,9 @@ DUEL commands:
                      generator-aware prefetch: warm the cache with one
                      vectored read before contiguous scans (`x[a..b]`)
                      and structure walks (default: off)
+  .set trace_buf N   capacity of the trace-event and span rings
+                     (default 4096 events / 8192 spans; one entry
+                     costs ~100-140 bytes, so 8192 spans ≈ 1 MiB)
   .quit              exit
 ";
 
@@ -362,7 +403,91 @@ impl Repl {
             cache_enabled,
             trace_enabled: false,
             degrade_enabled: true,
+            spans_enabled: false,
+            trace_buf: None,
+            metrics: MetricsRegistry::new(),
+            wire_seen: HashMap::new(),
             scenario_label: "combined".into(),
+        }
+    }
+
+    /// Reapplies every sticky toggle to a freshly built backend tower
+    /// (tracing, span tracing, degrade mode, ring capacities) and
+    /// resets the wire watermark — the new trace handle counts from
+    /// zero, so stale watermarks would produce negative deltas.
+    fn apply_sticky(&mut self) {
+        self.backend.trace().set_enabled(self.trace_enabled);
+        self.backend.set_degrade(self.degrade_enabled);
+        self.backend.spans().set_enabled(self.spans_enabled);
+        if let Some(n) = self.trace_buf {
+            self.backend.trace().set_capacity(n);
+            self.backend.spans().set_capacity(n);
+        }
+        self.wire_seen.clear();
+    }
+
+    /// The span context of the current tower (`--trace-perfetto`
+    /// exports from it at exit; replaced by `.scenario`/`.load`).
+    pub fn span_context(&self) -> SpanContext {
+        self.backend.spans()
+    }
+
+    /// Turns causal span tracing on or off (the `.trace spans on|off`
+    /// command; sticky across backend swaps). Spans also require the
+    /// event trace to be useful in exports, but are independent of it.
+    pub fn set_span_tracing(&mut self, on: bool) {
+        self.spans_enabled = on;
+        self.backend.spans().set_enabled(on);
+    }
+
+    /// The session's live metrics registry (`.top` and `.stats json`
+    /// read it; survives backend swaps).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Charges the just-finished command to the always-on metrics
+    /// registry: evaluator counters from `last_stats`, wire traffic as
+    /// a delta against the previous watermark of the trace handle's
+    /// per-op totals.
+    fn feed_metrics(&mut self) {
+        let s = &self.last_stats;
+        let m = &self.metrics;
+        m.counter("eval.commands").inc();
+        m.counter("eval.values").add(s.values);
+        m.counter("eval.ticks").add(s.ticks);
+        m.counter("eval.yields").add(s.yields);
+        m.counter("eval.expansions").add(s.expansions);
+        m.counter("eval.stale_values").add(s.stale_values);
+        m.counter("eval.prefetch_calls").add(s.prefetch_calls);
+        m.histogram("eval.ticks_per_command").observe(s.ticks);
+        m.histogram("eval.values_per_command").observe(s.values);
+        let snap = self.backend.trace().snapshot();
+        let mut wire_ns = 0u64;
+        let mut wire_calls = 0u64;
+        for o in &snap.ops {
+            let prev = self
+                .wire_seen
+                .insert(o.op.name(), (o.calls, o.errors, o.total_ns))
+                .unwrap_or((0, 0, 0));
+            let calls = o.calls.saturating_sub(prev.0);
+            let errors = o.errors.saturating_sub(prev.1);
+            let ns = o.total_ns.saturating_sub(prev.2);
+            if calls == 0 && errors == 0 {
+                continue;
+            }
+            m.counter(&format!("wire.{}.calls", o.op.name())).add(calls);
+            if errors > 0 {
+                m.counter(&format!("wire.{}.errors", o.op.name()))
+                    .add(errors);
+            }
+            m.counter(&format!("wire.{}.ns", o.op.name())).add(ns);
+            wire_ns += ns;
+            wire_calls += calls;
+        }
+        if wire_calls > 0 {
+            m.histogram("wire.calls_per_command").observe(wire_calls);
+            m.histogram("wire.ns_per_command").observe(wire_ns);
         }
     }
 
@@ -403,6 +528,151 @@ impl Repl {
             self.cache_enabled,
             self.backend.trace().to_json("session")
         )
+    }
+
+    /// Resizes the trace-event and span rings (the `--trace-buf N`
+    /// flag and `.set trace_buf N`; sticky across backend swaps).
+    pub fn set_trace_buf(&mut self, n: usize) {
+        self.trace_buf = Some(n);
+        self.backend.trace().set_capacity(n);
+        self.backend.spans().set_capacity(n);
+    }
+
+    /// The Chrome trace-event JSON of the current span tree and wire
+    /// events (the `--trace-perfetto FILE` flag writes this at exit;
+    /// loadable in ui.perfetto.dev).
+    pub fn perfetto_json(&self) -> String {
+        chrome_trace_json(
+            &self.backend.spans().snapshot(),
+            &self.backend.trace().recent_events(usize::MAX),
+        )
+    }
+
+    /// The `.stats json` document: every tower counter in one
+    /// machine-readable dump, using the shared
+    /// `schema_version`/`name`/`config`/`metrics` envelope that bench
+    /// reports, capture files, and `--trace-json` all follow.
+    pub fn stats_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let c = self.backend.cache_stats();
+        let r = self.backend.retry_stats();
+        let sup = self.backend.supervise_stats();
+        let t = self.backend.trace().snapshot();
+        let spans = self.backend.spans().snapshot();
+        let s = &self.last_stats;
+        let mut members = vec![
+            format!("\"eval_values\":{}", s.values),
+            format!("\"eval_ticks\":{}", s.ticks),
+            format!("\"eval_max_depth\":{}", s.max_depth),
+            format!("\"eval_expansions\":{}", s.expansions),
+            format!("\"eval_yields\":{}", s.yields),
+            format!("\"eval_stale_values\":{}", s.stale_values),
+            format!("\"eval_trace_id\":{}", s.trace_id),
+            format!("\"cache_page_hits\":{}", c.page_hits),
+            format!("\"cache_page_misses\":{}", c.page_misses),
+            format!("\"cache_backend_reads\":{}", c.backend_reads),
+            format!("\"cache_wire_bytes\":{}", c.wire_bytes),
+            format!("\"retry_operations\":{}", r.operations),
+            format!("\"retry_retries\":{}", r.retries),
+            format!("\"retry_give_ups\":{}", r.give_ups),
+            format!("\"supervise_trips\":{}", sup.trips),
+            format!("\"supervise_reconnects\":{}", sup.reconnects),
+            format!("\"supervise_fast_fails\":{}", sup.fast_fails),
+            format!("\"supervise_stale_reads\":{}", sup.stale_reads),
+            format!("\"trace_calls\":{}", t.total_calls()),
+            format!("\"trace_errors\":{}", t.total_errors()),
+            format!("\"trace_events_held\":{}", t.events_held),
+            format!("\"trace_events_dropped\":{}", t.events_dropped),
+            format!("\"spans_buffered\":{}", spans.spans.len()),
+            format!("\"spans_open\":{}", spans.open.len()),
+            format!("\"spans_dropped\":{}", spans.dropped),
+        ];
+        let registry = self.metrics.snapshot().to_json_members();
+        if !registry.is_empty() {
+            members.push(registry);
+        }
+        format!(
+            "{{\"schema_version\":1,\"name\":\"duel_stats\",\
+             \"config\":{{\"backend\":\"{}\",\"scenario\":\"{}\",\"cache\":{},\
+             \"prefetch\":{},\"degrade\":{},\"trace\":{},\"spans\":{},\
+             \"trace_buf\":{},\"span_buf\":{}}},\
+             \"metrics\":{{{}}}}}",
+            self.backend.label(),
+            esc(&self.scenario_label),
+            self.cache_enabled,
+            self.options.prefetch,
+            self.degrade_enabled,
+            self.trace_enabled,
+            self.spans_enabled,
+            self.backend.trace().capacity(),
+            self.backend.spans().capacity(),
+            members.join(",")
+        )
+    }
+
+    /// Renders the `.top` live view: hottest AST nodes by exclusive
+    /// span time, hottest wire ops, and the busiest registry counters.
+    fn render_top(&self, out: &mut String) {
+        let spans = self.backend.spans();
+        let snap = spans.snapshot();
+        let _ = writeln!(out, "top — hottest since `.trace clear`");
+        if !self.spans_enabled {
+            let _ = writeln!(
+                out,
+                "  (span tracing is off — `.trace spans on` to rank AST nodes)"
+            );
+        } else {
+            let agg = snap.aggregate();
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} {:>10} {:>10}  node",
+                "kind", "count", "self", "total"
+            );
+            for row in agg.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>6} {:>10} {:>10}  {}{}",
+                    row.kind.name(),
+                    row.count,
+                    duel_target::trace::fmt_ns(row.self_ns),
+                    duel_target::trace::fmt_ns(row.total_ns),
+                    row.name,
+                    if row.detail.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" {}", row.detail)
+                    }
+                );
+            }
+        }
+        let t = self.backend.trace().snapshot();
+        let mut ops: Vec<_> = t.ops.iter().filter(|o| o.calls > 0).collect();
+        ops.sort_by_key(|o| std::cmp::Reverse(o.total_ns));
+        if !ops.is_empty() {
+            let _ = writeln!(out, "  wire ops by total latency:");
+            for o in ops.iter().take(6) {
+                let _ = writeln!(
+                    out,
+                    "    {:<13} {:>8} calls {:>6} errors  total {:>8}  p99 {:>8}",
+                    o.op.name(),
+                    o.calls,
+                    o.errors,
+                    duel_target::trace::fmt_ns(o.total_ns),
+                    duel_target::trace::fmt_ns(o.quantile_ns(0.99))
+                );
+            }
+        }
+        let m = self.metrics.snapshot();
+        let mut counters = m.counters.clone();
+        counters.sort_by_key(|c| std::cmp::Reverse(c.1));
+        if counters.is_empty() {
+            let _ = writeln!(out, "  no metrics yet (evaluate something first)");
+        } else {
+            let _ = writeln!(out, "  busiest counters:");
+            for (name, v) in counters.iter().take(8) {
+                let _ = writeln!(out, "    {name:<28} {v}");
+            }
+        }
     }
 
     /// The REPL's default options: like [`EvalOptions::default`], but
@@ -456,6 +726,7 @@ impl Repl {
         }
         self.aliases = session.into_aliases();
         self.backend.set_op_deadline(None);
+        self.feed_metrics();
     }
 
     /// Shared body of `.profile` (cost table) and `.explain` (annotated
@@ -489,6 +760,7 @@ impl Repl {
         self.last_stats = session.last_stats();
         self.aliases = session.into_aliases();
         self.backend.set_op_deadline(None);
+        self.feed_metrics();
     }
 
     /// Finalizes an in-flight recording before the backend (and with it
@@ -532,8 +804,7 @@ impl Repl {
                 if let Some(t) = t {
                     self.note_recording_dropped(out);
                     self.backend = Backend::sim(t, self.cache_enabled);
-                    self.backend.trace().set_enabled(self.trace_enabled);
-                    self.backend.set_degrade(self.degrade_enabled);
+                    self.apply_sticky();
                     self.aliases.clear();
                     self.scenario_label = if arg.is_empty() { "combined" } else { arg }.to_string();
                     let _ = writeln!(out, "scenario loaded; aliases cleared");
@@ -544,8 +815,7 @@ impl Repl {
                     Ok(d) => {
                         self.note_recording_dropped(out);
                         self.backend = Backend::minic(d, self.cache_enabled);
-                        self.backend.trace().set_enabled(self.trace_enabled);
-                        self.backend.set_degrade(self.degrade_enabled);
+                        self.apply_sticky();
                         self.aliases.clear();
                         self.scenario_label = arg.to_string();
                         let _ = writeln!(out, "compiled `{arg}`; set breakpoints and .run");
@@ -579,6 +849,10 @@ impl Repl {
                     }
                 }
                 self.aliases = session.into_aliases();
+            }
+            ".top" => self.render_top(out),
+            ".stats" if arg == "json" => {
+                let _ = writeln!(out, "{}", self.stats_json());
             }
             ".stats" => {
                 let _ = writeln!(
@@ -812,8 +1086,94 @@ impl Repl {
                         let _ = writeln!(out, "tracing off");
                     }
                     "clear" => {
+                        // One reset story: counters, latency histograms,
+                        // the event ring, the span ring, and the live
+                        // metrics registry all clear together — no view
+                        // may keep serving pre-clear latency buckets.
                         h.clear();
+                        self.backend.spans().clear();
+                        self.metrics.clear();
+                        self.wire_seen.clear();
                         let _ = writeln!(out, "trace cleared");
+                    }
+                    "spans" => {
+                        match line.split_whitespace().nth(2) {
+                            Some("on") => {
+                                self.set_span_tracing(true);
+                                let _ = writeln!(out, "span tracing on");
+                            }
+                            Some("off") => {
+                                self.set_span_tracing(false);
+                                let _ = writeln!(out, "span tracing off");
+                            }
+                            _ => {
+                                let s = self.backend.spans().snapshot();
+                                let _ = writeln!(
+                                    out,
+                                    "span tracing {}; {} spans buffered, {} open, {} dropped",
+                                    if self.spans_enabled { "on" } else { "off" },
+                                    s.spans.len(),
+                                    s.open.len(),
+                                    s.dropped
+                                );
+                            }
+                        };
+                    }
+                    "export" => {
+                        let file = line.split_whitespace().nth(2).unwrap_or("");
+                        if file.is_empty() {
+                            let _ = writeln!(out, "usage: .trace export FILE");
+                        } else {
+                            let snap = self.backend.spans().snapshot();
+                            let events = h.recent_events(usize::MAX);
+                            let json = chrome_trace_json(&snap, &events);
+                            match std::fs::write(file, json) {
+                                Ok(()) => {
+                                    let _ = writeln!(
+                                        out,
+                                        "trace exported to `{file}` ({} spans, {} events; \
+                                         load in ui.perfetto.dev)",
+                                        snap.len(),
+                                        events.len()
+                                    );
+                                }
+                                Err(e) => {
+                                    let _ = writeln!(out, "cannot write `{file}`: {e}");
+                                }
+                            }
+                        }
+                    }
+                    "flame" => {
+                        let file = line.split_whitespace().nth(2).unwrap_or("");
+                        let weight = match line.split_whitespace().nth(3) {
+                            None | Some("ns") => Some(FlameWeight::WireNs),
+                            Some("reads") => Some(FlameWeight::WireReads),
+                            Some(other) => {
+                                let _ =
+                                    writeln!(out, "unknown flame weight `{other}` (ns or reads)");
+                                None
+                            }
+                        };
+                        if file.is_empty() {
+                            let _ = writeln!(out, "usage: .trace flame FILE [ns|reads]");
+                        } else if let Some(weight) = weight {
+                            let snap = self.backend.spans().snapshot();
+                            let events = h.recent_events(usize::MAX);
+                            let folded = folded_stacks(&snap, &events, weight);
+                            match std::fs::write(file, &folded) {
+                                Ok(()) => {
+                                    let _ = writeln!(
+                                        out,
+                                        "folded stacks written to `{file}` ({} lines; \
+                                         feed to flamegraph.pl or speedscope)",
+                                        folded.lines().count()
+                                    );
+                                }
+                                Err(e) => {
+                                    let _ = writeln!(out, "cannot write `{file}`: {e}");
+                                }
+                            }
+                        }
                     }
                     "dump" => {
                         let n = line
@@ -859,8 +1219,11 @@ impl Repl {
                         }
                     }
                     other => {
-                        let _ =
-                            writeln!(out, "usage: .trace [on|off|dump [N]|clear] (got `{other}`)");
+                        let _ = writeln!(
+                            out,
+                            "usage: .trace [on|off|spans on|off|dump [N]|clear|\
+                             export FILE|flame FILE [ns|reads]] (got `{other}`)"
+                        );
                     }
                 }
             }
@@ -937,8 +1300,7 @@ impl Repl {
                                 self.note_recording_dropped(out);
                                 let total = r.events_total();
                                 self.backend = Backend::replay_backend(r, self.cache_enabled);
-                                self.backend.trace().set_enabled(self.trace_enabled);
-                                self.backend.set_degrade(self.degrade_enabled);
+                                self.apply_sticky();
                                 self.aliases.clear();
                                 let _ = writeln!(
                                     out,
@@ -1018,6 +1380,22 @@ impl Repl {
                     "prefetch" => {
                         self.options.prefetch = val == "on";
                     }
+                    "trace_buf" => match val.parse::<usize>() {
+                        Ok(n) if n > 0 => {
+                            self.trace_buf = Some(n);
+                            self.backend.trace().set_capacity(n);
+                            self.backend.spans().set_capacity(n);
+                            let _ = writeln!(
+                                out,
+                                "trace and span rings resized to {n} entries \
+                                 (~{} KiB each at worst)",
+                                n.saturating_mul(140) / 1024
+                            );
+                        }
+                        _ => {
+                            let _ = writeln!(out, "usage: .set trace_buf N (N > 0)");
+                        }
+                    },
                     other => {
                         let _ = writeln!(out, "unknown option `{other}`");
                     }
@@ -1179,7 +1557,8 @@ impl Default for Repl {
 
 /// Usage string for the `duel` binary.
 pub const USAGE: &str = "usage: duel [--max-steps N] [--max-depth N] [--timeout-ms N] \
-     [--no-cache] [--trace-json FILE] [--record FILE] [--replay FILE] [program.c]";
+     [--no-cache] [--trace-json FILE] [--trace-perfetto FILE] [--trace-buf N] \
+     [--record FILE] [--replay FILE] [program.c]";
 
 /// What [`parse_args`] extracted from the command line.
 #[derive(Debug)]
@@ -1193,6 +1572,13 @@ pub struct CliArgs {
     /// Where to export the target-call trace at exit
     /// (`--trace-json FILE`; also turns tracing on from the start).
     pub trace_json: Option<String>,
+    /// Where to export the causal span trace as Chrome trace-event
+    /// JSON at exit (`--trace-perfetto FILE`; turns tracing *and* span
+    /// tracing on from the start).
+    pub trace_perfetto: Option<String>,
+    /// Capacity override for the trace-event and span rings
+    /// (`--trace-buf N`).
+    pub trace_buf: Option<usize>,
     /// Capture file to start recording to immediately (`--record FILE`).
     pub record: Option<String>,
     /// Capture file to replay instead of a live backend
@@ -1210,6 +1596,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut path = None;
     let mut cache = true;
     let mut trace_json = None;
+    let mut trace_perfetto = None;
+    let mut trace_buf = None;
     let mut record = None;
     let mut replay = None;
     let mut i = 0;
@@ -1220,8 +1608,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             None => (arg.as_str(), None),
         };
         match name {
-            "--max-steps" | "--max-depth" | "--timeout-ms" | "--trace-json" | "--record"
-            | "--replay" => {
+            "--max-steps" | "--max-depth" | "--timeout-ms" | "--trace-json"
+            | "--trace-perfetto" | "--trace-buf" | "--record" | "--replay" => {
                 let val = match inline {
                     Some(v) => v,
                     None => {
@@ -1233,6 +1621,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 };
                 if name == "--trace-json" {
                     trace_json = Some(val);
+                } else if name == "--trace-perfetto" {
+                    trace_perfetto = Some(val);
                 } else if name == "--record" {
                     record = Some(val);
                 } else if name == "--replay" {
@@ -1244,6 +1634,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     match name {
                         "--max-steps" => options.max_ticks = n,
                         "--max-depth" => options.max_depth = n,
+                        "--trace-buf" => {
+                            if n == 0 {
+                                return Err(format!("--trace-buf needs N > 0\n{USAGE}"));
+                            }
+                            trace_buf = Some(n as usize);
+                        }
                         _ => options.timeout_ms = n,
                     }
                 }
@@ -1261,6 +1657,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         path,
         cache,
         trace_json,
+        trace_perfetto,
+        trace_buf,
         record,
         replay,
     })
@@ -1765,5 +2163,214 @@ mod tests {
         out.clear();
         r.handle(".stats", &mut out);
         assert!(out.contains("degrade off"), "{out}");
+    }
+
+    // ---- causal span tracing --------------------------------------------
+
+    #[test]
+    fn span_export_loads_as_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("duel-cli-span-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.json", std::process::id()));
+        let path = path.display().to_string();
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..10] >? 5", &mut out);
+        out.clear();
+        r.handle(&format!(".trace export {path}"), &mut out);
+        assert!(out.contains("trace exported"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let v = duel_target::json::Json::parse(&json).expect("perfetto export parses");
+        let events = v.get("traceEvents").and_then(|e| e.items()).unwrap();
+        assert!(events.len() > 10, "spans + wire events expected");
+        assert!(json.contains("\"cat\":\"root\""), "{json}");
+        assert!(json.contains("\"cat\":\"node\""), "{json}");
+        assert!(json.contains("\"cat\":\"wire-event\""), "{json}");
+        std::fs::remove_file(&path).ok();
+
+        // Every buffered wire event chains to a live eval root.
+        let snap = r.span_context().snapshot();
+        let events = r.trace_handle().recent_events(usize::MAX);
+        let (ok, total) = duel_target::attribution_coverage(&snap, &events);
+        assert!(total > 0);
+        assert_eq!(ok, total, "all wire events must have a rooted ancestry");
+    }
+
+    #[test]
+    fn flame_command_writes_folded_stacks() {
+        let dir = std::env::temp_dir().join("duel-cli-span-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("flame-{}.txt", std::process::id()));
+        let path = path.display().to_string();
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..5]", &mut out);
+        out.clear();
+        r.handle(&format!(".trace flame {path} reads"), &mut out);
+        assert!(out.contains("folded stacks written"), "{out}");
+        let folded = std::fs::read_to_string(&path).unwrap();
+        let line = folded.lines().next().unwrap();
+        // `frame;frame;...;op weight`
+        assert!(line.contains(';'), "{line}");
+        assert!(
+            line.starts_with("eval "),
+            "stacks root at the eval span: {line}"
+        );
+        let weight: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(weight >= 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn top_ranks_nodes_ops_and_counters() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".top", &mut out);
+        assert!(out.contains("span tracing is off"), "{out}");
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..10]", &mut out);
+        out.clear();
+        r.handle(".top", &mut out);
+        assert!(out.contains("eval"), "{out}");
+        assert!(
+            out.contains("index"),
+            "hottest nodes include the index: {out}"
+        );
+        assert!(out.contains("wire ops by total latency"), "{out}");
+        assert!(out.contains("get_bytes"), "{out}");
+        assert!(out.contains("busiest counters"), "{out}");
+        assert!(out.contains("eval.values"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_uses_the_shared_envelope() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..5]", &mut out);
+        out.clear();
+        r.handle(".stats json", &mut out);
+        let v = duel_target::json::Json::parse(out.trim()).expect("stats json parses");
+        assert_eq!(
+            v.get("schema_version").and_then(|x| x.as_u64()),
+            Some(1),
+            "{out}"
+        );
+        assert_eq!(
+            v.get("name").and_then(|x| x.as_str()),
+            Some("duel_stats"),
+            "{out}"
+        );
+        let cfg = v.get("config").expect("config block");
+        assert_eq!(cfg.get("backend").and_then(|x| x.as_str()), Some("sim"));
+        let m = v.get("metrics").expect("metrics block");
+        assert_eq!(m.get("eval_values").and_then(|x| x.as_u64()), Some(5));
+        // The always-on registry feeds the same document.
+        assert_eq!(m.get("eval.commands").and_then(|x| x.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn trace_buf_resizes_both_rings_and_survives_swaps() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".set trace_buf 64", &mut out);
+        assert!(out.contains("resized to 64"), "{out}");
+        assert_eq!(r.trace_handle().capacity(), 64);
+        assert_eq!(r.span_context().capacity(), 64);
+        r.handle(".scenario scan", &mut out);
+        assert_eq!(r.trace_handle().capacity(), 64, "sticky across swap");
+        assert_eq!(r.span_context().capacity(), 64, "sticky across swap");
+        // The ring stays bounded: more events than capacity drop oldest.
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..60]", &mut out);
+        let snap = r.span_context().snapshot();
+        assert!(snap.spans.len() <= 64, "{}", snap.spans.len());
+    }
+
+    #[test]
+    fn trace_clear_resets_counters_histograms_rings_and_metrics() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..10]", &mut out);
+        // Everything is hot.
+        assert!(r.trace_handle().snapshot().total_calls() > 0);
+        assert!(!r.span_context().snapshot().spans.is_empty());
+        assert!(!r.metrics().snapshot().counters.is_empty());
+        r.handle(".trace clear", &mut out);
+        let t = r.trace_handle().snapshot();
+        assert_eq!(t.total_calls(), 0);
+        assert_eq!(t.events_held, 0);
+        // No stale latency buckets may survive the clear: the per-op
+        // histograms must be all-zero, not just the counters.
+        for o in &t.ops {
+            assert!(
+                o.hist.iter().all(|&b| b == 0),
+                "stale latency buckets for {} after .trace clear",
+                o.op.name()
+            );
+            assert_eq!(o.total_ns, 0);
+        }
+        let s = r.span_context().snapshot();
+        assert!(s.spans.is_empty() && s.open.is_empty() && s.dropped == 0);
+        let m = r.metrics().snapshot();
+        assert!(m.counters.is_empty() && m.histograms.is_empty());
+    }
+
+    #[test]
+    fn span_state_survives_scenario_switch_and_swap_resets_counters() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..10]", &mut out);
+        r.handle(".scenario scan", &mut out);
+        // Sticky enablement on the fresh tower...
+        assert!(r.span_context().is_enabled());
+        assert!(r.trace_handle().is_enabled());
+        // ...but the fresh tower starts with empty counters, rings, and
+        // histograms (no stale buckets from the old backend).
+        let t = r.trace_handle().snapshot();
+        assert_eq!(t.total_calls(), 0);
+        for o in &t.ops {
+            assert!(o.hist.iter().all(|&b| b == 0));
+        }
+        assert!(r.span_context().snapshot().spans.is_empty());
+        // Metrics deliberately persist (session-lifetime), and the
+        // watermark reset means the next command charges only its own
+        // traffic rather than a negative delta.
+        let before = r
+            .metrics()
+            .snapshot()
+            .counter("wire.get_bytes.calls")
+            .unwrap_or(0);
+        out.clear();
+        r.handle("x[..10]", &mut out);
+        let after = r
+            .metrics()
+            .snapshot()
+            .counter("wire.get_bytes.calls")
+            .unwrap_or(0);
+        assert!(after >= before, "no negative wire deltas after a swap");
+    }
+
+    #[test]
+    fn eval_stats_carry_the_trace_id() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..3]", &mut out);
+        assert_eq!(r.last_stats.trace_id, 0, "no trace id while spans are off");
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..3]", &mut out);
+        let first = r.last_stats.trace_id;
+        assert!(first >= 1, "span-traced evals get a trace id");
+        r.handle("x[..3]", &mut out);
+        assert_eq!(r.last_stats.trace_id, first + 1, "each eval is one trace");
     }
 }

@@ -27,6 +27,15 @@ fn main() {
     if parsed.trace_json.is_some() {
         repl.set_tracing(true);
     }
+    if parsed.trace_perfetto.is_some() {
+        // Perfetto export needs both the wire events and the causal
+        // span tree, so it implies both kinds of tracing.
+        repl.set_tracing(true);
+        repl.set_span_tracing(true);
+    }
+    if let Some(n) = parsed.trace_buf {
+        repl.set_trace_buf(n);
+    }
     let mut out = String::new();
     if let Some(path) = &parsed.replay {
         repl.handle(&format!(".replay {path}"), &mut out);
@@ -77,5 +86,12 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("trace written to {path}");
+    }
+    if let Some(path) = parsed.trace_perfetto {
+        if let Err(e) = std::fs::write(&path, repl.perfetto_json()) {
+            eprintln!("cannot write perfetto trace to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perfetto trace written to {path} (load in ui.perfetto.dev)");
     }
 }

@@ -121,9 +121,15 @@ pub type Gen = Box<dyn GenT>;
 
 /// A wrapper that logs each resumption of its inner generator — one
 /// line per `eval` call, exactly the paper's walkthrough of
-/// `(1..3)+(5,9)`. Also the evaluator's span boundary: when profiling
+/// `(1..3)+(5,9)`. Also the evaluator's *unified* span boundary: every
+/// observer of node entry/exit hangs off this one seam. When profiling
 /// is on, entry/exit snapshot the tick and wire-read counters so the
-/// deltas can be charged to this node (see [`crate::profile`]).
+/// deltas can be charged to this node (see [`crate::profile`]); when
+/// causal tracing is on, the same entry/exit opens and closes a
+/// [`duel_target::SpanKind::Node`] span, so every wire event the
+/// resumption triggers anywhere down the tower is attributed to this
+/// AST node. A `ProfileReport` is thus a fold over the same enter/exit
+/// stream the span ring records — the two views cannot drift apart.
 struct TraceGen {
     /// Unique per compiled node; keys the node's profile row.
     id: usize,
@@ -158,6 +164,9 @@ impl GenT for TraceGen {
         if profiling {
             ctx.profile_enter(self.id);
         }
+        let span = ctx.span_enter(duel_target::SpanKind::Node, self.label, || {
+            self.text.clone()
+        });
         let depth = ctx.trace_depth;
         let r = self.inner.next(ctx);
         ctx.trace_depth -= 1;
@@ -165,6 +174,7 @@ impl GenT for TraceGen {
         if yielded {
             ctx.yields += 1;
         }
+        ctx.span_exit(span);
         if profiling {
             ctx.profile_exit(self.id, self.label, &self.text, yielded);
         }

@@ -67,8 +67,12 @@ impl IndexGen {
         };
         let start = (base_addr as i64 + lo * esize) as u64;
         let len = ((hi - lo + 1) * esize) as u64;
+        let span = ctx.span_enter(duel_target::SpanKind::Prefetch, "prefetch", || {
+            format!("warm 0x{start:x}+{len}")
+        });
         ctx.prefetch_calls += 1;
         ctx.prefetch_ranges += apply::prefetch(ctx.target, &[(start, len)]) as u64;
+        ctx.span_exit(span);
     }
 }
 
@@ -405,8 +409,12 @@ impl GenT for ExpandGen {
                     })
                     .collect();
                 if !ranges.is_empty() {
+                    let span = ctx.span_enter(duel_target::SpanKind::Prefetch, "prefetch", || {
+                        format!("warm {} discovered nodes", ranges.len())
+                    });
                     ctx.prefetch_calls += 1;
                     ctx.prefetch_ranges += apply::prefetch(ctx.target, &ranges) as u64;
+                    ctx.span_exit(span);
                 }
             }
             if self.bfs {

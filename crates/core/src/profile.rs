@@ -14,6 +14,15 @@
 //! formats each produced value after the root yields it); those reads
 //! are charged to a pseudo-node named `(display)` so attribution still
 //! covers 100% of the traffic.
+//!
+//! Profiling and causal span tracing share one seam: `eval::TraceGen`
+//! is the sole place node entry/exit is observed, and it drives both
+//! this collector and the tower's [`duel_target::SpanContext`]. A
+//! [`ProfileReport`] is therefore exactly a fold over the span stream —
+//! grouping Node spans by compiled-node id and charging exclusive
+//! deltas — while the span ring keeps the raw tree for Perfetto and
+//! flamegraph export. The two views are derived from the same events
+//! and cannot disagree about what ran.
 
 use std::collections::HashMap;
 

@@ -66,6 +66,12 @@ pub struct Ctx<'a> {
     pub prefetch_ranges: u64,
     /// Per-node cost collector; present only while `.profile` runs.
     pub profile: Option<Box<crate::profile::ProfileCollector>>,
+    /// Causal span context discovered from the target tower (present
+    /// when a `TraceTarget` is stacked somewhere below). Spans are
+    /// recorded only while the context is enabled; every call through
+    /// [`Ctx::span_enter`] is a single relaxed atomic load when it is
+    /// not.
+    pub spans: Option<duel_target::SpanContext>,
     /// Wall-clock deadline derived from [`EvalOptions::timeout_ms`].
     pub deadline: Option<std::time::Instant>,
 }
@@ -82,6 +88,7 @@ impl<'a> Ctx<'a> {
         } else {
             None
         };
+        let spans = target.span_context();
         Ctx {
             target,
             aliases,
@@ -97,7 +104,31 @@ impl<'a> Ctx<'a> {
             prefetch_calls: 0,
             prefetch_ranges: 0,
             profile: None,
+            spans,
             deadline,
+        }
+    }
+
+    /// Opens a causal span attributed to the current evaluation, or
+    /// returns 0 when no span context is stacked (or tracing is off).
+    /// The detail closure runs only when a span is actually recorded.
+    pub fn span_enter(
+        &self,
+        kind: duel_target::SpanKind,
+        name: &'static str,
+        detail: impl FnOnce() -> String,
+    ) -> u64 {
+        self.spans
+            .as_ref()
+            .map_or(0, |s| s.push(kind, name, detail))
+    }
+
+    /// Closes a span opened by [`Ctx::span_enter`] (no-op for id 0).
+    pub fn span_exit(&self, id: u64) {
+        if id != 0 {
+            if let Some(s) = &self.spans {
+                s.pop(id);
+            }
         }
     }
 

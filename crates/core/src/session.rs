@@ -76,6 +76,10 @@ pub struct EvalStats {
     pub prefetch_calls: u64,
     /// Ranges those warm-ups read cleanly.
     pub prefetch_ranges: u64,
+    /// Causal trace id assigned to this evaluation (0 when no span
+    /// context is stacked on the target or span tracing is off). Every
+    /// span and attributed wire event of the command carries this id.
+    pub trace_id: u64,
 }
 
 /// A DUEL session over a debugger backend: holds the aliases created by
@@ -160,7 +164,35 @@ impl<'t> Session<'t> {
         src: &str,
         profiling: bool,
     ) -> DuelResult<(Vec<OutputLine>, Option<DuelError>, Option<ProfileReport>)> {
-        let expr = self.parse(src)?;
+        // Causal tracing: each evaluation is one trace, rooted in one
+        // `eval` span that covers parsing, compilation, and the drive
+        // loop — so even typedef-lookup wire traffic during parsing has
+        // a live ancestor. The root must be popped on *every* return
+        // path, parse errors included.
+        let span_ctx = self.target.span_context();
+        let (root_span, trace_id) = match &span_ctx {
+            Some(s) if s.is_enabled() => {
+                let trace = s.begin_trace();
+                let src_owned = src.to_string();
+                let root = s.push(duel_target::SpanKind::Root, "eval", || {
+                    crate::profile::clip(&src_owned, 64)
+                });
+                (root, trace)
+            }
+            _ => (0, 0),
+        };
+        let close_root = |spans: &Option<duel_target::SpanContext>| {
+            if let Some(s) = spans {
+                s.pop(root_span);
+            }
+        };
+        let expr = match self.parse(src) {
+            Ok(e) => e,
+            Err(e) => {
+                close_root(&span_ctx);
+                return Err(e);
+            }
+        };
         // The symbolic value is shown only when it differs from the
         // typed expression: `duel 1 + (double)3/2` prints `2.500`, while
         // `duel x[1..3] == 7` prints `x[1]==7 = 0` — generator
@@ -218,9 +250,15 @@ impl<'t> Session<'t> {
             //
             // Rendering happens after the root generator's span has
             // closed, so its wire reads are charged to a `(display)`
-            // pseudo-node — keeping read attribution complete.
+            // pseudo-node — keeping read attribution complete. The
+            // causal span mirrors it: display-time wire events hang off
+            // a Display span under the evaluation root.
             ctx.profile_enter(crate::profile::DISPLAY_NODE);
+            let dspan = ctx.span_enter(duel_target::SpanKind::Display, "display", || {
+                v.sym.render(thr)
+            });
             let rendered_value = printer::format_value(ctx.target, &v, thr);
+            ctx.span_exit(dspan);
             ctx.profile_exit(crate::profile::DISPLAY_NODE, "display", "(display)", false);
             let value = match rendered_value {
                 Ok(s) => s,
@@ -262,6 +300,7 @@ impl<'t> Session<'t> {
             stale_values,
             prefetch_calls: ctx.prefetch_calls,
             prefetch_ranges: ctx.prefetch_ranges,
+            trace_id,
         };
         let collector = ctx.profile.take();
         self.last_trace = std::mem::take(&mut ctx.trace);
@@ -278,6 +317,7 @@ impl<'t> Session<'t> {
         if let (Some(h), Some(was)) = (&trace_handle, trace_was_enabled) {
             h.set_enabled(was);
         }
+        close_root(&span_ctx);
         Ok((lines, result.err(), report))
     }
 

@@ -1074,6 +1074,48 @@ mod tests {
     }
 
     #[test]
+    fn traced_stack_shares_one_span_context_end_to_end() {
+        // The tower is built inside-out, so the outer "session"
+        // TraceTarget constructs last and pushes its span context down
+        // through retry and cache into the inner "wire" layer — both
+        // trace layers must attribute events to the SAME context, or
+        // wire events would carry span ids no exported tree contains.
+        let mut t = MiTarget::connect_traced(
+            MockGdb::new(scenario::scan_array()),
+            duel_target::RetryPolicy::fast(3),
+            duel_target::CacheConfig::default(),
+        )
+        .unwrap();
+        let outer = t.spans();
+        let inner = t.inner().inner().inner().spans();
+        assert!(
+            outer.same_as(&inner),
+            "inner wire TraceTarget must adopt the outer span context"
+        );
+        // Discovery through the trait object resolves to that one
+        // context too.
+        let discovered = duel_target::Target::span_context(&t).unwrap();
+        assert!(discovered.same_as(&outer));
+
+        // With spans on, a wire event recorded below retry+cache still
+        // chains to the root opened above the whole tower.
+        outer.set_enabled(true);
+        t.handle().set_enabled(true);
+        t.inner().inner().inner().handle().set_enabled(true);
+        outer.begin_trace();
+        let root = outer.push(duel_target::SpanKind::Root, "eval", || "x[0]".into());
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        outer.pop(root);
+        let snap = outer.snapshot();
+        let events = t.inner().inner().inner().handle().recent_events(usize::MAX);
+        assert!(!events.is_empty());
+        let (ok, total) = duel_target::attribution_coverage(&snap, &events);
+        assert_eq!(ok, total, "every wire event must chain to the eval root");
+    }
+
+    #[test]
     fn calls_work_and_relay_output() {
         let mut t = connect(scenario::scan_array());
         // Allocate and fill a format string, then call printf.

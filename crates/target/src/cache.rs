@@ -30,6 +30,7 @@
 
 use crate::error::TargetResult;
 use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
+use crate::span::{SpanContext, SpanKind};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 use std::collections::HashMap;
 
@@ -153,6 +154,9 @@ pub struct CachedTarget<T: Target> {
     functions: HashMap<String, bool>,
     frames: HashMap<usize, Option<FrameInfo>>,
     frame_count: Option<usize>,
+    /// Shared span timeline (installed by the trace layer above);
+    /// miss fills and coalesced vectored fetches open `cache` spans.
+    spans: Option<SpanContext>,
 }
 
 impl<T: Target> CachedTarget<T> {
@@ -180,6 +184,24 @@ impl<T: Target> CachedTarget<T> {
             functions: HashMap::new(),
             frames: HashMap::new(),
             frame_count: None,
+            spans: None,
+        }
+    }
+
+    /// Opens a `cache` span (0 when spans are off).
+    fn span_open(&self, name: &'static str, detail: impl FnOnce() -> String) -> u64 {
+        match &self.spans {
+            Some(s) if s.is_enabled() => s.push(SpanKind::Cache, name, detail),
+            _ => 0,
+        }
+    }
+
+    /// Closes a span opened by [`CachedTarget::span_open`].
+    fn span_close(&self, id: u64) {
+        if id != 0 {
+            if let Some(s) = &self.spans {
+                s.pop(id);
+            }
         }
     }
 
@@ -322,6 +344,21 @@ impl<T: Target> CachedTarget<T> {
             return self.read_exact_uncached(addr, buf);
         }
         self.stats.page_misses += 1;
+        // A miss fill is real wire work done on the evaluator's
+        // behalf: span it so the fetch (and any fault-probe bisection)
+        // is attributed to the node above.
+        let fill_span =
+            self.span_open("fill", || format!("page 0x{base:x}+{}", self.cfg.page_size));
+        let r = self.fill_page_miss(base, addr, buf);
+        self.span_close(fill_span);
+        r
+    }
+
+    /// The miss path of [`CachedTarget::read_within_page`]: fetch the
+    /// aligned page (or probe its readable prefix) and serve the
+    /// request.
+    fn fill_page_miss(&mut self, base: u64, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
+        let off = (addr - base) as usize;
         let mut page = vec![0u8; self.cfg.page_size as usize];
         self.stats.backend_reads += 1;
         match self.inner.get_bytes(base, &mut page) {
@@ -513,6 +550,10 @@ impl<T: Target> Target for CachedTarget<T> {
         let n_missing = missing.len();
         let fetch: Vec<u64> = missing.into_iter().chain(readahead).collect();
         if !fetch.is_empty() {
+            let n_fetch = fetch.len();
+            let fill_span = self.span_open("fill-multi", || {
+                format!("{n_fetch} pages ({n_missing} missed)")
+            });
             self.stats.backend_reads += 1; // one coalesced wire turn
             let mut bufs: Vec<Vec<u8>> = fetch.iter().map(|_| vec![0u8; ps as usize]).collect();
             let mut reqs: Vec<ReadRange<'_>> = bufs
@@ -537,6 +578,7 @@ impl<T: Target> Target for CachedTarget<T> {
                 // for transients, prefix probe for faults), so one
                 // flaky page never fails the batch.
             }
+            self.span_close(fill_span);
         }
         // Serve every range through the normal scalar path over the
         // warmed cache — identical results and identical cache state
@@ -764,6 +806,15 @@ impl<T: Target> Target for CachedTarget<T> {
 
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         self.inner.trace_handle()
+    }
+
+    fn set_span_context(&mut self, spans: &SpanContext) {
+        self.spans = Some(spans.clone());
+        self.inner.set_span_context(spans);
+    }
+
+    fn span_context(&self) -> Option<SpanContext> {
+        self.inner.span_context()
     }
 
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {

@@ -395,6 +395,14 @@ impl<T: Target> Target for ChaosTarget<T> {
         self.inner.trace_handle()
     }
 
+    fn set_span_context(&mut self, spans: &crate::span::SpanContext) {
+        self.inner.set_span_context(spans);
+    }
+
+    fn span_context(&self) -> Option<crate::span::SpanContext> {
+        self.inner.span_context()
+    }
+
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
         self.inner.staleness_handle()
     }

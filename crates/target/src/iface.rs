@@ -218,6 +218,28 @@ pub trait Target {
         None
     }
 
+    /// Installs a shared [`crate::span::SpanContext`] into this target
+    /// and everything below it.
+    ///
+    /// Decorator towers are built inside-out, so the *outermost*
+    /// [`crate::TraceTarget`] calls this on its inner target at
+    /// construction time, replacing any context a lower trace layer
+    /// created for itself — the whole tower ends up sharing one
+    /// timeline. Layers that emit spans (retry, cache, supervise,
+    /// trace) store the clone; pure pass-through layers just forward;
+    /// leaf backends ignore it (the default).
+    fn set_span_context(&mut self, _spans: &crate::span::SpanContext) {}
+
+    /// The shared [`crate::span::SpanContext`] of this tower, if a
+    /// span-aware layer is present.
+    ///
+    /// The evaluator discovers the context through this (holding only
+    /// `&mut dyn Target`) to open root/node spans that the layers
+    /// below will parent their own spans under.
+    fn span_context(&self) -> Option<crate::span::SpanContext> {
+        None
+    }
+
     /// A handle onto the staleness state of the decorator stack, if a
     /// [`crate::SupervisedTarget`] is present.
     ///

@@ -28,6 +28,13 @@
 //! * [`TraceTarget`] — wire-level observability: per-op counters,
 //!   latency histograms, and a bounded event ring, insertable at any
 //!   level of the tower and free when disabled.
+//! * [`span`] — causal span tracing: one [`SpanContext`] per tower,
+//!   installed top-down through [`Target::set_span_context`], so every
+//!   retry, cache fill, breaker trip and wire event is attributed to
+//!   the evaluator node that caused it; exports Perfetto JSON and
+//!   folded flamegraph stacks.
+//! * [`metrics`] — an always-on, lock-free registry of named counters
+//!   and log₂ histograms (the `.top` live view).
 //! * [`RecordTarget`] / [`ReplayTarget`] — the flight recorder: stream
 //!   every interface call (full arguments and replies) to a versioned
 //!   JSONL capture, then serve an entire session back from the file —
@@ -47,11 +54,13 @@ pub mod error;
 pub mod fault;
 pub mod iface;
 pub mod json;
+pub mod metrics;
 pub mod record;
 pub mod replay;
 pub mod retry;
 pub mod scenario;
 pub mod sim;
+pub mod span;
 pub mod supervise;
 pub mod trace;
 pub mod value_io;
@@ -64,10 +73,15 @@ pub use chaos::{ChaosAction, ChaosEvent, ChaosHandle, ChaosMode, ChaosTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
 pub use iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo, VarKind};
+pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use record::RecordTarget;
 pub use replay::{Divergence, ReplayMode, ReplayTarget};
 pub use retry::{RetryPolicy, RetryStats, RetryTarget};
 pub use sim::{SimCore, SimMemory, SimTarget, ARENA_BASE};
+pub use span::{
+    attribution_coverage, chrome_trace_json, folded_stacks, FlameWeight, SpanContext, SpanKind,
+    SpanRecord, SpanSnapshot, DEFAULT_SPAN_CAPACITY,
+};
 pub use supervise::{
     probe_read, CircuitState, ProbeReconnect, Reconnect, ResyncReport, StalenessHandle,
     SupervisedTarget, SupervisorConfig, SupervisorStats, DEFAULT_PROBE_ADDR,

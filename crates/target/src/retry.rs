@@ -22,6 +22,7 @@
 
 use crate::error::{TargetError, TargetResult};
 use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
+use crate::span::{SpanContext, SpanKind};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 use std::time::{Duration, Instant};
 
@@ -118,6 +119,10 @@ pub struct RetryTarget<T: Target> {
     /// Wall-clock instant past which no operation may retry or sleep —
     /// the evaluator's `timeout_ms` budget, pushed down per evaluation.
     op_deadline: Option<Instant>,
+    /// Shared span timeline, installed by the trace layer above. One
+    /// retrying operation opens ONE logical `retry` span (back-dated
+    /// to the op start) with an instant child per re-attempt.
+    spans: Option<SpanContext>,
 }
 
 impl<T: Target> RetryTarget<T> {
@@ -133,6 +138,7 @@ impl<T: Target> RetryTarget<T> {
             policy,
             stats: RetryStats::default(),
             op_deadline: None,
+            spans: None,
         }
     }
 
@@ -185,7 +191,42 @@ impl<T: Target> RetryTarget<T> {
         self.op_deadline
     }
 
-    fn run<R>(&mut self, mut op: impl FnMut(&mut T) -> TargetResult<R>) -> TargetResult<R> {
+    /// Opens (at most once per operation) the logical `retry` span for
+    /// this retry episode, back-dated to the operation start.
+    fn open_retry_span(&self, name: &'static str, start: Instant) -> u64 {
+        match &self.spans {
+            Some(s) if s.is_enabled() => {
+                let start_ns = s.now_ns().saturating_sub(start.elapsed().as_nanos() as u64);
+                s.push_at(SpanKind::Retry, "retry", || name.to_string(), start_ns)
+            }
+            _ => 0,
+        }
+    }
+
+    fn note_attempt(&self, attempt: u32, backoff: Duration, retry_span: u64) {
+        if retry_span == 0 {
+            return;
+        }
+        if let Some(s) = &self.spans {
+            s.instant(SpanKind::Retry, "attempt", || {
+                format!("#{attempt} backoff {}ns", backoff.as_nanos())
+            });
+        }
+    }
+
+    fn close_retry_span(&self, retry_span: u64) {
+        if retry_span != 0 {
+            if let Some(s) = &self.spans {
+                s.pop(retry_span);
+            }
+        }
+    }
+
+    fn run<R>(
+        &mut self,
+        name: &'static str,
+        mut op: impl FnMut(&mut T) -> TargetResult<R>,
+    ) -> TargetResult<R> {
         let start = Instant::now();
         // The effective budget for this operation: the policy's
         // per-operation allowance clamped by however much of the eval
@@ -197,25 +238,33 @@ impl<T: Target> RetryTarget<T> {
             (None, None) => None,
         };
         let mut attempt = 0u32;
+        // One *logical* span covers the whole retry episode, opened
+        // lazily at the first transient failure (a clean first attempt
+        // never touches the span stack) and back-dated to the op start.
+        let mut retry_span = 0u64;
         self.stats.operations += 1;
-        loop {
+        let result = loop {
             match op(&mut self.inner) {
-                Ok(r) => return Ok(r),
+                Ok(r) => break Ok(r),
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
                     attempt += 1;
                     self.stats.retries += 1;
+                    if retry_span == 0 {
+                        retry_span = self.open_retry_span(name, start);
+                    }
                     let mut backoff = self.policy.backoff(attempt);
                     if let Some(budget) = budget {
                         let elapsed = start.elapsed();
                         if elapsed >= budget {
                             self.stats.give_ups += 1;
-                            return Err(TargetError::Timeout {
+                            break Err(TargetError::Timeout {
                                 ms: budget.as_millis() as u64,
                             });
                         }
                         // Never sleep past the deadline.
                         backoff = backoff.min(budget - elapsed);
                     }
+                    self.note_attempt(attempt, backoff, retry_span);
                     self.stats.backoff_ns += backoff.as_nanos() as u64;
                     if self.policy.sleep {
                         std::thread::sleep(backoff);
@@ -225,10 +274,12 @@ impl<T: Target> RetryTarget<T> {
                     if e.is_transient() {
                         self.stats.give_ups += 1;
                     }
-                    return Err(e);
+                    break Err(e);
                 }
             }
-        }
+        };
+        self.close_retry_span(retry_span);
+        result
     }
 }
 
@@ -246,7 +297,7 @@ impl<T: Target> Target for RetryTarget<T> {
     }
 
     fn get_bytes(&mut self, addr: u64, buf: &mut [u8]) -> TargetResult<()> {
-        self.run(|t| t.get_bytes(addr, buf))
+        self.run("get_bytes", |t| t.get_bytes(addr, buf))
     }
 
     fn get_bytes_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
@@ -266,6 +317,7 @@ impl<T: Target> Target for RetryTarget<T> {
         let mut results: Vec<Option<TargetResult<()>>> = (0..n).map(|_| None).collect();
         let mut pending = vec![true; n];
         let mut attempt = 0u32;
+        let mut retry_span = 0u64;
         loop {
             let mut fwd = Vec::new();
             let mut idx = Vec::new();
@@ -294,6 +346,9 @@ impl<T: Target> Target for RetryTarget<T> {
             }
             attempt += 1;
             self.stats.retries += 1;
+            if retry_span == 0 {
+                retry_span = self.open_retry_span("get_bytes_multi", start);
+            }
             let mut backoff = self.policy.backoff(attempt);
             if let Some(budget) = budget {
                 let elapsed = start.elapsed();
@@ -308,20 +363,22 @@ impl<T: Target> Target for RetryTarget<T> {
                 }
                 backoff = backoff.min(budget - elapsed);
             }
+            self.note_attempt(attempt, backoff, retry_span);
             self.stats.backoff_ns += backoff.as_nanos() as u64;
             if self.policy.sleep {
                 std::thread::sleep(backoff);
             }
         }
+        self.close_retry_span(retry_span);
         results.into_iter().map(Option::unwrap).collect()
     }
 
     fn put_bytes(&mut self, addr: u64, bytes: &[u8]) -> TargetResult<()> {
-        self.run(|t| t.put_bytes(addr, bytes))
+        self.run("put_bytes", |t| t.put_bytes(addr, bytes))
     }
 
     fn alloc_space(&mut self, size: u64, align: u64) -> TargetResult<u64> {
-        self.run(|t| t.alloc_space(size, align))
+        self.run("alloc_space", |t| t.alloc_space(size, align))
     }
 
     fn call_func(&mut self, name: &str, args: &[CallValue]) -> TargetResult<CallValue> {
@@ -330,7 +387,7 @@ impl<T: Target> Target for RetryTarget<T> {
         // (a transport-level failure) would be safe. We retry anyway
         // only when the backend says the failure was transient, which
         // for the MI adapter means the command never ran.
-        self.run(|t| t.call_func(name, args))
+        self.run("call_func", |t| t.call_func(name, args))
     }
 
     fn get_variable(&mut self, name: &str) -> Option<VarInfo> {
@@ -379,6 +436,15 @@ impl<T: Target> Target for RetryTarget<T> {
 
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         self.inner.trace_handle()
+    }
+
+    fn set_span_context(&mut self, spans: &SpanContext) {
+        self.spans = Some(spans.clone());
+        self.inner.set_span_context(spans);
+    }
+
+    fn span_context(&self) -> Option<SpanContext> {
+        self.inner.span_context()
     }
 
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
@@ -560,6 +626,35 @@ mod tests {
             "sleep must be clamped to the remaining eval budget, got {} ns",
             t.stats().backoff_ns
         );
+    }
+
+    #[test]
+    fn retry_episode_is_one_logical_span_with_attempt_children() {
+        let flaky = FaultTarget::new(scenario::scan_array(), FaultConfig::transient(2));
+        let mut t = RetryTarget::with_policy(flaky, RetryPolicy::fast(3));
+        let spans = SpanContext::new(64);
+        spans.set_enabled(true);
+        t.set_span_context(&spans);
+        let x = t.get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut buf).unwrap();
+        let snap = spans.snapshot();
+        let episodes: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Retry && s.name == "retry")
+            .collect();
+        assert_eq!(episodes.len(), 1, "2 retries must share ONE logical span");
+        assert_eq!(episodes[0].detail, "get_bytes");
+        let attempts: Vec<_> = snap.spans.iter().filter(|s| s.name == "attempt").collect();
+        assert_eq!(attempts.len(), 2);
+        assert!(
+            attempts.iter().all(|a| a.parent == episodes[0].id),
+            "attempts must be children of the episode span"
+        );
+        // A clean op never opens a span.
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        assert_eq!(spans.snapshot().spans.len(), snap.spans.len());
     }
 
     #[test]

@@ -333,6 +333,10 @@ pub struct SupervisedTarget<T: Target> {
     staleness: StalenessHandle,
     last_resync: Option<ResyncReport>,
     last_failure: Option<String>,
+    /// Shared span timeline (installed by the trace layer above);
+    /// breaker trips, fast-fails, stale serves and recoveries become
+    /// instant `supervise` markers under the causing node's span.
+    spans: Option<crate::span::SpanContext>,
 }
 
 impl<T: Target> std::fmt::Debug for SupervisedTarget<T> {
@@ -375,6 +379,14 @@ impl<T: Target> SupervisedTarget<T> {
             staleness: StalenessHandle::new(),
             last_resync: None,
             last_failure: None,
+            spans: None,
+        }
+    }
+
+    /// Drops an instant `supervise` marker on the span timeline.
+    fn span_mark(&self, name: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(s) = &self.spans {
+            s.instant(crate::span::SpanKind::Supervise, name, detail);
         }
     }
 
@@ -532,6 +544,11 @@ impl<T: Target> SupervisedTarget<T> {
         self.stats.trips += 1;
         self.opened_at = Some(Instant::now());
         self.staleness.set_degraded(true);
+        let (fails, window) = (self.window_failures, self.window.len());
+        let consecutive = self.consecutive_failures;
+        self.span_mark("breaker-trip", || {
+            format!("{fails}/{window} in window, {consecutive} consecutive")
+        });
     }
 
     /// Half-open: reconnect + resync + probe. Success closes the
@@ -551,6 +568,9 @@ impl<T: Target> SupervisedTarget<T> {
                         self.consecutive_failures = 0;
                         self.staleness.set_degraded(false);
                         self.last_resync = Some(report.clone());
+                        self.span_mark("recovered", || {
+                            format!("resync: {} symbols", report.symbols)
+                        });
                         Ok(report)
                     }
                     Err(e) => {
@@ -630,17 +650,20 @@ impl<T: Target> SupervisedTarget<T> {
     ) -> TargetResult<R> {
         if class == OpClass::Mutate || !self.cfg.degrade {
             self.stats.fast_fails += 1;
+            self.span_mark("fast-fail", || "circuit open".to_string());
             return Err(self.circuit_open_error());
         }
         match op(&mut self.inner) {
             Ok(r) => {
                 self.staleness.mark_stale();
+                self.span_mark("stale-read", || "served from cache, degraded".to_string());
                 Ok(r)
             }
             Err(e) if e.is_transient() => {
                 // The read missed the cache and needed the dead wire.
                 self.stats.fast_fails += 1;
                 self.last_failure = Some(e.to_string());
+                self.span_mark("fast-fail", || "cache miss on dead wire".to_string());
                 Err(self.circuit_open_error())
             }
             Err(e) => Err(e),
@@ -653,6 +676,9 @@ impl<T: Target> SupervisedTarget<T> {
     fn degraded_multi(&mut self, ranges: &mut [ReadRange<'_>]) -> Vec<TargetResult<()>> {
         if !self.cfg.degrade {
             self.stats.fast_fails += 1;
+            self.span_mark("fast-fail", || {
+                format!("circuit open, {} ranges", ranges.len())
+            });
             let e = self.circuit_open_error();
             return ranges.iter().map(|_| Err(e.clone())).collect();
         }
@@ -796,6 +822,15 @@ impl<T: Target> Target for SupervisedTarget<T> {
 
     fn trace_handle(&self) -> Option<crate::trace::TraceHandle> {
         self.inner.trace_handle()
+    }
+
+    fn set_span_context(&mut self, spans: &crate::span::SpanContext) {
+        self.spans = Some(spans.clone());
+        self.inner.set_span_context(spans);
+    }
+
+    fn span_context(&self) -> Option<crate::span::SpanContext> {
+        self.inner.span_context()
     }
 
     fn staleness_handle(&self) -> Option<StalenessHandle> {

@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use crate::error::TargetResult;
 use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
+use crate::span::{SpanContext, SpanKind};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
 
 /// The kind of a traced [`Target`] operation.
@@ -169,19 +170,32 @@ pub struct TraceEvent {
     pub outcome: TraceOutcome,
     /// Observed latency in nanoseconds.
     pub nanos: u64,
+    /// Start time, nanoseconds since the tower's span-context epoch
+    /// (0 when spans were off at record time).
+    pub ts_ns: u64,
+    /// Trace (evaluation) ID the call belongs to, 0 if unattributed.
+    pub trace: u64,
+    /// Causing span ID (the innermost open span when the call was
+    /// recorded), 0 if unattributed.
+    pub span: u64,
 }
 
 impl TraceEvent {
-    /// Renders the event as `.trace dump` prints it.
+    /// Renders the event as `.trace dump` prints it. Attributed events
+    /// carry a trailing `span=N` marker.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "#{:<6} {:<13} {:<24} {:<9} {}",
             self.seq,
             self.op.name(),
             self.detail,
             self.outcome.name(),
             fmt_ns(self.nanos)
-        )
+        );
+        if self.span != 0 {
+            line.push_str(&format!("  span={}", self.span));
+        }
+        line
     }
 }
 
@@ -340,6 +354,24 @@ impl TraceHandle {
         self.0.enabled.store(on, Ordering::Relaxed);
     }
 
+    /// Rebounds the event ring to `capacity`, evicting oldest events
+    /// if it now holds more than that. Each buffered event costs
+    /// roughly 100 bytes (five words plus its detail string), so the
+    /// default 4096-event ring is ~400 KiB at worst.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut ring = self.0.ring.lock().unwrap();
+        ring.capacity = capacity.max(1);
+        while ring.events.len() > ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    /// The current event-ring bound.
+    pub fn capacity(&self) -> usize {
+        self.0.ring.lock().unwrap().capacity
+    }
+
     /// Zeroes every counter and drops all buffered events.
     pub fn clear(&self) {
         for c in self
@@ -436,12 +468,16 @@ impl TraceHandle {
             .iter()
             .map(|e| {
                 format!(
-                    "{{\"seq\":{},\"op\":\"{}\",\"detail\":\"{}\",\"outcome\":\"{}\",\"ns\":{}}}",
+                    "{{\"seq\":{},\"op\":\"{}\",\"detail\":\"{}\",\"outcome\":\"{}\",\"ns\":{},\
+                     \"ts_ns\":{},\"trace\":{},\"span\":{}}}",
                     e.seq,
                     e.op.name(),
                     e.detail.replace('\\', "\\\\").replace('"', "\\\""),
                     e.outcome.name(),
-                    e.nanos
+                    e.nanos,
+                    e.ts_ns,
+                    e.trace,
+                    e.span
                 )
             })
             .collect();
@@ -462,19 +498,30 @@ impl TraceHandle {
     /// This is how offline tools (e.g. `duel-replay`) reuse the stats
     /// machinery over a capture file instead of a live target.
     pub fn record_event(&self, op: TraceOp, detail: String, outcome: TraceOutcome, nanos: u64) {
-        self.record(op, detail, outcome, nanos);
+        self.record(op, detail, outcome, nanos, Attribution::NONE);
     }
 
     /// Records one vectored read of `nranges` ranges: the normal
     /// [`TraceOp::MultiRead`] counters plus the ranges-per-call
     /// histogram.
     pub fn record_multi(&self, nranges: usize, detail: String, outcome: TraceOutcome, nanos: u64) {
+        self.record_multi_at(nranges, detail, outcome, nanos, Attribution::NONE);
+    }
+
+    fn record_multi_at(
+        &self,
+        nranges: usize,
+        detail: String,
+        outcome: TraceOutcome,
+        nanos: u64,
+        at: Attribution,
+    ) {
         let bucket = (usize::BITS - 1 - nranges.max(1).leading_zeros()) as usize;
         self.0.multi_hist[bucket.min(RANGE_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.0
             .multi_ranges
             .fetch_add(nranges as u64, Ordering::Relaxed);
-        self.record(TraceOp::MultiRead, detail, outcome, nanos);
+        self.record(TraceOp::MultiRead, detail, outcome, nanos, at);
     }
 
     /// Wire turns recorded so far: scalar reads plus vectored reads
@@ -484,7 +531,14 @@ impl TraceHandle {
         self.calls(TraceOp::GetBytes) + self.calls(TraceOp::MultiRead)
     }
 
-    fn record(&self, op: TraceOp, detail: String, outcome: TraceOutcome, nanos: u64) {
+    fn record(
+        &self,
+        op: TraceOp,
+        detail: String,
+        outcome: TraceOutcome,
+        nanos: u64,
+        at: Attribution,
+    ) {
         let i = op.index();
         self.0.calls[i].fetch_add(1, Ordering::Relaxed);
         if matches!(outcome, TraceOutcome::Fault | TraceOutcome::Transient) {
@@ -505,7 +559,40 @@ impl TraceHandle {
             detail,
             outcome,
             nanos,
+            ts_ns: at.ts_ns,
+            trace: at.trace,
+            span: at.span,
         });
+    }
+}
+
+/// Causal coordinates of one recorded event: where on the span
+/// timeline it happened and which span caused it.
+#[derive(Clone, Copy, Debug)]
+struct Attribution {
+    ts_ns: u64,
+    trace: u64,
+    span: u64,
+}
+
+impl Attribution {
+    const NONE: Attribution = Attribution {
+        ts_ns: 0,
+        trace: 0,
+        span: 0,
+    };
+
+    /// Reads the current attribution off a span context (all-zero when
+    /// spans are disabled, so unattributed events stay recognizable).
+    fn current(spans: &SpanContext) -> Attribution {
+        if !spans.is_enabled() {
+            return Attribution::NONE;
+        }
+        Attribution {
+            ts_ns: spans.now_ns(),
+            trace: spans.current_trace(),
+            span: spans.current(),
+        }
     }
 }
 
@@ -519,6 +606,7 @@ impl TraceHandle {
 pub struct TraceTarget<T: Target> {
     inner: T,
     handle: TraceHandle,
+    spans: SpanContext,
     label: &'static str,
 }
 
@@ -535,10 +623,18 @@ impl<T: Target> TraceTarget<T> {
     /// Wraps `inner` under a layer label (used when stacking several
     /// trace layers, e.g. `"session"` above the cache and `"wire"`
     /// below it).
-    pub fn with_label(inner: T, label: &'static str) -> TraceTarget<T> {
+    ///
+    /// Construction installs a fresh [`SpanContext`] into the whole
+    /// stack below (via [`Target::set_span_context`]); since towers
+    /// are built inside-out, the outermost trace layer's context wins
+    /// and every layer shares one timeline.
+    pub fn with_label(mut inner: T, label: &'static str) -> TraceTarget<T> {
+        let spans = SpanContext::new(crate::span::DEFAULT_SPAN_CAPACITY);
+        inner.set_span_context(&spans);
         TraceTarget {
             inner,
             handle: TraceHandle::new(DEFAULT_RING_CAPACITY),
+            spans,
             label,
         }
     }
@@ -551,6 +647,11 @@ impl<T: Target> TraceTarget<T> {
     /// A clone of this layer's handle.
     pub fn handle(&self) -> TraceHandle {
         self.handle.clone()
+    }
+
+    /// A clone of the shared span context.
+    pub fn spans(&self) -> SpanContext {
+        self.spans.clone()
     }
 
     /// The wrapped target.
@@ -581,10 +682,11 @@ impl<T: Target> TraceTarget<T> {
         if !self.handle.0.enabled.load(Ordering::Relaxed) {
             return call(&mut self.inner);
         }
+        let at = Attribution::current(&self.spans);
         let start = Instant::now();
         let r = call(&mut self.inner);
         let nanos = start.elapsed().as_nanos() as u64;
-        self.handle.record(op, detail(), outcome(&r), nanos);
+        self.handle.record(op, detail(), outcome(&r), nanos, at);
         r
     }
 }
@@ -622,9 +724,29 @@ impl<T: Target> Target for TraceTarget<T> {
         }
         let n = ranges.len();
         let total: usize = ranges.iter().map(|r| r.buf.len()).sum();
+        // A vectored read is the one wire op with visible fan-out:
+        // open a parent span for the batch and record one child per
+        // range, so the export shows exactly what the turn carried.
+        let multi_span = self.spans.push(SpanKind::Wire, "multi_read", || {
+            format!("{n} ranges, {total}b")
+        });
+        let mut at = Attribution::current(&self.spans);
         let start = Instant::now();
         let results = self.inner.get_bytes_multi(ranges);
         let nanos = start.elapsed().as_nanos() as u64;
+        if multi_span != 0 {
+            for (r, res) in ranges.iter().zip(&results) {
+                let outcome = TraceOutcome::of_result(res);
+                let (addr, len) = (r.addr, r.buf.len());
+                self.spans.instant(SpanKind::Range, "range", || {
+                    format!("{} {}", addr_len(addr, len), outcome.name())
+                });
+            }
+            self.spans.pop(multi_span);
+            // The batch event is attributed to the batch span itself —
+            // its parent chain still leads to the causing eval node.
+            at.span = multi_span;
+        }
         let any_transient = results
             .iter()
             .any(|r| r.as_ref().err().is_some_and(|e| e.is_transient()));
@@ -636,7 +758,7 @@ impl<T: Target> Target for TraceTarget<T> {
             TraceOutcome::Ok
         };
         self.handle
-            .record_multi(n, format!("{n} ranges, {total}b"), outcome, nanos);
+            .record_multi_at(n, format!("{n} ranges, {total}b"), outcome, nanos, at);
         results
     }
 
@@ -777,6 +899,17 @@ impl<T: Target> Target for TraceTarget<T> {
 
     fn trace_handle(&self) -> Option<TraceHandle> {
         Some(self.handle.clone())
+    }
+
+    fn set_span_context(&mut self, spans: &SpanContext) {
+        // An outer trace layer wins: adopt its timeline and keep
+        // pushing it down so the whole tower agrees.
+        self.spans = spans.clone();
+        self.inner.set_span_context(spans);
+    }
+
+    fn span_context(&self) -> Option<SpanContext> {
+        Some(self.spans.clone())
     }
 
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {

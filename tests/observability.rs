@@ -198,3 +198,118 @@ fn trace_handle_is_discoverable_through_the_full_tower() {
     found.set_enabled(true);
     assert!(outer.is_enabled(), "both must alias the same counters");
 }
+
+// ---------------------------------------------------------------------
+// PR-8: causal span tracing
+// ---------------------------------------------------------------------
+
+use duel_target::{attribution_coverage, SpanKind};
+
+/// Builds the standard traced tower and runs one span-traced eval.
+fn traced_eval(expr: &str) -> duel_target::TraceTarget<CachedTarget<duel_target::SimTarget>> {
+    let t = TraceTarget::new(CachedTarget::with_config(
+        scenario::scan_array(),
+        CacheConfig::default(),
+    ));
+    t.handle().set_enabled(true);
+    t.spans().set_enabled(true);
+    let mut t = t;
+    let mut s = Session::new(&mut t);
+    s.eval(expr).unwrap();
+    t
+}
+
+#[test]
+fn spans_attribute_every_wire_event_through_the_tower() {
+    let t = traced_eval("x[..50] >? 5");
+    let snap = t.spans().snapshot();
+    let events = t.handle().recent_events(usize::MAX);
+    let (ok, total) = attribution_coverage(&snap, &events);
+    assert!(total > 0, "the scan must touch the wire");
+    assert_eq!(ok, total, "every event must chain to the eval root");
+    assert!(snap.open.is_empty(), "span stack balanced after eval");
+    // The chain shape is eval → node*|display → wire op: every memory
+    // read is caused either by a generator (Node span) or by value
+    // rendering (Display span, the profiler's display pseudo-node).
+    // Symbol and type lookups fire during *parsing* and attribute
+    // straight to the eval root — there is no generator running yet.
+    for e in events
+        .iter()
+        .filter(|e| matches!(e.op.name(), "get_bytes" | "get_bytes_multi"))
+    {
+        let chain = snap.ancestry(e.span).unwrap();
+        assert!(
+            chain
+                .iter()
+                .any(|r| matches!(r.kind, SpanKind::Node | SpanKind::Display)),
+            "event {e:?} skipped the evaluator"
+        );
+    }
+}
+
+/// The reset audit (ISSUE-8 satellite): `.trace clear` and backend
+/// swaps must drop counters, histograms, the event ring, and the span
+/// ring *together* — a clear that leaves old latency buckets behind
+/// would silently skew every later percentile.
+#[test]
+fn clear_leaves_no_stale_latency_buckets_or_spans() {
+    let t = traced_eval("x[..50] >? 5");
+    let before = t.handle().snapshot();
+    assert!(before.total_calls() > 0);
+    assert!(
+        before.ops.iter().any(|o| o.hist.iter().any(|&b| b > 0)),
+        "expected hot latency buckets before the clear"
+    );
+    assert!(!t.spans().snapshot().spans.is_empty());
+
+    t.handle().clear();
+    t.spans().clear();
+
+    let after = t.handle().snapshot();
+    assert_eq!(after.total_calls(), 0);
+    assert_eq!(after.events_held, 0);
+    for o in &after.ops {
+        assert!(
+            o.hist.iter().all(|&b| b == 0),
+            "stale latency buckets survived the clear for {}",
+            o.op.name()
+        );
+        assert_eq!((o.calls, o.errors, o.total_ns), (0, 0, 0));
+    }
+    let spans = t.spans().snapshot();
+    assert!(spans.spans.is_empty() && spans.open.is_empty());
+    assert_eq!(spans.dropped, 0);
+    // Enablement is state, not statistics: a clear must not turn
+    // collection off.
+    assert!(t.handle().is_enabled());
+    assert!(t.spans().is_enabled());
+}
+
+/// Profiling and span tracing are one seam (`TraceGen`): every node
+/// the profiler charges must appear as a `Node` span with the same
+/// operator label, because both views fold the same enter/exit stream.
+#[test]
+fn profile_nodes_and_node_spans_agree() {
+    let mut t = TraceTarget::new(CachedTarget::with_config(
+        scenario::scan_array(),
+        CacheConfig::default(),
+    ));
+    t.spans().set_enabled(true);
+    let spans = t.spans();
+    let mut s = Session::new(&mut t);
+    let (_, err, report) = s.profile("x[..50] >? 5").unwrap();
+    assert!(err.is_none());
+    let snap = spans.snapshot();
+    for node in report.nodes.iter().filter(|n| n.label != "display") {
+        assert!(
+            snap.spans
+                .iter()
+                .any(|r| r.kind == SpanKind::Node && r.name == node.label),
+            "profiled node `{}` ({}) has no Node span",
+            node.text,
+            node.label
+        );
+    }
+    // The display pseudo-node maps to the Display span kind.
+    assert!(snap.spans.iter().any(|r| r.kind == SpanKind::Display));
+}
