@@ -16,9 +16,10 @@ use duel_core::{DuelError, EvalOptions, EvalStats, Session, SymMode, Value};
 use duel_minic::{Debugger, StopReason};
 use duel_target::{
     chrome_trace_json, folded_stacks, scenario, CacheConfig, CacheStats, CachedTarget, ChaosHandle,
-    ChaosTarget, CircuitState, FlameWeight, MetricsRegistry, RecordTarget, ReplayMode,
-    ReplayTarget, ResyncReport, RetryStats, RetryTarget, SimTarget, SpanContext, SupervisedTarget,
-    SupervisorStats, Target, TargetResult, TraceHandle, TraceTarget,
+    ChaosTarget, CircuitState, FlameWeight, MetaCapture, MetaSnapshot, MetaTarget, MetricsRegistry,
+    MetricsSnapshot, RecordTarget, ReplayMode, ReplayTarget, ResyncReport, RetryStats, RetryTarget,
+    SimTarget, SpanContext, SpanSnapshot, SupervisedTarget, SupervisorStats, Target, TargetResult,
+    TraceHandle, TraceStats, TraceTarget,
 };
 
 /// The REPL's decorator tower: tracing outermost (so its counters see
@@ -80,6 +81,14 @@ impl Backend {
             Backend::Sim(t) => t.inner().inner().inner().stats(),
             Backend::Minic(d) => d.inner().inner().inner().stats(),
             Backend::Replay(r) => r.inner().inner().inner().stats(),
+        }
+    }
+
+    fn resident_page_count(&self) -> usize {
+        match self {
+            Backend::Sim(t) => t.inner().inner().inner().resident_page_count(),
+            Backend::Minic(d) => d.inner().inner().inner().resident_page_count(),
+            Backend::Replay(r) => r.inner().inner().inner().resident_page_count(),
         }
     }
 
@@ -348,6 +357,10 @@ DUEL commands:
                      backend reads (flamegraph.pl / speedscope input)
   .top               live view: hottest AST nodes (by exclusive span
                      time), wire ops, and busiest metric counters
+  .query EXPR        evaluate a DUEL expression against a snapshot of
+                     the debugger's own telemetry (roots: spans,
+                     events, counters, hists, cache, breaker; e.g.
+                     `.query events[..nevents].lat_ns >? 1000`)
   .profile EXPR      evaluate EXPR, then show per-node costs (ticks,
                      wire reads), hottest first
   .explain EXPR      evaluate EXPR, then show its AST annotated with
@@ -378,6 +391,71 @@ DUEL commands:
                      costs ~100-140 bytes, so 8192 spans ≈ 1 MiB)
   .quit              exit
 ";
+
+/// Renders the hottest-spans / hottest-wire-ops / busiest-counters
+/// tables shared by the live `.top` view and `duel-replay --top`.
+/// `spans: None` skips the span table (the live view passes `None`
+/// when span tracing is off, after printing its own hint); `limit`
+/// bounds the span rows (wire ops and counters keep their fixed 6/8
+/// budgets so the view stays one screen).
+pub fn render_top_report(
+    spans: Option<&SpanSnapshot>,
+    trace: &TraceStats,
+    metrics: &MetricsSnapshot,
+    limit: usize,
+    out: &mut String,
+) {
+    if let Some(snap) = spans {
+        let agg = snap.aggregate();
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6} {:>10} {:>10}  node",
+            "kind", "count", "self", "total"
+        );
+        for row in agg.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} {:>10} {:>10}  {}{}",
+                row.kind.name(),
+                row.count,
+                duel_target::trace::fmt_ns(row.self_ns),
+                duel_target::trace::fmt_ns(row.total_ns),
+                row.name,
+                if row.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" {}", row.detail)
+                }
+            );
+        }
+    }
+    let mut ops: Vec<_> = trace.ops.iter().filter(|o| o.calls > 0).collect();
+    ops.sort_by_key(|o| std::cmp::Reverse(o.total_ns));
+    if !ops.is_empty() {
+        let _ = writeln!(out, "  wire ops by total latency:");
+        for o in ops.iter().take(6) {
+            let _ = writeln!(
+                out,
+                "    {:<13} {:>8} calls {:>6} errors  total {:>8}  p99 {:>8}",
+                o.op.name(),
+                o.calls,
+                o.errors,
+                duel_target::trace::fmt_ns(o.total_ns),
+                duel_target::trace::fmt_ns(o.quantile_ns(0.99))
+            );
+        }
+    }
+    let mut counters = metrics.counters.clone();
+    counters.sort_by_key(|c| std::cmp::Reverse(c.1));
+    if counters.is_empty() {
+        let _ = writeln!(out, "  no metrics yet (evaluate something first)");
+    } else {
+        let _ = writeln!(out, "  busiest counters:");
+        for (name, v) in counters.iter().take(8) {
+            let _ = writeln!(out, "    {name:<28} {v}");
+        }
+    }
+}
 
 impl Repl {
     /// Creates a REPL over the combined built-in scenario.
@@ -612,66 +690,72 @@ impl Repl {
 
     /// Renders the `.top` live view: hottest AST nodes by exclusive
     /// span time, hottest wire ops, and the busiest registry counters.
+    /// The tables themselves are sugar over canonical `.query`
+    /// meta-queries (documented side by side in docs/LANGUAGE.md);
+    /// the shared renderer also serves `duel-replay --top`.
     fn render_top(&self, out: &mut String) {
-        let spans = self.backend.spans();
-        let snap = spans.snapshot();
         let _ = writeln!(out, "top — hottest since `.trace clear`");
-        if !self.spans_enabled {
+        let spans = if self.spans_enabled {
+            Some(self.backend.spans().snapshot())
+        } else {
             let _ = writeln!(
                 out,
                 "  (span tracing is off — `.trace spans on` to rank AST nodes)"
             );
-        } else {
-            let agg = snap.aggregate();
-            let _ = writeln!(
-                out,
-                "  {:<10} {:>6} {:>10} {:>10}  node",
-                "kind", "count", "self", "total"
-            );
-            for row in agg.iter().take(10) {
-                let _ = writeln!(
-                    out,
-                    "  {:<10} {:>6} {:>10} {:>10}  {}{}",
-                    row.kind.name(),
-                    row.count,
-                    duel_target::trace::fmt_ns(row.self_ns),
-                    duel_target::trace::fmt_ns(row.total_ns),
-                    row.name,
-                    if row.detail.is_empty() {
-                        String::new()
-                    } else {
-                        format!(" {}", row.detail)
-                    }
-                );
-            }
+            None
+        };
+        render_top_report(
+            spans.as_ref(),
+            &self.backend.trace().snapshot(),
+            &self.metrics.snapshot(),
+            10,
+            out,
+        );
+        let _ = writeln!(
+            out,
+            "  (each table generalizes to `.query` — try \
+             `.query spans[..nspans].self_ns`)"
+        );
+    }
+
+    /// Freezes every telemetry source of the session into one
+    /// [`MetaSnapshot`]: the span and wire-event rings, the live
+    /// metrics registry, cache/retry/supervision counters, and the
+    /// replayed capture's identity when the session is offline. The
+    /// snapshot is a copy — `.query` evaluates against it without
+    /// touching the debuggee or the tower.
+    pub fn meta_snapshot(&self) -> MetaSnapshot {
+        MetaSnapshot {
+            spans: self.backend.spans().snapshot(),
+            events: self.backend.trace().recent_events(usize::MAX),
+            metrics: self.metrics.snapshot(),
+            cache: self.backend.cache_stats().clone(),
+            resident_pages: self.backend.resident_page_count() as u64,
+            retry: self.backend.retry_stats(),
+            supervise: self.backend.supervise_stats(),
+            circuit: self.backend.circuit_state(),
+            capture: self.backend.replay().map(|r| MetaCapture {
+                backend: r.backend_label().to_string(),
+                scenario: r.scenario_label().to_string(),
+                events: r.events_total() as u64,
+            }),
         }
-        let t = self.backend.trace().snapshot();
-        let mut ops: Vec<_> = t.ops.iter().filter(|o| o.calls > 0).collect();
-        ops.sort_by_key(|o| std::cmp::Reverse(o.total_ns));
-        if !ops.is_empty() {
-            let _ = writeln!(out, "  wire ops by total latency:");
-            for o in ops.iter().take(6) {
-                let _ = writeln!(
-                    out,
-                    "    {:<13} {:>8} calls {:>6} errors  total {:>8}  p99 {:>8}",
-                    o.op.name(),
-                    o.calls,
-                    o.errors,
-                    duel_target::trace::fmt_ns(o.total_ns),
-                    duel_target::trace::fmt_ns(o.quantile_ns(0.99))
-                );
-            }
+    }
+
+    /// The `.query EXPR` body: one-shot DUEL evaluation against a
+    /// fresh [`MetaTarget`] built from [`Repl::meta_snapshot`].
+    /// Deliberately bypasses `feed_metrics` and the op deadline — a
+    /// meta-query must perturb neither the metrics it inspects nor
+    /// the debuggee tower.
+    fn meta_query(&mut self, expr: &str, out: &mut String) {
+        let snap = self.meta_snapshot();
+        let mut meta = MetaTarget::new(&snap);
+        let (lines, err) = duel_core::oneshot_lines(&mut meta, expr, &self.options);
+        for l in lines {
+            let _ = writeln!(out, "{l}");
         }
-        let m = self.metrics.snapshot();
-        let mut counters = m.counters.clone();
-        counters.sort_by_key(|c| std::cmp::Reverse(c.1));
-        if counters.is_empty() {
-            let _ = writeln!(out, "  no metrics yet (evaluate something first)");
-        } else {
-            let _ = writeln!(out, "  busiest counters:");
-            for (name, v) in counters.iter().take(8) {
-                let _ = writeln!(out, "    {name:<28} {v}");
-            }
+        if let Some(e) = err {
+            let _ = writeln!(out, "{e}");
         }
     }
 
@@ -851,6 +935,19 @@ impl Repl {
                 self.aliases = session.into_aliases();
             }
             ".top" => self.render_top(out),
+            ".query" => {
+                let expr = line.split_once(' ').map(|x| x.1).unwrap_or("").trim();
+                if expr.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "usage: .query EXPR — DUEL over the debugger's own telemetry\n\
+                         roots: spans[..nspans] events[..nevents] counters[..ncounters]\n\
+                         \x20      hists[..nhists] cache breaker (see docs/LANGUAGE.md)"
+                    );
+                } else {
+                    self.meta_query(expr, out);
+                }
+            }
             ".stats" if arg == "json" => {
                 let _ = writeln!(out, "{}", self.stats_json());
             }
@@ -1681,6 +1778,115 @@ mod tests {
     fn evaluates_expressions() {
         let out = run(&["x[1..4,8,12..50] >? 5 <? 10"]);
         assert_eq!(out, "x[3] = 7\nx[18] = 9\nx[47] = 6\n");
+    }
+
+    #[test]
+    fn query_without_expr_prints_usage() {
+        let out = run(&[".query"]);
+        assert!(out.contains("usage: .query EXPR"), "{out}");
+        assert!(out.contains("spans[..nspans]"), "{out}");
+    }
+
+    #[test]
+    fn query_reads_live_counters_and_cache() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle("x[..5]", &mut out);
+        out.clear();
+        r.handle(
+            ".query counters[..ncounters].(if (value > 0) name)",
+            &mut out,
+        );
+        assert!(out.contains("eval.values"), "{out}");
+        out.clear();
+        r.handle(".query cache.backend_reads", &mut out);
+        let n: u64 = out.trim().parse().expect("scalar query output");
+        assert_eq!(n, r.meta_snapshot().cache.backend_reads, "{out}");
+    }
+
+    #[test]
+    fn query_spans_and_events_match_the_rings() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle(".trace spans on", &mut out);
+        r.handle("x[..8] >? 5", &mut out);
+        let snap = r.meta_snapshot();
+        assert!(!snap.events.is_empty());
+        assert!(!snap.spans.spans.is_empty());
+        out.clear();
+        r.handle(".query nevents", &mut out);
+        assert_eq!(
+            out.trim().parse::<usize>().expect("nevents"),
+            snap.events.len(),
+            "{out}"
+        );
+        out.clear();
+        r.handle(".query #/(spans[..nspans].id)", &mut out);
+        assert_eq!(
+            out.trim().parse::<usize>().expect("span count"),
+            snap.spans.spans.len() + snap.spans.open.len(),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn query_is_isolated_from_the_debuggee_and_the_wire() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".trace on", &mut out);
+        r.handle("x[..5]", &mut out);
+        let calls_before = r.trace_handle().snapshot().total_calls();
+        let counters_before = r.metrics().snapshot().counters;
+        out.clear();
+        r.handle(".query counters[..ncounters].value", &mut out);
+        r.handle(".query events[..nevents].lat_ns >? 0", &mut out);
+        assert_eq!(
+            r.trace_handle().snapshot().total_calls(),
+            calls_before,
+            "meta-queries must not touch the debuggee wire"
+        );
+        assert_eq!(
+            r.metrics().snapshot().counters,
+            counters_before,
+            "meta-queries must not feed the metrics they inspect"
+        );
+        // The debuggee still evaluates identically afterwards.
+        out.clear();
+        r.handle("x[1..4,8,12..50] >? 5 <? 10", &mut out);
+        assert_eq!(out, "x[3] = 7\nx[18] = 9\nx[47] = 6\n");
+    }
+
+    #[test]
+    fn query_reports_errors_without_breaking_the_session() {
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(".query ][", &mut out);
+        assert!(!out.trim().is_empty(), "parse error should be reported");
+        out.clear();
+        r.handle(".query no_such_symbol", &mut out);
+        assert!(!out.trim().is_empty(), "{out}");
+        out.clear();
+        r.handle("x[0]", &mut out);
+        assert!(out.contains("100"), "{out}");
+    }
+
+    #[test]
+    fn trace_export_on_an_empty_ring_writes_valid_json() {
+        // Regression (satellite of the meta-target PR): exporting
+        // before any span or event is recorded must produce a valid
+        // metadata-only Chrome trace document.
+        let dir = std::env::temp_dir().join(format!("duel_empty_export_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("empty.json");
+        let mut r = Repl::new();
+        let mut out = String::new();
+        r.handle(&format!(".trace export {}", file.display()), &mut out);
+        assert!(out.contains("trace exported"), "{out}");
+        let text = std::fs::read_to_string(&file).unwrap();
+        let doc = duel_target::json::Json::parse(&text).expect("empty export parses");
+        assert!(doc.get("traceEvents").is_some(), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod value;
 pub use error::{DuelError, DuelResult};
 pub use eval::EvalOptions;
 pub use profile::{NodeCost, ProfileReport};
-pub use session::{EvalStats, OutputLine, Session};
+pub use session::{oneshot_lines, EvalStats, OutputLine, Session};
 pub use sexpr::to_sexpr;
 pub use sym::SymMode;
 pub use value::Value;

@@ -398,6 +398,25 @@ pub fn render_lines(lines: &[OutputLine]) -> Vec<String> {
     out
 }
 
+/// Evaluates one expression against `target` in a throwaway session and
+/// returns the rendered lines plus the first error, if any.
+///
+/// This is the one-shot path behind `.query` and `duel-replay --query`:
+/// a secondary session (fresh aliases, caller-chosen options) over a
+/// synthetic target, with parse errors folded into the error slot so
+/// callers have a single reporting path.
+pub fn oneshot_lines(
+    target: &mut dyn Target,
+    expr: &str,
+    options: &EvalOptions,
+) -> (Vec<String>, Option<DuelError>) {
+    let mut session = Session::with_options(target, options.clone());
+    match session.eval_partial(expr) {
+        Ok((lines, err)) => (render_lines(&lines), err),
+        Err(e) => (Vec::new(), Some(e)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -268,6 +268,16 @@ impl TypeTable {
         (rid, id)
     }
 
+    /// Declares a struct tag and completes it with `fields` in one
+    /// step — the programmatic-construction path used by synthetic
+    /// targets that build their whole table in code rather than from
+    /// parsed declarations.
+    pub fn struct_type(&mut self, tag: &str, fields: Vec<Field>) -> (RecordId, TypeId) {
+        let (rid, ty) = self.declare_struct(tag);
+        self.define_record(rid, fields);
+        (rid, ty)
+    }
+
     /// Completes a record with its field list.
     pub fn define_record(&mut self, rid: RecordId, fields: Vec<Field>) {
         let r = &mut self.records[rid.0 as usize];
@@ -520,6 +530,20 @@ mod tests {
         let a3 = tt.array(int, Some(11));
         assert_eq!(a1, a2);
         assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn struct_type_declares_and_completes_in_one_step() {
+        let mut tt = TypeTable::new();
+        let int = tt.prim(Prim::Int);
+        let (rid, ty) = tt.struct_type("point", vec![Field::new("x", int), Field::new("y", int)]);
+        assert!(tt.record(rid).complete);
+        assert_eq!(tt.struct_tag("point"), Some(rid));
+        assert_eq!(tt.record(rid).field_index("y"), Some(1));
+        // Re-using the tag completes the same record id.
+        let (rid2, ty2) = tt.struct_type("point", vec![Field::new("x", int)]);
+        assert_eq!(rid, rid2);
+        assert_eq!(ty, ty2);
     }
 
     #[test]

@@ -246,6 +246,13 @@ impl<T: Target> CachedTarget<T> {
         out
     }
 
+    /// How many pages are resident right now (no byte copies — the
+    /// cheap form of [`CachedTarget::resident_pages`] for telemetry
+    /// snapshots).
+    pub fn resident_page_count(&self) -> usize {
+        self.pages.len()
+    }
+
     /// The active config.
     pub fn config(&self) -> &CacheConfig {
         &self.cfg

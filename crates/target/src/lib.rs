@@ -54,6 +54,7 @@ pub mod error;
 pub mod fault;
 pub mod iface;
 pub mod json;
+pub mod meta;
 pub mod metrics;
 pub mod record;
 pub mod replay;
@@ -73,6 +74,7 @@ pub use chaos::{ChaosAction, ChaosEvent, ChaosHandle, ChaosMode, ChaosTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
 pub use iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo, VarKind};
+pub use meta::{MetaCapture, MetaSnapshot, MetaTarget, META_BASE};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use record::RecordTarget;
 pub use replay::{Divergence, ReplayMode, ReplayTarget};

@@ -670,6 +670,33 @@ mod tests {
     }
 
     #[test]
+    fn empty_ring_exports_valid_chrome_trace_json() {
+        // Regression: `.trace export` / `--trace-perfetto` on a ring
+        // with no spans and no events must still write a valid
+        // (metadata-only) Chrome trace document, not a truncated one.
+        let json = chrome_trace_json(&SpanSnapshot::default(), &[]);
+        let doc = crate::json::Json::parse(&json).expect("empty export must be valid JSON");
+        let Some(crate::json::Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents array missing in {json}");
+        };
+        // Process/thread metadata only — every entry is a metadata
+        // phase record, no X events.
+        assert!(!events.is_empty());
+        for e in events {
+            assert_eq!(
+                e.get("ph").and_then(crate::json::Json::as_str),
+                Some("M"),
+                "non-metadata event in empty export: {json}"
+            );
+        }
+        assert_eq!(
+            doc.get("displayTimeUnit")
+                .and_then(crate::json::Json::as_str),
+            Some("ms")
+        );
+    }
+
+    #[test]
     fn disabled_context_records_nothing_and_returns_zero() {
         let c = SpanContext::new(16);
         assert_eq!(c.push(SpanKind::Node, "index", || "x[i]".into()), 0);

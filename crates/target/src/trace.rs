@@ -76,7 +76,9 @@ pub const TRACE_OPS: [TraceOp; 10] = [
 ];
 
 impl TraceOp {
-    fn index(self) -> usize {
+    /// Stable numeric code of the operation (its position in
+    /// [`TRACE_OPS`]); also the `op_code` field of meta-image events.
+    pub fn index(self) -> usize {
         match self {
             TraceOp::GetBytes => 0,
             TraceOp::PutBytes => 1,
@@ -153,6 +155,17 @@ impl TraceOutcome {
             TraceOutcome::Fault => "fault",
             TraceOutcome::Transient => "transient",
             TraceOutcome::NotFound => "not-found",
+        }
+    }
+
+    /// Stable numeric code of the outcome (the `outcome_code` field of
+    /// meta-image events; 0 = ok).
+    pub fn index(self) -> usize {
+        match self {
+            TraceOutcome::Ok => 0,
+            TraceOutcome::Fault => 1,
+            TraceOutcome::Transient => 2,
+            TraceOutcome::NotFound => 3,
         }
     }
 }

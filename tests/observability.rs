@@ -313,3 +313,85 @@ fn profile_nodes_and_node_spans_agree() {
     // The display pseudo-node maps to the Display span kind.
     assert!(snap.spans.iter().any(|r| r.kind == SpanKind::Display));
 }
+
+// ---------------------------------------------------------------------
+// Self-hosted introspection: `.query` vs the fixed views
+// ---------------------------------------------------------------------
+
+/// Runs lines through a fresh REPL and returns the combined output.
+fn repl_run(r: &mut duel_cli::Repl, line: &str) -> String {
+    let mut out = String::new();
+    r.handle(line, &mut out);
+    out
+}
+
+/// The meta-query differential: the counter table `.top` renders and
+/// the span aggregates it derives must byte-agree with the same
+/// numbers read back through `.query` over the synthetic meta image.
+#[test]
+fn meta_queries_agree_with_the_top_table() {
+    let mut r = duel_cli::Repl::new();
+    repl_run(&mut r, ".trace on");
+    repl_run(&mut r, ".trace spans on");
+    repl_run(&mut r, "x[..20] >? 5");
+    repl_run(&mut r, "hash[..10].scope");
+
+    // Rebuild the counter table from two meta-queries...
+    let names = repl_run(&mut r, ".query counters[..ncounters].name");
+    let values = repl_run(&mut r, ".query counters[..ncounters].value");
+    let mut table: Vec<(String, u64)> = Vec::new();
+    for (n, v) in names.lines().zip(values.lines()) {
+        let name = n
+            .split(" = ")
+            .nth(1)
+            .and_then(|s| s.strip_prefix('"'))
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or_else(|| panic!("unexpected name line `{n}`"));
+        let value: u64 = v
+            .split(" = ")
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unexpected value line `{v}`"));
+        table.push((name.to_string(), value));
+    }
+    // ...and it must equal the registry snapshot `.top` renders from,
+    // byte for byte.
+    let snap = r.meta_snapshot();
+    assert_eq!(table, snap.metrics.counters);
+
+    // Every counter row `.top` actually prints appears in the
+    // query-derived table with the same value.
+    let top = repl_run(&mut r, ".top");
+    // `.top` itself must not perturb the comparison below.
+    let in_counters = top
+        .lines()
+        .skip_while(|l| !l.contains("busiest counters:"))
+        .skip(1)
+        .take_while(|l| l.starts_with("    "));
+    let mut rows = 0;
+    for line in in_counters {
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(value)) = (it.next(), it.next()) else {
+            panic!("unparseable .top counter row `{line}`");
+        };
+        let v: u64 = value.parse().expect("counter value");
+        assert_eq!(
+            table.iter().find(|(n, _)| n == name).map(|(_, x)| *x),
+            Some(v),
+            ".top row `{line}` disagrees with the meta-query table"
+        );
+        rows += 1;
+    }
+    assert!(rows > 0, "no counter rows in .top output:\n{top}");
+
+    // Span aggregates: total count and total exclusive time derived
+    // by `.query` equal the ring snapshot's aggregation inputs.
+    let count = repl_run(&mut r, ".query #/(spans[..nspans].id)");
+    let n: usize = count.trim().parse().expect("span count");
+    assert_eq!(n, snap.spans.spans.len() + snap.spans.open.len());
+
+    let self_sum = repl_run(&mut r, ".query +/(spans[..nspans].self_ns)");
+    let q: u64 = self_sum.trim().parse().expect("self_ns sum");
+    let agg: u64 = snap.spans.aggregate().iter().map(|a| a.self_ns).sum();
+    assert_eq!(q, agg, "exclusive-time attribution diverged");
+}

@@ -240,3 +240,96 @@ proptest! {
         let _ = s.eval(&src);
     }
 }
+
+// ---------------------------------------------------------------------
+// MetricsRegistry snapshot consistency under concurrency
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, ..ProptestConfig::default()
+    })]
+
+    /// Concurrent incrementers + a snapshotter. Each worker bumps the
+    /// counter *before* observing the histogram, and `snapshot()` reads
+    /// counters *before* histograms — so the robust cross-snapshot
+    /// invariant is: a snapshot's histogram total never exceeds the
+    /// *next* snapshot's counter (every observe is preceded by its
+    /// add, and the later counter read sees at least those adds).
+    /// Counters themselves must be monotonic across snapshots, and the
+    /// quiescent totals exact.
+    #[test]
+    fn metrics_snapshots_are_consistent_under_concurrency(
+        threads in 1usize..4,
+        iters in 1u64..300,
+    ) {
+        use duel::target::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        // Register up front so the snapshotter always sees both names.
+        reg.counter("ops");
+        reg.histogram("lat");
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("ops");
+                    let h = reg.histogram("lat");
+                    for i in 0..iters {
+                        c.add(1);
+                        h.observe(t as u64 * 1000 + i + 1);
+                    }
+                })
+            })
+            .collect();
+
+        let snapshotter = {
+            let reg = reg.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut prev_counter = 0u64;
+                let mut prev_hist_total = 0u64;
+                let mut rounds = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = reg.snapshot();
+                    let ops = s.counter("ops").expect("ops registered");
+                    let hist_total: u64 = s
+                        .histograms
+                        .iter()
+                        .find(|(k, _)| k == "lat")
+                        .map(|(_, b)| b.iter().sum())
+                        .expect("lat registered");
+                    assert!(
+                        ops >= prev_counter,
+                        "counter went backwards: {prev_counter} -> {ops}"
+                    );
+                    assert!(
+                        prev_hist_total <= ops,
+                        "histogram total {prev_hist_total} from an earlier snapshot \
+                         exceeds a later counter {ops}"
+                    );
+                    prev_counter = ops;
+                    prev_hist_total = hist_total;
+                    rounds += 1;
+                }
+                rounds
+            })
+        };
+
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let rounds = snapshotter.join().unwrap();
+        prop_assert!(rounds > 0);
+
+        // Quiescent: totals are exact and the histogram caught up.
+        let s = reg.snapshot();
+        let expected = threads as u64 * iters;
+        prop_assert_eq!(s.counter("ops"), Some(expected));
+        let hist_total: u64 = s.histograms[0].1.iter().sum();
+        prop_assert_eq!(hist_total, expected);
+    }
+}
