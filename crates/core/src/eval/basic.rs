@@ -454,12 +454,13 @@ impl GenT for FilterGen {
             }
             match self.r.next(ctx)? {
                 Some(v) => {
-                    let l = self.cur.clone().unwrap();
-                    let cmp = apply::binary(ctx.target, self.op.as_cmp(), &l, &v, false)?;
+                    let l = self.cur.as_ref().unwrap();
+                    let cmp = apply::binary(ctx.target, self.op.as_cmp(), l, &v, false)?;
                     if apply::truthy(ctx.target, &cmp)? {
                         // The filter yields the *left* operand, with its
-                        // own symbolic value.
-                        return Ok(Some(l));
+                        // own symbolic value. Cloned only on a hit; a
+                        // failed comparison costs no allocation.
+                        return Ok(Some(self.cur.clone().unwrap()));
                     }
                 }
                 None => self.cur = None,

@@ -250,17 +250,19 @@ impl GenT for AssignGen {
             }
             match self.r.next(ctx)? {
                 Some(v) => {
-                    let lhs = self.cur.clone().unwrap();
+                    // Borrowed, not cloned: the lvalue is only ever
+                    // read here (type, address, symbolic text).
+                    let lhs = self.cur.as_ref().unwrap();
                     let eager = ctx.eager_sym();
                     let stored = match self.op {
                         None => {
                             let s = apply::load(ctx.target, &v)?;
-                            apply::store(ctx.target, &lhs, s)?
+                            apply::store(ctx.target, lhs, s)?
                         }
                         Some(op) => {
-                            let combined = apply::binary(ctx.target, op, &lhs, &v, false)?;
+                            let combined = apply::binary(ctx.target, op, lhs, &v, false)?;
                             let s = apply::load(ctx.target, &combined)?;
-                            apply::store(ctx.target, &lhs, s)?
+                            apply::store(ctx.target, lhs, s)?
                         }
                     };
                     let sym = if eager {

@@ -24,7 +24,10 @@ mod control;
 mod misc;
 mod structure;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{
+    atomic::{AtomicUsize, Ordering},
+    Arc,
+};
 
 use crate::{ast::Expr, error::DuelResult, scope::Ctx, sym::SymMode, value::Value};
 
@@ -80,6 +83,13 @@ pub struct EvalOptions {
     /// advisory (values and errors are identical either way); off by
     /// default so read-count-sensitive experiments are undisturbed.
     pub prefetch: bool,
+    /// Prefetch window size in cache pages: a planner warm-up never
+    /// reads more than this many pages in one call, so warming
+    /// `x[..100000]` costs bounded memory instead of one giant buffer.
+    /// When the tower has an I/O actor below the cache, windows are
+    /// double-buffered: window *k+1* is on the wire while the evaluator
+    /// consumes window *k*.
+    pub prefetch_window: usize,
 }
 
 impl Default for EvalOptions {
@@ -96,6 +106,7 @@ impl Default for EvalOptions {
             error_values: false,
             trace: false,
             prefetch: false,
+            prefetch_window: 64,
         }
     }
 }
@@ -134,8 +145,11 @@ struct TraceGen {
     /// Unique per compiled node; keys the node's profile row.
     id: usize,
     label: &'static str,
-    /// Clipped symbolic text, e.g. `x[..256]`.
-    text: String,
+    /// Clipped symbolic text, e.g. `x[..256]`. Shared (`Arc<str>`)
+    /// rather than owned: span details and profile rows borrow or
+    /// cheaply clone it, so a node resumed a million times never
+    /// re-allocates its own name.
+    text: Arc<str>,
     inner: Gen,
 }
 
@@ -165,7 +179,8 @@ impl GenT for TraceGen {
             ctx.profile_enter(self.id);
         }
         let span = ctx.span_enter(duel_target::SpanKind::Node, self.label, || {
-            self.text.clone()
+            // Materialized only when a span is actually recorded.
+            self.text.to_string()
         });
         let depth = ctx.trace_depth;
         let r = self.inner.next(ctx);
@@ -241,7 +256,7 @@ fn op_label(e: &Expr) -> &'static str {
 /// Compiles an expression into its generator tree.
 pub fn compile(e: &Expr) -> Gen {
     let label = op_label(e);
-    let text = crate::profile::clip(&crate::profile::expr_text(e), 48);
+    let text: Arc<str> = crate::profile::clip(&crate::profile::expr_text(e), 48).into();
     let inner = compile_inner(e);
     Box::new(TraceGen {
         id: NODE_IDS.fetch_add(1, Ordering::Relaxed),

@@ -22,25 +22,114 @@ use super::{basic::int_of, compile, first_value, Gen, GenT};
 /// When the index expression is a compile-time contiguous range
 /// (`x[a..b]`, `x[..n]` — see `range_hint` in the parent module) and
 /// [`crate::EvalOptions::prefetch`] is on, each fresh base value first
-/// warms the cache with one vectored read over the whole span, so the
-/// element-by-element scan below is served locally — the paper's "one
-/// access per element" cost model collapsed to one wire turn.
+/// lays out a **windowed** warm plan over the span: windows of at most
+/// [`crate::EvalOptions::prefetch_window`] cache pages, so a huge scan
+/// costs bounded memory per warm call. When the tower has an I/O actor
+/// below the cache, the windows are double-buffered — window *k+1* is
+/// submitted the moment the scan enters window *k*, so the wire works
+/// while the evaluator chews — and otherwise each window is read
+/// synchronously at its boundary (same wire sequence, no overlap).
 struct IndexGen {
     base: Gen,
     idx: Gen,
     cur: Option<Value>,
     /// Inclusive index range the idx generator is known to enumerate.
     hint: Option<(i64, i64)>,
-    /// Base address already warmed (one hint per base value).
+    /// Base address already warmed (one plan per base value).
     warmed: Option<u64>,
+    /// The windowed warm plan for the current base, if any.
+    plan: Option<WindowPlan>,
+}
+
+/// The double-buffered window schedule of one hinted scan.
+struct WindowPlan {
+    /// `(start, len)` byte windows, in address order.
+    windows: Vec<(u64, u64)>,
+    /// `boundaries[k]`: 0-based element ordinal (counted from the first
+    /// scanned element) whose bytes first touch window `k` — the moment
+    /// window `k` must be applied and window `k+1` submitted.
+    boundaries: Vec<u64>,
+    /// Next window index to apply: windows `0..next` are resident,
+    /// window `next` (when one exists) is the submitted one in flight.
+    next: usize,
+    /// Elements handed to the evaluator so far for this base.
+    consumed: u64,
+    /// Whether the tower accepted [`duel_target::Target::prefetch_submit`];
+    /// `false` means windows were warmed eagerly via the legacy path
+    /// and no boundary work remains.
+    seam: bool,
+}
+
+impl WindowPlan {
+    /// Submits window `k` and counts its completion when polled.
+    fn submit(&self, ctx: &mut Ctx<'_>, k: usize) -> bool {
+        let (start, len) = self.windows[k];
+        ctx.prefetch_calls += 1;
+        ctx.target.prefetch_submit(&[(start, len)])
+    }
+
+    /// Applies the oldest in-flight window (blocking on the wire if it
+    /// has not landed yet) and books its stats.
+    fn poll(&self, ctx: &mut Ctx<'_>) {
+        if let Some(c) = ctx.target.prefetch_poll() {
+            ctx.prefetch_ranges += c.clean;
+        }
+    }
+
+    /// Called once per element handed to the evaluator: crossing into
+    /// window `k` submits window `k+1`, then applies window `k`
+    /// (double buffering — planning always sees fully applied prior
+    /// windows, which keeps record→replay deterministic).
+    ///
+    /// Submit-before-poll matters: the submission queues behind the
+    /// in-flight window on the actor's FIFO, so the worker rolls
+    /// straight from one wire turn into the next while this thread is
+    /// still blocked in the poll — the wire never idles between
+    /// windows. (Polling first would leave it idle for the length of
+    /// each poll wait.) The capture layer is agnostic: it records
+    /// submissions in submission order either way.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        if self.seam {
+            while self.next < self.windows.len() && self.consumed >= self.boundaries[self.next] {
+                let k = self.next;
+                let span = ctx.span_enter(duel_target::SpanKind::Prefetch, "prefetch", || {
+                    format!("window {k} boundary")
+                });
+                if k + 1 < self.windows.len() && self.submit(ctx, k + 1) {
+                    ctx.windows_inflight += 1;
+                }
+                self.poll(ctx);
+                ctx.span_exit(span);
+                self.next += 1;
+            }
+        }
+        self.consumed += 1;
+    }
+}
+
+/// Warms one bounded chunk of ranges: through the cache's prefetch
+/// seam when the tower offers it (submit + immediate apply — callers
+/// consume these bytes right away, so there is nothing to overlap),
+/// else through the legacy vectored read.
+fn warm_chunk(ctx: &mut Ctx<'_>, chunk: &[(u64, u64)]) {
+    ctx.prefetch_calls += 1;
+    ctx.windows_planned += 1;
+    if ctx.target.prefetch_submit(chunk) {
+        if let Some(c) = ctx.target.prefetch_poll() {
+            ctx.prefetch_ranges += c.clean;
+        }
+    } else {
+        ctx.prefetch_ranges += apply::prefetch(ctx.target, chunk) as u64;
+    }
 }
 
 impl IndexGen {
-    /// Issues the planner's warm-up for base value `b`, if it applies.
-    /// Advisory by construction: any shape we cannot cheaply resolve
-    /// (no address, unsized elements) is skipped, and read errors are
-    /// left for the demand path to surface.
+    /// Lays out the planner's warm schedule for base value `b`, if it
+    /// applies. Advisory by construction: any shape we cannot cheaply
+    /// resolve (no address, unsized elements) is skipped, and read
+    /// errors are left for the demand path to surface.
     fn warm(&mut self, ctx: &mut Ctx<'_>, b: &Value) {
+        self.plan = None;
         let (lo, hi) = match self.hint {
             Some(h) if ctx.opts.prefetch => h,
             _ => return,
@@ -62,17 +151,63 @@ impl IndexGen {
         }
         self.warmed = Some(base_addr);
         let esize = match ctx.target.types().size_of(elem, ctx.target.abi()) {
-            Ok(s) if s > 0 => s as i64,
+            Ok(s) if s > 0 => s,
             _ => return,
         };
-        let start = (base_addr as i64 + lo * esize) as u64;
-        let len = ((hi - lo + 1) * esize) as u64;
+        let start = (base_addr as i64 + lo * esize as i64) as u64;
+        let total = (hi - lo + 1) as u64 * esize;
+        // Window size: `prefetch_window` cache pages (64-byte pages
+        // assumed when the tower has no cache to ask).
+        let page = ctx.target.cache_page_size().unwrap_or(64);
+        let window = (ctx.opts.prefetch_window.max(1) as u64).saturating_mul(page);
+        let mut windows = Vec::new();
+        let mut boundaries = Vec::new();
+        let mut off = 0u64;
+        while off < total {
+            let len = window.min(total - off);
+            windows.push((start + off, len));
+            // The element containing byte `off` is the first to touch
+            // this window (it may straddle the previous one).
+            boundaries.push(off / esize);
+            off += len;
+        }
+        ctx.windows_planned += windows.len() as u64;
         let span = ctx.span_enter(duel_target::SpanKind::Prefetch, "prefetch", || {
-            format!("warm 0x{start:x}+{len}")
+            format!("warm 0x{start:x}+{total} ({} windows)", windows.len())
         });
-        ctx.prefetch_calls += 1;
-        ctx.prefetch_ranges += apply::prefetch(ctx.target, &[(start, len)]) as u64;
+        let plan = WindowPlan {
+            windows,
+            boundaries,
+            next: 0,
+            consumed: 0,
+            seam: false,
+        };
+        let seam = plan.submit(ctx, 0);
+        let plan = if seam {
+            // Window 0 must be resident before the first element is
+            // read; window 1 then rides the wire while the evaluator
+            // consumes window 0.
+            plan.poll(ctx);
+            if plan.windows.len() > 1 && plan.submit(ctx, 1) {
+                ctx.windows_inflight += 1;
+            }
+            WindowPlan {
+                next: 1,
+                seam: true,
+                ..plan
+            }
+        } else {
+            // No cache in the tower: warm every window eagerly through
+            // the legacy vectored read, one bounded call per window.
+            ctx.prefetch_ranges += apply::prefetch(ctx.target, &[plan.windows[0]]) as u64;
+            for w in &plan.windows[1..] {
+                ctx.prefetch_calls += 1;
+                ctx.prefetch_ranges += apply::prefetch(ctx.target, &[*w]) as u64;
+            }
+            plan
+        };
         ctx.span_exit(span);
+        self.plan = Some(plan);
     }
 }
 
@@ -90,6 +225,9 @@ impl GenT for IndexGen {
             }
             match self.idx.next(ctx)? {
                 Some(i) => {
+                    if let Some(p) = &mut self.plan {
+                        p.advance(ctx);
+                    }
                     let eager = ctx.eager_sym();
                     let b = self.cur.as_ref().unwrap();
                     return apply::index(ctx.target, b, &i, eager).map(Some);
@@ -104,6 +242,7 @@ impl GenT for IndexGen {
         self.idx.reset();
         self.cur = None;
         self.warmed = None;
+        self.plan = None;
     }
 }
 
@@ -115,6 +254,7 @@ pub fn index(base: Gen, idx: Gen, hint: Option<(i64, i64)>) -> Gen {
         cur: None,
         hint,
         warmed: None,
+        plan: None,
     })
 }
 
@@ -389,9 +529,9 @@ impl GenT for ExpandGen {
             ctx.with_stack.pop();
             res?;
             // Planner hook: the children are homogeneous nodes about to
-            // have their fields read one by one — warm them all in one
-            // vectored turn. Advisory; a node that fails to warm is
-            // fetched on demand as before.
+            // have their fields read one by one — warm them in vectored
+            // turns of at most `prefetch_window` pages each. Advisory;
+            // a node that fails to warm is fetched on demand as before.
             if ctx.opts.prefetch && !children.is_empty() {
                 let ranges: Vec<(u64, u64)> = children
                     .iter()
@@ -412,8 +552,22 @@ impl GenT for ExpandGen {
                     let span = ctx.span_enter(duel_target::SpanKind::Prefetch, "prefetch", || {
                         format!("warm {} discovered nodes", ranges.len())
                     });
-                    ctx.prefetch_calls += 1;
-                    ctx.prefetch_ranges += apply::prefetch(ctx.target, &ranges) as u64;
+                    let page = ctx.target.cache_page_size().unwrap_or(64);
+                    let window = (ctx.opts.prefetch_window.max(1) as u64).saturating_mul(page);
+                    let mut chunk: Vec<(u64, u64)> = Vec::new();
+                    let mut chunk_bytes = 0u64;
+                    for &(addr, len) in &ranges {
+                        if !chunk.is_empty() && chunk_bytes + len > window {
+                            warm_chunk(ctx, &chunk);
+                            chunk.clear();
+                            chunk_bytes = 0;
+                        }
+                        chunk.push((addr, len));
+                        chunk_bytes += len;
+                    }
+                    if !chunk.is_empty() {
+                        warm_chunk(ctx, &chunk);
+                    }
                     ctx.span_exit(span);
                 }
             }

@@ -76,6 +76,17 @@ pub struct EvalStats {
     pub prefetch_calls: u64,
     /// Ranges those warm-ups read cleanly.
     pub prefetch_ranges: u64,
+    /// Prefetch windows the planner laid out (each capped at
+    /// [`EvalOptions::prefetch_window`] pages).
+    pub windows_planned: u64,
+    /// Windows that were on the wire while the evaluator kept
+    /// consuming (zero unless the tower has an I/O actor and
+    /// pipelining is on).
+    pub windows_inflight: u64,
+    /// Nanoseconds of wire time this evaluation overlapped with
+    /// evaluator CPU via the asynchronous pipeline (diffed from the
+    /// tower's [`duel_target::PipelineHandle`]).
+    pub pipeline_overlap_ns: u64,
     /// Causal trace id assigned to this evaluation (0 when no span
     /// context is stacked on the target or span tracing is off). Every
     /// span and attributed wire event of the command carries this id.
@@ -229,6 +240,10 @@ impl<'t> Session<'t> {
         let stale_handle = self.target.staleness_handle();
         let mut stale_seen = stale_handle.as_ref().map_or(0, |h| h.stale_reads());
         let mut stale_values = 0u64;
+        // Same watermark pattern for the pipeline: diff the tower's
+        // cumulative overlap counter around the evaluation.
+        let pipeline_handle = self.target.pipeline_handle();
+        let overlap_before = pipeline_handle.as_ref().map_or(0, |h| h.overlap_ns());
         let mut ctx = Ctx::new(&mut *self.target, &mut self.aliases, self.options.clone());
         if profiling {
             ctx.profile = Some(Box::new(ProfileCollector::new(trace_handle.clone())));
@@ -291,19 +306,39 @@ impl<'t> Session<'t> {
             lines.push(OutputLine::Value { sym, value });
             Ok(())
         });
-        self.last_stats = EvalStats {
-            values: ctx.produced,
-            ticks: ctx.ticks,
-            max_depth: ctx.max_depth_seen as u64,
-            expansions: ctx.expansions,
-            yields: ctx.yields,
-            stale_values,
-            prefetch_calls: ctx.prefetch_calls,
-            prefetch_ranges: ctx.prefetch_ranges,
-            trace_id,
-        };
+        let windows_planned = ctx.windows_planned;
+        let windows_inflight = ctx.windows_inflight;
+        let (prefetch_calls, prefetch_ranges) = (ctx.prefetch_calls, ctx.prefetch_ranges);
+        let (produced, ticks, max_depth_seen, expansions, yields) = (
+            ctx.produced,
+            ctx.ticks,
+            ctx.max_depth_seen,
+            ctx.expansions,
+            ctx.yields,
+        );
         let collector = ctx.profile.take();
         self.last_trace = std::mem::take(&mut ctx.trace);
+        drop(ctx);
+        // A terminated scan (`@`, an error, `max_values`) can leave its
+        // double-buffered window un-polled; complete every leftover so
+        // the actor queue is empty before the next command.
+        while self.target.prefetch_poll().is_some() {}
+        self.last_stats = EvalStats {
+            values: produced,
+            ticks,
+            max_depth: max_depth_seen as u64,
+            expansions,
+            yields,
+            stale_values,
+            prefetch_calls,
+            prefetch_ranges,
+            windows_planned,
+            windows_inflight,
+            pipeline_overlap_ns: pipeline_handle
+                .as_ref()
+                .map_or(0, |h| h.overlap_ns().saturating_sub(overlap_before)),
+            trace_id,
+        };
         // Flush any output produced after the last value (or before an
         // error).
         let out = self.target.take_output();
@@ -502,9 +537,37 @@ mod tests {
         assert_eq!(base_lines, pf_lines);
         assert_eq!(base_stats.prefetch_calls, 0);
         assert_eq!(pf_stats.prefetch_calls, 1);
-        assert_eq!(pf_stats.prefetch_ranges, 1);
+        // 240 bytes fit in one `prefetch_window` (64 × 16b pages), so
+        // the planner lays out a single window whose wire read carries
+        // the 15 missing pages.
+        assert_eq!(pf_stats.windows_planned, 1);
+        assert_eq!(pf_stats.prefetch_ranges, 15);
         assert_eq!(base_turns, 15);
         assert_eq!(pf_turns, 1);
+    }
+
+    #[test]
+    fn prefetch_windows_bound_memory_on_huge_scans() {
+        use duel_target::{CacheConfig, CachedTarget};
+        // A 100k-element scan must be warmed in bounded windows, never
+        // one giant vectored call. SimTarget's arena is far smaller, so
+        // most windows fail and stay cold — the point is the *plan*.
+        let mut t = CachedTarget::with_config(
+            scenario::bench_array(4096, 7),
+            CacheConfig {
+                page_size: 64,
+                ..CacheConfig::default()
+            },
+        );
+        let mut s = Session::new(&mut t);
+        s.options.prefetch = true;
+        s.options.max_values = 200_000;
+        s.options.error_values = true;
+        let _ = s.eval_lines("x[..100000]");
+        let stats = s.last_stats();
+        // 100000 × 4 bytes / (64 pages × 64 bytes) = 97.65 → 98 windows.
+        assert_eq!(stats.windows_planned, 98, "{stats:?}");
+        assert!(stats.prefetch_calls >= 98);
     }
 
     #[test]

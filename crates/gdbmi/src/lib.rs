@@ -43,7 +43,9 @@ pub use client::{MiClient, MiTransport};
 pub use mock::MockGdb;
 pub use parser::parse_line;
 pub use replay::{Recorder, Replayer};
-pub use supervise::{connect_supervised, MiResync, SupervisedMi, WatchdogTransport};
+pub use supervise::{
+    connect_pipelined, connect_supervised, MiResync, PipelinedMi, SupervisedMi, WatchdogTransport,
+};
 pub use syntax::{MiValue, Record, ResultClass};
 pub use target::MiTarget;
 

@@ -22,8 +22,8 @@
 use std::time::{Duration, Instant};
 
 use duel_target::{
-    probe_read, CacheConfig, CachedTarget, Reconnect, ResyncReport, RetryPolicy, RetryTarget,
-    SupervisedTarget, SupervisorConfig, TargetResult, DEFAULT_PROBE_ADDR,
+    probe_read, AsyncTarget, CacheConfig, CachedTarget, Reconnect, ResyncReport, RetryPolicy,
+    RetryTarget, SupervisedTarget, SupervisorConfig, TargetResult, DEFAULT_PROBE_ADDR,
 };
 
 use crate::{target::to_target_err, MiError, MiTarget, MiTransport};
@@ -31,6 +31,18 @@ use crate::{target::to_target_err, MiError, MiTarget, MiTransport};
 /// The full supervised MI tower built by [`connect_supervised`].
 pub type SupervisedMi<T> =
     SupervisedTarget<RetryTarget<CachedTarget<MiTarget<WatchdogTransport<T>>>>>;
+
+/// The pipelined MI tower built by [`connect_pipelined`]: like
+/// [`SupervisedMi`], but the MI target — transport, watchdog and all —
+/// is owned by a [`duel_target::AsyncTarget`] I/O actor under the page
+/// cache, so prefetch windows stream on a worker thread while the
+/// evaluator consumes the previous one. The watchdog *moves into the
+/// actor* with the transport: its turn clock arms and fires on the
+/// worker thread, so a hung MI turn stalls only the in-flight window,
+/// and the kill it raises surfaces to the supervisor as an ordinary
+/// failed completion.
+pub type PipelinedMi<T> =
+    SupervisedTarget<RetryTarget<CachedTarget<AsyncTarget<MiTarget<WatchdogTransport<T>>>>>>;
 
 /// A transport decorator that bounds each MI turn with a deadline.
 ///
@@ -172,6 +184,39 @@ impl<T: MiTransport + Send> Reconnect<RetryTarget<CachedTarget<MiTarget<Watchdog
     }
 }
 
+impl<T: MiTransport + Send + 'static>
+    Reconnect<RetryTarget<CachedTarget<AsyncTarget<MiTarget<WatchdogTransport<T>>>>>>
+    for MiResync<T>
+{
+    fn probe(
+        &mut self,
+        inner: &mut RetryTarget<CachedTarget<AsyncTarget<MiTarget<WatchdogTransport<T>>>>>,
+    ) -> TargetResult<()> {
+        probe_read(inner, DEFAULT_PROBE_ADDR)
+    }
+
+    fn reconnect(
+        &mut self,
+        inner: &mut RetryTarget<CachedTarget<AsyncTarget<MiTarget<WatchdogTransport<T>>>>>,
+    ) -> TargetResult<ResyncReport> {
+        let fresh = (self.factory)().map_err(to_target_err)?;
+        let cache = inner.inner_mut();
+        cache.invalidate_all();
+        // The resync handshake needs the MI target on this thread:
+        // park the actor (draining in-flight windows — they belong to
+        // the dead process), reattach, then resume pipelining.
+        let actor = cache.inner_mut();
+        let was_async = actor.is_async();
+        actor.set_async(false);
+        let report = actor
+            .inner_mut()
+            .expect("inline after set_async(false)")
+            .reattach(WatchdogTransport::new(fresh, self.turn_deadline));
+        actor.set_async(was_async);
+        report
+    }
+}
+
 /// Connects a fully supervised MI tower:
 /// `SupervisedTarget<RetryTarget<CachedTarget<MiTarget<WatchdogTransport>>>>`.
 ///
@@ -196,6 +241,37 @@ where
     let first = factory().map_err(to_target_err)?;
     let mi = MiTarget::connect(WatchdogTransport::new(first, turn_deadline))?;
     let tower = RetryTarget::with_policy(CachedTarget::with_config(mi, cache), policy);
+    Ok(SupervisedTarget::with_strategy(
+        tower,
+        supervisor,
+        Box::new(MiResync::new(factory, turn_deadline)),
+    ))
+}
+
+/// Connects the [`PipelinedMi`] tower: [`connect_supervised`] with the
+/// MI target handed to an I/O actor (started immediately), so vectored
+/// prefetch windows overlap evaluation. Everything the supervisor
+/// relies on is preserved: the same respawn factory, the same resync
+/// protocol (the actor is parked for the handshake and restarted
+/// after), and the same per-turn watchdog — now ticking on the worker
+/// thread, where the hung turn actually blocks.
+pub fn connect_pipelined<T, F>(
+    mut factory: F,
+    policy: RetryPolicy,
+    cache: CacheConfig,
+    supervisor: SupervisorConfig,
+    turn_deadline: Duration,
+) -> TargetResult<PipelinedMi<T>>
+where
+    T: MiTransport + Send + 'static,
+    F: FnMut() -> Result<T, MiError> + Send + 'static,
+{
+    let first = factory().map_err(to_target_err)?;
+    let mi = MiTarget::connect(WatchdogTransport::new(first, turn_deadline))?;
+    let tower = RetryTarget::with_policy(
+        CachedTarget::with_config(AsyncTarget::spawned(mi), cache),
+        policy,
+    );
     Ok(SupervisedTarget::with_strategy(
         tower,
         supervisor,
@@ -329,6 +405,144 @@ mod tests {
         assert!(resync.type_table_ok);
         assert_eq!(resync.symbols, 1, "`x` was re-resolved");
         assert_eq!(resync.detail, "respawned MI process");
+    }
+
+    #[test]
+    fn pipelined_tower_reads_like_the_synchronous_one() {
+        let mut sync = connect_supervised(
+            || Ok(MockGdb::new(scenario::scan_array())),
+            RetryPolicy::fast(1),
+            CacheConfig::default(),
+            SupervisorConfig::fast(2),
+            LONG,
+        )
+        .unwrap();
+        let mut piped = connect_pipelined(
+            || Ok(MockGdb::new(scenario::scan_array())),
+            RetryPolicy::fast(1),
+            CacheConfig::default(),
+            SupervisorConfig::fast(2),
+            LONG,
+        )
+        .unwrap();
+        let a = sync.inner_mut().get_variable("x").unwrap();
+        let b = piped.inner_mut().get_variable("x").unwrap();
+        assert_eq!((a.addr, a.ty), (b.addr, b.ty));
+        let mut want = [0u8; 64];
+        let mut got = [0u8; 64];
+        sync.get_bytes(a.addr, &mut want).unwrap();
+        piped.get_bytes(b.addr, &mut got).unwrap();
+        assert_eq!(want, got);
+        assert!(duel_target::Target::pipeline_handle(&piped)
+            .expect("actor layer discoverable")
+            .is_async());
+    }
+
+    #[test]
+    fn pipelined_prefetch_windows_ride_the_actor() {
+        let mut t = connect_pipelined(
+            || Ok(MockGdb::new(scenario::scan_array())),
+            RetryPolicy::fast(1),
+            CacheConfig::default(),
+            SupervisorConfig::fast(2),
+            LONG,
+        )
+        .unwrap();
+        let x = t.inner_mut().get_variable("x").unwrap();
+        assert!(t.prefetch_submit(&[(x.addr, 64)]), "cache plans a window");
+        let c = t.prefetch_poll().expect("completion");
+        assert!(c.was_async, "the window went through the I/O actor");
+        assert!(c.clean > 0);
+        let h = duel_target::Target::pipeline_handle(&t).unwrap();
+        assert!(h.submits() >= 1);
+    }
+
+    #[test]
+    fn pipelined_tower_respawns_and_resumes_the_actor() {
+        let switch = Arc::new(AtomicBool::new(false));
+        let spawn_switch = switch.clone();
+        let mut t = connect_pipelined(
+            move || {
+                spawn_switch.store(false, Ordering::SeqCst);
+                Ok(Killable {
+                    inner: MockGdb::new(scenario::scan_array()),
+                    dead: spawn_switch.clone(),
+                })
+            },
+            RetryPolicy::fast(1),
+            CacheConfig::default(),
+            SupervisorConfig::fast(2),
+            LONG,
+        )
+        .unwrap();
+        let x = t.inner_mut().get_variable("x").unwrap();
+        let mut before = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut before).unwrap();
+        switch.store(true, Ordering::SeqCst);
+        let mut buf = [0u8; 4];
+        assert!(t.get_bytes(x.addr + 64, &mut buf).is_err());
+        assert!(t.get_bytes(x.addr + 128, &mut buf).is_err());
+        assert_eq!(t.state(), CircuitState::Open);
+        // Recovery parks the actor for the MI handshake, then restarts
+        // it: the tower answers identically and is still pipelined.
+        let mut after = [0u8; 4];
+        t.get_bytes(x.addr + 12, &mut after).unwrap();
+        assert_eq!(after, before);
+        assert_eq!(t.state(), CircuitState::Closed);
+        assert_eq!(t.stats().reconnects, 1);
+        assert!(
+            duel_target::Target::pipeline_handle(&t).unwrap().is_async(),
+            "the actor resumed after the resync"
+        );
+    }
+
+    #[test]
+    fn watchdog_still_kills_hung_turns_inside_the_actor() {
+        /// A transport whose replies hang once the shared switch flips.
+        struct SwitchSleepy {
+            inner: MockGdb,
+            slow: Arc<AtomicBool>,
+        }
+        impl MiTransport for SwitchSleepy {
+            fn send_line(&mut self, line: &str) -> Result<(), MiError> {
+                self.inner.send_line(line)
+            }
+            fn recv_line(&mut self) -> Result<String, MiError> {
+                if self.slow.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                self.inner.recv_line()
+            }
+        }
+        let slow = Arc::new(AtomicBool::new(false));
+        let spawn_slow = slow.clone();
+        let mut t = connect_pipelined(
+            move || {
+                Ok(SwitchSleepy {
+                    inner: MockGdb::new(scenario::scan_array()),
+                    slow: spawn_slow.clone(),
+                })
+            },
+            RetryPolicy::fast(1),
+            CacheConfig::default(),
+            SupervisorConfig::fast(2),
+            Duration::from_millis(1),
+        )
+        .unwrap();
+        let x = t.inner_mut().get_variable("x").unwrap();
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr, &mut buf).unwrap();
+        // Hang the wire: the watchdog, now ticking on the worker
+        // thread, kills the turn and the failure surfaces through the
+        // actor as an ordinary error (not a front-thread freeze).
+        slow.store(true, Ordering::SeqCst);
+        assert!(t.get_bytes(x.addr + 4096, &mut buf).is_err());
+        // Healing the wire lets the supervisor respawn and recover.
+        slow.store(false, Ordering::SeqCst);
+        assert!(t.get_bytes(x.addr + 8192, &mut buf).is_err());
+        assert_eq!(t.state(), CircuitState::Open);
+        t.force_reconnect().unwrap();
+        t.get_bytes(x.addr, &mut buf).unwrap();
     }
 
     #[test]

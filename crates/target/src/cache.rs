@@ -29,10 +29,14 @@
 //! cache the way real backend faults would).
 
 use crate::error::TargetResult;
-use crate::iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo};
+use crate::iface::{
+    CallValue, FrameInfo, OwnedRange, PipelineTicket, PrefetchCompletion, ReadRange, Target,
+    VarInfo,
+};
 use crate::span::{SpanContext, SpanKind};
 use duel_ctype::{Abi, EnumId, RecordId, TypeId, TypeTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Tuning knobs for a [`CachedTarget`].
 #[derive(Clone, Debug)]
@@ -134,6 +138,34 @@ struct Page {
     stamp: u64,
 }
 
+/// Where the wire data of one submitted prefetch window lives.
+#[derive(Debug)]
+enum PendingRead {
+    /// No actor below the cache: the vectored read already ran
+    /// synchronously at submit time; `read_ns` is what it cost.
+    Ready {
+        done: Vec<(OwnedRange, TargetResult<()>)>,
+        read_ns: u64,
+    },
+    /// In flight on the I/O actor below, reclaimable by ticket.
+    Async(PipelineTicket),
+}
+
+/// One outstanding [`Target::prefetch_submit`] window, completed FIFO
+/// by [`Target::prefetch_poll`].
+#[derive(Debug)]
+struct PendingPrefetch {
+    read: PendingRead,
+    /// Page generation at submit: if pages were dropped since (epoch
+    /// bump, debuggee call), the completed window is discarded rather
+    /// than resurrect pre-invalidation bytes.
+    page_gen: u64,
+    /// How many of the planned pages were demand misses (the rest are
+    /// readahead) — keeps the stats split identical to the sync path.
+    n_missing: usize,
+    submitted: Instant,
+}
+
 /// A [`Target`] decorator that batches and memoizes backend traffic.
 ///
 /// See the module docs for the caching and invalidation contract.
@@ -157,6 +189,14 @@ pub struct CachedTarget<T: Target> {
     /// Shared span timeline (installed by the trace layer above);
     /// miss fills and coalesced vectored fetches open `cache` spans.
     spans: Option<SpanContext>,
+    /// Prefetch windows submitted but not yet polled, oldest first.
+    prefetch_pending: VecDeque<PendingPrefetch>,
+    /// Pages owned by an outstanding window; planning skips them so two
+    /// in-flight windows can never fetch the same page twice.
+    pending_pages: std::collections::HashSet<u64>,
+    /// Bumped whenever cached pages are dropped; stale completions
+    /// (older generation) are discarded instead of applied.
+    page_gen: u64,
 }
 
 impl<T: Target> CachedTarget<T> {
@@ -185,6 +225,9 @@ impl<T: Target> CachedTarget<T> {
             frames: HashMap::new(),
             frame_count: None,
             spans: None,
+            prefetch_pending: VecDeque::new(),
+            pending_pages: std::collections::HashSet::new(),
+            page_gen: 0,
         }
     }
 
@@ -294,6 +337,7 @@ impl<T: Target> CachedTarget<T> {
         self.frames.clear();
         self.frame_count = None;
         self.epoch += 1;
+        self.page_gen += 1;
         self.stats.invalidations += 1;
     }
 
@@ -301,6 +345,7 @@ impl<T: Target> CachedTarget<T> {
     /// and types do not move when the debuggee writes memory).
     fn drop_pages(&mut self) {
         self.pages.clear();
+        self.page_gen += 1;
     }
 
     fn touch(&mut self, base: u64) {
@@ -827,6 +872,205 @@ impl<T: Target> Target for CachedTarget<T> {
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
         self.inner.staleness_handle()
     }
+
+    fn prefetch_submit(&mut self, ranges: &[(u64, u64)]) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        let ps = self.cfg.page_size;
+        // Same plan as the demand vectored path: every non-resident
+        // page any range needs, then the sequential readahead tail —
+        // minus pages an earlier unpolled window already owns.
+        let mut planned = std::collections::HashSet::new();
+        let mut missing: Vec<u64> = Vec::new();
+        for &(addr, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            let first = addr & !(ps - 1);
+            let last = (addr + len - 1) & !(ps - 1);
+            let mut base = first;
+            loop {
+                if !self.pages.contains_key(&base)
+                    && !self.pending_pages.contains(&base)
+                    && planned.insert(base)
+                {
+                    missing.push(base);
+                }
+                if base >= last {
+                    break;
+                }
+                base += ps;
+            }
+        }
+        let mut readahead: Vec<u64> = Vec::new();
+        if self.cfg.prefetch_pages > 0 {
+            for &(addr, len) in ranges {
+                if len == 0 {
+                    continue;
+                }
+                let last = (addr + len - 1) & !(ps - 1);
+                for k in 1..=self.cfg.prefetch_pages as u64 {
+                    let base = last.saturating_add(k * ps);
+                    if !self.pages.contains_key(&base)
+                        && !self.pending_pages.contains(&base)
+                        && planned.insert(base)
+                    {
+                        readahead.push(base);
+                    }
+                }
+            }
+        }
+        let n_missing = missing.len();
+        let fetch: Vec<u64> = missing.into_iter().chain(readahead).collect();
+        self.pending_pages.extend(fetch.iter().copied());
+        let submitted = Instant::now();
+        let read = if fetch.is_empty() {
+            // Everything resident: still queue a (free) completion so
+            // every submit has exactly one matching poll.
+            PendingRead::Ready {
+                done: Vec::new(),
+                read_ns: 0,
+            }
+        } else {
+            // The read is put on the wire right here in BOTH modes —
+            // one wire turn per window, identical pipeline on or off.
+            self.stats.backend_reads += 1;
+            let owned: Vec<OwnedRange> = fetch
+                .iter()
+                .map(|&b| OwnedRange::new(b, ps as usize))
+                .collect();
+            if let Some(s) = &self.spans {
+                let n = fetch.len();
+                s.instant(SpanKind::Prefetch, "window-submit", || {
+                    format!("{n} pages ({n_missing} missed)")
+                });
+            }
+            match self.inner.read_submit(owned) {
+                Some(ticket) => PendingRead::Async(ticket),
+                None => {
+                    // No I/O actor below: perform the vectored read now
+                    // (the submit itself blocks; the poll is then free).
+                    let owned: Vec<OwnedRange> = fetch
+                        .iter()
+                        .map(|&b| OwnedRange::new(b, ps as usize))
+                        .collect();
+                    let done = crate::pipeline::run_multi(&mut self.inner, owned);
+                    PendingRead::Ready {
+                        done,
+                        read_ns: submitted.elapsed().as_nanos() as u64,
+                    }
+                }
+            }
+        };
+        self.prefetch_pending.push_back(PendingPrefetch {
+            read,
+            page_gen: self.page_gen,
+            n_missing,
+            submitted,
+        });
+        true
+    }
+
+    fn prefetch_poll(&mut self) -> Option<PrefetchCompletion> {
+        let p = self.prefetch_pending.pop_front()?;
+        let poll_start = Instant::now();
+        let (done, was_async, sync_read_ns) = match p.read {
+            PendingRead::Ready { done, read_ns } => (done, false, read_ns),
+            PendingRead::Async(ticket) => {
+                let done = self.inner.read_poll(ticket).unwrap_or_default();
+                (done, true, 0)
+            }
+        };
+        let (wait_ns, overlap_ns) = if was_async {
+            (
+                poll_start.elapsed().as_nanos() as u64,
+                poll_start.duration_since(p.submitted).as_nanos() as u64,
+            )
+        } else {
+            (sync_read_ns, 0)
+        };
+        let planned = done.len() as u64;
+        // The window's wire read ran below this layer (inline at submit
+        // or on the I/O actor), so no outer trace decorator saw it as a
+        // `get_bytes_multi`. This is the one place that still holds the
+        // per-page outcomes, so the completed window is recorded here as
+        // the same `multi_read` parent span + per-range children a
+        // direct vectored call would have produced.
+        let wire_span = match &self.spans {
+            Some(s) if planned > 0 => {
+                let declared: u64 = done.iter().map(|(o, _)| o.buf.len() as u64).sum();
+                s.push(SpanKind::Wire, "multi_read", || {
+                    format!("{planned} ranges, {declared}b")
+                })
+            }
+            _ => 0,
+        };
+        // Discard (don't apply) a window submitted before the last page
+        // drop: its bytes predate the invalidation.
+        let stale = p.page_gen != self.page_gen;
+        let (mut clean, mut failed, mut bytes) = (0u64, 0u64, 0u64);
+        for (i, (o, r)) in done.into_iter().enumerate() {
+            self.pending_pages.remove(&o.addr);
+            if wire_span != 0 {
+                if let Some(s) = &self.spans {
+                    let (addr, len, ok) = (o.addr, o.buf.len(), r.is_ok());
+                    s.instant(SpanKind::Range, "range", || {
+                        format!("{addr:#x}+{len} {}", if ok { "ok" } else { "failed" })
+                    });
+                }
+            }
+            match r {
+                Ok(()) => {
+                    clean += 1;
+                    bytes += o.buf.len() as u64;
+                    if !stale {
+                        self.stats.wire_bytes += o.buf.len() as u64;
+                        if i < p.n_missing {
+                            self.stats.pages_prefetched += 1;
+                        } else {
+                            self.stats.readahead_pages += 1;
+                        }
+                        self.insert_page(o.addr, o.buf);
+                    }
+                }
+                // A failed page stays cold: the demand path re-drives
+                // it scalar-wise (through the retry layer above), just
+                // like a failed page in a demand vectored fetch.
+                Err(_) => failed += 1,
+            }
+        }
+        if wire_span != 0 {
+            if let Some(s) = &self.spans {
+                s.pop(wire_span);
+            }
+        }
+        if let Some(s) = &self.spans {
+            s.instant(SpanKind::Prefetch, "window-apply", || {
+                format!(
+                    "{clean} clean, {failed} failed{}",
+                    if stale { ", stale" } else { "" }
+                )
+            });
+        }
+        Some(PrefetchCompletion {
+            ranges: planned,
+            clean,
+            failed,
+            bytes,
+            wait_ns,
+            overlap_ns,
+            was_async,
+        })
+    }
+
+    fn cache_page_size(&self) -> Option<u64> {
+        Some(self.cfg.page_size)
+    }
+
+    fn pipeline_handle(&self) -> Option<crate::pipeline::PipelineHandle> {
+        self.inner.pipeline_handle()
+    }
 }
 
 #[cfg(test)]
@@ -1192,5 +1436,127 @@ mod tests {
         t.get_bytes(x.addr + 188, &mut buf).unwrap();
         assert_eq!(i32::from_le_bytes(buf), 6);
         assert_eq!(t.stats().backend_reads, reads);
+    }
+
+    #[test]
+    fn prefetch_seam_sync_fallback_warms_pages_in_one_turn() {
+        let mut t = counted(CacheConfig {
+            page_size: 64,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        assert!(t.prefetch_submit(&[(x.addr, 128)]));
+        let c = t.prefetch_poll().unwrap();
+        assert!(!c.was_async);
+        assert_eq!(c.ranges, 2);
+        assert_eq!(c.clean, 2);
+        assert_eq!(c.failed, 0);
+        assert_eq!(c.bytes, 128);
+        assert_eq!(t.stats().backend_reads, 1);
+        assert_eq!(t.stats().pages_prefetched, 2);
+        // Demand reads over the window are now hits.
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 64, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 116);
+        assert_eq!(t.stats().backend_reads, 1);
+        // A fully resident window completes for free.
+        assert!(t.prefetch_submit(&[(x.addr, 128)]));
+        let c = t.prefetch_poll().unwrap();
+        assert_eq!(c.ranges, 0);
+        assert_eq!(t.stats().backend_reads, 1);
+        assert!(t.prefetch_poll().is_none());
+    }
+
+    #[test]
+    fn prefetch_seam_rides_the_io_actor_when_present() {
+        let mut t = CachedTarget::with_config(
+            crate::pipeline::AsyncTarget::spawned(scenario::scan_array()),
+            CacheConfig {
+                page_size: 64,
+                ..CacheConfig::default()
+            },
+        );
+        let x = t.get_variable("x").unwrap();
+        assert!(t.prefetch_submit(&[(x.addr, 128)]));
+        let c = t.prefetch_poll().unwrap();
+        assert!(c.was_async);
+        assert_eq!(c.clean, 2);
+        let mut buf = [0u8; 4];
+        t.get_bytes(x.addr + 64, &mut buf).unwrap();
+        assert_eq!(i32::from_le_bytes(buf), 116);
+        assert_eq!(
+            t.stats().backend_reads,
+            1,
+            "the window was the only wire read"
+        );
+        let h = t.pipeline_handle().unwrap();
+        assert_eq!(h.stats().submits, 1);
+        assert_eq!(h.stats().completions, 1);
+    }
+
+    #[test]
+    fn async_and_sync_prefetch_leave_identical_cache_state() {
+        let cfg = CacheConfig {
+            page_size: 64,
+            ..CacheConfig::default()
+        };
+        let mut sync_t = CachedTarget::with_config(
+            crate::pipeline::AsyncTarget::new(scenario::scan_array()),
+            cfg.clone(),
+        );
+        let mut async_t = CachedTarget::with_config(
+            crate::pipeline::AsyncTarget::spawned(scenario::scan_array()),
+            cfg,
+        );
+        for t in [&mut sync_t, &mut async_t] {
+            let x = t.get_variable("x").unwrap();
+            assert!(t.prefetch_submit(&[(x.addr, 100)]));
+            let _ = t.prefetch_poll().unwrap();
+            assert!(t.prefetch_submit(&[(x.addr + 100, 100)]));
+            let _ = t.prefetch_poll().unwrap();
+        }
+        assert_eq!(sync_t.resident_pages(), async_t.resident_pages());
+        assert_eq!(sync_t.stats().backend_reads, async_t.stats().backend_reads);
+        assert_eq!(
+            sync_t.stats().pages_prefetched,
+            async_t.stats().pages_prefetched
+        );
+    }
+
+    #[test]
+    fn stale_prefetch_completions_are_discarded() {
+        let mut t = CachedTarget::with_config(
+            crate::pipeline::AsyncTarget::spawned(scenario::scan_array()),
+            CacheConfig {
+                page_size: 64,
+                ..CacheConfig::default()
+            },
+        );
+        let x = t.get_variable("x").unwrap();
+        assert!(t.prefetch_submit(&[(x.addr, 64)]));
+        // The debuggee "resumes" before the window lands: its bytes
+        // must not be resurrected into the new epoch.
+        t.invalidate_all();
+        let c = t.prefetch_poll().unwrap();
+        assert_eq!(c.clean, 1, "the wire read itself succeeded");
+        assert!(t.resident_pages().is_empty(), "but nothing was applied");
+        assert_eq!(t.stats().pages_prefetched, 0);
+    }
+
+    #[test]
+    fn outstanding_windows_do_not_refetch_each_others_pages() {
+        let mut t = counted(CacheConfig {
+            page_size: 64,
+            ..CacheConfig::default()
+        });
+        let x = t.get_variable("x").unwrap();
+        assert!(t.prefetch_submit(&[(x.addr, 64)]));
+        // Overlapping window submitted before the first is polled.
+        assert!(t.prefetch_submit(&[(x.addr, 128)]));
+        let c0 = t.prefetch_poll().unwrap();
+        let c1 = t.prefetch_poll().unwrap();
+        assert_eq!(c0.ranges, 1);
+        assert_eq!(c1.ranges, 1, "page 0 already owned by window 0");
+        assert_eq!(t.stats().backend_reads, 2);
     }
 }

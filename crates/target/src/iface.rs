@@ -128,6 +128,60 @@ impl<'a> ReadRange<'a> {
     }
 }
 
+/// One range of an *owned-buffer* vectored read: the asynchronous
+/// counterpart of [`ReadRange`].
+///
+/// An in-flight read cannot borrow the caller's buffers (the actual
+/// I/O happens on the pipeline worker thread while the caller keeps
+/// running), so submission hands over owned buffers and completion
+/// hands them back filled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedRange {
+    /// Start address of the range.
+    pub addr: u64,
+    /// Destination buffer; its length is the number of bytes to read.
+    pub buf: Vec<u8>,
+}
+
+impl OwnedRange {
+    /// Builds a range reading `len` bytes at `addr`.
+    pub fn new(addr: u64, len: usize) -> OwnedRange {
+        OwnedRange {
+            addr,
+            buf: vec![0u8; len],
+        }
+    }
+}
+
+/// Ticket identifying one in-flight submission made through
+/// [`Target::read_submit`] / [`Target::prefetch_submit`]. Tickets
+/// complete strictly in submission order (FIFO).
+pub type PipelineTicket = u64;
+
+/// What one completed prefetch window did, as returned by
+/// [`Target::prefetch_poll`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchCompletion {
+    /// Ranges the cache planned for this window (page-aligned reads
+    /// actually put on the wire; 0 when everything was resident).
+    pub ranges: u64,
+    /// Ranges that read cleanly and were inserted into the cache.
+    pub clean: u64,
+    /// Ranges that failed (left cold for the demand path to re-drive).
+    pub failed: u64,
+    /// Bytes carried by the clean ranges.
+    pub bytes: u64,
+    /// Nanoseconds the *poller* spent blocked waiting for the wire.
+    pub wait_ns: u64,
+    /// Nanoseconds the read was in flight while the caller was doing
+    /// other work — the overlap the pipeline actually bought.
+    pub overlap_ns: u64,
+    /// Whether the window was serviced asynchronously (an I/O actor
+    /// below took it); `false` means the cache read it synchronously
+    /// at submit time.
+    pub was_async: bool,
+}
+
 /// The debugger-target interface.
 ///
 /// Memory access and function calls return [`TargetResult`] so that
@@ -249,6 +303,76 @@ pub trait Target {
     /// around each produced value to decide whether to tag it
     /// `<stale>`, while holding only `&mut dyn Target`.
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
+        None
+    }
+
+    // -- asynchronous wire pipeline -----------------------------------
+
+    /// Submits an owned-buffer vectored read without waiting for it.
+    ///
+    /// `None` (the default) means this tower has no I/O actor below and
+    /// the caller must read synchronously instead. `Some(ticket)` means
+    /// the read is now on the wire; reclaim it with
+    /// [`Target::read_poll`]. Tickets complete strictly in submission
+    /// order, and any *synchronous* operation issued after a submit is
+    /// ordered behind it on the wire (one FIFO per tower).
+    ///
+    /// Only [`crate::AsyncTarget`] answers; decorators *between the
+    /// page cache and the actor* (the record layer) forward it.
+    fn read_submit(&mut self, _ranges: Vec<OwnedRange>) -> Option<PipelineTicket> {
+        None
+    }
+
+    /// Blocks until the in-flight read identified by `ticket` is done
+    /// and returns the filled buffers with one result per range.
+    ///
+    /// `None` (the default) means the ticket is unknown here — callers
+    /// only poll tickets minted by this tower's own
+    /// [`Target::read_submit`], oldest first.
+    fn read_poll(
+        &mut self,
+        _ticket: PipelineTicket,
+    ) -> Option<Vec<(OwnedRange, TargetResult<()>)>> {
+        None
+    }
+
+    /// Asks the page cache to warm `ranges` (address, length), without
+    /// blocking if an I/O actor can take the read.
+    ///
+    /// `false` (the default) means there is no cache in this tower and
+    /// the caller should fall back to [`Target::get_bytes_multi`]-based
+    /// warming. `true` means the window was accepted: either submitted
+    /// asynchronously or already read synchronously — in both cases a
+    /// matching [`Target::prefetch_poll`] completes it. The planner
+    /// issues at most one unpolled submit at a time (double buffering),
+    /// which is also the backpressure bound: window `k+2` is never on
+    /// the wire before window `k+1` has been applied.
+    ///
+    /// [`crate::CachedTarget`] implements this; the layers above it
+    /// (retry, supervise, trace) forward.
+    fn prefetch_submit(&mut self, _ranges: &[(u64, u64)]) -> bool {
+        false
+    }
+
+    /// Completes the oldest outstanding [`Target::prefetch_submit`]:
+    /// waits for its wire read if necessary, applies clean pages to the
+    /// cache, and reports what happened. `None` (the default, and the
+    /// steady state) means no submit is outstanding.
+    fn prefetch_poll(&mut self) -> Option<PrefetchCompletion> {
+        None
+    }
+
+    /// The page size of the [`crate::CachedTarget`] in this tower, if
+    /// any — what converts `prefetch_window` (pages) into bytes.
+    fn cache_page_size(&self) -> Option<u64> {
+        None
+    }
+
+    /// The nearest [`crate::PipelineHandle`] in this tower, if a
+    /// [`crate::AsyncTarget`] is present. The evaluator diffs its
+    /// counters around an evaluation to fill the pipeline fields of
+    /// `EvalStats`, holding only `&mut dyn Target`.
+    fn pipeline_handle(&self) -> Option<crate::pipeline::PipelineHandle> {
         None
     }
 }

@@ -46,6 +46,10 @@
 //! * [`ChaosTarget`] — a scriptable failure-injection gate (kill /
 //!   hang / garble campaigns with a deterministic seed) for chaos
 //!   testing the supervision stack.
+//! * [`AsyncTarget`] — the I/O actor: moves the innermost backend onto
+//!   a dedicated worker thread and adds non-blocking submit/poll for
+//!   in-flight vectored reads, enabling double-buffered streaming
+//!   prefetch (evaluate window *k* while window *k+1* is on the wire).
 
 pub mod cache;
 pub mod capture;
@@ -56,6 +60,7 @@ pub mod iface;
 pub mod json;
 pub mod meta;
 pub mod metrics;
+pub mod pipeline;
 pub mod record;
 pub mod replay;
 pub mod retry;
@@ -73,9 +78,13 @@ pub use capture::{
 pub use chaos::{ChaosAction, ChaosEvent, ChaosHandle, ChaosMode, ChaosTarget};
 pub use error::{TargetError, TargetResult};
 pub use fault::{FaultConfig, FaultTarget};
-pub use iface::{CallValue, FrameInfo, ReadRange, Target, VarInfo, VarKind};
+pub use iface::{
+    CallValue, FrameInfo, OwnedRange, PipelineTicket, PrefetchCompletion, ReadRange, Target,
+    VarInfo, VarKind,
+};
 pub use meta::{MetaCapture, MetaSnapshot, MetaTarget, META_BASE};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use pipeline::{AsyncTarget, PipelineHandle, PipelineStats};
 pub use record::RecordTarget;
 pub use replay::{Divergence, ReplayMode, ReplayTarget};
 pub use retry::{RetryPolicy, RetryStats, RetryTarget};

@@ -450,6 +450,26 @@ impl<T: Target> Target for RetryTarget<T> {
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
         self.inner.staleness_handle()
     }
+
+    // Prefetch warms are deliberately NOT retried: a failed page stays
+    // cold and the demand read that eventually needs it re-drives it
+    // through the normal (retried) scalar path. Retrying warms would
+    // desynchronize the wire sequence between pipeline on and off.
+    fn prefetch_submit(&mut self, ranges: &[(u64, u64)]) -> bool {
+        self.inner.prefetch_submit(ranges)
+    }
+
+    fn prefetch_poll(&mut self) -> Option<crate::iface::PrefetchCompletion> {
+        self.inner.prefetch_poll()
+    }
+
+    fn cache_page_size(&self) -> Option<u64> {
+        self.inner.cache_page_size()
+    }
+
+    fn pipeline_handle(&self) -> Option<crate::pipeline::PipelineHandle> {
+        self.inner.pipeline_handle()
+    }
 }
 
 #[cfg(test)]

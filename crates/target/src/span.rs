@@ -58,10 +58,13 @@ pub enum SpanKind {
     Supervise,
     /// A prefetch-planner warm-up batch.
     Prefetch,
+    /// An asynchronous-pipeline event: window submit, in-flight wait,
+    /// queue-depth instant.
+    Pipeline,
 }
 
 /// Every span kind, in display order.
-pub const SPAN_KINDS: [SpanKind; 9] = [
+pub const SPAN_KINDS: [SpanKind; 10] = [
     SpanKind::Root,
     SpanKind::Node,
     SpanKind::Display,
@@ -71,6 +74,7 @@ pub const SPAN_KINDS: [SpanKind; 9] = [
     SpanKind::Cache,
     SpanKind::Supervise,
     SpanKind::Prefetch,
+    SpanKind::Pipeline,
 ];
 
 impl SpanKind {
@@ -86,6 +90,7 @@ impl SpanKind {
             SpanKind::Cache => "cache",
             SpanKind::Supervise => "supervise",
             SpanKind::Prefetch => "prefetch",
+            SpanKind::Pipeline => "pipeline",
         }
     }
 }

@@ -836,6 +836,31 @@ impl<T: Target> Target for SupervisedTarget<T> {
     fn staleness_handle(&self) -> Option<StalenessHandle> {
         Some(self.staleness.clone())
     }
+
+    fn prefetch_submit(&mut self, ranges: &[(u64, u64)]) -> bool {
+        self.inner.prefetch_submit(ranges)
+    }
+
+    fn prefetch_poll(&mut self) -> Option<crate::iface::PrefetchCompletion> {
+        let c = self.inner.prefetch_poll()?;
+        // A completed window is backend health evidence like any other
+        // wire op: feed the breaker window so a backend that only fails
+        // asynchronous reads still trips the circuit.
+        if c.failed > 0 {
+            self.record_failure();
+        } else if c.ranges > 0 {
+            self.record_success();
+        }
+        Some(c)
+    }
+
+    fn cache_page_size(&self) -> Option<u64> {
+        self.inner.cache_page_size()
+    }
+
+    fn pipeline_handle(&self) -> Option<crate::pipeline::PipelineHandle> {
+        self.inner.pipeline_handle()
+    }
 }
 
 #[cfg(test)]

@@ -928,6 +928,47 @@ impl<T: Target> Target for TraceTarget<T> {
     fn staleness_handle(&self) -> Option<crate::supervise::StalenessHandle> {
         self.inner.staleness_handle()
     }
+
+    fn prefetch_submit(&mut self, ranges: &[(u64, u64)]) -> bool {
+        self.inner.prefetch_submit(ranges)
+    }
+
+    fn prefetch_poll(&mut self) -> Option<crate::iface::PrefetchCompletion> {
+        let c = self.inner.prefetch_poll()?;
+        // The window's wire read happened below the cache (at submit
+        // when synchronous, on the actor when pipelined), so this layer
+        // never saw it as a get_bytes_multi. Record the completed
+        // window as one MultiRead here — in both modes — so
+        // `wire_turns()` counts every turn exactly once regardless of
+        // how the tower executed it.
+        if c.ranges > 0 && self.handle.0.enabled.load(Ordering::Relaxed) {
+            let outcome = if c.failed > 0 {
+                TraceOutcome::Fault
+            } else {
+                TraceOutcome::Ok
+            };
+            self.handle.record_multi(
+                c.ranges as usize,
+                format!(
+                    "window {} pages, {}b{}",
+                    c.ranges,
+                    c.bytes,
+                    if c.was_async { ", pipelined" } else { "" }
+                ),
+                outcome,
+                c.wait_ns,
+            );
+        }
+        Some(c)
+    }
+
+    fn cache_page_size(&self) -> Option<u64> {
+        self.inner.cache_page_size()
+    }
+
+    fn pipeline_handle(&self) -> Option<crate::pipeline::PipelineHandle> {
+        self.inner.pipeline_handle()
+    }
 }
 
 #[cfg(test)]

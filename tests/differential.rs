@@ -218,4 +218,62 @@ proptest! {
         }
         prop_assert_eq!(scalar_t.resident_pages(), vector_t.resident_pages());
     }
+
+    /// The I/O-actor pipeline is observationally identical to the
+    /// synchronous tower: same rendered output, same trailing error,
+    /// same resident cache pages, and the same backend op/injection
+    /// counts — over random contiguous scans, prefetch window sizes,
+    /// page sizes, and seeded chaos campaigns. The towers are
+    /// `Retry<Cached<Async<Chaos<Sim>>>>` with the actor on vs off.
+    #[test]
+    fn async_pipeline_matches_the_synchronous_tower(
+        spans in prop::collection::vec((0u16..60, 1u16..60), 1..4),
+        k in -5i16..10,
+        page_exp in 4u32..7,
+        window in 1usize..5,
+        // events == 0 means no chaos campaign at all.
+        chaos_seed in 0u64..1_000_000u64,
+        chaos_events in 0usize..4,
+        chaos_span in 20u64..200,
+    ) {
+        use duel::target::{
+            AsyncTarget, CacheConfig, CachedTarget, ChaosTarget, RetryPolicy, RetryTarget,
+        };
+        let idx: Vec<String> = spans
+            .iter()
+            .map(|&(a, n)| format!("{}..{}", a, a + n))
+            .collect();
+        let src = format!("x[{}] >? ({k})", idx.join(","));
+        let opts = duel::core::EvalOptions {
+            prefetch: true,
+            prefetch_window: window,
+            error_values: true,
+            ..Default::default()
+        };
+        let run = |pipeline: bool| {
+            let gate = ChaosTarget::new(scenario::scan_array());
+            let h = gate.handle();
+            if chaos_events > 0 {
+                h.campaign(chaos_seed, chaos_events, chaos_span);
+            }
+            let actor = if pipeline {
+                AsyncTarget::spawned(gate)
+            } else {
+                AsyncTarget::new(gate)
+            };
+            let mut t = RetryTarget::with_policy(
+                CachedTarget::with_config(
+                    actor,
+                    CacheConfig { page_size: 1 << page_exp, ..CacheConfig::default() },
+                ),
+                RetryPolicy::fast(1),
+            );
+            let (lines, err) = duel::core::oneshot_lines(&mut t, &src, &opts);
+            let pages = t.inner().resident_pages();
+            (lines, err.map(|e| e.to_string()), pages, h.ops(), h.injected())
+        };
+        let sync = run(false);
+        let piped = run(true);
+        prop_assert_eq!(sync, piped, "expression `{}`", src);
+    }
 }
